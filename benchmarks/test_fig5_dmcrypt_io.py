@@ -1,0 +1,191 @@
+"""Figure 5: dm-crypt I/O latency.
+
+Paper setup (section 6.3.1): dd with 4 KiB blocks over an encrypted
+10 GB volume (aes-xts-plain64, pbkdf2/1000), request sizes up to
+256 MB.  Reported overheads vs the plain device:
+
+    reads:  min 1.99 %, average 26.32 %
+    writes: min 0.35 %, average 12.03 %
+
+Two series are produced:
+
+1. **raw** — wall-clock of our dm-crypt target vs the raw in-memory
+   device.  Because the cipher is pure Python/numpy (no AES-NI) and the
+   baseline is RAM (no disk), the ratio is inflated by ~3 orders of
+   magnitude; only its *shape* (per-request fixed costs amortising into
+   an asymptotic ratio) is meaningful.
+
+2. **hardware-calibrated** — the measured encryption *compute* is
+   rescaled by the ratio of our cipher throughput to an AES-NI-class
+   throughput, and the baseline is a modelled NVMe (2 GB/s + 20 us per
+   request).  This places the overheads in the paper's regime so the
+   min/avg band can be compared like for like.  The calibration is a
+   declared translation, not a measurement of AMD hardware — see
+   EXPERIMENTS.md.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import Reporter, bench_scale
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.blockdev import RamBlockDevice
+from repro.storage.dm_crypt import luks_format
+
+BLOCK_SIZE = 4096
+REQUEST_SIZES = [4096 * (4**i) for i in range(6)]  # 4 KiB .. 4 MiB
+VOLUME_BLOCKS = 4096  # 16 MiB volume (paper: 10 GB, scaled)
+
+PAPER_READ = {"min": 1.99, "avg": 26.32}
+PAPER_WRITE = {"min": 0.35, "avg": 12.03}
+
+#: The modelled storage + hardware cipher the calibrated series maps to.
+DISK_BANDWIDTH = 2e9  # bytes/s sequential
+DISK_FIXED = 20e-6  # per-request latency
+AESNI_BANDWIDTH = 1.5e9  # bytes/s AES-XTS with AES-NI
+
+
+@pytest.fixture(scope="module")
+def devices():
+    rng = HmacDrbg(b"fig5")
+    raw = RamBlockDevice(VOLUME_BLOCKS + 2, BLOCK_SIZE)
+    crypt = luks_format(raw, rng, passphrase=b"bench")
+    plain = RamBlockDevice(VOLUME_BLOCKS, BLOCK_SIZE)
+    payload = rng.generate(max(REQUEST_SIZES))
+    for first in range(0, VOLUME_BLOCKS, 256):
+        count = min(256, VOLUME_BLOCKS - first)
+        chunk = payload[: count * BLOCK_SIZE].ljust(count * BLOCK_SIZE, b"\x00")
+        crypt.write_blocks(first, chunk)
+        for index in range(count):
+            plain.write_block(
+                first + index, chunk[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE]
+            )
+    return raw, crypt, plain, payload
+
+
+@pytest.fixture(scope="module")
+def cipher_calibration(devices):
+    """Our cipher's measured throughput -> AES-NI translation factor."""
+    _, crypt, _, payload = devices
+    size = 2 * 1024 * 1024
+    started = time.perf_counter()
+    crypt.write_blocks(0, payload[:size])
+    elapsed = time.perf_counter() - started
+    our_bandwidth = size / elapsed
+    return AESNI_BANDWIDTH / our_bandwidth
+
+
+def _time(operation, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _sweep(devices, mode):
+    """Per request size: (plain_seconds, crypt_seconds)."""
+    _, crypt, plain, payload = devices
+    points = []
+    for size in REQUEST_SIZES:
+        blocks = size // BLOCK_SIZE
+        if mode == "read":
+            crypt_seconds = _time(lambda: crypt.read_blocks(0, blocks))
+            plain_seconds = _time(
+                lambda: [plain.read_block(i) for i in range(blocks)]
+            )
+        else:
+            data = payload[:size]
+            crypt_seconds = _time(lambda: crypt.write_blocks(0, data))
+
+            def plain_write():
+                for index in range(blocks):
+                    plain.write_block(
+                        index, data[index * BLOCK_SIZE : (index + 1) * BLOCK_SIZE]
+                    )
+
+            plain_seconds = _time(plain_write)
+        points.append((size, plain_seconds, crypt_seconds))
+    return points
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter(
+        "fig5", f"dm-crypt I/O latency sweep (scale={bench_scale():.4f})"
+    )
+    yield reporter
+    reporter.finish()
+
+
+def _report_series(reporter, label, points, paper, calibration):
+    reporter.line(f"\n  {label} (paper: min {paper['min']}%, avg {paper['avg']}%)")
+    reporter.header(
+        ["  size", "raw ovh %", "calibrated ovh %"], [12, 14, 18]
+    )
+    raw_overheads = []
+    calibrated_overheads = []
+    for size, plain_seconds, crypt_seconds in points:
+        raw = 100.0 * (crypt_seconds - plain_seconds) / plain_seconds
+        disk_seconds = DISK_FIXED + size / DISK_BANDWIDTH
+        crypt_compute_hw = (crypt_seconds - plain_seconds) / calibration
+        calibrated = 100.0 * crypt_compute_hw / disk_seconds
+        raw_overheads.append(raw)
+        calibrated_overheads.append(calibrated)
+        reporter.row(
+            [f"  {size // 1024} KiB", f"{raw:.0f}", f"{calibrated:.2f}"],
+            [12, 14, 18],
+        )
+    reporter.line(
+        f"  calibrated: min {min(calibrated_overheads):.2f}% "
+        f"avg {sum(calibrated_overheads) / len(calibrated_overheads):.2f}% "
+        f"(paper min {paper['min']}% avg {paper['avg']}%)"
+    )
+    return calibrated_overheads
+
+
+_SERIES = {}
+
+
+def test_fig5_read_latency(benchmark, devices, reporter, cipher_calibration):
+    points = _sweep(devices, "read")
+    overheads = _report_series(
+        reporter, "sequential reads", points, PAPER_READ, cipher_calibration
+    )
+    _SERIES["read"] = overheads
+    _, crypt, _, _ = devices
+    benchmark(lambda: crypt.read_blocks(0, 256))  # 1 MiB representative read
+    # Shape: calibrated overhead sits in the paper's tens-of-percent
+    # band (not ~0, not thousands), and large requests pay more than
+    # the smallest one, where the fixed disk latency dominates.
+    assert 1.0 < max(overheads) < 500.0
+    assert overheads[-1] > overheads[0] * 0.5
+
+
+def test_fig5_write_latency(benchmark, devices, reporter, cipher_calibration):
+    points = _sweep(devices, "write")
+    overheads = _report_series(
+        reporter, "sequential writes", points, PAPER_WRITE, cipher_calibration
+    )
+    _SERIES["write"] = overheads
+    _, crypt, _, payload = devices
+    benchmark(lambda: crypt.write_blocks(0, payload[: 256 * BLOCK_SIZE]))
+    assert 1.0 < max(overheads) < 500.0
+    # Cross-series shape, as in the paper: writes cost less than reads
+    # (avg 12.03 % vs 26.32 %), and both series bottom out at the
+    # smallest request where fixed I/O latency dominates.
+    if "read" in _SERIES:
+        read = _SERIES["read"]
+        assert sum(overheads) / len(overheads) < sum(read) / len(read)
+        assert min(read) == read[0]
+        assert min(overheads) == overheads[0]
+
+
+def test_fig5_round_trip_integrity(devices):
+    """Sanity: what we read back through dm-crypt is what we wrote."""
+    _, crypt, _, payload = devices
+    data = payload[: 64 * BLOCK_SIZE]
+    crypt.write_blocks(128, data)
+    assert crypt.read_blocks(128, 64) == data

@@ -1,0 +1,118 @@
+"""Figure 6: dm-verity read latency.
+
+Paper setup (section 6.3.1): reading the files under the Boundary
+Node's integrity-protected 4 GB rootfs (sha256, 4 KiB data and hash
+blocks), largest file 94.8 MB; reads show an average 9.35x slowdown
+over the unprotected device.
+
+We build a rootfs with a paper-shaped file size distribution (scaled),
+mount it once through dm-verity and once directly, and compare per-file
+read latency.  Shape to reproduce: a roughly constant multiplicative
+slowdown across file sizes (every 4 KiB block pays the same hash-path
+verification), i.e. an order-of-magnitude, not a few percent.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import Reporter, bench_scale
+from repro.storage.dm_verity import verity_format, verity_open
+from repro.storage.filesystem import FileSystem, build_image, image_to_device
+
+PAPER_AVG_SLOWDOWN = 9.35
+
+#: Paper-shaped file sizes (bytes), scaled from the BN rootfs contents;
+#: the largest models the 94.8 MB file at bench scale.
+FILE_SIZES = [4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 3 * 1024 * 1024]
+
+
+@pytest.fixture(scope="module")
+def mounts():
+    files = {
+        f"/data/file-{index}": bytes((index + i) % 256 for i in range(size))
+        for index, size in enumerate(FILE_SIZES)
+    }
+    image = build_image(files)
+    plain_device = image_to_device(image)
+    protected_device = image_to_device(image)
+    result = verity_format(protected_device, salt=b"fig6")
+    verity = verity_open(protected_device, result.hash_device, result.root_hash)
+    return FileSystem(plain_device), FileSystem(verity), files
+
+
+def _time(operation, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter(
+        "fig6", f"dm-verity read latency (scale={bench_scale():.4f})"
+    )
+    yield reporter
+    reporter.finish()
+
+
+def test_fig6_read_slowdown(benchmark, mounts, reporter):
+    plain_fs, verity_fs, files = mounts
+    reporter.line(f"\n  paper: average slowdown {PAPER_AVG_SLOWDOWN}x")
+    reporter.header(
+        ["  file size", "plain ms", "verity ms", "slowdown"], [12, 12, 12, 10]
+    )
+    slowdowns = []
+    for path in sorted(files):
+        plain_seconds = _time(lambda: plain_fs.read_file(path))
+        verity_seconds = _time(lambda: verity_fs.read_file(path))
+        slowdown = verity_seconds / plain_seconds
+        slowdowns.append(slowdown)
+        reporter.row(
+            [f"  {len(files[path]) // 1024} KiB", f"{plain_seconds * 1000:.3f}",
+             f"{verity_seconds * 1000:.3f}", f"{slowdown:.2f}x"],
+            [12, 12, 12, 10],
+        )
+    average = sum(slowdowns) / len(slowdowns)
+    reporter.line(f"  measured average slowdown: {average:.2f}x")
+
+    largest = max(files, key=lambda p: len(files[p]))
+    benchmark(lambda: verity_fs.read_file(largest))
+
+    # Shape: a multiplicative slowdown well above 2x on larger files —
+    # the paper's point is that verify-on-read costs ~an order of
+    # magnitude, not a few percent.
+    big_file_slowdowns = slowdowns[-3:]
+    assert min(big_file_slowdowns) > 2.0
+
+
+def test_fig6_reads_still_correct(mounts):
+    """Verity-mounted reads return identical bytes, just slower."""
+    plain_fs, verity_fs, files = mounts
+    for path in files:
+        assert verity_fs.read_file(path) == plain_fs.read_file(path)
+
+
+def test_fig6_hash_path_depth_effect(benchmark, reporter):
+    """Deeper trees (more levels) cost more per read — the mechanism
+    behind the slowdown."""
+    import math
+
+    from repro.storage.blockdev import RamBlockDevice
+
+    reporter.line("\n  hash-tree depth vs per-block read cost:")
+    for num_blocks in (64, 8192):
+        device = RamBlockDevice(num_blocks, 4096,
+                                initial=bytes(num_blocks * 4096))
+        result = verity_format(device)
+        verity = verity_open(device, result.hash_device, result.root_hash)
+        levels = len(result.superblock.level_block_counts())
+        seconds = _time(lambda: [verity.read_block(i) for i in range(64)])
+        reporter.line(
+            f"    {num_blocks:6d} blocks ({levels} levels): "
+            f"{seconds / 64 * 1e6:7.1f} us/block"
+        )
+    benchmark(lambda: verity.read_block(0))

@@ -1,0 +1,161 @@
+"""Section 6.1 security matrix: every attack, its detector, and the
+cost of detection.
+
+Not a table in the paper, but its security analysis is the evaluation's
+first half — this bench executes each attack end to end, asserts it is
+caught, and measures how expensive the catching machinery is (report
+verification throughput, boot-time verification, verity scan).
+"""
+
+import time
+
+import pytest
+
+from repro.amd.verify import AttestationError, verify_attestation_report
+from repro.bench import Reporter
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from repro.virt.firmware import build_firmware
+from repro.virt.hypervisor import LaunchAttack
+from repro.virt.image import KernelBlob
+from repro.virt.vm import BootFailure
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter("security_matrix", "Section 6.1 attacks and detection costs")
+    yield reporter
+    reporter.finish()
+
+
+@pytest.fixture(scope="module")
+def deployment(bn_build):
+    return RevelioDeployment(
+        bn_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"sec"
+    ).deploy()
+
+
+def test_attack_detection_matrix(benchmark, bn_build, reporter):
+    """Run the full matrix once (timed as a whole)."""
+
+    def run_matrix():
+        outcomes = []
+
+        # 6.1.1a: substituted kernel, honest hash table.
+        deployment = RevelioDeployment(
+            bn_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"sm1"
+        )
+        started = time.perf_counter()
+        try:
+            deployment.launch_fleet(
+                attack_for=lambda i: LaunchAttack(
+                    replace_kernel=KernelBlob("evil", "6").encode(),
+                    inject_expected_hashes=True,
+                )
+            )
+            outcomes.append(("kernel substitution (honest table)", False, 0))
+        except BootFailure:
+            outcomes.append(
+                ("kernel substitution (honest table)", True,
+                 time.perf_counter() - started)
+            )
+
+        # 6.1.1b: substituted kernel with matching hashes -> attestation.
+        deployment = RevelioDeployment(
+            bn_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"sm2"
+        )
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                replace_kernel=KernelBlob("evil", "6").encode()
+            )
+        )
+        deployment.create_sp_node()
+        started = time.perf_counter()
+        try:
+            deployment.sp.provision_fleet([deployment.node_ip(0)])
+            outcomes.append(("kernel substitution (matching hashes)", False, 0))
+        except AttestationError:
+            outcomes.append(
+                ("kernel substitution (matching hashes)", True,
+                 time.perf_counter() - started)
+            )
+
+        # 6.1.1c: malicious firmware.
+        deployment = RevelioDeployment(
+            bn_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"sm3"
+        )
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                replace_firmware_template=build_firmware(verify_hashes=False)
+            )
+        )
+        deployment.create_sp_node()
+        started = time.perf_counter()
+        try:
+            deployment.sp.provision_fleet([deployment.node_ip(0)])
+            outcomes.append(("malicious OVMF", False, 0))
+        except AttestationError:
+            outcomes.append(("malicious OVMF", True, time.perf_counter() - started))
+
+        # 6.1.2: rootfs bit flip.
+        deployment = RevelioDeployment(
+            bn_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"sm4"
+        )
+        started = time.perf_counter()
+        try:
+            deployment.launch_fleet(
+                attack_for=lambda i: LaunchAttack(
+                    tamper_disk=lambda disk: disk.corrupt(4096 * 5 + 3)
+                )
+            )
+            outcomes.append(("rootfs bit flip", False, 0))
+        except BootFailure:
+            outcomes.append(("rootfs bit flip", True, time.perf_counter() - started))
+
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    reporter.line("\n  attack -> detected (time to detection):")
+    for attack, detected, seconds in outcomes:
+        status = "DETECTED" if detected else "MISSED"
+        reporter.line(f"    {attack:<42s} {status}  {seconds * 1000:8.1f} ms")
+    assert all(detected for _, detected, _ in outcomes)
+
+
+def test_report_verification_throughput(benchmark, deployment, reporter):
+    """How many full report verifications per second a verifier manages
+    (chain + ECDSA P-384 + field checks)."""
+    node = deployment.nodes[0]
+    report = node.node.tls_report
+    kds = deployment._new_kds_client()
+    vcek = kds.get_vcek(report.chip_id, report.reported_tcb)
+    chain = kds.cert_chain()
+    anchor = kds.trust_anchor
+
+    def verify():
+        return verify_attestation_report(
+            report, vcek, chain, [anchor], now=0,
+            expected_measurement=deployment.build.expected_measurement,
+        )
+
+    result = benchmark(verify)
+    assert result.checked_measurement
+    reporter.line(
+        "\n  one full report verification (see pytest-benchmark table for ops/s)"
+    )
+
+
+def test_extension_validation_cost(benchmark, deployment, reporter):
+    """Real compute of a complete extension attestation (fresh session,
+    warm VCEK): the client-side work behind Table 3's row 3."""
+    browser, extension = deployment.make_user("sec-user", "10.2.4.1")
+    url = f"https://{deployment.domain}/"
+    browser.navigate(url)  # warm caches
+
+    def fresh_attestation():
+        browser.new_session()
+        return browser.navigate(url)
+
+    result = benchmark(fresh_attestation)
+    assert not result.blocked
+    reporter.line("  one fresh-session extension validation benchmarked")

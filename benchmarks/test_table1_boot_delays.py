@@ -1,0 +1,133 @@
+"""Table 1: Revelio-imposed delays on first boot.
+
+Paper (AMD EPYC 7313, 84 MB dm-crypt volume, 4 GB verity rootfs):
+
+                       BN latency  CP latency   BN ovh   CP ovh
+    dm-crypt setup        611 ms      481 ms    2.76 %   4.94 %
+    dm-verity setup       219 ms      194 ms    0.97 %   1.94 %
+    dm-verity verify     4680 ms     3340 ms   25.94 %  48.61 %
+    identity creation     123 ms      132 ms    0.54 %   1.31 %
+    total boot          22725 ms    10211 ms
+
+We boot the two use-case images (workloads scaled; see
+repro.bench.harness) and read the per-init-step timings the VM records.
+The *shape* to reproduce: dm-verity verify dominates by an order of
+magnitude; BN absolute overhead percentages are smaller than CP's
+because the BN boots many more base services.
+"""
+
+import pytest
+
+from repro.amd.secure_processor import AmdKeyInfrastructure
+from repro.bench import Reporter, bench_scale
+from repro.crypto.drbg import HmacDrbg
+from repro.virt.hypervisor import Hypervisor
+
+PAPER = {
+    "boundary-node": {
+        "dm-crypt-data": (611, 2.76),
+        "verity-setup": (219, 0.97),
+        "verity-verify": (4680, 25.94),
+        "identity-creation": (123, 0.54),
+        "total": 22725,
+    },
+    "cryptpad": {
+        "dm-crypt-data": (481, 4.94),
+        "verity-setup": (194, 1.94),
+        "verity-verify": (3340, 48.61),
+        "identity-creation": (132, 1.31),
+        "total": 10211,
+    },
+}
+
+
+def _boot_vm(build, seed):
+    amd = AmdKeyInfrastructure(HmacDrbg(seed))
+    hypervisor = Hypervisor(amd.provision_chip("bench-chip"), HmacDrbg(seed + b"hv"))
+    vm = hypervisor.launch(build.image)
+    vm.boot()
+    return vm
+
+
+def _report(name, vm, reporter):
+    paper = PAPER[name]
+    # The recorded "verity-rootfs" step covers open (setup) + full
+    # verification; split it the way the paper does by re-measuring the
+    # setup-only part (open without verify) on the same disk.
+    import time
+
+    from repro.storage.dm_verity import verity_open
+    from repro.storage.partition import PartitionTable
+
+    table = PartitionTable.read_from(vm.disk)
+    rootfs_part = table.open(vm.disk, "rootfs")
+    verity_part = table.open(vm.disk, "verity")
+    root_hash = bytes.fromhex(vm.cmdline_args["verity_root_hash"])
+    started = time.perf_counter()
+    verity_open(rootfs_part, verity_part, root_hash)
+    setup_seconds = time.perf_counter() - started
+    verify_seconds = vm.boot_timing("verity-rootfs") - setup_seconds
+
+    measured = {
+        "dm-crypt-data": vm.boot_timing("dm-crypt-data"),
+        "verity-setup": setup_seconds,
+        "verity-verify": verify_seconds,
+        "identity-creation": vm.boot_timing("identity-creation"),
+    }
+    total = vm.total_boot_seconds()
+    reporter.line(f"\n  {name} (total boot {total * 1000:.0f} ms measured; "
+                  f"paper {paper['total']} ms)")
+    for step, seconds in measured.items():
+        paper_ms, paper_pct = paper[step]
+        reporter.compare(
+            step,
+            paper_ms,
+            seconds * 1000,
+            note=f"overhead paper {paper_pct:5.2f}% / "
+            f"measured {100 * seconds / total:5.2f}%",
+        )
+    return measured
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter(
+        "table1", f"Revelio first-boot delays (scale={bench_scale():.4f})"
+    )
+    yield reporter
+    reporter.finish()
+
+
+def test_table1_boundary_node_boot(benchmark, bn_build, reporter):
+    vm = benchmark.pedantic(
+        lambda: _boot_vm(bn_build, b"t1-bn"), rounds=3, iterations=1
+    )
+    measured = _report("boundary-node", vm, reporter)
+    # Shape assertions: verify dominates every other Revelio service.
+    assert measured["verity-verify"] > measured["dm-crypt-data"]
+    assert measured["verity-verify"] > measured["identity-creation"]
+
+
+def test_table1_cryptpad_boot(benchmark, cp_build, reporter):
+    vm = benchmark.pedantic(
+        lambda: _boot_vm(cp_build, b"t1-cp"), rounds=3, iterations=1
+    )
+    measured = _report("cryptpad", vm, reporter)
+    assert measured["verity-verify"] > measured["identity-creation"]
+    assert measured["verity-verify"] > measured["verity-setup"]
+
+
+def test_table1_overhead_shape(benchmark, bn_build, cp_build, reporter):
+    """CP's relative overheads exceed BN's (same work, smaller base)."""
+    bn_vm, cp_vm = benchmark.pedantic(
+        lambda: (_boot_vm(bn_build, b"t1-shape-bn"), _boot_vm(cp_build, b"t1-shape-cp")),
+        rounds=1,
+        iterations=1,
+    )
+    bn_pct = bn_vm.boot_timing("verity-rootfs") / bn_vm.total_boot_seconds()
+    cp_pct = cp_vm.boot_timing("verity-rootfs") / cp_vm.total_boot_seconds()
+    reporter.line(
+        f"\n  verity share of boot: BN {100 * bn_pct:.2f}% vs "
+        f"CP {100 * cp_pct:.2f}% (paper: 25.94% vs 48.61%)"
+    )
+    assert cp_pct > bn_pct

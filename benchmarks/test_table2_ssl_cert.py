@@ -1,0 +1,125 @@
+"""Table 2: SSL certificate generation and distribution.
+
+Paper (section 6.3.2, per node, measured at the SP node):
+
+    attestation evidence retrieval      17 ms
+    attestation evidence validation     13 ms
+    SSL certificate generation        2996 ms
+    SSL certificate distribution        15 ms
+
+We run the Fig. 4 provisioning flow against a single-node fleet on the
+latency-calibrated simulated network and report each phase: retrieval
+and distribution are network round trips (simulated clock), validation
+is real verifier compute (measured wall clock; the SP contacts the KDS
+beforehand as in the paper, so validation itself is KDS-warm), and
+certificate generation is the ACME DNS-01 issuance.  The shape to
+reproduce: generation dominates by two orders of magnitude; everything
+else is tens of milliseconds.
+"""
+
+import pytest
+
+from repro.bench import Reporter
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+
+PAPER = {
+    "evidence_retrieval": 17.0,
+    "evidence_validation": 13.0,
+    "certificate_generation": 2996.0,
+    "certificate_distribution": 15.0,
+}
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter("table2", "SSL certificate generation and distribution")
+    yield reporter
+    reporter.finish()
+
+
+def _provision_once(bn_build, seed, warm_kds=True):
+    deployment = RevelioDeployment(bn_build, num_nodes=1, seed=seed)
+    deployment.launch_fleet()
+    deployment.create_sp_node()
+    if warm_kds:
+        # The SP has talked to the KDS before (normal operation): warm
+        # the VCEK cache so validation measures verification compute,
+        # like the paper's 13 ms.
+        node = deployment.nodes[0]
+        deployment.sp.kds.get_vcek(
+            node.vm.guest.processor.chip_id,
+            node.vm.guest.processor.current_tcb,
+        )
+    return deployment.provision_certificates()
+
+
+def test_table2_phases(benchmark, bn_build, reporter):
+    result = benchmark.pedantic(
+        lambda: _provision_once(bn_build, b"t2"), rounds=3, iterations=1
+    )
+    reporter.line("\n  per-phase cost (1-node fleet, KDS-warm SP):")
+    measured_ms = {}
+    for phase, paper_ms in PAPER.items():
+        timing = result.timings[phase]
+        if phase == "evidence_validation":
+            # compute-bound: wall clock of the verifier
+            measured = timing.real_seconds * 1000
+            source = "real compute"
+        else:
+            # network/CA-bound: simulated clock
+            measured = timing.simulated_seconds * 1000
+            source = "simulated net"
+        measured_ms[phase] = measured
+        reporter.compare(phase, paper_ms, measured, note=f"({source})")
+
+    # Shape: certificate generation dominates everything else by >10x.
+    others = [v for k, v in measured_ms.items() if k != "certificate_generation"]
+    assert measured_ms["certificate_generation"] > 10 * max(others)
+    # Retrieval/validation/distribution all stay in the tens of ms.
+    assert all(value < 200.0 for value in others)
+
+
+def test_table2_cold_kds_validation(benchmark, bn_build, reporter):
+    """Without the VCEK cache the validation phase absorbs a full KDS
+    round trip — the cost the paper's caching remark is about."""
+
+    def cold():
+        deployment = RevelioDeployment(bn_build, num_nodes=1, seed=b"t2-cold")
+        deployment.launch_fleet()
+        deployment.create_sp_node()
+        return deployment.provision_certificates()
+
+    result = benchmark.pedantic(cold, rounds=1, iterations=1)
+    timing = result.timings["evidence_validation"]
+    total_ms = (timing.simulated_seconds + timing.real_seconds) * 1000
+    reporter.line(
+        f"\n  validation with cold KDS cache: {total_ms:.1f} ms "
+        f"(vs ~13 ms warm; KDS round trip dominates)"
+    )
+    assert timing.simulated_seconds * 1000 > 300.0
+
+
+def test_table2_renewal_amortisation(benchmark, bn_build, reporter):
+    """The paper notes issuance happens ~every 90 days; show the cost is
+    a one-off against steady-state request service."""
+    deployment = RevelioDeployment(bn_build, num_nodes=1, seed=b"t2-amort")
+    deployment.deploy()
+    browser, _ = deployment.make_user()
+    browser.navigate(f"https://{deployment.domain}/")
+
+    clock = deployment.network.clock
+    start = clock.now
+    for _ in range(50):
+        browser.navigate(f"https://{deployment.domain}/")
+    per_request_ms = (clock.now - start) / 50 * 1000
+    issuance_ms = (
+        deployment.provisioning.timings["certificate_generation"].simulated_seconds
+        * 1000
+    )
+    reporter.line(
+        f"\n  steady-state request: {per_request_ms:.1f} ms vs one-off "
+        f"issuance {issuance_ms:.0f} ms (renewed every 90 days)"
+    )
+    benchmark(lambda: browser.navigate(f"https://{deployment.domain}/"))
+    assert per_request_ms < issuance_ms

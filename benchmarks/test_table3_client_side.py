@@ -1,0 +1,131 @@
+"""Table 3: browser-based remote attestation and validation.
+
+Paper (section 6.4; Apple M2 client over WiFi, Firefox + extension):
+
+    network latency                      5.2 ms
+    plain HTTP GET                     100.9 ms
+    HTTP GET and remote attestation    778.9 ms   (KDS fetch: 427.3 ms)
+    HTTP GET and conn. validation      115.0 ms
+
+We reproduce the scenario on the latency-calibrated simulated network:
+a fresh browser session attests on first access (dominated by the KDS
+round trip), warm accesses pay only the per-request connection
+monitoring, and VCEK caching removes the KDS trip from later sessions.
+"""
+
+import pytest
+
+from repro.bench import Reporter
+from repro.core import RevelioDeployment
+
+PAPER = {
+    "network_latency": 5.2,
+    "plain_get": 100.9,
+    "get_with_attestation": 778.9,
+    "kds_fetch": 427.3,
+    "get_with_monitoring": 115.0,
+}
+
+
+@pytest.fixture(scope="module")
+def deployment(bn_build):
+    return RevelioDeployment(bn_build, num_nodes=1, seed=b"t3").deploy()
+
+
+@pytest.fixture(scope="module")
+def reporter():
+    reporter = Reporter("table3", "Browser-based remote attestation and validation")
+    yield reporter
+    reporter.finish()
+
+
+def _sim_ms(deployment, operation):
+    start = deployment.network.clock.now
+    operation()
+    return (deployment.network.clock.now - start) * 1000
+
+
+def test_table3_scenario(benchmark, deployment, reporter):
+    url = f"https://{deployment.domain}/"
+
+    # Row 1: bare network round trip.
+    rtt_ms = deployment.latency.base_rtt * 1000
+
+    # Row 2: plain access without the extension.
+    plain_browser, _ = deployment.make_user(
+        "t3-plain", "10.2.3.1", with_extension=False
+    )
+    plain_browser.navigate(url)  # absorb the TLS handshake once
+    plain_ms = _sim_ms(deployment, lambda: plain_browser.navigate(url))
+
+    # Row 3: fresh session with the extension, cold VCEK cache.
+    attested_browser, extension = deployment.make_user("t3-att", "10.2.3.2")
+    attest_ms = _sim_ms(deployment, lambda: attested_browser.navigate(url))
+    kds_ms = (deployment.latency.kds_rtt + deployment.latency.kds_processing) * 1000
+
+    # Row 4: already-attested session: per-request monitoring only.
+    monitored_ms = _sim_ms(deployment, lambda: attested_browser.navigate(url))
+
+    reporter.line("\n  (simulated network calibrated to the paper's testbed)")
+    reporter.compare("network latency", PAPER["network_latency"], rtt_ms)
+    reporter.compare("plain HTTP GET", PAPER["plain_get"], plain_ms)
+    reporter.compare(
+        "GET + remote attestation", PAPER["get_with_attestation"], attest_ms,
+        note=f"(KDS fetch {kds_ms:.1f} ms; paper {PAPER['kds_fetch']} ms)",
+    )
+    reporter.compare(
+        "GET + connection validation", PAPER["get_with_monitoring"], monitored_ms
+    )
+
+    benchmark(lambda: attested_browser.navigate(url))
+
+    # Shape assertions:
+    assert rtt_ms < plain_ms < monitored_ms < attest_ms
+    # The KDS round trip dominates fresh attestation (>50% of total).
+    assert kds_ms > 0.5 * attest_ms
+    # Monitoring overhead is small relative to the page access itself.
+    assert monitored_ms - plain_ms < 0.5 * plain_ms
+
+
+def test_table3_vcek_caching(benchmark, deployment, reporter):
+    """The paper's caching remark: later sessions skip the KDS trip."""
+    url = f"https://{deployment.domain}/"
+    browser, extension = deployment.make_user("t3-cache", "10.2.3.3")
+    cold_ms = _sim_ms(deployment, lambda: browser.navigate(url))
+    browser.new_session()  # fresh context, persistent VCEK cache
+    warm_ms = _sim_ms(deployment, lambda: browser.navigate(url))
+    reporter.line(
+        f"\n  fresh attestation: cold VCEK {cold_ms:.1f} ms vs "
+        f"cached VCEK {warm_ms:.1f} ms "
+        f"(saves the {deployment.latency.kds_rtt * 1000:.0f} ms KDS trip)"
+    )
+    benchmark(lambda: (browser.new_session(), browser.navigate(url)))
+    assert cold_ms - warm_ms > 0.8 * deployment.latency.kds_rtt * 1000
+    assert extension.kds.cache_hits >= 1
+
+
+def test_table3_monitoring_per_request_cost(benchmark, deployment, reporter):
+    """Monitored vs unmonitored steady-state access (115.0 vs 100.9)."""
+    url = f"https://{deployment.domain}/"
+    monitored, _ = deployment.make_user("t3-mon", "10.2.3.4")
+    unmonitored, _ = deployment.make_user(
+        "t3-unmon", "10.2.3.5", with_extension=False
+    )
+    monitored.navigate(url)
+    unmonitored.navigate(url)
+
+    runs = 20
+    monitored_ms = _sim_ms(
+        deployment, lambda: [monitored.navigate(url) for _ in range(runs)]
+    ) / runs
+    unmonitored_ms = _sim_ms(
+        deployment, lambda: [unmonitored.navigate(url) for _ in range(runs)]
+    ) / runs
+    delta = monitored_ms - unmonitored_ms
+    paper_delta = PAPER["get_with_monitoring"] - PAPER["plain_get"]
+    reporter.line(
+        f"\n  per-request monitoring cost: {delta:.1f} ms "
+        f"(paper: {paper_delta:.1f} ms)"
+    )
+    benchmark(lambda: monitored.navigate(url))
+    assert 0 < delta < 3 * paper_delta

@@ -1,0 +1,90 @@
+"""Shared helpers for the example scripts: a sample package registry and
+image specs for the two paper use cases."""
+
+from repro.build import ImageSpec, Package, PackagePin, PackageRegistry
+
+
+def sample_registry():
+    """A registry with the software the use-case images install,
+    published with pinned digests (the provider's CI did this)."""
+    registry = PackageRegistry()
+    pins = {}
+    for package in [
+        Package.create(
+            "nginx",
+            "1.24.0",
+            files={
+                "/usr/sbin/nginx": b"\x7fELF-nginx" + b"n" * 2000,
+                "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+            },
+        ),
+        Package.create(
+            "cryptpad-server",
+            "5.2.1",
+            files={
+                "/opt/cryptpad/server.js": b"// cryptpad server " + b"c" * 3000,
+                "/opt/cryptpad/www/app.js": b"// e2ee client code " + b"a" * 1500,
+            },
+        ),
+        Package.create(
+            "ic-boundary-node",
+            "0.9.0",
+            files={
+                "/opt/ic/boundary-node": b"\x7fELF-bn" + b"b" * 4000,
+                "/opt/ic/service-worker.js": b"// placeholder, overridden",
+            },
+        ),
+        Package.create(
+            "revelio-agent",
+            "1.0.0",
+            files={"/usr/bin/revelio-agent": b"\x7fELF-agent" + b"r" * 1000},
+        ),
+    ]:
+        digest = registry.publish(package)
+        pins[package.name] = PackagePin(package.name, package.version, digest)
+    return registry, pins
+
+
+def boundary_node_spec(registry, pins, **overrides):
+    """The Revelio-protected Boundary Node image (paper §4.2)."""
+    kwargs = dict(
+        name="boundary-node",
+        version="1.0.0",
+        registry=registry,
+        package_pins=[pins[p] for p in ("nginx", "ic-boundary-node", "revelio-agent")],
+        service_domain="ic-gateway.example",
+        services=("https",),
+        data_volume_blocks=32,
+        # The BN starts many system services at boot (paper: 22.7 s total).
+        base_boot_services=(
+            ("systemd-units", 9.0),
+            ("ic-replica-sync", 6.0),
+            ("monitoring-agents", 2.7),
+        ),
+    )
+    kwargs.update(overrides)
+    return ImageSpec(**kwargs)
+
+
+def cryptpad_spec(registry, pins, **overrides):
+    """The Revelio-protected CryptPad server image (paper §4.1)."""
+    kwargs = dict(
+        name="cryptpad",
+        version="1.0.0",
+        registry=registry,
+        package_pins=[pins[p] for p in ("nginx", "cryptpad-server", "revelio-agent")],
+        service_domain="pads.example",
+        services=("https",),
+        data_volume_blocks=64,
+        # CryptPad boots little beyond the server itself (paper: 10.2 s).
+        base_boot_services=(("systemd-units", 3.0), ("node-runtime", 2.2)),
+    )
+    kwargs.update(overrides)
+    return ImageSpec(**kwargs)
+
+
+def banner(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,178 @@
+"""The security analysis of paper section 6.1, executed live.
+
+Mounts every attack the paper discusses — through the untrusted
+hypervisor, the malicious service provider, and the network adversary —
+and prints which defence layer caught each one.
+
+Run:  python examples/attack_matrix.py
+"""
+
+from _common import banner, boundary_node_spec, sample_registry
+
+from repro.amd.verify import AttestationError
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+from repro.crypto.x509 import CertificateSigningRequest, Name
+from repro.net.firewall import ConnectionRefused
+from repro.net.http import HttpResponse, HttpServer
+from repro.net.latency import ZERO_LATENCY
+from repro.pki.certbot import CertbotClient
+from repro.storage.dm_verity import VerityError
+from repro.storage.partition import PartitionTable
+from repro.virt.firmware import build_firmware
+from repro.virt.hypervisor import LaunchAttack
+from repro.virt.image import KernelBlob
+from repro.virt.vm import BootFailure
+
+RESULTS = []
+
+
+def record(attack, caught_by, outcome):
+    RESULTS.append((attack, caught_by, outcome))
+    print(f"  [{'DETECTED' if caught_by else 'MISSED  '}] {attack}")
+    print(f"             -> {outcome}")
+
+
+def fresh(build, seed, nodes=1):
+    return RevelioDeployment(build, num_nodes=nodes, latency=ZERO_LATENCY, seed=seed)
+
+
+def main():
+    registry, pins = sample_registry()
+    build = build_revelio_image(boundary_node_spec(registry, pins))
+
+    banner("6.1.1 Loading a modified kernel or initrd")
+    deployment = fresh(build, b"m1")
+    try:
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                replace_kernel=KernelBlob("evil", "6.6.6").encode(),
+                inject_expected_hashes=True,
+            )
+        )
+        record("substitute kernel, keep honest hash table", False, "VM booted?!")
+    except BootFailure as error:
+        record("substitute kernel, keep honest hash table",
+               "OVMF measured direct boot", f"boot halted: {error}")
+
+    deployment = fresh(build, b"m2")
+    deployment.launch_fleet(
+        attack_for=lambda i: LaunchAttack(
+            replace_kernel=KernelBlob("evil", "6.6.6").encode()
+        )
+    )
+    deployment.create_sp_node()
+    try:
+        deployment.sp.provision_fleet([deployment.node_ip(0)])
+        record("substitute kernel, inject matching hashes", False, "attested?!")
+    except AttestationError as error:
+        record("substitute kernel, inject matching hashes",
+               "launch measurement", f"SP attestation failed: {error.reason}")
+
+    deployment = fresh(build, b"m3")
+    deployment.launch_fleet(
+        attack_for=lambda i: LaunchAttack(
+            replace_firmware_template=build_firmware(verify_hashes=False)
+        )
+    )
+    deployment.create_sp_node()
+    try:
+        deployment.sp.provision_fleet([deployment.node_ip(0)])
+        record("non-verifying (malicious) OVMF", False, "attested?!")
+    except AttestationError as error:
+        record("non-verifying (malicious) OVMF", "launch measurement",
+               f"SP attestation failed: {error.reason}")
+
+    banner("6.1.2 Tampering with the rootfs")
+    deployment = fresh(build, b"m4")
+    try:
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                tamper_disk=lambda disk: disk.corrupt(4096 * 3 + 7)
+            )
+        )
+        record("flip one bit in the rootfs image", False, "booted?!")
+    except BootFailure as error:
+        record("flip one bit in the rootfs image", "dm-verity full verification",
+               f"boot halted: {error}")
+
+    banner("6.1.3 Modifying the system during runtime")
+    deployment = fresh(build, b"m5")
+    deployment.launch_fleet()
+    attacker = deployment.network.add_host("intruder", "10.9.9.9")
+    try:
+        attacker.request(deployment.node_ip(0), 22, b"ssh")
+        record("ssh into the running VM", False, "connected?!")
+    except ConnectionRefused:
+        record("ssh into the running VM", "measured network lockdown",
+               "connection refused by firewall")
+
+    deployed = deployment.nodes[0]
+    table = PartitionTable.read_from(deployed.vm.disk)
+    entry = next(e for e in table.entries if e.name == "rootfs")
+    deployed.hypervisor.tamper_disk_at_runtime(
+        deployed.vm, (entry.first_block + 1) * 4096
+    )
+    try:
+        deployed.vm.storage["verity"].verify_all()
+        record("host flips a disk bit under the running VM", False, "unnoticed?!")
+    except VerityError as error:
+        record("host flips a disk bit under the running VM",
+               "dm-verity verify-on-read", f"I/O error raised: {error}")
+
+    banner("6.1.4 Rollback to an obsolete image")
+    new_build = build_revelio_image(
+        boundary_node_spec(registry, pins, version="2.0.0")
+    )
+    deployment = fresh(build, b"m6")  # provider launches the OLD image
+    deployment.launch_fleet()
+    deployment.create_sp_node(extra_measurements=[new_build.expected_measurement])
+    deployment.sp.revoke_measurement(build.expected_measurement)
+    try:
+        deployment.sp.provision_fleet([deployment.node_ip(0)])
+        record("launch obsolete (buggy) image after rollout", False, "attested?!")
+    except AttestationError as error:
+        record("launch obsolete (buggy) image after rollout",
+               "measurement revocation", f"SP refused: {error.reason}")
+
+    banner("5.3.2 Certificate swap / DNS redirect (malicious provider)")
+    deployment = fresh(build, b"m7")
+    deployment.deploy()
+    browser, extension = deployment.make_user()
+    browser.navigate(f"https://{deployment.domain}/")
+
+    rng = HmacDrbg(b"evil-endpoint")
+    evil_key = PrivateKey.generate_ecdsa(rng)
+    csr = CertificateSigningRequest.create(
+        Name(deployment.domain), evil_key, san=(deployment.domain,)
+    )
+    chain = CertbotClient(deployment.acme, deployment.network.dns).obtain_certificate(
+        deployment.domain, csr
+    )
+    evil_host = deployment.network.add_host("evil", "10.6.6.6")
+    evil_server = HttpServer("evil")
+    evil_server.add_route("GET", "/", lambda r, c: HttpResponse.ok(b"<html>phish</html>"))
+    evil_server.serve_tls(evil_host, chain, evil_key, rng.fork(b"tls"))
+    deployment.network.dns.redirect(deployment.domain, "10.6.6.6")
+    browser.client.close_all()
+    result = browser.navigate(f"https://{deployment.domain}/")
+    if result.blocked:
+        record("redirect domain to non-TEE host with valid CA cert",
+               "web extension TLS-key pinning", result.block_reason)
+    else:
+        record("redirect domain to non-TEE host with valid CA cert",
+               False, "user reached the phishing endpoint?!")
+
+    banner("Summary")
+    detected = sum(1 for _, caught, _ in RESULTS if caught)
+    print(f"\n  {detected}/{len(RESULTS)} attacks detected, 0 missed"
+          if detected == len(RESULTS)
+          else f"\n  WARNING: {len(RESULTS) - detected} attacks went undetected!")
+    for attack, caught_by, _ in RESULTS:
+        print(f"  - {attack:<52s} [{caught_by or 'MISSED'}]")
+
+
+if __name__ == "__main__":
+    main()

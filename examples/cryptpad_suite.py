@@ -1,0 +1,91 @@
+"""Use case 1 (paper §4.1): an end-to-end-encrypted collaboration suite
+on a Revelio VM.
+
+Demonstrates:
+
+* pads encrypted client-side; the server (and the cloud provider
+  snooping its memory/disk) only ever sees ciphertext,
+* pad storage sealed to the VM's measurement — persists across reboots
+  of the identical image, unreadable by any other image,
+* the gap Revelio closes: users can attest the *server-side code*
+  (including the JavaScript it ships) before typing a single character.
+
+Run:  python examples/cryptpad_suite.py
+"""
+
+from _common import banner, cryptpad_spec, sample_registry
+
+from repro.apps import CryptPadClient, CryptPadError, CryptPadServer
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.crypto.drbg import HmacDrbg
+
+
+def main():
+    banner("Deploy the CryptPad server inside a Revelio VM")
+    registry, pins = sample_registry()
+    build = build_revelio_image(cryptpad_spec(registry, pins))
+    deployment = RevelioDeployment(build, num_nodes=1, seed=b"cryptpad-example")
+    server = CryptPadServer()
+    deployment.launch_fleet(app_factory=server.install)
+    deployment.create_sp_node()
+    deployment.provision_certificates()
+    print(f"service:  https://{deployment.domain}/")
+    print(f"golden:   {build.expected_measurement.hex()[:32]}...")
+
+    banner("Alice attests the service, then collaborates with Bob")
+    alice_browser, alice_ext = deployment.make_user("alice", "10.2.0.10")
+    page = alice_browser.navigate(f"https://{deployment.domain}/")
+    print(f"attested before use:  {[e.kind for e in alice_ext.events]}")
+    print(f"app shell served:     {page.response.body[:40]!r}...")
+
+    alice = CryptPadClient(
+        alice_browser.client, f"https://{deployment.domain}", HmacDrbg(b"alice")
+    )
+    pad_key = alice.create_pad("design-doc")
+    alice.append("design-doc", "Alice: let's use SEV-SNP for the backend")
+    print(f"pad key (URL fragment, never sent): {pad_key.hex()[:24]}...")
+
+    bob_browser, _ = deployment.make_user("bob", "10.2.0.11")
+    bob_browser.navigate(f"https://{deployment.domain}/")
+    bob = CryptPadClient(
+        bob_browser.client, f"https://{deployment.domain}", HmacDrbg(b"bob")
+    )
+    bob.open_pad("design-doc", pad_key)
+    bob.append("design-doc", "Bob: agreed, and Revelio for attestation")
+    print("pad contents as Alice sees them:")
+    for line in alice.read("design-doc"):
+        print(f"  | {line}")
+
+    banner("What the curious provider sees (honest-but-curious model)")
+    for op in server.snoop_ciphertexts("design-doc"):
+        print(f"  ciphertext: {op.hex()[:64]}...")
+    print("  (no plaintext recoverable without the pad key)")
+
+    banner("An eavesdropper with a wrong key gets nothing")
+    eve = CryptPadClient(
+        bob_browser.client, f"https://{deployment.domain}", HmacDrbg(b"eve")
+    )
+    eve.open_pad("design-doc", b"\x00" * 32)
+    try:
+        eve.read("design-doc")
+    except CryptPadError as error:
+        print(f"  read failed as expected: {error}")
+
+    banner("Sealed persistence across reboots (requirement F6)")
+    deployed = deployment.nodes[0]
+    deployed.vm.shutdown()
+    rebooted = deployed.hypervisor.launch(
+        build.image, name=deployed.vm.name, reuse_disk=True
+    )
+    rebooted.boot()
+    reloaded = CryptPadServer()
+    reloaded._storage = rebooted.storage["data"]
+    reloaded._load()
+    count = len(reloaded.snoop_ciphertexts("design-doc"))
+    print(f"  identical image re-derived the sealing key; {count} ops recovered")
+    print("  (a tampered image would fail to open the volume - see tests)")
+
+
+if __name__ == "__main__":
+    main()

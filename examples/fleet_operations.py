@@ -1,0 +1,91 @@
+"""Fleet lifecycle operations: renewal, rollout, revocation, migration.
+
+The day-2 operations behind the paper's remarks:
+
+* certificate renewal every ~90 days (section 6.3.2) — same key pair,
+  so attested browser sessions never notice,
+* image rollout with golden-value revocation (section 6.1.4) — the old
+  image can neither rejoin the fleet nor pass end-user attestation,
+* attested sealed-state migration — the old VM releases its volume key
+  only to a successor that attests as the endorsed new image.
+
+Run:  python examples/fleet_operations.py
+"""
+
+from _common import banner, boundary_node_spec, sample_registry
+
+from repro.build import build_revelio_image
+from repro.core import (
+    RevelioDeployment,
+    migrate_sealed_state,
+    renew_certificate,
+    roll_out_image,
+)
+
+
+def main():
+    registry, pins = sample_registry()
+    build_v1 = build_revelio_image(
+        boundary_node_spec(registry, pins, version="1.0.0")
+    )
+    build_v2 = build_revelio_image(
+        boundary_node_spec(registry, pins, version="2.0.0")
+    )
+
+    banner("Day 0: deploy v1.0.0")
+    deployment = RevelioDeployment(build_v1, num_nodes=2, seed=b"fleet-ops").deploy()
+    browser, extension = deployment.make_user()
+    assert not browser.navigate(f"https://{deployment.domain}/").blocked
+    print(f"  2 nodes at https://{deployment.domain}/, user attested v1")
+    print(f"  v1 golden: {build_v1.expected_measurement.hex()[:24]}...")
+
+    banner("Day ~90: certificate renewal (same key pair)")
+    old_leaf = deployment.provisioning.certificate_chain[0]
+    renew_certificate(deployment)
+    new_leaf = deployment.provisioning.certificate_chain[0]
+    print(f"  serial {old_leaf.serial} -> {new_leaf.serial}, "
+          f"key unchanged: {new_leaf.public_key == old_leaf.public_key}")
+    result = browser.navigate(f"https://{deployment.domain}/")
+    print(f"  user's pinned session still valid: {not result.blocked}")
+
+    banner("Day N: stage the sealed-state migration to v2")
+    old_node = deployment.nodes[0]
+    old_node.vm.storage["data"].write_block(1, b"customer-data".ljust(4096, b"\0"))
+    successor = old_node.hypervisor.launch(build_v2.image, name="v2-successor")
+    successor.boot()
+    blocks = migrate_sealed_state(
+        old_node,
+        successor,
+        deployment._new_kds_client,
+        now=deployment.network.clock.epoch_seconds(),
+        old_accepts=[build_v2.expected_measurement],
+        new_accepts=[build_v1.expected_measurement],
+    )
+    recovered = successor.storage["data"].read_block(1).rstrip(b"\0")
+    print(f"  {blocks} blocks handed over after mutual attestation")
+    print(f"  successor reads: {recovered.decode()!r}")
+
+    banner("Day N: roll out v2.0.0 and revoke v1's golden value")
+    rollout = roll_out_image(deployment, build_v2)
+    print(f"  fleet now measures {rollout.new_measurement.hex()[:24]}...")
+    print(f"  v1 revoked at the SP: "
+          f"{rollout.old_measurement in deployment.sp.revoked_measurements}")
+
+    banner("The consequences, end to end")
+    # A user still pinning only the v1 golden is protected from... v2!
+    # (They must update their golden value — e.g. via the registry.)
+    stale_result = browser.navigate(f"https://{deployment.domain}/")
+    print(f"  stale-golden user blocked: {stale_result.blocked} "
+          f"('{stale_result.block_reason[:48]}...')" if stale_result.blocked else "")
+    fresh_browser, fresh_ext = deployment.make_user(
+        "updated-user", "10.2.0.9", register_service=False
+    )
+    fresh_ext.register_site(deployment.domain, [build_v2.expected_measurement])
+    print(f"  updated-golden user accepted: "
+          f"{not fresh_browser.navigate(f'https://{deployment.domain}/').blocked}")
+
+    banner("Done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: build a Revelio image, deploy a fleet, attest from a browser.
+
+Walks the full paper pipeline (Fig. 3 + Fig. 4 + section 5.3.2):
+
+1. reproducibly build a VM image and compute its golden measurement,
+2. launch a 3-node fleet on simulated SEV-SNP hosts,
+3. let the SP node attest the fleet and provision the shared TLS
+   certificate via ACME,
+4. visit the service with a browser running the Revelio web extension,
+5. show what happens when the measurement doesn't match.
+
+Run:  python examples/quickstart.py
+"""
+
+from _common import banner, boundary_node_spec, sample_registry
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+
+
+def main():
+    banner("1. Reproducible build (requirement F5)")
+    registry, pins = sample_registry()
+    build = build_revelio_image(boundary_node_spec(registry, pins))
+    rebuild = build_revelio_image(boundary_node_spec(registry, pins))
+    print(f"image:                {build.image.name}-{build.image.version}")
+    print(f"dm-verity root hash:  {build.root_hash.hex()[:32]}...")
+    print(f"golden measurement:   {build.expected_measurement.hex()[:32]}...")
+    print(f"rebuild identical:    {rebuild.expected_measurement == build.expected_measurement}")
+
+    banner("2. Fleet launch + SP provisioning (Fig. 3 / Fig. 4)")
+    deployment = RevelioDeployment(build, num_nodes=3).deploy()
+    print(f"domain:               {deployment.domain}")
+    print(f"leader:               {deployment.provisioning.leader_ip}")
+    print(f"nodes serving HTTPS:  {sum(d.node.serving for d in deployment.nodes)}/3")
+    leaf = deployment.provisioning.certificate_chain[0]
+    print(f"shared certificate:   CN={leaf.subject.common_name} "
+          f"(issued by {leaf.issuer.common_name})")
+    for phase, timing in deployment.provisioning.timings.items():
+        print(f"  {phase:<26s} {timing.simulated_seconds * 1000:8.1f} ms (simulated)")
+
+    banner("3. End-user attestation via the web extension (section 5.3.2)")
+    browser, extension = deployment.make_user()
+    result = browser.navigate(f"https://{deployment.domain}/")
+    print(f"navigation blocked:   {result.blocked}")
+    print(f"page:                 {result.response.body.decode()!r}")
+    for event in extension.events:
+        print(f"extension event:      [{event.kind}] {event.domain} {event.detail}")
+    print(f"pinned TLS key:       "
+          f"{extension.pinned_key_fingerprint(deployment.domain).hex()[:32]}...")
+
+    banner("4. A user expecting a different measurement is protected")
+    strict_browser, strict_extension = deployment.make_user(
+        "strict-user", "10.2.0.2", register_service=False
+    )
+    strict_extension.register_site(deployment.domain, [b"\x00" * 48])
+    blocked = strict_browser.navigate(f"https://{deployment.domain}/")
+    print(f"navigation blocked:   {blocked.blocked}")
+    print(f"reason:               {blocked.block_reason}")
+
+    banner("Done")
+    print("Every check above ran against real ECDSA-P384-signed attestation")
+    print("reports, a real Merkle-tree-verified rootfs, and a real TLS stack -")
+    print("all simulated in pure Python. See DESIGN.md for the architecture.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Reproducible builds and delegated verification (paper §3.4.1, §3.4.7).
+
+Shows the verifiability story end to end:
+
+* two independent parties rebuild the image from the same pinned
+  sources and arrive at bit-identical golden values,
+* any change — a file, the network policy, a package — shifts the
+  measurement,
+* a supply-chain tamper of the package registry is caught by digest
+  pinning,
+* less technical users delegate: an auditor signs golden values, and a
+  DAO votes on them (with revocation for rollback protection).
+
+Run:  python examples/reproducible_build.py
+"""
+
+from _common import banner, boundary_node_spec, sample_registry
+
+from repro.build import NetworkPolicy, PackageError, build_revelio_image
+from repro.core.trusted_registry import Auditor, AuditorRegistry, DaoRegistry
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+
+
+def main():
+    banner("Two independent parties rebuild from sources")
+    registry_a, pins_a = sample_registry()
+    registry_b, pins_b = sample_registry()
+    build_provider = build_revelio_image(boundary_node_spec(registry_a, pins_a))
+    build_auditor = build_revelio_image(boundary_node_spec(registry_b, pins_b))
+    same = build_provider.expected_measurement == build_auditor.expected_measurement
+    print(f"provider measurement: {build_provider.expected_measurement.hex()[:40]}...")
+    print(f"auditor  measurement: {build_auditor.expected_measurement.hex()[:40]}...")
+    print(f"bit-identical:        {same}")
+    print(f"root hash identical:  "
+          f"{build_provider.root_hash == build_auditor.root_hash}")
+
+    banner("Every relevant change shifts the measurement")
+    variants = {
+        "added file /opt/backdoor": boundary_node_spec(
+            registry_a, pins_a, extra_files={"/opt/backdoor": b"evil"}
+        ),
+        "ssh enabled in network policy": boundary_node_spec(
+            registry_a, pins_a,
+            network_policy=NetworkPolicy(ssh_enabled=True,
+                                         allowed_inbound_ports=(443, 8080, 22)),
+        ),
+        "version bump to 1.0.1": boundary_node_spec(
+            registry_a, pins_a, version="1.0.1"
+        ),
+        "init step removed": boundary_node_spec(
+            registry_a, pins_a,
+            init_steps=("verity-rootfs", "identity-creation", "start-services"),
+        ),
+    }
+    base = build_provider.expected_measurement
+    for what, spec in variants.items():
+        measurement = build_revelio_image(spec).expected_measurement
+        print(f"  {what:<36s} changed: {measurement != base}")
+
+    banner("Supply-chain tamper caught by digest pinning")
+    registry_a.tamper("nginx", "1.24.0", {"/usr/sbin/nginx": b"backdoored"})
+    try:
+        build_revelio_image(boundary_node_spec(registry_a, pins_a))
+        print("  build succeeded?!")
+    except PackageError as error:
+        print(f"  build refused: {error}")
+
+    banner("Delegation 1: an auditing company signs golden values")
+    auditor = Auditor(PrivateKey.generate_ecdsa(HmacDrbg(b"auditor")),
+                      name="TrustWatch Ltd")
+    store = AuditorRegistry(auditor.public_key)
+    store.ingest(auditor.endorse("ic-gateway.example", base))
+    print(f"  golden values for ic-gateway.example: "
+          f"{[m.hex()[:16] + '...' for m in store.golden_measurements('ic-gateway.example')]}")
+    store.ingest(auditor.revoke("ic-gateway.example", base))
+    print(f"  after revocation: "
+          f"{store.golden_measurements('ic-gateway.example') or '{}'} "
+          f"(revoked: {len(store.revoked_measurements('ic-gateway.example'))})")
+
+    banner("Delegation 2: an on-chain DAO votes (NNS-style)")
+    dao = DaoRegistry(members=["alice", "bob", "carol", "dave", "erin"])
+    proposal = dao.propose("ic-gateway.example", base)
+    print(f"  proposal #{proposal}: endorse {base.hex()[:16]}... "
+          f"(threshold {dao.threshold}/{len(dao.members)})")
+    for voter in ("alice", "bob"):
+        dao.vote(proposal, voter, True)
+        print(f"  {voter} votes yes -> "
+              f"golden: {bool(dao.golden_measurements('ic-gateway.example'))}")
+    dao.vote(proposal, "carol", True)
+    print(f"  carol votes yes -> "
+          f"golden: {bool(dao.golden_measurements('ic-gateway.example'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Use case 3: a sealed-bid auction on a Revelio VM.
+
+The paper motivates Revelio for services "where the demand for the
+service's integrity might be of key interest, like in auction sites,
+lotteries and any form of e-commerce service" (section 4).  This
+example shows the full trust story:
+
+* bidders attest the auction house before bidding,
+* bids are sealed to the attested TLS key (only TEE code opens them),
+* the outcome is signed by that key; any bidder verifies it offline,
+* the operator sees ciphertext only and cannot forge results.
+
+Run:  python examples/sealed_auction.py
+"""
+
+from _common import banner, boundary_node_spec, sample_registry
+
+from repro.apps import AuctionClient, AuctionError, AuctionServer
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.crypto.drbg import HmacDrbg
+
+
+def attested_bidder(deployment, name, index):
+    browser, extension = deployment.make_user(name, f"10.2.9.{index}")
+    result = browser.navigate(f"https://{deployment.domain}/")
+    assert not result.blocked, result.block_reason
+    print(f"  {name}: attested the auction house "
+          f"({[e.kind for e in extension.events]})")
+    return AuctionClient(
+        browser.client,
+        f"https://{deployment.domain}",
+        result.connection.peer_public_key,  # the attested key
+        HmacDrbg(name.encode()),
+    )
+
+
+def main():
+    banner("Deploy the auction house inside a Revelio VM")
+    registry, pins = sample_registry()
+    build = build_revelio_image(
+        boundary_node_spec(
+            registry, pins, name="auction-house",
+            service_domain="auctions.example", data_volume_blocks=96,
+        )
+    )
+    deployment = RevelioDeployment(build, num_nodes=1, seed=b"auction-example")
+    server = AuctionServer()
+    deployment.launch_fleet(app_factory=server.install)
+    deployment.create_sp_node()
+    deployment.provision_certificates()
+    print(f"  https://{deployment.domain}/ "
+          f"(golden {build.expected_measurement.hex()[:24]}...)")
+
+    banner("Three bidders attest, then place sealed bids")
+    alice = attested_bidder(deployment, "alice", 1)
+    bob = attested_bidder(deployment, "bob", 2)
+    carol = attested_bidder(deployment, "carol", 3)
+
+    alice.create_auction("rare-painting")
+    alice.place_bid("rare-painting", "alice", 4_200)
+    bob.place_bid("rare-painting", "bob", 5_100)
+    carol.place_bid("rare-painting", "carol", 4_900)
+    print("  3 sealed bids placed")
+
+    banner("What the curious operator can see")
+    for bidder, blob in server.snoop_sealed_bids("rare-painting").items():
+        print(f"  {bidder}: {blob.hex()[:48]}... (ECIES to the attested key)")
+
+    banner("Closing: the TEE opens bids, signs the outcome")
+    outcome = alice.close_auction("rare-painting")
+    print(f"  winner: {outcome.winner} at {outcome.winning_amount} "
+          f"({outcome.num_bids} valid bids)")
+    verified = outcome.verify(bob.service_key)
+    print(f"  bob independently verifies the signature: {verified}")
+
+    banner("A forged outcome fails verification")
+    from dataclasses import replace
+
+    forged = replace(outcome, winner="the-operator's-friend")
+    print(f"  forged outcome verifies: {forged.verify(bob.service_key)}")
+
+    banner("Done")
+
+
+if __name__ == "__main__":
+    main()

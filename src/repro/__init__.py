@@ -1,0 +1,15 @@
+"""Revelio reproduction: trustworthy confidential VMs for the masses.
+
+A complete Python implementation of the Revelio architecture
+(MIDDLEWARE 2023) together with simulated versions of every substrate
+its prototype depends on: AMD SEV-SNP hardware (AMD-SP, VCEK, KDS),
+QEMU/OVMF measured direct boot, dm-verity / dm-crypt storage targets,
+reproducible image builds, a TLS/PKI/ACME stack, a browser with the
+Revelio web extension, and the paper's two use cases (a CryptPad-like
+collaboration suite and an Internet Computer boundary node).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,101 @@
+"""The AMD Key Distribution Server (KDS).
+
+Serves the certificate material a verifier needs to authenticate an
+attestation report, exactly as https://kdsintf.amd.com does for real
+SEV-SNP platforms:
+
+* the **ARK** (AMD Root Key) — a self-signed root certificate,
+* the **ASK** (AMD SEV Key) — an intermediate signed by the ARK,
+* per-chip **VCEK** certificates — issued on demand for a
+  (chip id, TCB version) pair and signed by the ASK.
+
+The paper's Table 3 shows the KDS round trip dominating end-user
+attestation latency (427.3 ms of 778.9 ms), which is why the web
+extension caches VCEKs; the latency itself is modelled where the KDS is
+attached to the simulated network (``repro.net``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..crypto.x509 import Certificate, CertificateIssuer, Name
+from .secure_processor import AmdKeyInfrastructure, SevError
+from .tcb import TcbVersion
+
+#: Simulated-epoch validity bounds for AMD certificates (they are long-lived).
+_CERT_NOT_BEFORE = 0
+_CERT_NOT_AFTER = 2**62
+
+
+class KdsError(LookupError):
+    """Raised when the KDS has no material for a requested chip."""
+
+
+class KeyDistributionServer:
+    """AMD's certificate endpoint for one product line."""
+
+    def __init__(self, infrastructure: AmdKeyInfrastructure, product: str = "Milan"):
+        self._infrastructure = infrastructure
+        self.product = product
+        ark_name = Name(f"ARK-{product}", organization="Advanced Micro Devices")
+        ask_name = Name(f"SEV-{product}", organization="Advanced Micro Devices")
+        self._ark = CertificateIssuer.self_signed_root(
+            ark_name, infrastructure.ark_key, _CERT_NOT_BEFORE, _CERT_NOT_AFTER
+        )
+        ask_cert = self._ark.issue(
+            ask_name,
+            infrastructure.ask_key.public_key(),
+            _CERT_NOT_BEFORE,
+            _CERT_NOT_AFTER,
+            is_ca=True,
+            path_length=0,
+            key_usage=("cert_sign",),
+        )
+        self._ask = CertificateIssuer(ask_cert, infrastructure.ask_key)
+        self._vcek_cache: Dict[Tuple[bytes, TcbVersion], Certificate] = {}
+
+    @property
+    def ark_certificate(self) -> Certificate:
+        """The trust anchor verifiers pin."""
+        return self._ark.certificate
+
+    @property
+    def ask_certificate(self) -> Certificate:
+        """The ASK (intermediate) certificate."""
+        return self._ask.certificate
+
+    def cert_chain(self) -> List[Certificate]:
+        """The ASK -> ARK chain, as served by the /cert_chain endpoint."""
+        return [self._ask.certificate, self._ark.certificate]
+
+    def get_vcek_certificate(self, chip_id: bytes, tcb: TcbVersion) -> Certificate:
+        """Issue (or re-serve) the VCEK certificate for a platform.
+
+        The chip id and TCB version are embedded as certificate
+        extensions, which lets a verifier cross-check them against the
+        corresponding attestation report fields.
+        """
+        cache_key = (bytes(chip_id), tcb)
+        cached = self._vcek_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        try:
+            vcek_public = self._infrastructure.vcek_public_key(chip_id, tcb)
+        except SevError:
+            raise KdsError(f"unknown chip id {chip_id[:8].hex()}...") from None
+        from ..crypto.keys import PublicKey
+
+        certificate = self._ask.issue(
+            Name(f"VCEK-{self.product}", organization="Advanced Micro Devices"),
+            PublicKey("ecdsa", vcek_public),
+            _CERT_NOT_BEFORE,
+            _CERT_NOT_AFTER,
+            key_usage=("digital_signature",),
+            extensions=(
+                ("amd.chip_id", bytes(chip_id)),
+                ("amd.tcb", tcb.encode()),
+            ),
+        )
+        self._vcek_cache[cache_key] = certificate
+        return certificate

@@ -1,0 +1,87 @@
+"""SEV-SNP guest policy.
+
+The guest policy is supplied by the VM owner at launch and enforced by
+the AMD-SP: it controls debugging, migration, SMT, and the minimum ABI
+version.  It is included in the attestation report so a verifier can
+reject e.g. debuggable guests — Revelio VMs must never set ``debug``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_BIT_SMT = 16
+_BIT_MIGRATE_MA = 18
+_BIT_DEBUG = 19
+_BIT_SINGLE_SOCKET = 20
+
+
+_MODELLED_MASK = (
+    0xFFFF
+    | (1 << _BIT_SMT)
+    | (1 << _BIT_MIGRATE_MA)
+    | (1 << _BIT_DEBUG)
+    | (1 << _BIT_SINGLE_SOCKET)
+)
+
+
+@dataclass(frozen=True)
+class GuestPolicy:
+    """Launch policy bits, mirroring the SNP policy QWORD.
+
+    Bits this model doesn't interpret are carried verbatim in
+    ``reserved_bits`` so decode -> encode is lossless (a signed report's
+    policy field must survive a round trip bit for bit).
+    """
+
+    abi_major: int = 0
+    abi_minor: int = 0
+    smt_allowed: bool = True
+    migrate_ma_allowed: bool = False
+    debug_allowed: bool = False
+    single_socket_required: bool = False
+    reserved_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.abi_major <= 0xFF and 0 <= self.abi_minor <= 0xFF):
+            raise ValueError("ABI version components must fit in one byte")
+        if self.reserved_bits & _MODELLED_MASK:
+            raise ValueError("reserved_bits overlap modelled policy bits")
+        if not (0 <= self.reserved_bits < (1 << 64)):
+            raise ValueError("reserved_bits out of qword range")
+
+    def encode_qword(self) -> int:
+        """Pack into the 64-bit policy value of the SNP ABI."""
+        value = self.abi_minor | (self.abi_major << 8) | self.reserved_bits
+        if self.smt_allowed:
+            value |= 1 << _BIT_SMT
+        if self.migrate_ma_allowed:
+            value |= 1 << _BIT_MIGRATE_MA
+        if self.debug_allowed:
+            value |= 1 << _BIT_DEBUG
+        if self.single_socket_required:
+            value |= 1 << _BIT_SINGLE_SOCKET
+        return value
+
+    @classmethod
+    def decode_qword(cls, value: int) -> "GuestPolicy":
+        """Unpack the 64-bit policy value of the SNP ABI."""
+        return cls(
+            abi_minor=value & 0xFF,
+            abi_major=(value >> 8) & 0xFF,
+            smt_allowed=bool(value & (1 << _BIT_SMT)),
+            migrate_ma_allowed=bool(value & (1 << _BIT_MIGRATE_MA)),
+            debug_allowed=bool(value & (1 << _BIT_DEBUG)),
+            single_socket_required=bool(value & (1 << _BIT_SINGLE_SOCKET)),
+            reserved_bits=value & ~_MODELLED_MASK,
+        )
+
+
+#: The policy Revelio VMs launch with: no debug, no migration agent.
+REVELIO_POLICY = GuestPolicy(
+    abi_major=1,
+    abi_minor=51,
+    smt_allowed=True,
+    migrate_ma_allowed=False,
+    debug_allowed=False,
+)

@@ -1,0 +1,175 @@
+"""The SNP ATTESTATION_REPORT structure.
+
+A fixed binary layout closely following the SEV-SNP ABI (the field set
+and sizes match the spec; reserved gaps are collapsed).  The report is
+signed by the platform's VCEK with ECDSA P-384 over SHA-384, exactly as
+real hardware does, so every verification path a real verifier would
+exercise — signature, measurement comparison, REPORT_DATA binding,
+chip-id pinning, TCB checks — runs for real in this reproduction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+from .policy import GuestPolicy
+from .tcb import TcbVersion
+
+REPORT_VERSION = 2
+SIGNATURE_ALGO_ECDSA_P384_SHA384 = 1
+
+MEASUREMENT_SIZE = 48
+REPORT_DATA_SIZE = 64
+CHIP_ID_SIZE = 64
+HOST_DATA_SIZE = 32
+REPORT_ID_SIZE = 32
+FAMILY_ID_SIZE = 16
+IMAGE_ID_SIZE = 16
+SIGNATURE_SIZE = 96  # P-384 r || s
+
+_HEADER = struct.Struct("<IIQ")  # version, guest_svn, policy
+
+
+class ReportError(ValueError):
+    """Raised on malformed report bytes."""
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A parsed (or to-be-signed) SNP attestation report."""
+
+    version: int
+    guest_svn: int
+    policy: GuestPolicy
+    family_id: bytes
+    image_id: bytes
+    vmpl: int
+    signature_algo: int
+    current_tcb: TcbVersion
+    platform_info: int
+    report_data: bytes
+    measurement: bytes
+    host_data: bytes
+    id_key_digest: bytes
+    report_id: bytes
+    reported_tcb: TcbVersion
+    chip_id: bytes
+    signature: bytes = b""
+
+    def __post_init__(self) -> None:
+        _require_size("report_data", self.report_data, REPORT_DATA_SIZE)
+        _require_size("measurement", self.measurement, MEASUREMENT_SIZE)
+        _require_size("host_data", self.host_data, HOST_DATA_SIZE)
+        _require_size("chip_id", self.chip_id, CHIP_ID_SIZE)
+        _require_size("report_id", self.report_id, REPORT_ID_SIZE)
+        _require_size("family_id", self.family_id, FAMILY_ID_SIZE)
+        _require_size("image_id", self.image_id, IMAGE_ID_SIZE)
+        _require_size("id_key_digest", self.id_key_digest, MEASUREMENT_SIZE)
+
+    def signed_bytes(self) -> bytes:
+        """The byte region covered by the VCEK signature."""
+        return (
+            _HEADER.pack(self.version, self.guest_svn, self.policy.encode_qword())
+            + self.family_id
+            + self.image_id
+            + struct.pack("<II", self.vmpl, self.signature_algo)
+            + self.current_tcb.encode()
+            + struct.pack("<Q", self.platform_info)
+            + self.report_data
+            + self.measurement
+            + self.host_data
+            + self.id_key_digest
+            + self.report_id
+            + self.reported_tcb.encode()
+            + self.chip_id
+        )
+
+    def encode(self) -> bytes:
+        """Full wire format: signed region followed by the signature."""
+        if len(self.signature) != SIGNATURE_SIZE:
+            raise ReportError("report is unsigned or has a malformed signature")
+        return self.signed_bytes() + self.signature
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AttestationReport":
+        """Parse an instance back out of canonical TLV bytes."""
+        body_size = (
+            _HEADER.size
+            + FAMILY_ID_SIZE
+            + IMAGE_ID_SIZE
+            + 8  # vmpl + signature_algo
+            + 8  # current tcb
+            + 8  # platform info
+            + REPORT_DATA_SIZE
+            + MEASUREMENT_SIZE
+            + HOST_DATA_SIZE
+            + MEASUREMENT_SIZE  # id_key_digest
+            + REPORT_ID_SIZE
+            + 8  # reported tcb
+            + CHIP_ID_SIZE
+        )
+        if len(data) != body_size + SIGNATURE_SIZE:
+            raise ReportError(
+                f"attestation report must be {body_size + SIGNATURE_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        offset = 0
+
+        def take(size: int) -> bytes:
+            """Consume the next *size* bytes of the buffer."""
+            nonlocal offset
+            chunk = data[offset : offset + size]
+            offset += size
+            return chunk
+
+        version, guest_svn, policy_qword = _HEADER.unpack(take(_HEADER.size))
+        family_id = take(FAMILY_ID_SIZE)
+        image_id = take(IMAGE_ID_SIZE)
+        vmpl, signature_algo = struct.unpack("<II", take(8))
+        current_tcb = TcbVersion.decode(take(8))
+        (platform_info,) = struct.unpack("<Q", take(8))
+        report_data = take(REPORT_DATA_SIZE)
+        measurement = take(MEASUREMENT_SIZE)
+        host_data = take(HOST_DATA_SIZE)
+        id_key_digest = take(MEASUREMENT_SIZE)
+        report_id = take(REPORT_ID_SIZE)
+        reported_tcb = TcbVersion.decode(take(8))
+        chip_id = take(CHIP_ID_SIZE)
+        signature = take(SIGNATURE_SIZE)
+        return cls(
+            version=version,
+            guest_svn=guest_svn,
+            policy=GuestPolicy.decode_qword(policy_qword),
+            family_id=family_id,
+            image_id=image_id,
+            vmpl=vmpl,
+            signature_algo=signature_algo,
+            current_tcb=current_tcb,
+            platform_info=platform_info,
+            report_data=report_data,
+            measurement=measurement,
+            host_data=host_data,
+            id_key_digest=id_key_digest,
+            report_id=report_id,
+            reported_tcb=reported_tcb,
+            chip_id=chip_id,
+            signature=signature,
+        )
+
+    def sign(self, vcek_private: EcdsaPrivateKey) -> "AttestationReport":
+        """Return a copy signed by *vcek_private* (ECDSA P-384/SHA-384)."""
+        signature = vcek_private.sign(self.signed_bytes(), "sha384")
+        return replace(self, signature=signature)
+
+    def verify_signature(self, vcek_public: EcdsaPublicKey) -> bool:
+        """Check the VCEK signature over the signed region."""
+        if len(self.signature) != SIGNATURE_SIZE:
+            return False
+        return vcek_public.verify(self.signed_bytes(), self.signature, "sha384")
+
+
+def _require_size(name: str, value: bytes, size: int) -> None:
+    if len(value) != size:
+        raise ReportError(f"{name} must be {size} bytes, got {len(value)}")

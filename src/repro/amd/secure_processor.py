@@ -1,0 +1,241 @@
+"""The AMD Secure Processor (AMD-SP) and its key infrastructure.
+
+``AmdKeyInfrastructure`` plays the role of AMD the manufacturer: it owns
+the ARK/ASK signing hierarchy and fuses a unique secret into every chip
+it provisions.  ``SecureProcessor`` is the on-die security co-processor:
+it measures guests at launch, signs attestation reports with the chip's
+VCEK, and derives measurement-bound sealing keys over a protected
+guest channel (``GuestContext``).
+
+Everything the hypervisor does is *outside* this module — the AMD-SP is
+the root of trust, and nothing here is reachable by host software except
+through the modelled interfaces, mirroring the paper's threat model
+(section 3.2: "the only component that is considered trusted on the
+host platform ... is the CPU hardware along with the AMD Secure
+Processor implementation").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.ec import P384
+from ..crypto.ecdsa import EcdsaPrivateKey
+from ..crypto.kdf import hkdf
+from ..crypto.keys import PrivateKey
+from .policy import GuestPolicy
+from .report import (
+    REPORT_VERSION,
+    SIGNATURE_ALGO_ECDSA_P384_SHA384,
+    AttestationReport,
+    ReportError,
+)
+from .tcb import TcbVersion
+
+_DEFAULT_FAMILY_ID = b"\x00" * 16
+_DEFAULT_IMAGE_ID = b"\x00" * 16
+
+
+class SevError(RuntimeError):
+    """Raised on invalid AMD-SP operations."""
+
+
+def launch_digest(initial_state: bytes, policy: GuestPolicy) -> bytes:
+    """The SHA-384 launch measurement over a guest's initial memory
+    contents and launch policy.
+
+    Exposed at module level because the *builder* precomputes the very
+    same digest to publish golden measurements (requirement F5), and it
+    must match the AMD-SP's bit for bit.
+    """
+    digest = hashlib.sha384()
+    digest.update(b"snp-launch-digest")
+    digest.update(policy.encode_qword().to_bytes(8, "little"))
+    digest.update(len(initial_state).to_bytes(8, "little"))
+    digest.update(initial_state)
+    return digest.digest()
+
+
+def _derive_vcek_scalar(chip_secret: bytes, tcb: TcbVersion) -> int:
+    """VCEK derivation: chip secret x TCB version -> P-384 scalar.
+
+    Reproduces the *property* that matters: the VCEK changes whenever the
+    TCB changes, and only AMD (who knows the fused secret) can compute
+    the matching public key for certification.
+    """
+    material = hkdf(chip_secret, info=b"vcek" + tcb.encode(), length=72)
+    return 1 + int.from_bytes(material, "big") % (P384.n - 1)
+
+
+class AmdKeyInfrastructure:
+    """AMD the manufacturer: ARK/ASK hierarchy + chip provisioning."""
+
+    def __init__(self, rng: Optional[HmacDrbg] = None):
+        self._rng = rng if rng is not None else HmacDrbg(b"amd-default-seed")
+        self.ark_key = PrivateKey.generate_ecdsa(self._rng.fork(b"ark"), "P-384")
+        self.ask_key = PrivateKey.generate_ecdsa(self._rng.fork(b"ask"), "P-384")
+        self._master_secret = self._rng.fork(b"chips").generate(48)
+        self._chips: Dict[bytes, bytes] = {}  # chip_id -> fused secret
+
+    def provision_chip(
+        self, serial: str, tcb: Optional[TcbVersion] = None
+    ) -> "SecureProcessor":
+        """Manufacture a chip: fuse a unique secret, register its id."""
+        chip_secret = hkdf(self._master_secret, info=serial.encode(), length=48)
+        chip_id = hashlib.sha512(b"chip-id" + chip_secret).digest()
+        self._chips[chip_id] = chip_secret
+        return SecureProcessor(
+            chip_id=chip_id,
+            chip_secret=chip_secret,
+            current_tcb=tcb if tcb is not None else TcbVersion(3, 0, 8, 115),
+        )
+
+    def knows_chip(self, chip_id: bytes) -> bool:
+        """Whether this infrastructure manufactured the chip."""
+        return chip_id in self._chips
+
+    def vcek_public_key(self, chip_id: bytes, tcb: TcbVersion):
+        """Derive the VCEK public key for certification (AMD side)."""
+        try:
+            chip_secret = self._chips[chip_id]
+        except KeyError:
+            raise SevError("unknown chip id") from None
+        scalar = _derive_vcek_scalar(chip_secret, tcb)
+        return EcdsaPrivateKey(P384, scalar).public_key()
+
+
+@dataclass
+class GuestContext:
+    """The protected guest <-> AMD-SP channel of one launched VM.
+
+    This models ``/dev/sev-guest``: the guest kernel calls
+    :meth:`get_report` and :meth:`derive_sealing_key`; the values are
+    cryptographically bound to the launch measurement fixed at boot.
+    """
+
+    processor: "SecureProcessor"
+    measurement: bytes
+    policy: GuestPolicy
+    vmpl: int
+    host_data: bytes
+    family_id: bytes
+    image_id: bytes
+    guest_svn: int
+    report_id: bytes
+    _terminated: bool = field(default=False)
+
+    def get_report(self, report_data: bytes) -> AttestationReport:
+        """Produce a VCEK-signed attestation report with *report_data*
+        (64 bytes of guest-chosen data, e.g. a key or CSR hash)."""
+        self._ensure_alive()
+        if len(report_data) != 64:
+            raise ReportError("REPORT_DATA must be exactly 64 bytes")
+        report = AttestationReport(
+            version=REPORT_VERSION,
+            guest_svn=self.guest_svn,
+            policy=self.policy,
+            family_id=self.family_id,
+            image_id=self.image_id,
+            vmpl=self.vmpl,
+            signature_algo=SIGNATURE_ALGO_ECDSA_P384_SHA384,
+            current_tcb=self.processor.current_tcb,
+            platform_info=0,
+            report_data=report_data,
+            measurement=self.measurement,
+            host_data=self.host_data,
+            id_key_digest=b"\x00" * 48,
+            report_id=self.report_id,
+            reported_tcb=self.processor.current_tcb,
+            chip_id=self.processor.chip_id,
+        )
+        return report.sign(self.processor.vcek_private())
+
+    def derive_sealing_key(self, context: bytes = b"") -> bytes:
+        """Derive a 32-byte key bound to (chip, measurement, policy).
+
+        Only a guest with an *identical* measurement on the *same*
+        platform re-derives it — the property behind Revelio's
+        persistent-state protection (F6, section 3.4.8).
+        """
+        self._ensure_alive()
+        return self.processor.derive_key(self.measurement, self.policy, context)
+
+    def terminate(self) -> None:
+        """Tear down the guest channel (VM shutdown)."""
+        self._terminated = True
+
+    def _ensure_alive(self) -> None:
+        if self._terminated:
+            raise SevError("guest context has been terminated")
+
+
+class SecureProcessor:
+    """One physical chip's AMD-SP."""
+
+    def __init__(self, chip_id: bytes, chip_secret: bytes, current_tcb: TcbVersion):
+        self.chip_id = chip_id
+        self._chip_secret = chip_secret
+        self.current_tcb = current_tcb
+        self._launch_counter = 0
+
+    def vcek_private(self, tcb: Optional[TcbVersion] = None) -> EcdsaPrivateKey:
+        """The chip's current VCEK (never leaves the AMD-SP in reality;
+        exposed here only to the SecureProcessor itself and tests)."""
+        effective = tcb if tcb is not None else self.current_tcb
+        return EcdsaPrivateKey(P384, _derive_vcek_scalar(self._chip_secret, effective))
+
+    def update_tcb(self, new_tcb: TcbVersion) -> None:
+        """Apply an SNP firmware update; the VCEK rolls with the TCB."""
+        if not new_tcb.at_least(self.current_tcb):
+            raise SevError("TCB downgrade rejected by the AMD-SP")
+        self.current_tcb = new_tcb
+
+    def launch_vm(
+        self,
+        initial_state: bytes,
+        policy: GuestPolicy,
+        vmpl: int = 0,
+        host_data: bytes = b"\x00" * 32,
+        family_id: bytes = _DEFAULT_FAMILY_ID,
+        image_id: bytes = _DEFAULT_IMAGE_ID,
+        guest_svn: int = 0,
+    ) -> GuestContext:
+        """Measure *initial_state* (the pages loaded before launch — for
+        a Revelio VM, the firmware volume with its embedded hash table)
+        and finalise the launch.
+
+        Returns the guest's protected channel.  The measurement is the
+        SHA-384 launch digest the hardware would compute over the
+        initial memory contents and launch metadata.
+        """
+        measurement = launch_digest(initial_state, policy)
+        self._launch_counter += 1
+        report_id = hashlib.sha256(
+            self._chip_secret + b"report-id" + self._launch_counter.to_bytes(8, "big")
+        ).digest()
+        return GuestContext(
+            processor=self,
+            measurement=measurement,
+            policy=policy,
+            vmpl=vmpl,
+            host_data=host_data,
+            family_id=family_id,
+            image_id=image_id,
+            guest_svn=guest_svn,
+            report_id=report_id,
+        )
+
+    def derive_key(self, measurement: bytes, policy: GuestPolicy, context: bytes) -> bytes:
+        """Measurement-bound key derivation (MSG_KEY_REQ analogue)."""
+        sealing_root = hkdf(self._chip_secret, info=b"sealing-root", length=32)
+        return hkdf(
+            sealing_root,
+            info=b"seal"
+            + measurement
+            + policy.encode_qword().to_bytes(8, "little")
+            + context,
+            length=32,
+        )

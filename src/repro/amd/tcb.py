@@ -1,0 +1,63 @@
+"""SEV-SNP TCB (trusted computing base) version numbers.
+
+The TCB version identifies the security patch level of the platform
+firmware stack.  It appears twice in the attestation report (current and
+reported TCB) and parameterises VCEK derivation: a platform whose
+firmware is updated signs with a *different* VCEK, which is how rollback
+of the SNP firmware itself is made visible to verifiers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_STRUCT = struct.Struct("<BB4xBB")
+
+
+@dataclass(frozen=True, order=True)
+class TcbVersion:
+    """Component security patch levels, lowest-order first (per the SNP ABI)."""
+
+    boot_loader: int = 0
+    tee: int = 0
+    snp: int = 0
+    microcode: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("boot_loader", "tee", "snp", "microcode"):
+            value = getattr(self, field_name)
+            if not (0 <= value <= 0xFF):
+                raise ValueError(f"TCB component {field_name} out of range: {value}")
+
+    def encode(self) -> bytes:
+        """Pack into the 8-byte SNP TCB_VERSION layout."""
+        return _STRUCT.pack(self.boot_loader, self.tee, self.snp, self.microcode)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TcbVersion":
+        """Parse an instance back out of canonical TLV bytes."""
+        if len(data) != 8:
+            raise ValueError("TCB_VERSION must be 8 bytes")
+        if data[2:6] != b"\x00\x00\x00\x00":
+            # Strict parsing: the ABI reserves these bytes as zero, and a
+            # lossless round trip matters for signed structures.
+            raise ValueError("TCB_VERSION reserved bytes must be zero")
+        boot_loader, tee, snp, microcode = _STRUCT.unpack(data)
+        return cls(boot_loader=boot_loader, tee=tee, snp=snp, microcode=microcode)
+
+    def hwid_string(self) -> str:
+        """Human-readable form used in KDS URLs."""
+        return (
+            f"blSPL={self.boot_loader:02d}&teeSPL={self.tee:02d}"
+            f"&snpSPL={self.snp:02d}&ucodeSPL={self.microcode:02d}"
+        )
+
+    def at_least(self, other: "TcbVersion") -> bool:
+        """Component-wise >= comparison (the meaningful TCB ordering)."""
+        return (
+            self.boot_loader >= other.boot_loader
+            and self.tee >= other.tee
+            and self.snp >= other.snp
+            and self.microcode >= other.microcode
+        )

@@ -1,0 +1,124 @@
+"""Attestation report verification — the verifier side of SEV-SNP.
+
+This is the logic every Revelio verifier (the web extension, the SP
+node, and peer VMs during mutual attestation) runs on a received
+report.  It performs, in order:
+
+1. certificate-chain validation of VCEK -> ASK -> ARK against pinned
+   trust anchors,
+2. cross-checks of the VCEK certificate's embedded chip id / TCB
+   against the report fields,
+3. ECDSA P-384 verification of the report signature,
+4. policy sanity (no debug-enabled guests),
+5. optional caller expectations: measurement, REPORT_DATA, chip-id
+   allow-list, minimum TCB.
+
+Failures raise :class:`AttestationError` with a machine-readable
+``reason`` so callers (and tests) can distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..crypto.x509 import Certificate, CertificateError, validate_chain
+from .report import AttestationReport
+from .tcb import TcbVersion
+
+
+class AttestationError(Exception):
+    """A failed report verification, with a stable ``reason`` code."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}: {detail}" if detail else reason)
+
+
+@dataclass(frozen=True)
+class VerifiedReport:
+    """The outcome of a successful verification."""
+
+    report: AttestationReport
+    vcek_certificate: Certificate
+    checked_measurement: bool
+    checked_report_data: bool
+    checked_chip_id: bool
+
+
+def verify_attestation_report(
+    report: AttestationReport,
+    vcek_certificate: Certificate,
+    cert_chain: Sequence[Certificate],
+    trust_anchors: Sequence[Certificate],
+    now: int,
+    expected_measurement: Optional[bytes] = None,
+    expected_report_data: Optional[bytes] = None,
+    allowed_chip_ids: Optional[Iterable[bytes]] = None,
+    minimum_tcb: Optional[TcbVersion] = None,
+    allow_debug: bool = False,
+) -> VerifiedReport:
+    """Verify *report* end to end; raise :class:`AttestationError` on
+    the first failed check, return a :class:`VerifiedReport` otherwise."""
+    try:
+        validate_chain(
+            [vcek_certificate, *cert_chain], trust_anchors, now=now
+        )
+    except CertificateError as exc:
+        raise AttestationError("bad_cert_chain", str(exc)) from exc
+
+    cert_chip_id = vcek_certificate.extension("amd.chip_id")
+    if cert_chip_id is None or cert_chip_id != report.chip_id:
+        raise AttestationError(
+            "chip_id_mismatch",
+            "VCEK certificate chip id does not match the report",
+        )
+    cert_tcb = vcek_certificate.extension("amd.tcb")
+    if cert_tcb is None or TcbVersion.decode(cert_tcb) != report.reported_tcb:
+        raise AttestationError(
+            "tcb_mismatch", "VCEK certificate TCB does not match the report"
+        )
+
+    vcek_key = vcek_certificate.public_key
+    if vcek_key.algorithm != "ecdsa" or not report.verify_signature(vcek_key.inner):
+        raise AttestationError(
+            "bad_signature", "report signature does not verify under the VCEK"
+        )
+
+    if report.policy.debug_allowed and not allow_debug:
+        raise AttestationError(
+            "debug_policy", "guest was launched with debugging enabled"
+        )
+
+    if expected_measurement is not None and report.measurement != expected_measurement:
+        raise AttestationError(
+            "measurement_mismatch",
+            f"expected {expected_measurement.hex()[:16]}..., "
+            f"got {report.measurement.hex()[:16]}...",
+        )
+
+    if expected_report_data is not None and report.report_data != expected_report_data:
+        raise AttestationError(
+            "report_data_mismatch", "REPORT_DATA does not match expectation"
+        )
+
+    if allowed_chip_ids is not None:
+        allowed = {bytes(chip_id) for chip_id in allowed_chip_ids}
+        if bytes(report.chip_id) not in allowed:
+            raise AttestationError(
+                "chip_id_not_allowed", "platform is not on the approved list"
+            )
+
+    if minimum_tcb is not None and not report.reported_tcb.at_least(minimum_tcb):
+        raise AttestationError(
+            "tcb_too_old", "platform TCB below the required minimum"
+        )
+
+    return VerifiedReport(
+        report=report,
+        vcek_certificate=vcek_certificate,
+        checked_measurement=expected_measurement is not None,
+        checked_report_data=expected_report_data is not None,
+        checked_chip_id=allowed_chip_ids is not None,
+    )

@@ -1,0 +1,27 @@
+"""Use-case applications hosted on Revelio VMs (paper section 4)."""
+
+from .auction import (
+    AuctionClient,
+    AuctionError,
+    AuctionOutcome,
+    AuctionServer,
+)
+from .cryptpad import (
+    APP_SHELL_PATH,
+    PAD_STORAGE_FIRST_BLOCK,
+    CryptPadClient,
+    CryptPadError,
+    CryptPadServer,
+)
+
+__all__ = [
+    "APP_SHELL_PATH",
+    "AuctionClient",
+    "AuctionError",
+    "AuctionOutcome",
+    "AuctionServer",
+    "CryptPadClient",
+    "CryptPadError",
+    "CryptPadServer",
+    "PAD_STORAGE_FIRST_BLOCK",
+]

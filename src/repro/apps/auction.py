@@ -1,0 +1,339 @@
+"""A sealed-bid auction service — the integrity-critical use case class
+the paper motivates ("auction sites, lotteries and any form of
+e-commerce service", section 4).
+
+Why Revelio matters here: bidders must trust that the auctioneer's code
+(a) cannot leak sealed bids to competitors before closing and (b)
+computes the winner exactly as published.  Running the auction inside
+an attested Revelio VM makes both checkable:
+
+* bids are ECIES-encrypted **to the VM's attested identity key** — only
+  code inside the measured TEE can open them, not the operator,
+* the outcome is **signed by that same attested key**, so any bidder
+  can verify that the result came from the attested logic, and an
+  operator-forged outcome fails verification.
+
+Bid storage lands on the sealed data volume, so sealed bids also resist
+offline snooping between shutdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto import encoding
+from ..crypto.drbg import HmacDrbg
+from ..crypto.ecdsa import EcdsaPrivateKey
+from ..crypto.keys import PublicKey
+from ..net.http import HttpRequest, HttpResponse
+from .cryptpad import PAD_STORAGE_FIRST_BLOCK  # reuse the reserved offset scheme
+from ..core.key_sharing import (
+    KeySharingError,
+    decrypt_with_private_key,
+    encrypt_to_public_key,
+)
+
+AUCTION_STORAGE_FIRST_BLOCK = PAD_STORAGE_FIRST_BLOCK + 16
+
+
+class AuctionError(RuntimeError):
+    """Auction protocol failures."""
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """The signed result the service publishes at closing."""
+
+    auction_id: str
+    winner: str
+    winning_amount: int
+    num_bids: int
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        """The canonical byte string covered by the signature."""
+        return encoding.encode(
+            {
+                "auction": self.auction_id,
+                "winner": self.winner,
+                "amount": self.winning_amount,
+                "bids": self.num_bids,
+            }
+        )
+
+    def verify(self, attested_service_key: PublicKey) -> bool:
+        """Check the outcome against the service's *attested* key."""
+        if not self.signature:
+            return False
+        return attested_service_key.verify(self.signed_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode(
+            {"payload": self.signed_payload(), "sig": self.signature}
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AuctionOutcome":
+        """Parse an instance back out of canonical TLV bytes."""
+        outer = encoding.decode(data)
+        payload = encoding.decode(outer["payload"])
+        return cls(
+            auction_id=payload["auction"],
+            winner=payload["winner"],
+            winning_amount=payload["amount"],
+            num_bids=payload["bids"],
+            signature=outer["sig"],
+        )
+
+
+@dataclass
+class _Auction:
+    auction_id: str
+    open: bool = True
+    #: bidder -> ECIES blob of the encoded bid
+    sealed_bids: Dict[str, bytes] = field(default_factory=dict)
+    outcome: Optional[AuctionOutcome] = None
+
+
+class AuctionServer:
+    """The auction application (app factory for a Revelio node)."""
+
+    def __init__(self, storage_first_block: int = AUCTION_STORAGE_FIRST_BLOCK):
+        self._auctions: Dict[str, _Auction] = {}
+        self._node = None
+        self._storage = None
+        self._storage_first_block = storage_first_block
+
+    def install(self, node) -> None:
+        """Wire this application's routes onto a Revelio node (app factory)."""
+        self._node = node
+        self._storage = node.vm.storage.get("data")
+        self._load()
+        node.add_app_route("POST", "/api/auction/create", self._create)
+        node.add_app_route("POST", "/api/auction/bid", self._bid)
+        node.add_app_route("POST", "/api/auction/close", self._close)
+        node.add_app_route("POST", "/api/auction/outcome", self._outcome)
+
+    # -- internal key handling -------------------------------------------------
+
+    @property
+    def _service_key(self) -> EcdsaPrivateKey:
+        """The fleet's attested TLS key: the very key end-users verify
+        through the well-known report, so a bidder can take it straight
+        from their attested connection.  Bids decrypt on any fleet node
+        (they all hold the shared key — and are all attested)."""
+        key = self._node.tls_private_key
+        if key is None:
+            raise AuctionError("service identity not installed yet")
+        return key
+
+    # -- routes ---------------------------------------------------------------
+
+    def _create(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            auction_id = encoding.decode(request.body)["auction"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed create request")
+        if auction_id in self._auctions:
+            return HttpResponse.error("auction exists")
+        self._auctions[auction_id] = _Auction(auction_id=auction_id)
+        self._flush()
+        return HttpResponse.ok(encoding.encode({"ok": True}),
+                               "application/octet-stream")
+
+    def _bid(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            decoded = encoding.decode(request.body)
+            auction_id = decoded["auction"]
+            bidder = decoded["bidder"]
+            sealed = decoded["sealed_bid"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed bid")
+        auction = self._auctions.get(auction_id)
+        if auction is None:
+            return HttpResponse.not_found()
+        if not auction.open:
+            return HttpResponse.forbidden("auction closed")
+        auction.sealed_bids[bidder] = sealed
+        self._flush()
+        return HttpResponse.ok(
+            encoding.encode({"ok": True, "bids": len(auction.sealed_bids)}),
+            "application/octet-stream",
+        )
+
+    def _close(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            auction_id = encoding.decode(request.body)["auction"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed close request")
+        auction = self._auctions.get(auction_id)
+        if auction is None:
+            return HttpResponse.not_found()
+        if auction.outcome is None:
+            try:
+                auction.outcome = self._decide(auction)
+            except AuctionError as exc:
+                return HttpResponse.error(str(exc))
+            auction.open = False
+            self._flush()
+        return HttpResponse.ok(auction.outcome.encode(), "application/octet-stream")
+
+    def _outcome(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            auction_id = encoding.decode(request.body)["auction"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed outcome request")
+        auction = self._auctions.get(auction_id)
+        if auction is None or auction.outcome is None:
+            return HttpResponse.not_found()
+        return HttpResponse.ok(auction.outcome.encode(), "application/octet-stream")
+
+    # -- the in-TEE decision ----------------------------------------------------
+
+    def _decide(self, auction: _Auction) -> AuctionOutcome:
+        """Open the sealed bids *inside the TEE* and pick the winner
+        (highest amount; ties broken by bidder name for determinism)."""
+        if not auction.sealed_bids:
+            raise AuctionError("no bids")
+        bids: List[Tuple[int, str]] = []
+        for bidder, sealed in sorted(auction.sealed_bids.items()):
+            try:
+                plain = decrypt_with_private_key(self._service_key, sealed)
+                amount = encoding.decode(plain)["amount"]
+            except (KeySharingError, ValueError, KeyError, TypeError):
+                continue  # malformed/mis-encrypted bids are discarded
+            if isinstance(amount, int) and amount > 0:
+                bids.append((amount, bidder))
+        if not bids:
+            raise AuctionError("no valid bids")
+        amount, winner = max(bids, key=lambda item: (item[0], item[1]))
+        unsigned = AuctionOutcome(
+            auction_id=auction.auction_id,
+            winner=winner,
+            winning_amount=amount,
+            num_bids=len(bids),
+        )
+        from dataclasses import replace
+
+        return replace(
+            unsigned,
+            signature=self._service_key.sign(unsigned.signed_payload()),
+        )
+
+    # -- sealed persistence -------------------------------------------------------
+
+    def _flush(self) -> None:
+        if self._storage is None:
+            return
+        blob = encoding.encode(
+            {
+                a.auction_id: {
+                    "open": a.open,
+                    "bids": dict(a.sealed_bids),
+                    "outcome": a.outcome.encode() if a.outcome else b"",
+                }
+                for a in self._auctions.values()
+            }
+        )
+        offset = self._storage_first_block * self._storage.block_size
+        if offset + 4 + len(blob) > self._storage.size_bytes:
+            raise AuctionError("auction storage volume full")
+        self._storage.write_bytes(offset, len(blob).to_bytes(4, "big") + blob)
+
+    def _load(self) -> None:
+        if self._storage is None:
+            return
+        offset = self._storage_first_block * self._storage.block_size
+        length = int.from_bytes(self._storage.read_bytes(offset, 4), "big")
+        if length == 0 or offset + 4 + length > self._storage.size_bytes:
+            return
+        try:
+            decoded = encoding.decode(self._storage.read_bytes(offset + 4, length))
+        except ValueError:
+            return
+        for auction_id, state in decoded.items():
+            auction = _Auction(
+                auction_id=auction_id,
+                open=state["open"],
+                sealed_bids=dict(state["bids"]),
+            )
+            if state["outcome"]:
+                auction.outcome = AuctionOutcome.decode(state["outcome"])
+            self._auctions[auction_id] = auction
+
+    def snoop_sealed_bids(self, auction_id: str) -> Dict[str, bytes]:
+        """What a curious operator sees: ECIES blobs only."""
+        auction = self._auctions.get(auction_id)
+        return dict(auction.sealed_bids) if auction else {}
+
+
+class AuctionClient:
+    """A bidder: seals bids to the *attested* service key and verifies
+    signed outcomes against it."""
+
+    def __init__(self, http_client, base_url: str,
+                 attested_service_key: PublicKey,
+                 rng: Optional[HmacDrbg] = None):
+        if attested_service_key.algorithm != "ecdsa":
+            raise AuctionError("service key must be an ECDSA key")
+        self._http = http_client
+        self._base_url = base_url.rstrip("/")
+        self.service_key = attested_service_key
+        self._rng = rng if rng is not None else HmacDrbg(b"auction-client")
+
+    def create_auction(self, auction_id: str) -> None:
+        """Open a new auction on the service."""
+        response, _ = self._http.post(
+            f"{self._base_url}/api/auction/create",
+            encoding.encode({"auction": auction_id}),
+        )
+        if response.status != 200:
+            raise AuctionError(f"create failed: {response.body!r}")
+
+    def place_bid(self, auction_id: str, bidder: str, amount: int) -> None:
+        """Seal a bid to the attested service key and submit it."""
+        sealed = encrypt_to_public_key(
+            self.service_key.inner,
+            encoding.encode({"amount": amount}),
+            self._rng,
+        )
+        response, _ = self._http.post(
+            f"{self._base_url}/api/auction/bid",
+            encoding.encode(
+                {"auction": auction_id, "bidder": bidder, "sealed_bid": sealed}
+            ),
+        )
+        if response.status != 200:
+            raise AuctionError(f"bid failed: {response.body!r}")
+
+    def close_auction(self, auction_id: str) -> AuctionOutcome:
+        """Close the auction; returns the verified signed outcome."""
+        response, _ = self._http.post(
+            f"{self._base_url}/api/auction/close",
+            encoding.encode({"auction": auction_id}),
+        )
+        if response.status != 200:
+            raise AuctionError(f"close failed: {response.body!r}")
+        outcome = AuctionOutcome.decode(response.body)
+        if not outcome.verify(self.service_key):
+            raise AuctionError(
+                "outcome signature invalid: not produced by the attested service"
+            )
+        return outcome
+
+    def fetch_outcome(self, auction_id: str) -> AuctionOutcome:
+        """Fetch and verify an already-published outcome."""
+        response, _ = self._http.post(
+            f"{self._base_url}/api/auction/outcome",
+            encoding.encode({"auction": auction_id}),
+        )
+        if response.status != 200:
+            raise AuctionError(f"no outcome: {response.body!r}")
+        outcome = AuctionOutcome.decode(response.body)
+        if not outcome.verify(self.service_key):
+            raise AuctionError(
+                "outcome signature invalid: not produced by the attested service"
+            )
+        return outcome

@@ -1,0 +1,204 @@
+"""A CryptPad-like end-to-end-encrypted collaboration suite (paper §4.1).
+
+The server stores only ciphertext: pad contents are encrypted client
+side under a pad key shared out of band (in real CryptPad, the URL
+fragment, which browsers never send to the server).  The server's
+threat model is *honest but curious* — but as the paper argues, users
+still have to trust the JavaScript the server ships and the server's
+handling of metadata.  Running the server in a Revelio VM closes that
+gap: the served application code is part of the measured rootfs, and
+pad storage lands on the sealed (measurement-encrypted) data volume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..crypto import encoding
+from ..crypto.drbg import HmacDrbg
+from ..crypto.modes import AeadCipher, AeadError
+from ..net.http import HttpRequest, HttpResponse
+
+#: Pad storage begins at this block of the data volume (the first blocks
+#: are reserved for the node's TLS key material).
+PAD_STORAGE_FIRST_BLOCK = 8
+APP_SHELL_PATH = "/opt/cryptpad/www/app.js"
+
+
+class CryptPadError(RuntimeError):
+    """Server- or client-side pad errors."""
+
+
+class CryptPadServer:
+    """The server application (app factory for a Revelio node).
+
+    Stores, per pad id, an append-only list of ciphertext operations.
+    The server can neither read nor undetectably modify pad contents.
+    """
+
+    def __init__(self, storage_first_block: int = PAD_STORAGE_FIRST_BLOCK):
+        self._pads: Dict[str, List[bytes]] = {}
+        self._storage = None
+        self._storage_first_block = storage_first_block
+        self._node = None
+
+    def install(self, node) -> None:
+        """Wire this application's routes onto a Revelio node (app factory)."""
+        self._node = node
+        self._storage = node.vm.storage.get("data")
+        self._load()
+        node.add_app_route("GET", "/", self._serve_app_shell)
+        node.add_app_route("POST", "/api/pad/create", self._create_pad)
+        node.add_app_route("POST", "/api/pad/append", self._append_op)
+        node.add_app_route("POST", "/api/pad/get", self._get_pad)
+
+    # -- routes ---------------------------------------------------------------
+
+    def _serve_app_shell(self, request: HttpRequest, context) -> HttpResponse:
+        """Serve the client application from the measured rootfs."""
+        rootfs = self._node.vm.rootfs
+        if not rootfs.exists(APP_SHELL_PATH):
+            return HttpResponse.not_found()
+        shell = b"<html><script>" + rootfs.read_file(APP_SHELL_PATH) + b"</script></html>"
+        return HttpResponse.ok(shell)
+
+    def _create_pad(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            pad_id = encoding.decode(request.body)["pad_id"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed create request")
+        if pad_id in self._pads:
+            return HttpResponse.error("pad exists")
+        self._pads[pad_id] = []
+        self._flush()
+        return HttpResponse.ok(encoding.encode({"ok": True}), "application/octet-stream")
+
+    def _append_op(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            decoded = encoding.decode(request.body)
+            pad_id = decoded["pad_id"]
+            ciphertext = decoded["op"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed append request")
+        if pad_id not in self._pads:
+            return HttpResponse.not_found()
+        self._pads[pad_id].append(ciphertext)
+        self._flush()
+        return HttpResponse.ok(
+            encoding.encode({"ok": True, "length": len(self._pads[pad_id])}),
+            "application/octet-stream",
+        )
+
+    def _get_pad(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            pad_id = encoding.decode(request.body)["pad_id"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed get request")
+        operations = self._pads.get(pad_id)
+        if operations is None:
+            return HttpResponse.not_found()
+        return HttpResponse.ok(
+            encoding.encode({"ops": list(operations)}), "application/octet-stream"
+        )
+
+    # -- sealed persistence -------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Persist all pads to the sealed data volume."""
+        if self._storage is None:
+            return
+        blob = encoding.encode({pad: list(ops) for pad, ops in self._pads.items()})
+        offset = self._storage_first_block * self._storage.block_size
+        if offset + 4 + len(blob) > self._storage.size_bytes:
+            raise CryptPadError("pad storage volume full")
+        self._storage.write_bytes(offset, len(blob).to_bytes(4, "big") + blob)
+
+    def _load(self) -> None:
+        """Reload pads after a reboot (the volume only opens if the VM
+        re-measured identically — Revelio's sealing guarantee)."""
+        if self._storage is None:
+            return
+        offset = self._storage_first_block * self._storage.block_size
+        length = int.from_bytes(self._storage.read_bytes(offset, 4), "big")
+        if length == 0 or offset + 4 + length > self._storage.size_bytes:
+            return
+        try:
+            decoded = encoding.decode(self._storage.read_bytes(offset + 4, length))
+        except ValueError:
+            return  # fresh / unformatted region
+        self._pads = {pad: list(ops) for pad, ops in decoded.items()}
+
+    def snoop_ciphertexts(self, pad_id: str) -> List[bytes]:
+        """What a curious provider can see: ciphertext only."""
+        return list(self._pads.get(pad_id, []))
+
+
+class CryptPadClient:
+    """The browser-side pad client; holds the pad key the server never
+    sees (shared via the URL fragment out of band)."""
+
+    def __init__(self, http_client, base_url: str, rng: Optional[HmacDrbg] = None):
+        self._http = http_client
+        self._base_url = base_url.rstrip("/")
+        self._rng = rng if rng is not None else HmacDrbg(b"cryptpad-client")
+        self._keys: Dict[str, bytes] = {}
+
+    def create_pad(self, pad_id: str) -> bytes:
+        """Create a pad and generate its client-held key; returns the
+        key (what the user shares through the URL fragment)."""
+        response, _ = self._http.post(
+            f"{self._base_url}/api/pad/create",
+            encoding.encode({"pad_id": pad_id}),
+        )
+        if response.status != 200:
+            raise CryptPadError(f"create failed: {response.body!r}")
+        key = self._rng.generate(32)
+        self._keys[pad_id] = key
+        return key
+
+    def open_pad(self, pad_id: str, key: bytes) -> None:
+        """Join an existing pad with an out-of-band key."""
+        self._keys[pad_id] = key
+
+    def append(self, pad_id: str, text: str) -> None:
+        """Append an encrypted operation to a pad."""
+        key = self._key(pad_id)
+        nonce = self._rng.generate(12)
+        ciphertext = AeadCipher(key).seal(
+            nonce, text.encode("utf-8"), aad=pad_id.encode()
+        )
+        response, _ = self._http.post(
+            f"{self._base_url}/api/pad/append",
+            encoding.encode({"pad_id": pad_id, "op": nonce + ciphertext}),
+        )
+        if response.status != 200:
+            raise CryptPadError(f"append failed: {response.body!r}")
+
+    def read(self, pad_id: str) -> List[str]:
+        """Fetch and decrypt a pad's full history."""
+        key = self._key(pad_id)
+        response, _ = self._http.post(
+            f"{self._base_url}/api/pad/get", encoding.encode({"pad_id": pad_id})
+        )
+        if response.status != 200:
+            raise CryptPadError(f"get failed: {response.body!r}")
+        operations = encoding.decode(response.body)["ops"]
+        texts = []
+        for op in operations:
+            nonce, ciphertext = op[:12], op[12:]
+            try:
+                plaintext = AeadCipher(key).open(
+                    nonce, ciphertext, aad=pad_id.encode()
+                )
+            except AeadError as exc:
+                raise CryptPadError(
+                    "pad operation failed authentication (server tampering?)"
+                ) from exc
+            texts.append(plaintext.decode("utf-8"))
+        return texts
+
+    def _key(self, pad_id: str) -> bytes:
+        try:
+            return self._keys[pad_id]
+        except KeyError:
+            raise CryptPadError(f"no key for pad {pad_id!r}") from None

@@ -1,0 +1,5 @@
+"""Shared benchmark harness helpers (reporting, scaling, fixtures)."""
+
+from .harness import Reporter, bench_scale, scaled_blocks
+
+__all__ = ["Reporter", "bench_scale", "scaled_blocks"]

@@ -1,0 +1,97 @@
+"""Benchmark reporting and workload scaling.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+:class:`Reporter` collects the same rows/series the paper reports —
+side by side with the paper's numbers — prints them, and persists them
+under ``benchmarks/results/`` so the run is auditable after the fact
+(pytest captures stdout by default).
+
+Workload sizes are scaled down from the paper's (a 4 GB rootfs and
+256 MB dd sweeps are pointless against a pure-Python AES): the scale
+factor is configurable through ``REVELIO_BENCH_SCALE`` (default 1/32,
+i.e. a paper-84 MB volume becomes ~2.6 MB).  Shapes — overhead ratios,
+who dominates, crossovers — are scale-invariant for these workloads
+and are what EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+DEFAULT_SCALE = 1.0 / 32.0
+
+
+def bench_scale() -> float:
+    """The configured workload scale factor relative to the paper."""
+    raw = os.environ.get("REVELIO_BENCH_SCALE", "")
+    if not raw:
+        return DEFAULT_SCALE
+    value = float(raw)
+    if value <= 0:
+        raise ValueError("REVELIO_BENCH_SCALE must be positive")
+    return value
+
+
+def scaled_blocks(paper_bytes: int, block_size: int = 4096,
+                  minimum_blocks: int = 8) -> int:
+    """Scale a paper-reported byte size to a block count for this run."""
+    scaled = int(paper_bytes * bench_scale())
+    return max(minimum_blocks, scaled // block_size)
+
+
+def results_dir() -> Path:
+    """Directory benchmark reports are persisted to."""
+    directory = Path(os.environ.get("REVELIO_RESULTS_DIR", "benchmarks/results"))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+class Reporter:
+    """Accumulates a paper-vs-measured table for one experiment."""
+
+    def __init__(self, experiment_id: str, title: str):
+        self.experiment_id = experiment_id
+        self.title = title
+        self._lines: List[str] = []
+
+    def line(self, text: str = "") -> None:
+        """Append a raw report line."""
+        self._lines.append(text)
+
+    def header(self, columns: Sequence[str], widths: Sequence[int]) -> None:
+        """Append a column header row."""
+        row = "  ".join(f"{c:<{w}}" for c, w in zip(columns, widths))
+        self.line(row)
+        self.line("  ".join("-" * w for w in widths))
+
+    def row(self, cells: Sequence[object], widths: Sequence[int]) -> None:
+        """Append one table row."""
+        self.line("  ".join(f"{str(c):<{w}}" for c, w in zip(cells, widths)))
+
+    def compare(
+        self,
+        label: str,
+        paper: Optional[float],
+        measured: float,
+        unit: str = "ms",
+        note: str = "",
+    ) -> None:
+        """Append a paper-vs-measured comparison line."""
+        paper_text = f"{paper:10.1f}" if paper is not None else " " * 10
+        self.line(
+            f"  {label:<34s} paper: {paper_text} {unit:<3s} "
+            f"measured: {measured:10.1f} {unit:<3s} {note}"
+        )
+
+    def finish(self) -> Path:
+        """Print and persist the report; returns the file path."""
+        banner = "=" * 78
+        body = "\n".join(
+            [banner, f"{self.experiment_id}: {self.title}", banner, *self._lines, ""]
+        )
+        print("\n" + body)
+        path = results_dir() / f"{self.experiment_id}.txt"
+        path.write_text(body)
+        return path

@@ -1,0 +1,25 @@
+"""Simulated ARM CCA: the third VM-model TEE backend."""
+
+from .realms import (
+    NUM_REMS,
+    ArmInfrastructure,
+    CcaError,
+    CcaPlatform,
+    CcaToken,
+    PlatformToken,
+    RealmContext,
+    RealmToken,
+    verify_cca_token,
+)
+
+__all__ = [
+    "ArmInfrastructure",
+    "CcaError",
+    "CcaPlatform",
+    "CcaToken",
+    "NUM_REMS",
+    "PlatformToken",
+    "RealmContext",
+    "RealmToken",
+    "verify_cca_token",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+build
+    Reproducibly build a use-case image, write it to disk, and print
+    its golden values (root hash + expected launch measurement).
+measure
+    Recompute the golden values of an image file — what an auditor or
+    technically-savvy end-user does to derive the value they register
+    in the web extension (paper section 3.4.7).
+verify-image
+    Compare an image file's recomputed measurement against an expected
+    golden value.
+demo
+    Run the full end-to-end flow: build, deploy a fleet, provision
+    certificates, attest from a browser.
+attack-demo
+    Mount the section 6.1 attacks and report which layer caught each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .build import (
+    ImageSpec,
+    Package,
+    PackagePin,
+    PackageRegistry,
+    build_revelio_image,
+)
+from .build.measurement import expected_measurement_for_image
+from .virt.image import VmImage
+
+
+def _sample_registry():
+    """The CLI's built-in demo software catalogue."""
+    registry = PackageRegistry()
+    pins = {}
+    for package in [
+        Package.create(
+            "nginx", "1.24.0",
+            files={
+                "/usr/sbin/nginx": b"\x7fELF-nginx" + b"n" * 2000,
+                "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+            },
+        ),
+        Package.create(
+            "cryptpad-server", "5.2.1",
+            files={"/opt/cryptpad/server.js": b"// cryptpad " + b"c" * 3000},
+        ),
+        Package.create(
+            "ic-boundary-node", "0.9.0",
+            files={"/opt/ic/boundary-node": b"\x7fELF-bn" + b"b" * 4000},
+        ),
+        Package.create(
+            "revelio-agent", "1.0.0",
+            files={"/usr/bin/revelio-agent": b"\x7fELF-agent" + b"r" * 1000},
+        ),
+    ]:
+        digest = registry.publish(package)
+        pins[package.name] = PackagePin(package.name, package.version, digest)
+    return registry, pins
+
+
+def _spec_for(use_case: str, version: str) -> ImageSpec:
+    registry, pins = _sample_registry()
+    packages = {
+        "boundary-node": ["nginx", "ic-boundary-node", "revelio-agent"],
+        "cryptpad": ["nginx", "cryptpad-server", "revelio-agent"],
+    }[use_case]
+    return ImageSpec(
+        name=use_case,
+        version=version,
+        registry=registry,
+        package_pins=[pins[p] for p in packages],
+        service_domain=f"{use_case}.example",
+        services=("https",),
+        data_volume_blocks=16,
+    )
+
+
+def cmd_build(args) -> int:
+    """CLI: build an image and print its golden values."""
+    result = build_revelio_image(_spec_for(args.use_case, args.version))
+    output = Path(args.out)
+    output.write_bytes(result.image.encode())
+    print(f"image:       {args.use_case}-{args.version} -> {output}")
+    print(f"size:        {output.stat().st_size} bytes")
+    print(f"root hash:   {result.root_hash.hex()}")
+    print(f"measurement: {result.expected_measurement.hex()}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    """CLI: recompute an image file's golden measurement."""
+    image = VmImage.decode(Path(args.image).read_bytes())
+    measurement = expected_measurement_for_image(image)
+    print(f"image:       {image.name}-{image.version}")
+    print(f"cmdline:     {image.cmdline}")
+    print(f"measurement: {measurement.hex()}")
+    return 0
+
+
+def cmd_verify_image(args) -> int:
+    """CLI: compare an image against a golden value."""
+    image = VmImage.decode(Path(args.image).read_bytes())
+    measurement = expected_measurement_for_image(image)
+    expected = bytes.fromhex(args.expected_measurement)
+    if measurement == expected:
+        print("OK: image measurement matches the golden value")
+        return 0
+    print("MISMATCH: image would NOT pass attestation")
+    print(f"  expected: {expected.hex()}")
+    print(f"  computed: {measurement.hex()}")
+    return 1
+
+
+def cmd_demo(args) -> int:
+    """CLI: run the end-to-end demo."""
+    from .core import RevelioDeployment
+
+    result = build_revelio_image(_spec_for(args.use_case, "1.0.0"))
+    deployment = RevelioDeployment(result, num_nodes=args.nodes).deploy()
+    print(f"fleet:       {args.nodes} node(s) at https://{deployment.domain}/")
+    print(f"leader:      {deployment.provisioning.leader_ip}")
+    print(f"measurement: {result.expected_measurement.hex()[:32]}...")
+    browser, extension = deployment.make_user()
+    page = browser.navigate(f"https://{deployment.domain}/")
+    status = "BLOCKED" if page.blocked else f"OK ({page.response.status})"
+    print(f"attested access: {status}")
+    for event in extension.events:
+        print(f"  extension: [{event.kind}] {event.detail or event.domain}")
+    return 0 if not page.blocked else 1
+
+
+def cmd_attack_demo(args) -> int:
+    """CLI: mount the section 6.1 attacks."""
+    from .amd.verify import AttestationError
+    from .core import RevelioDeployment
+    from .net.latency import ZERO_LATENCY
+    from .virt.hypervisor import LaunchAttack
+    from .virt.image import KernelBlob
+    from .virt.vm import BootFailure
+
+    result = build_revelio_image(_spec_for("boundary-node", "1.0.0"))
+    detected = 0
+
+    print("[1/3] substitute kernel, keep honest hash table ...")
+    deployment = RevelioDeployment(result, num_nodes=1, latency=ZERO_LATENCY,
+                                   seed=b"cli-a1")
+    try:
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                replace_kernel=KernelBlob("evil", "6").encode(),
+                inject_expected_hashes=True,
+            )
+        )
+        print("      MISSED")
+    except BootFailure as error:
+        detected += 1
+        print(f"      DETECTED by measured direct boot: {error}")
+
+    print("[2/3] substitute kernel with matching hashes ...")
+    deployment = RevelioDeployment(result, num_nodes=1, latency=ZERO_LATENCY,
+                                   seed=b"cli-a2")
+    deployment.launch_fleet(
+        attack_for=lambda i: LaunchAttack(
+            replace_kernel=KernelBlob("evil", "6").encode()
+        )
+    )
+    deployment.create_sp_node()
+    try:
+        deployment.sp.provision_fleet([deployment.node_ip(0)])
+        print("      MISSED")
+    except AttestationError as error:
+        detected += 1
+        print(f"      DETECTED by attestation: {error.reason}")
+
+    print("[3/3] flip one bit in the rootfs ...")
+    deployment = RevelioDeployment(result, num_nodes=1, latency=ZERO_LATENCY,
+                                   seed=b"cli-a3")
+    try:
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                tamper_disk=lambda disk: disk.corrupt(4096 * 4 + 1)
+            )
+        )
+        print("      MISSED")
+    except BootFailure as error:
+        detected += 1
+        print(f"      DETECTED by dm-verity: {error}")
+
+    print(f"\n{detected}/3 attacks detected")
+    return 0 if detected == 3 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Revelio reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build_parser_ = subparsers.add_parser("build", help="build a use-case image")
+    build_parser_.add_argument("--use-case", choices=("boundary-node", "cryptpad"),
+                               default="boundary-node")
+    build_parser_.add_argument("--version", default="1.0.0")
+    build_parser_.add_argument("--out", default="revelio-image.rvm")
+    build_parser_.set_defaults(func=cmd_build)
+
+    measure_parser = subparsers.add_parser(
+        "measure", help="recompute an image's golden measurement"
+    )
+    measure_parser.add_argument("image")
+    measure_parser.set_defaults(func=cmd_measure)
+
+    verify_parser = subparsers.add_parser(
+        "verify-image", help="check an image against a golden measurement"
+    )
+    verify_parser.add_argument("image")
+    verify_parser.add_argument("expected_measurement", help="hex golden value")
+    verify_parser.set_defaults(func=cmd_verify_image)
+
+    demo_parser = subparsers.add_parser("demo", help="run the end-to-end demo")
+    demo_parser.add_argument("--use-case", choices=("boundary-node", "cryptpad"),
+                             default="boundary-node")
+    demo_parser.add_argument("--nodes", type=int, default=3)
+    demo_parser.set_defaults(func=cmd_demo)
+
+    attack_parser = subparsers.add_parser(
+        "attack-demo", help="mount the section 6.1 attacks"
+    )
+    attack_parser.set_defaults(func=cmd_attack_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

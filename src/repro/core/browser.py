@@ -1,0 +1,108 @@
+"""The end-user's browser.
+
+Models the Firefox surface the Revelio web extension needs
+(section 5.3.2): navigation, an extension hook that *intercepts every
+request* to registered domains, and the API to query the TLS
+connection context (the certified public key) of the current
+connection — the one capability the paper notes only Firefox currently
+exposes to extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.x509 import Certificate
+from ..net.http import ConnectionInfo, HttpClient, HttpResponse, parse_url
+from ..net.simnet import Host
+
+
+class NavigationBlocked(RuntimeError):
+    """The extension blocked a navigation (and the user didn't override)."""
+
+
+@dataclass
+class PageResult:
+    """What a navigation produced."""
+
+    url: str
+    response: Optional[HttpResponse]
+    connection: Optional[ConnectionInfo]
+    blocked: bool = False
+    block_reason: str = ""
+    warnings: List[str] = field(default_factory=list)
+
+
+class Browser:
+    """A browser instance on the user's machine."""
+
+    def __init__(
+        self,
+        host: Host,
+        trust_anchors: Sequence[Certificate],
+        rng: HmacDrbg,
+        extension=None,
+    ):
+        self._host = host
+        self.network = host.network
+        self._trust_anchors = list(trust_anchors)
+        self._rng = rng
+        self.extension = extension
+        self.client = HttpClient(host, trust_anchors, rng.fork(b"browser"))
+        self.history: List[PageResult] = []
+        if extension is not None:
+            extension.attach(self)
+
+    def new_session(self) -> None:
+        """Open a fresh browser context: connections and per-session
+        extension state are dropped (but not e.g. the VCEK cache)."""
+        self.client.close_all()
+        self.client = HttpClient(
+            self._host, self._trust_anchors, self._rng.fork(b"browser-session")
+        )
+        if self.extension is not None:
+            self.extension.on_new_session()
+
+    def navigate(self, url: str) -> PageResult:
+        """Load a page, letting the extension intercept before and
+        validate after (it sees every request to registered domains)."""
+        hostname = parse_url(url).hostname
+        pre_warnings: List[str] = []
+        if self.extension is not None:
+            decision = self.extension.before_request(self, hostname, url)
+            if decision is not None and decision.blocked:
+                result = PageResult(
+                    url=url, response=None, connection=None,
+                    blocked=True, block_reason=decision.reason,
+                )
+                self.history.append(result)
+                return result
+            if decision is not None:
+                pre_warnings = list(decision.warnings)
+
+        response, info = self.client.get(url)
+        result = PageResult(
+            url=url, response=response, connection=info, warnings=pre_warnings
+        )
+
+        if self.extension is not None:
+            verdict = self.extension.after_response(self, hostname, info)
+            if verdict is not None and verdict.blocked:
+                result = PageResult(
+                    url=url, response=None, connection=info,
+                    blocked=True, block_reason=verdict.reason,
+                )
+            elif verdict is not None:
+                result.warnings.extend(verdict.warnings)
+        self.history.append(result)
+        return result
+
+    def connection_public_key_fingerprint(self, hostname: str) -> Optional[bytes]:
+        """The extension's TLS-context query: fingerprint of the key the
+        current connection to *hostname* is authenticated with."""
+        connection = self.client.current_connection(hostname)
+        if connection is None:
+            return None
+        return connection.peer_public_key.fingerprint()

@@ -1,0 +1,231 @@
+"""End-to-end deployment orchestration.
+
+Wires the whole Revelio world together (paper Fig. 3): AMD
+infrastructure + KDS, the web PKI + ACME CA, a simulated internet, a
+fleet of SEV-SNP hosts each launching one Revelio VM from the built
+image, the SP node that provisions the shared TLS identity, and
+browser factories for end-users.  Used by the integration tests, the
+examples, and every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..amd.kds import KeyDistributionServer
+from ..amd.secure_processor import AmdKeyInfrastructure
+from ..build.image_builder import SERVICE_CONF_PATH, BuildResult
+from ..crypto import encoding
+from ..crypto.drbg import HmacDrbg
+from ..net.http import HttpResponse
+from ..net.latency import LatencyModel
+from ..net.simnet import Host, Network
+from ..pki.acme import AcmeServer
+from ..pki.ca import WebPki
+from ..pki.certbot import CertbotClient
+from ..virt.hypervisor import Hypervisor, LaunchAttack
+from ..virt.vm import VirtualMachine
+from .browser import Browser
+from .guest import RevelioNode
+from .kds_client import KdsClient
+from .sp_node import ProvisioningResult, ServiceProviderNode
+from .web_extension import RevelioExtension
+
+#: Default minimal page, matching the paper's client-side benchmark
+#: ("repeatedly accessed a minimal web page").
+MINIMAL_PAGE = b"<html><body>revelio minimal test page</body></html>"
+
+AppFactory = Callable[[RevelioNode], None]
+
+
+def default_app(node: RevelioNode) -> None:
+    """Serve the minimal test page at /."""
+    node.add_app_route(
+        "GET", "/", lambda request, context: HttpResponse.ok(MINIMAL_PAGE)
+    )
+
+
+@dataclass
+class DeployedNode:
+    """One fleet member."""
+
+    vm: VirtualMachine
+    host: Host
+    node: RevelioNode
+    hypervisor: Hypervisor
+
+
+class RevelioDeployment:
+    """A complete simulated world around one built Revelio image."""
+
+    def __init__(
+        self,
+        build: BuildResult,
+        num_nodes: int = 3,
+        latency: Optional[LatencyModel] = None,
+        seed: bytes = b"revelio-deployment",
+    ):
+        self.build = build
+        self.num_nodes = num_nodes
+        self.rng = HmacDrbg(seed)
+        self.network = Network(latency)
+        self.latency = self.network.latency
+
+        self.amd = AmdKeyInfrastructure(self.rng.fork(b"amd"))
+        self.kds = KeyDistributionServer(self.amd)
+        self.web_pki = WebPki.create(self.rng.fork(b"web-pki"))
+        self.acme = AcmeServer(
+            self.web_pki,
+            self.network.dns,
+            self.network.clock,
+            self.rng.fork(b"acme"),
+            latency=self.latency,
+        )
+        service_conf = encoding.decode(build.rootfs_files[SERVICE_CONF_PATH])
+        self.domain: str = service_conf["domain"]
+
+        self.nodes: List[DeployedNode] = []
+        self.sp: Optional[ServiceProviderNode] = None
+        self.provisioning: Optional[ProvisioningResult] = None
+
+    # -- deployment ----------------------------------------------------------------
+
+    def node_ip(self, index: int) -> str:
+        """The fleet IP for a node index."""
+        return f"10.0.0.{index + 1}"
+
+    def launch_fleet(
+        self,
+        app_factory: AppFactory = default_app,
+        attack_for: Optional[Callable[[int], Optional[LaunchAttack]]] = None,
+        node_registry=None,
+    ) -> List[DeployedNode]:
+        """Provision chips, launch and boot one VM per node, attach each
+        to the network with its measured firewall, start the node app."""
+        for index in range(self.num_nodes):
+            chip = self.amd.provision_chip(f"fleet-chip-{index}")
+            hypervisor = Hypervisor(
+                chip, self.rng.fork(f"hv-{index}".encode()), host_name=f"host-{index}"
+            )
+            attack = attack_for(index) if attack_for is not None else None
+            ip_address = self.node_ip(index)
+            vm = hypervisor.launch(
+                self.build.image,
+                name=f"{self.build.image.name}-{index}",
+                attack=attack,
+                ip_address=ip_address,
+            )
+            vm.boot()
+            host = self.network.add_host(vm.name, ip_address, firewall=vm.firewall)
+            node = RevelioNode(vm, host, self._new_kds_client(), self.latency,
+                               trusted_registry=node_registry)
+            app_factory(node)
+            self.nodes.append(
+                DeployedNode(vm=vm, host=host, node=node, hypervisor=hypervisor)
+            )
+        return self.nodes
+
+    def create_sp_node(
+        self,
+        pin_chip_ids: bool = True,
+        pin_ips: bool = True,
+        extra_measurements=(),
+    ) -> ServiceProviderNode:
+        """The service provider's isolated machine with DNS + ACME creds."""
+        sp_host = self.network.add_host("sp-node", "10.1.0.1")
+        certbot = CertbotClient(self.acme, self.network.dns)
+        self.sp = ServiceProviderNode(
+            host=sp_host,
+            certbot=certbot,
+            kds=self._new_kds_client(),
+            domain=self.domain,
+            expected_measurements=[self.build.expected_measurement,
+                                   *extra_measurements],
+            approved_chip_ids=(
+                [d.vm.guest.processor.chip_id for d in self.nodes]
+                if pin_chip_ids
+                else None
+            ),
+            approved_ips=(
+                [d.host.ip_address for d in self.nodes] if pin_ips else None
+            ),
+        )
+        return self.sp
+
+    def provision_certificates(self, leader_index: int = 0) -> ProvisioningResult:
+        """Run the Fig. 4 flow and point DNS at the fleet."""
+        if self.sp is None:
+            self.create_sp_node()
+        node_ips = [deployed.host.ip_address for deployed in self.nodes]
+        self.provisioning = self.sp.provision_fleet(node_ips, leader_index)
+        # Public DNS: the service domain round-robins over the whole
+        # fleet (D3) — safe because every node serves the same attested
+        # TLS identity; plus per-node names for debugging and tests.
+        self.network.dns.register(self.domain, node_ips)
+        for index, ip_address in enumerate(node_ips):
+            self.network.dns.register(f"node{index}.{self.domain}", ip_address)
+        return self.provisioning
+
+    def deploy(
+        self,
+        app_factory: AppFactory = default_app,
+        leader_index: int = 0,
+    ) -> "RevelioDeployment":
+        """One-call happy path: fleet + SP + certificates + DNS."""
+        self.launch_fleet(app_factory)
+        self.create_sp_node()
+        self.provision_certificates(leader_index)
+        return self
+
+    # -- end-user side ----------------------------------------------------------------
+
+    def _new_kds_client(self, cache_enabled: bool = True) -> KdsClient:
+        return KdsClient(
+            self.kds, self.network.clock, self.latency, cache_enabled=cache_enabled
+        )
+
+    def make_user(
+        self,
+        name: str = "user",
+        ip_address: str = "10.2.0.1",
+        with_extension: bool = True,
+        register_service: bool = True,
+        trusted_registry=None,
+        kds_cache: bool = True,
+        user_override=None,
+        reattest_on_rekey: bool = False,
+    ):
+        """Create an end-user: a machine, a browser, and (optionally)
+        the Revelio extension with the service pre-registered."""
+        host = self.network.add_host(name, ip_address)
+        extension = None
+        if with_extension:
+            extension = RevelioExtension(
+                self._new_kds_client(cache_enabled=kds_cache),
+                trusted_registry=trusted_registry,
+                user_override=user_override,
+                reattest_on_rekey=reattest_on_rekey,
+            )
+            if register_service:
+                extension.register_site(
+                    self.domain,
+                    expected_measurements=[self.build.expected_measurement],
+                )
+        browser = Browser(
+            host,
+            [self.web_pki.trust_anchor],
+            self.rng.fork(b"user:" + name.encode()),
+            extension=extension,
+        )
+        return browser, extension
+
+    @property
+    def leader(self) -> DeployedNode:
+        """The deployed node holding the original TLS key."""
+        if self.provisioning is None:
+            raise RuntimeError("fleet not provisioned yet")
+        for deployed in self.nodes:
+            if deployed.host.ip_address == self.provisioning.leader_ip:
+                return deployed
+        raise RuntimeError("leader not found")

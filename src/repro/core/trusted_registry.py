@@ -1,0 +1,232 @@
+"""Delegated verification: trusted registries of golden values.
+
+Most end-users cannot rebuild an image and recompute its measurement
+themselves, so Revelio lets them delegate (requirement D2,
+section 3.4.7): golden measurements can come from
+
+* an **auditing company** that reviewed the sources and publishes
+  *signed* statements (:class:`AuditorRegistry`), or
+* an **on-chain DAO** where a community votes values in or out
+  (:class:`DaoRegistry` — the Internet Computer NNS analogue).
+
+Both also support *revocation*, which is what defeats rollback attacks
+(section 6.1.4): when a new image rolls out, the obsolete measurement
+is revoked and verifiers reject it even though it was once golden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from ..crypto import encoding
+from ..crypto.keys import PrivateKey, PublicKey
+
+
+class RegistryError(ValueError):
+    """Malformed or improperly signed registry statements."""
+
+
+class TrustedRegistry:
+    """Interface the web extension consumes."""
+
+    def golden_measurements(self, domain: str) -> Set[bytes]:
+        """Endorsed measurements for a domain."""
+        raise NotImplementedError
+
+    def revoked_measurements(self, domain: str) -> Set[bytes]:
+        """Revoked measurements for a domain."""
+        raise NotImplementedError
+
+
+# -- auditor ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AuditStatement:
+    """A signed claim: 'measurement M is a good state for domain D'."""
+
+    domain: str
+    measurement: bytes
+    revoked: bool
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed canonical serialisation."""
+        return encoding.encode(
+            {
+                "domain": self.domain,
+                "measurement": self.measurement,
+                "revoked": self.revoked,
+            }
+        )
+
+
+class Auditor:
+    """The auditing company: reviews sources, signs statements."""
+
+    def __init__(self, signing_key: PrivateKey, name: str = "auditor"):
+        self._key = signing_key
+        self.name = name
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The corresponding public key."""
+        return self._key.public_key()
+
+    def endorse(self, domain: str, measurement: bytes) -> AuditStatement:
+        """Sign an endorsement statement."""
+        statement = AuditStatement(domain, bytes(measurement), revoked=False)
+        return AuditStatement(
+            domain, bytes(measurement), False, self._key.sign(statement.tbs_bytes())
+        )
+
+    def revoke(self, domain: str, measurement: bytes) -> AuditStatement:
+        """Sign a revocation statement."""
+        statement = AuditStatement(domain, bytes(measurement), revoked=True)
+        return AuditStatement(
+            domain, bytes(measurement), True, self._key.sign(statement.tbs_bytes())
+        )
+
+
+class AuditorRegistry(TrustedRegistry):
+    """The extension's local store of auditor statements; only accepts
+    statements signed by the configured auditor key."""
+
+    def __init__(self, auditor_public_key: PublicKey):
+        self._auditor_key = auditor_public_key
+        self._golden: Dict[str, Set[bytes]] = {}
+        self._revoked: Dict[str, Set[bytes]] = {}
+
+    def ingest(self, statement: AuditStatement) -> None:
+        """Verify and apply a statement (endorsement or revocation)."""
+        if not self._auditor_key.verify(statement.tbs_bytes(), statement.signature):
+            raise RegistryError("audit statement signature invalid")
+        domain = statement.domain.lower()
+        if statement.revoked:
+            self._revoked.setdefault(domain, set()).add(statement.measurement)
+            self._golden.get(domain, set()).discard(statement.measurement)
+        else:
+            self._golden.setdefault(domain, set()).add(statement.measurement)
+
+    def golden_measurements(self, domain: str) -> Set[bytes]:
+        """Endorsed measurements for a domain."""
+        return set(self._golden.get(domain.lower(), set()))
+
+    def revoked_measurements(self, domain: str) -> Set[bytes]:
+        """Revoked measurements for a domain."""
+        return set(self._revoked.get(domain.lower(), set()))
+
+
+# -- DAO ----------------------------------------------------------------------
+
+
+@dataclass
+class Proposal:
+    """A community proposal to endorse or revoke a measurement."""
+
+    proposal_id: int
+    domain: str
+    measurement: bytes
+    action: str  # "endorse" | "revoke"
+    yes_votes: Set[str] = field(default_factory=set)
+    no_votes: Set[str] = field(default_factory=set)
+    executed: bool = False
+
+
+class DaoRegistry(TrustedRegistry):
+    """An on-chain governance registry (NNS-style): members vote, and a
+    proposal executes once a majority of the membership approves."""
+
+    def __init__(self, members: Iterable[str]):
+        self.members = set(members)
+        if not self.members:
+            raise RegistryError("a DAO needs at least one member")
+        self._proposals: Dict[int, Proposal] = {}
+        self._next_id = 1
+        self._golden: Dict[str, Set[bytes]] = {}
+        self._revoked: Dict[str, Set[bytes]] = {}
+
+    @property
+    def threshold(self) -> int:
+        """Votes required to execute a proposal (simple majority)."""
+        return len(self.members) // 2 + 1
+
+    def propose(self, domain: str, measurement: bytes, action: str = "endorse") -> int:
+        """Open a proposal; returns its id."""
+        if action not in ("endorse", "revoke"):
+            raise RegistryError(f"unknown action {action!r}")
+        proposal = Proposal(
+            proposal_id=self._next_id,
+            domain=domain.lower(),
+            measurement=bytes(measurement),
+            action=action,
+        )
+        self._proposals[proposal.proposal_id] = proposal
+        self._next_id += 1
+        return proposal.proposal_id
+
+    def vote(self, proposal_id: int, member: str, approve: bool) -> None:
+        """Cast or change a member's vote."""
+        if member not in self.members:
+            raise RegistryError(f"{member!r} is not a DAO member")
+        proposal = self._proposal(proposal_id)
+        if proposal.executed:
+            raise RegistryError("proposal already executed")
+        if approve:
+            proposal.yes_votes.add(member)
+            proposal.no_votes.discard(member)
+        else:
+            proposal.no_votes.add(member)
+            proposal.yes_votes.discard(member)
+        if len(proposal.yes_votes) >= self.threshold:
+            self._execute(proposal)
+
+    def _execute(self, proposal: Proposal) -> None:
+        domain = proposal.domain
+        if proposal.action == "endorse":
+            self._golden.setdefault(domain, set()).add(proposal.measurement)
+            self._revoked.get(domain, set()).discard(proposal.measurement)
+        else:
+            self._revoked.setdefault(domain, set()).add(proposal.measurement)
+            self._golden.get(domain, set()).discard(proposal.measurement)
+        proposal.executed = True
+
+    def proposal_status(self, proposal_id: int) -> Proposal:
+        """The proposal's current state."""
+        return self._proposal(proposal_id)
+
+    def _proposal(self, proposal_id: int) -> Proposal:
+        try:
+            return self._proposals[proposal_id]
+        except KeyError:
+            raise RegistryError(f"unknown proposal {proposal_id}") from None
+
+    def golden_measurements(self, domain: str) -> Set[bytes]:
+        """Endorsed measurements for a domain."""
+        return set(self._golden.get(domain.lower(), set()))
+
+    def revoked_measurements(self, domain: str) -> Set[bytes]:
+        """Revoked measurements for a domain."""
+        return set(self._revoked.get(domain.lower(), set()))
+
+
+class StaticRegistry(TrustedRegistry):
+    """A fixed mapping, for tests and simple deployments."""
+
+    def __init__(self, golden: Dict[str, List[bytes]] = None,
+                 revoked: Dict[str, List[bytes]] = None):
+        self._golden = {
+            k.lower(): {bytes(v) for v in vs} for k, vs in (golden or {}).items()
+        }
+        self._revoked = {
+            k.lower(): {bytes(v) for v in vs} for k, vs in (revoked or {}).items()
+        }
+
+    def golden_measurements(self, domain: str) -> Set[bytes]:
+        """Endorsed measurements for a domain."""
+        return set(self._golden.get(domain.lower(), set()))
+
+    def revoked_measurements(self, domain: str) -> Set[bytes]:
+        """Revoked measurements for a domain."""
+        return set(self._revoked.get(domain.lower(), set()))

@@ -1,0 +1,93 @@
+"""From-scratch cryptographic toolkit underpinning the Revelio reproduction.
+
+Modules
+-------
+encoding
+    Canonical TLV serialisation (the DER analogue everything signs over).
+drbg
+    Deterministic HMAC-DRBG randomness (SP 800-90A).
+ec / ecdsa
+    NIST P-256 / P-384 curves and ECDSA with RFC 6979 nonces; ECDH.
+rsa
+    RSA keygen (Miller-Rabin), PKCS#1-v1.5-style signatures, OAEP-style
+    encryption.
+aes / modes
+    AES (numpy-batched) with XTS-plain64, CTR, and encrypt-then-MAC AEAD.
+kdf
+    HKDF and PBKDF2.
+merkle
+    Merkle trees (the dm-verity data structure).
+x509
+    Certificates, CSRs, chains, and validation.
+keys
+    Algorithm-agnostic key handles.
+shamir
+    Shamir secret sharing (threshold signing substrate for repro.ic).
+"""
+
+from .aes import AES, AesError
+from .drbg import HmacDrbg, system_drbg
+from .ec import P256, P384, Curve, Point, get_curve
+from .ecdsa import EcdsaPrivateKey, EcdsaPublicKey, generate_keypair
+from .encoding import DecodingError, EncodingError, decode, encode
+from .hashes import sha256, sha384, sha512
+from .kdf import hkdf, hkdf_expand, hkdf_extract, pbkdf2
+from .keys import PrivateKey, PublicKey
+from .merkle import MerkleError, MerkleProof, MerkleTree
+from .modes import AeadCipher, AeadError, CtrCipher, XtsCipher
+from .rsa import RsaPrivateKey, RsaPublicKey
+from .shamir import Share, reconstruct_secret, split_secret
+from .x509 import (
+    Certificate,
+    CertificateError,
+    CertificateIssuer,
+    CertificateSigningRequest,
+    Name,
+    validate_chain,
+)
+
+__all__ = [
+    "AES",
+    "AesError",
+    "AeadCipher",
+    "AeadError",
+    "Certificate",
+    "CertificateError",
+    "CertificateIssuer",
+    "CertificateSigningRequest",
+    "CtrCipher",
+    "Curve",
+    "DecodingError",
+    "EcdsaPrivateKey",
+    "EcdsaPublicKey",
+    "EncodingError",
+    "HmacDrbg",
+    "MerkleError",
+    "MerkleProof",
+    "MerkleTree",
+    "Name",
+    "P256",
+    "P384",
+    "Point",
+    "PrivateKey",
+    "PublicKey",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "Share",
+    "XtsCipher",
+    "decode",
+    "encode",
+    "generate_keypair",
+    "get_curve",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "pbkdf2",
+    "reconstruct_secret",
+    "sha256",
+    "sha384",
+    "sha512",
+    "split_secret",
+    "system_drbg",
+    "validate_chain",
+]

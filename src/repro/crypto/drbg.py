@@ -1,0 +1,101 @@
+"""Deterministic random bit generation.
+
+The whole simulation must be reproducible (requirement F5 makes build
+determinism a first-class property, and deterministic tests need
+deterministic key generation), so every component that needs randomness
+draws it from an :class:`HmacDrbg` instead of ``os.urandom``.
+
+:class:`HmacDrbg` follows the HMAC_DRBG construction of NIST SP 800-90A
+(instantiate / reseed / generate with the update function), using
+HMAC-SHA-256.  Callers that want real entropy can seed from
+``os.urandom`` via :func:`system_drbg`.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import threading
+from hashlib import sha256
+from typing import Optional
+
+_DIGEST_SIZE = 32
+_RESEED_INTERVAL = 1 << 48
+
+
+class HmacDrbg:
+    """NIST SP 800-90A HMAC_DRBG over SHA-256.
+
+    Parameters
+    ----------
+    seed:
+        Entropy input concatenated with any nonce/personalisation string.
+        The same seed always yields the same output stream.
+    """
+
+    def __init__(self, seed: bytes):
+        if not isinstance(seed, (bytes, bytearray)):
+            raise TypeError("seed must be bytes")
+        self._key = b"\x00" * _DIGEST_SIZE
+        self._value = b"\x01" * _DIGEST_SIZE
+        self._lock = threading.Lock()
+        self._reseed_counter = 1
+        self._update(bytes(seed))
+
+    def _hmac(self, data: bytes) -> bytes:
+        return hmac.new(self._key, data, sha256).digest()
+
+    def _update(self, provided: Optional[bytes] = None) -> None:
+        self._key = self._hmac(self._value + b"\x00" + (provided or b""))
+        self._value = self._hmac(self._value)
+        if provided:
+            self._key = self._hmac(self._value + b"\x01" + provided)
+            self._value = self._hmac(self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the generator state."""
+        with self._lock:
+            self._update(entropy)
+            self._reseed_counter = 1
+
+    def generate(self, num_bytes: int) -> bytes:
+        """Return *num_bytes* of pseudo-random output."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        with self._lock:
+            if self._reseed_counter > _RESEED_INTERVAL:
+                raise RuntimeError("DRBG reseed required")
+            chunks = []
+            produced = 0
+            while produced < num_bytes:
+                self._value = self._hmac(self._value)
+                chunks.append(self._value)
+                produced += _DIGEST_SIZE
+            self._update()
+            self._reseed_counter += 1
+            return b"".join(chunks)[:num_bytes]
+
+    def randint_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        num_bytes = (bound.bit_length() + 7) // 8
+        # Rejection sampling keeps the distribution exactly uniform.
+        while True:
+            candidate = int.from_bytes(self.generate(num_bytes), "big")
+            candidate >>= num_bytes * 8 - bound.bit_length()
+            if candidate < bound:
+                return candidate
+
+    def fork(self, label: bytes) -> "HmacDrbg":
+        """Derive an independent child generator bound to *label*.
+
+        Forking lets one master seed drive many components without their
+        output streams interfering with each other.
+        """
+        return HmacDrbg(self.generate(_DIGEST_SIZE) + label)
+
+
+def system_drbg() -> HmacDrbg:
+    """Return a DRBG seeded from the operating system entropy pool."""
+    return HmacDrbg(os.urandom(48))

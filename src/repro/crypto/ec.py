@@ -1,0 +1,265 @@
+"""Elliptic curve arithmetic over prime fields (short Weierstrass form).
+
+Implements the NIST curves P-256 and P-384 from scratch.  P-384 is what
+AMD uses to sign SEV-SNP attestation reports (the VCEK is an ECDSA P-384
+key), and P-256 is used for VM/TLS identities where smaller signatures
+suffice.
+
+Internally points are manipulated in Jacobian projective coordinates so a
+scalar multiplication costs no field inversions until the final
+normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class InvalidPointError(ValueError):
+    """Raised when coordinates do not lie on the curve."""
+
+
+@dataclass(frozen=True)
+class Curve:
+    """Domain parameters of a short Weierstrass curve y^2 = x^3 + ax + b."""
+
+    name: str
+    p: int  # field prime
+    a: int
+    b: int
+    gx: int  # generator
+    gy: int
+    n: int  # group order
+    h: int  # cofactor
+
+    @property
+    def coordinate_size(self) -> int:
+        """Size in bytes of one field element."""
+        return (self.p.bit_length() + 7) // 8
+
+    @property
+    def generator(self) -> "Point":
+        """The curve's base point."""
+        return Point(self, self.gx, self.gy)
+
+    def point(self, x: int, y: int) -> "Point":
+        """Construct and validate an affine point on this curve."""
+        return Point(self, x, y)
+
+
+P256 = Curve(
+    name="P-256",
+    p=0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,
+    a=-3,
+    b=0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B,
+    gx=0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+    gy=0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+    n=0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551,
+    h=1,
+)
+
+P384 = Curve(
+    name="P-384",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFE
+    * (1 << 128)
+    + 0xFFFFFFFF0000000000000000FFFFFFFF,
+    a=-3,
+    b=0xB3312FA7E23EE7E4988E056BE3F82D19181D9C6EFE8141120314088F5013875A
+    * (1 << 128)
+    + 0xC656398D8A2ED19D2A85C8EDD3EC2AEF,
+    gx=0xAA87CA22BE8B05378EB1C71EF320AD746E1D3B628BA79B9859F741E082542A38
+    * (1 << 128)
+    + 0x5502F25DBF55296C3A545E3872760AB7,
+    gy=0x3617DE4A96262C6F5D9E98BF9292DC29F8F41DBD289A147CE9DA3113B5F0B8C0
+    * (1 << 128)
+    + 0x0A60B1CE1D7E819D7A431D7C90EA0E5F,
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFC7634D81F4372DDF
+    * (1 << 128)
+    + 0x581A0DB248B0A77AECEC196ACCC52973,
+    h=1,
+)
+
+CURVES = {curve.name: curve for curve in (P256, P384)}
+
+
+def get_curve(name: str) -> Curve:
+    """Look up a curve by its registered name ("P-256", "P-384")."""
+    try:
+        return CURVES[name]
+    except KeyError:
+        raise ValueError(f"unknown curve {name!r}") from None
+
+
+# Jacobian coordinates: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+_Jacobian = Tuple[int, int, int]
+_INFINITY: _Jacobian = (1, 1, 0)
+
+
+def _jac_double(point: _Jacobian, curve: Curve) -> _Jacobian:
+    x1, y1, z1 = point
+    p = curve.p
+    if z1 == 0 or y1 == 0:
+        return _INFINITY
+    ysq = (y1 * y1) % p
+    s = (4 * x1 * ysq) % p
+    zz = (z1 * z1) % p
+    m = (3 * x1 * x1 + curve.a * zz * zz) % p
+    x3 = (m * m - 2 * s) % p
+    y3 = (m * (s - x3) - 8 * ysq * ysq) % p
+    z3 = (2 * y1 * z1) % p
+    return x3, y3, z3
+
+
+def _jac_add(left: _Jacobian, right: _Jacobian, curve: Curve) -> _Jacobian:
+    x1, y1, z1 = left
+    x2, y2, z2 = right
+    p = curve.p
+    if z1 == 0:
+        return right
+    if z2 == 0:
+        return left
+    z1sq = (z1 * z1) % p
+    z2sq = (z2 * z2) % p
+    u1 = (x1 * z2sq) % p
+    u2 = (x2 * z1sq) % p
+    s1 = (y1 * z2sq * z2) % p
+    s2 = (y2 * z1sq * z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return _INFINITY
+        return _jac_double(left, curve)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    hsq = (h * h) % p
+    hcu = (h * hsq) % p
+    u1hsq = (u1 * hsq) % p
+    x3 = (r * r - hcu - 2 * u1hsq) % p
+    y3 = (r * (u1hsq - x3) - s1 * hcu) % p
+    z3 = (h * z1 * z2) % p
+    return x3, y3, z3
+
+
+def _jac_multiply(point: _Jacobian, scalar: int, curve: Curve) -> _Jacobian:
+    if scalar % curve.n == 0 or point[2] == 0:
+        return _INFINITY
+    scalar = scalar % curve.n
+    result = _INFINITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _jac_add(result, addend, curve)
+        addend = _jac_double(addend, curve)
+        scalar >>= 1
+    return result
+
+
+def _jac_to_affine(point: _Jacobian, curve: Curve) -> Optional[Tuple[int, int]]:
+    x, y, z = point
+    if z == 0:
+        return None
+    p = curve.p
+    z_inv = pow(z, p - 2, p)
+    z_inv_sq = (z_inv * z_inv) % p
+    return (x * z_inv_sq) % p, (y * z_inv_sq * z_inv) % p
+
+
+class Point:
+    """An affine point on a :class:`Curve`, or the point at infinity.
+
+    Instances are immutable; arithmetic returns new points.
+    """
+
+    __slots__ = ("curve", "x", "y")
+
+    def __init__(self, curve: Curve, x: Optional[int], y: Optional[int]):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        if not self.is_infinity and not self._on_curve():
+            raise InvalidPointError(f"point not on {curve.name}")
+
+    @classmethod
+    def infinity(cls, curve: Curve) -> "Point":
+        """The point at infinity."""
+        return cls(curve, None, None)
+
+    @property
+    def is_infinity(self) -> bool:
+        """Whether this is the point at infinity."""
+        return self.x is None
+
+    def _on_curve(self) -> bool:
+        p = self.curve.p
+        lhs = (self.y * self.y) % p
+        rhs = (self.x * self.x * self.x + self.curve.a * self.x + self.curve.b) % p
+        return lhs == rhs
+
+    def _jacobian(self) -> _Jacobian:
+        if self.is_infinity:
+            return _INFINITY
+        return (self.x, self.y, 1)
+
+    @classmethod
+    def _from_jacobian(cls, jac: _Jacobian, curve: Curve) -> "Point":
+        affine = _jac_to_affine(jac, curve)
+        if affine is None:
+            return cls.infinity(curve)
+        return cls(curve, affine[0], affine[1])
+
+    def __add__(self, other: "Point") -> "Point":
+        if self.curve is not other.curve and self.curve != other.curve:
+            raise ValueError("points on different curves")
+        jac = _jac_add(self._jacobian(), other._jacobian(), self.curve)
+        return Point._from_jacobian(jac, self.curve)
+
+    def __mul__(self, scalar: int) -> "Point":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        jac = _jac_multiply(self._jacobian(), scalar, self.curve)
+        return Point._from_jacobian(jac, self.curve)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.curve, self.x, (-self.y) % self.curve.p)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return (
+            self.curve.name == other.curve.name
+            and self.x == other.x
+            and self.y == other.y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.curve.name, self.x, self.y))
+
+    def __repr__(self) -> str:
+        if self.is_infinity:
+            return f"Point({self.curve.name}, infinity)"
+        return f"Point({self.curve.name}, x=0x{self.x:x}, y=0x{self.y:x})"
+
+    def encode(self) -> bytes:
+        """Uncompressed SEC1 encoding (0x04 || X || Y); infinity is 0x00."""
+        if self.is_infinity:
+            return b"\x00"
+        size = self.curve.coordinate_size
+        return b"\x04" + self.x.to_bytes(size, "big") + self.y.to_bytes(size, "big")
+
+    @classmethod
+    def decode(cls, curve: Curve, data: bytes) -> "Point":
+        """Decode a point produced by :meth:`encode`, validating it."""
+        if data == b"\x00":
+            return cls.infinity(curve)
+        size = curve.coordinate_size
+        if len(data) != 1 + 2 * size or data[0] != 0x04:
+            raise InvalidPointError("malformed point encoding")
+        x = int.from_bytes(data[1 : 1 + size], "big")
+        y = int.from_bytes(data[1 + size :], "big")
+        if not (0 <= x < curve.p and 0 <= y < curve.p):
+            raise InvalidPointError("coordinate out of range")
+        return cls(curve, x, y)

@@ -1,0 +1,193 @@
+"""ECDSA signatures with RFC 6979 deterministic nonces, plus ECDH.
+
+Deterministic nonces make the whole reproduction bit-reproducible and
+remove the classic nonce-reuse foot-gun.  Signatures are encoded as the
+fixed-width concatenation ``r || s`` (each ``curve.coordinate_size``
+bytes), which is what the SEV-SNP attestation report format uses as well.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional
+
+from .drbg import HmacDrbg
+from .ec import Curve, Point, get_curve
+from .hashes import get_hash
+
+
+class SignatureError(ValueError):
+    """Raised when signature bytes are malformed (verification returns
+    False for well-formed-but-wrong signatures instead)."""
+
+
+@dataclass(frozen=True)
+class EcdsaPublicKey:
+    """An ECDSA/ECDH public key: a validated point on a named curve."""
+
+    point: Point
+
+    @property
+    def curve(self) -> Curve:
+        """The curve this key lives on."""
+        return self.point.curve
+
+    def encode(self) -> bytes:
+        """Serialise as curve-name-length-prefixed SEC1 point."""
+        name = self.curve.name.encode("ascii")
+        return bytes([len(name)]) + name + self.point.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EcdsaPublicKey":
+        """Parse an instance back out of canonical TLV bytes."""
+        if not data:
+            raise SignatureError("empty public key encoding")
+        name_len = data[0]
+        curve = get_curve(data[1 : 1 + name_len].decode("ascii"))
+        return cls(Point.decode(curve, data[1 + name_len :]))
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 over the canonical encoding; used in REPORT_DATA."""
+        return hashlib.sha256(self.encode()).digest()
+
+    def verify(self, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
+        """Verify ``r || s`` over H(message). Returns True/False."""
+        size = self.curve.coordinate_size
+        if len(signature) != 2 * size:
+            return False
+        r = int.from_bytes(signature[:size], "big")
+        s = int.from_bytes(signature[size:], "big")
+        return self.verify_rs(message, r, s, hash_name)
+
+    def verify_rs(self, message: bytes, r: int, s: int, hash_name: str = "sha256") -> bool:
+        """Verify a signature given as (r, s) integers."""
+        n = self.curve.n
+        if not (1 <= r < n and 1 <= s < n):
+            return False
+        digest = get_hash(hash_name)(message)
+        e = _bits2int(digest, n)
+        w = pow(s, n - 2, n)
+        u1 = (e * w) % n
+        u2 = (r * w) % n
+        point = u1 * self.curve.generator + u2 * self.point
+        if point.is_infinity:
+            return False
+        return point.x % n == r
+
+
+@dataclass(frozen=True)
+class EcdsaPrivateKey:
+    """An ECDSA/ECDH private key (scalar) with its public counterpart."""
+
+    curve: Curve
+    d: int
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.d < self.curve.n):
+            raise ValueError("private scalar out of range")
+
+    @classmethod
+    def generate(cls, curve: Curve, rng: HmacDrbg) -> "EcdsaPrivateKey":
+        """Generate a key with scalar drawn uniformly from [1, n)."""
+        d = 1 + rng.randint_below(curve.n - 1)
+        return cls(curve, d)
+
+    def public_key(self) -> EcdsaPublicKey:
+        """The corresponding public key."""
+        return EcdsaPublicKey(self.d * self.curve.generator)
+
+    def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
+        """Sign H(message), returning fixed-width ``r || s``."""
+        n = self.curve.n
+        digest = get_hash(hash_name)(message)
+        e = _bits2int(digest, n)
+        k = _rfc6979_nonce(self.d, digest, self.curve, hash_name)
+        point = k * self.curve.generator
+        r = point.x % n
+        if r == 0:
+            raise SignatureError("degenerate nonce (r == 0)")
+        k_inv = pow(k, n - 2, n)
+        s = (k_inv * (e + r * self.d)) % n
+        if s == 0:
+            raise SignatureError("degenerate nonce (s == 0)")
+        size = self.curve.coordinate_size
+        return r.to_bytes(size, "big") + s.to_bytes(size, "big")
+
+    def ecdh(self, peer: EcdsaPublicKey) -> bytes:
+        """Raw ECDH shared secret: x-coordinate of d * peer point."""
+        if peer.curve.name != self.curve.name:
+            raise ValueError("ECDH keys on different curves")
+        shared = self.d * peer.point
+        if shared.is_infinity:
+            raise ValueError("ECDH produced point at infinity")
+        return shared.x.to_bytes(self.curve.coordinate_size, "big")
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        name = self.curve.name.encode("ascii")
+        return (
+            bytes([len(name)])
+            + name
+            + self.d.to_bytes(self.curve.coordinate_size, "big")
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EcdsaPrivateKey":
+        """Parse an instance back out of canonical TLV bytes."""
+        name_len = data[0]
+        curve = get_curve(data[1 : 1 + name_len].decode("ascii"))
+        return cls(curve, int.from_bytes(data[1 + name_len :], "big"))
+
+
+def _bits2int(data: bytes, n: int) -> int:
+    """Leftmost min(bitlen(n), bitlen(data)) bits of data, per ECDSA."""
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _int2octets(value: int, n: int) -> bytes:
+    return value.to_bytes((n.bit_length() + 7) // 8, "big")
+
+
+def _bits2octets(data: bytes, n: int) -> bytes:
+    value = _bits2int(data, n) % n
+    return _int2octets(value, n)
+
+
+def _rfc6979_nonce(d: int, digest: bytes, curve: Curve, hash_name: str) -> int:
+    """Deterministic nonce per RFC 6979 section 3.2."""
+    n = curve.n
+    hash_ctor = getattr(hashlib, hash_name)
+    hlen = hash_ctor().digest_size
+    v = b"\x01" * hlen
+    k = b"\x00" * hlen
+    seed = _int2octets(d, n) + _bits2octets(digest, n)
+    k = hmac.new(k, v + b"\x00" + seed, hash_ctor).digest()
+    v = hmac.new(k, v, hash_ctor).digest()
+    k = hmac.new(k, v + b"\x01" + seed, hash_ctor).digest()
+    v = hmac.new(k, v, hash_ctor).digest()
+    while True:
+        t = b""
+        while len(t) * 8 < n.bit_length():
+            v = hmac.new(k, v, hash_ctor).digest()
+            t += v
+        candidate = _bits2int(t, n)
+        if 1 <= candidate < n:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hash_ctor).digest()
+        v = hmac.new(k, v, hash_ctor).digest()
+
+
+def generate_keypair(
+    curve_name: str = "P-256", rng: Optional[HmacDrbg] = None
+) -> EcdsaPrivateKey:
+    """Convenience wrapper: generate a private key on the named curve."""
+    from .drbg import system_drbg
+
+    curve = get_curve(curve_name)
+    return EcdsaPrivateKey.generate(curve, rng if rng is not None else system_drbg())

@@ -1,0 +1,69 @@
+"""Hash algorithm registry.
+
+Central place to name hash algorithms so that on-disk formats (dm-verity
+superblocks, certificates, attestation reports) can record which algorithm
+they used and verifiers can look it up again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from typing import Callable, Dict
+
+HashFn = Callable[[bytes], bytes]
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of *data* (32 bytes)."""
+    return hashlib.sha256(data).digest()
+
+
+def sha384(data: bytes) -> bytes:
+    """SHA-384 digest of *data* (48 bytes)."""
+    return hashlib.sha384(data).digest()
+
+
+def sha512(data: bytes) -> bytes:
+    """SHA-512 digest of *data* (64 bytes)."""
+    return hashlib.sha512(data).digest()
+
+
+_REGISTRY: Dict[str, HashFn] = {
+    "sha256": sha256,
+    "sha384": sha384,
+    "sha512": sha512,
+}
+
+_DIGEST_SIZES: Dict[str, int] = {
+    "sha256": 32,
+    "sha384": 48,
+    "sha512": 64,
+}
+
+
+class UnknownHashError(ValueError):
+    """Raised when an unregistered hash algorithm name is requested."""
+
+
+def get_hash(name: str) -> HashFn:
+    """Return the digest function registered under *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownHashError(f"unknown hash algorithm {name!r}") from None
+
+
+def digest_size(name: str) -> int:
+    """Return the digest size in bytes of algorithm *name*."""
+    try:
+        return _DIGEST_SIZES[name]
+    except KeyError:
+        raise UnknownHashError(f"unknown hash algorithm {name!r}") from None
+
+
+def hmac_digest(name: str, key: bytes, data: bytes) -> bytes:
+    """HMAC of *data* under *key* using hash algorithm *name*."""
+    if name not in _REGISTRY:
+        raise UnknownHashError(f"unknown hash algorithm {name!r}")
+    return _hmac.new(key, data, name).digest()

@@ -1,0 +1,60 @@
+"""Key derivation functions: HKDF (RFC 5869) and PBKDF2 (RFC 2898).
+
+HKDF derives the AMD-SP sealing keys and TLS session keys; PBKDF2 with
+1000 iterations is the key-slot KDF of the LUKS-like dm-crypt header,
+matching the paper's cryptsetup configuration (section 6.3.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes, hash_name: str = "sha256") -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * hashlib.new(hash_name).digest_size
+    return hmac.new(salt, input_key_material, hash_name).digest()
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int, hash_name: str = "sha256") -> bytes:
+    """HKDF-Expand: derive *length* bytes bound to *info*."""
+    digest_size = hashlib.new(hash_name).digest_size
+    if length > 255 * digest_size:
+        raise ValueError("HKDF output length too large")
+    if length < 0:
+        raise ValueError("HKDF output length must be non-negative")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hash_name).digest()
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(
+    input_key_material: bytes,
+    salt: bytes = b"",
+    info: bytes = b"",
+    length: int = 32,
+    hash_name: str = "sha256",
+) -> bytes:
+    """One-shot HKDF extract-then-expand."""
+    prk = hkdf_extract(salt, input_key_material, hash_name)
+    return hkdf_expand(prk, info, length, hash_name)
+
+
+def pbkdf2(
+    password: bytes,
+    salt: bytes,
+    iterations: int = 1000,
+    length: int = 32,
+    hash_name: str = "sha256",
+) -> bytes:
+    """PBKDF2-HMAC key stretching (delegates to the C implementation)."""
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    return hashlib.pbkdf2_hmac(hash_name, password, salt, iterations, dklen=length)

@@ -1,0 +1,85 @@
+"""Algorithm-agnostic key handles.
+
+Certificates, CSRs, and attestation flows shouldn't care whether a key
+is ECDSA or RSA; these thin wrappers give both a uniform
+sign/verify/encode surface and a stable fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from . import encoding
+from .drbg import HmacDrbg
+from .ec import get_curve
+from .ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+from .rsa import RsaPrivateKey, RsaPublicKey
+
+_PublicInner = Union[EcdsaPublicKey, RsaPublicKey]
+_PrivateInner = Union[EcdsaPrivateKey, RsaPrivateKey]
+
+
+class KeyError_(ValueError):
+    """Raised on malformed key encodings or algorithm mismatches."""
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A verification key of either algorithm."""
+
+    algorithm: str  # "ecdsa" or "rsa"
+    inner: _PublicInner
+
+    def verify(self, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
+        """Check the signature; True if it verifies."""
+        return self.inner.verify(message, signature, hash_name)
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode({"alg": self.algorithm, "key": self.inner.encode()})
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PublicKey":
+        """Parse an instance back out of canonical TLV bytes."""
+        decoded = encoding.decode(data)
+        if not isinstance(decoded, dict) or set(decoded) != {"alg", "key"}:
+            raise KeyError_("malformed public key encoding")
+        algorithm = decoded["alg"]
+        if algorithm == "ecdsa":
+            return cls(algorithm, EcdsaPublicKey.decode(decoded["key"]))
+        if algorithm == "rsa":
+            return cls(algorithm, RsaPublicKey.decode(decoded["key"]))
+        raise KeyError_(f"unknown key algorithm {algorithm!r}")
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 fingerprint over the canonical encoding."""
+        import hashlib
+
+        return hashlib.sha256(self.encode()).digest()
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A signing key of either algorithm."""
+
+    algorithm: str
+    inner: _PrivateInner
+
+    @classmethod
+    def generate_ecdsa(cls, rng: HmacDrbg, curve_name: str = "P-256") -> "PrivateKey":
+        """Generate an ECDSA key on the named curve."""
+        return cls("ecdsa", EcdsaPrivateKey.generate(get_curve(curve_name), rng))
+
+    @classmethod
+    def generate_rsa(cls, rng: HmacDrbg, bits: int = 1024) -> "PrivateKey":
+        """Generate an RSA key of the given modulus size."""
+        return cls("rsa", RsaPrivateKey.generate(bits, rng))
+
+    def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
+        """Sign a message; returns the signature bytes."""
+        return self.inner.sign(message, hash_name)
+
+    def public_key(self) -> PublicKey:
+        """The corresponding public key."""
+        return PublicKey(self.algorithm, self.inner.public_key())

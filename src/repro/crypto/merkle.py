@@ -1,0 +1,110 @@
+"""Merkle hash trees over fixed-size data blocks.
+
+This is the data structure at the heart of dm-verity: a tree of digests
+whose root commits to every block of the underlying device.  The layout
+mirrors the kernel's: the tree is built bottom-up with a configurable
+branching factor (how many child digests fit in one hash block), and the
+verifier re-derives the path from a data block up to the trusted root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .hashes import digest_size, get_hash
+
+
+class MerkleError(ValueError):
+    """Raised on invalid tree parameters or failed verification."""
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf: sibling digests level by level."""
+
+    leaf_index: int
+    # Each entry is (position_within_group, [digests of the full group]).
+    levels: List[tuple]
+
+
+class MerkleTree:
+    """A Merkle tree with branching factor *arity* over leaf digests.
+
+    The tree stores every level, so lookups and proofs are O(height).
+    """
+
+    def __init__(self, leaf_digests: Sequence[bytes], arity: int = 128,
+                 hash_name: str = "sha256"):
+        if arity < 2:
+            raise MerkleError("arity must be at least 2")
+        if not leaf_digests:
+            raise MerkleError("tree needs at least one leaf")
+        self.arity = arity
+        self.hash_name = hash_name
+        self._hash = get_hash(hash_name)
+        expected = digest_size(hash_name)
+        for digest in leaf_digests:
+            if len(digest) != expected:
+                raise MerkleError("leaf digest has wrong size")
+        self.levels: List[List[bytes]] = [list(leaf_digests)]
+        while len(self.levels[-1]) > 1:
+            self.levels.append(self._parent_level(self.levels[-1]))
+
+    def _parent_level(self, level: List[bytes]) -> List[bytes]:
+        parents = []
+        for start in range(0, len(level), self.arity):
+            group = level[start : start + self.arity]
+            parents.append(self._hash(b"".join(group)))
+        return parents
+
+    @property
+    def root(self) -> bytes:
+        """The root digest committing to all leaves."""
+        return self.levels[-1][0]
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves in the tree."""
+        return len(self.levels[0])
+
+    def prove(self, leaf_index: int) -> MerkleProof:
+        """Produce an inclusion proof for leaf *leaf_index*."""
+        if not (0 <= leaf_index < self.num_leaves):
+            raise MerkleError("leaf index out of range")
+        proof_levels = []
+        index = leaf_index
+        for level in self.levels[:-1]:
+            group_start = (index // self.arity) * self.arity
+            group = level[group_start : group_start + self.arity]
+            proof_levels.append((index - group_start, list(group)))
+            index //= self.arity
+        return MerkleProof(leaf_index=leaf_index, levels=proof_levels)
+
+    @classmethod
+    def verify_proof(
+        cls,
+        leaf_digest: bytes,
+        proof: MerkleProof,
+        root: bytes,
+        arity: int = 128,
+        hash_name: str = "sha256",
+    ) -> bool:
+        """Check that *leaf_digest* is committed under *root*."""
+        hash_fn = get_hash(hash_name)
+        current = leaf_digest
+        for position, group in proof.levels:
+            if not (0 <= position < len(group)) or len(group) > arity:
+                return False
+            if group[position] != current:
+                return False
+            current = hash_fn(b"".join(group))
+        return current == root
+
+    @classmethod
+    def from_blocks(
+        cls, blocks: Sequence[bytes], arity: int = 128, hash_name: str = "sha256"
+    ) -> "MerkleTree":
+        """Hash raw data blocks into leaves and build the tree."""
+        hash_fn = get_hash(hash_name)
+        return cls([hash_fn(block) for block in blocks], arity, hash_name)

@@ -1,0 +1,226 @@
+"""RSA from scratch: Miller-Rabin prime generation, PKCS#1-v1.5-style
+signatures and OAEP-style encryption.
+
+RSA appears in the reproduction because real-world web PKI roots (and the
+Let's Encrypt chain the paper's prototype relies on) are predominantly
+RSA; our simulated CA hierarchy supports both RSA and ECDSA issuers so
+the certificate-validation paths exercise both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .drbg import HmacDrbg
+
+_PUBLIC_EXPONENT = 65537
+
+# Deterministic Miller-Rabin bases are provably sufficient below 3.3e24;
+# above that we add DRBG-chosen bases for the standard 2^-128 error bound.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+class RsaError(ValueError):
+    """Raised on malformed RSA inputs (bad padding, wrong sizes)."""
+
+
+def _miller_rabin(candidate: int, rounds: int, rng: HmacDrbg) -> bool:
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        base = 2 + rng.randint_below(candidate - 3)
+        x = pow(base, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: HmacDrbg) -> int:
+    if bits < 16:
+        raise RsaError("prime size too small")
+    while True:
+        candidate = int.from_bytes(rng.generate((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        candidate &= (1 << bits) - 1
+        if _miller_rabin(candidate, 40, rng):
+            return candidate
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    output = b""
+    counter = 0
+    while len(output) < length:
+        output += hashlib.sha256(seed + counter.to_bytes(4, "big")).digest()
+        counter += 1
+    return output[:length]
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def size(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        n_bytes = self.n.to_bytes(self.size, "big")
+        return len(n_bytes).to_bytes(4, "big") + n_bytes + self.e.to_bytes(4, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RsaPublicKey":
+        """Parse an instance back out of canonical TLV bytes."""
+        n_len = int.from_bytes(data[:4], "big")
+        n = int.from_bytes(data[4 : 4 + n_len], "big")
+        e = int.from_bytes(data[4 + n_len :], "big")
+        return cls(n, e)
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 fingerprint over the canonical encoding."""
+        return hashlib.sha256(self.encode()).digest()
+
+    def verify(self, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
+        """Verify a PKCS#1-v1.5-style signature over H(message)."""
+        if len(signature) != self.size:
+            return False
+        value = pow(int.from_bytes(signature, "big"), self.e, self.n)
+        try:
+            expected = _pkcs1_encode(message, self.size, hash_name)
+        except RsaError:
+            return False
+        return value == int.from_bytes(expected, "big")
+
+    def encrypt(self, plaintext: bytes, rng: HmacDrbg) -> bytes:
+        """OAEP-style encryption (SHA-256 / MGF1)."""
+        k = self.size
+        h_len = 32
+        if len(plaintext) > k - 2 * h_len - 2:
+            raise RsaError("plaintext too long for modulus")
+        l_hash = hashlib.sha256(b"").digest()
+        padding = b"\x00" * (k - len(plaintext) - 2 * h_len - 2)
+        data_block = l_hash + padding + b"\x01" + plaintext
+        seed = rng.generate(h_len)
+        masked_db = _xor(data_block, _mgf1(seed, len(data_block)))
+        masked_seed = _xor(seed, _mgf1(masked_db, h_len))
+        em = b"\x00" + masked_seed + masked_db
+        return pow(int.from_bytes(em, "big"), self.e, self.n).to_bytes(k, "big")
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT parameters for fast exponentiation."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @classmethod
+    def generate(cls, bits: int, rng: HmacDrbg) -> "RsaPrivateKey":
+        """Generate an RSA key of *bits* modulus size."""
+        if bits < 512:
+            raise RsaError("modulus below 512 bits is not supported")
+        while True:
+            p = _generate_prime(bits // 2, rng)
+            q = _generate_prime(bits - bits // 2, rng)
+            if p == q:
+                continue
+            n = p * q
+            phi = (p - 1) * (q - 1)
+            if phi % _PUBLIC_EXPONENT == 0:
+                continue
+            d = pow(_PUBLIC_EXPONENT, -1, phi)
+            return cls(n=n, e=_PUBLIC_EXPONENT, d=d, p=p, q=q)
+
+    def public_key(self) -> RsaPublicKey:
+        """The corresponding public key."""
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def size(self) -> int:
+        """Modulus size in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def _private_op(self, value: int) -> int:
+        # CRT: roughly 4x faster than a straight pow(value, d, n).
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        m1 = pow(value % self.p, dp, self.p)
+        m2 = pow(value % self.q, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+    def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
+        """Sign a message; returns the signature bytes."""
+        em = _pkcs1_encode(message, self.size, hash_name)
+        return self._private_op(int.from_bytes(em, "big")).to_bytes(self.size, "big")
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Invert :meth:`RsaPublicKey.encrypt`."""
+        k = self.size
+        h_len = 32
+        if len(ciphertext) != k:
+            raise RsaError("ciphertext has wrong length")
+        em = self._private_op(int.from_bytes(ciphertext, "big")).to_bytes(k, "big")
+        if em[0] != 0:
+            raise RsaError("decryption error")
+        masked_seed = em[1 : 1 + h_len]
+        masked_db = em[1 + h_len :]
+        seed = _xor(masked_seed, _mgf1(masked_db, h_len))
+        data_block = _xor(masked_db, _mgf1(seed, len(masked_db)))
+        l_hash = hashlib.sha256(b"").digest()
+        if data_block[:h_len] != l_hash:
+            raise RsaError("decryption error")
+        separator = data_block.find(b"\x01", h_len)
+        if separator < 0 or any(data_block[h_len:separator]):
+            raise RsaError("decryption error")
+        return data_block[separator + 1 :]
+
+
+_DIGEST_PREFIXES = {
+    "sha256": b"\x30\x31\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x01\x05\x00\x04\x20",
+    "sha384": b"\x30\x41\x30\x0d\x06\x09\x60\x86\x48\x01\x65\x03\x04\x02\x02\x05\x00\x04\x30",
+}
+
+
+def _pkcs1_encode(message: bytes, em_len: int, hash_name: str) -> bytes:
+    try:
+        prefix = _DIGEST_PREFIXES[hash_name]
+    except KeyError:
+        raise RsaError(f"unsupported hash {hash_name!r} for RSA") from None
+    digest = getattr(hashlib, hash_name)(message).digest()
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise RsaError("modulus too small for digest")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def _xor(left: bytes, right: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(left, right))

@@ -1,0 +1,81 @@
+"""Shamir secret sharing over a prime field.
+
+Used by the Internet Computer substrate (``repro.ic``) to implement
+threshold signing: the subnet's signing key is dealt as Shamir shares to
+the replicas, and any t of them can reconstruct a signature contribution
+while fewer than t learn nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .drbg import HmacDrbg
+
+# The order of P-256; sharing ECDSA scalars requires arithmetic mod n.
+DEFAULT_PRIME = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+
+
+class ShamirError(ValueError):
+    """Raised on invalid sharing parameters or insufficient shares."""
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation of the secret polynomial at x = index."""
+
+    index: int  # 1-based; x = 0 is the secret itself
+    value: int
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: HmacDrbg,
+    prime: int = DEFAULT_PRIME,
+) -> List[Share]:
+    """Split *secret* into *num_shares* shares, any *threshold* of which
+    reconstruct it."""
+    if not (1 <= threshold <= num_shares):
+        raise ShamirError("need 1 <= threshold <= num_shares")
+    if num_shares >= prime:
+        raise ShamirError("too many shares for field size")
+    if not (0 <= secret < prime):
+        raise ShamirError("secret out of field range")
+    coefficients = [secret] + [rng.randint_below(prime) for _ in range(threshold - 1)]
+    shares = []
+    for index in range(1, num_shares + 1):
+        value = 0
+        for coefficient in reversed(coefficients):
+            value = (value * index + coefficient) % prime
+        shares.append(Share(index=index, value=value))
+    return shares
+
+
+def reconstruct_secret(
+    shares: Iterable[Share], threshold: int, prime: int = DEFAULT_PRIME
+) -> int:
+    """Lagrange-interpolate the secret at x = 0 from *threshold* shares."""
+    share_list = list(shares)
+    if len(share_list) < threshold:
+        raise ShamirError(
+            f"need {threshold} shares, got {len(share_list)}"
+        )
+    share_list = share_list[:threshold]
+    indices = [share.index for share in share_list]
+    if len(set(indices)) != len(indices):
+        raise ShamirError("duplicate share indices")
+    secret = 0
+    for i, share in enumerate(share_list):
+        numerator = 1
+        denominator = 1
+        for j, other in enumerate(share_list):
+            if i == j:
+                continue
+            numerator = (numerator * (-other.index)) % prime
+            denominator = (denominator * (share.index - other.index)) % prime
+        lagrange = (numerator * pow(denominator, prime - 2, prime)) % prime
+        secret = (secret + share.value * lagrange) % prime
+    return secret

@@ -1,0 +1,42 @@
+"""Internet Computer substrate + the Revelio-protected boundary node
+(use case of paper section 4.2)."""
+
+from .boundary_node import (
+    FRONTEND_CANISTER,
+    SERVICE_WORKER_PATH,
+    BoundaryNodeApp,
+    BoundaryNodeError,
+    ServiceWorker,
+    build_service_worker,
+)
+from .canister import AssetCanister, Canister, CanisterError, KvCanister
+from .subnet import CertifiedResponse, Replica, Subnet, SubnetError
+from .threshold import (
+    KeyShare,
+    SigningSession,
+    ThresholdError,
+    ThresholdKey,
+    threshold_sign,
+)
+
+__all__ = [
+    "AssetCanister",
+    "BoundaryNodeApp",
+    "BoundaryNodeError",
+    "Canister",
+    "CanisterError",
+    "CertifiedResponse",
+    "FRONTEND_CANISTER",
+    "KeyShare",
+    "KvCanister",
+    "Replica",
+    "SERVICE_WORKER_PATH",
+    "ServiceWorker",
+    "SigningSession",
+    "Subnet",
+    "SubnetError",
+    "ThresholdError",
+    "ThresholdKey",
+    "build_service_worker",
+    "threshold_sign",
+]

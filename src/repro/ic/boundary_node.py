@@ -1,0 +1,197 @@
+"""The IC boundary node: a protocol-translation proxy (paper §4.2, Fig. 2).
+
+A boundary node accepts ordinary HTTP(S) from browsers and translates
+it into IC protocol messages, in two modes:
+
+* **direct** — the BN itself queries the asset canister and returns the
+  web page,
+* **service worker** — the BN's *first* response ships a service worker
+  (served from the BN's measured rootfs); once installed in the
+  browser, the worker translates requests into IC calls itself and
+  *verifies the subnet's threshold signature* on every response, so a
+  malicious BN cannot forge canister state.
+
+The residual risk — a malicious BN shipping a *modified service worker*
+that skips verification — is exactly what Revelio closes: the worker
+file is part of the dm-verity-protected rootfs, covered by the launch
+measurement end-users attest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from ..crypto import encoding
+from ..crypto.ecdsa import EcdsaPublicKey
+from ..net.http import HttpRequest, HttpResponse
+from .subnet import CertifiedResponse, Subnet, SubnetError
+
+#: Where the boundary-node package instals the worker in the image.
+SERVICE_WORKER_PATH = "/opt/ic/service-worker.js"
+FRONTEND_CANISTER = "frontend"
+
+
+class BoundaryNodeError(RuntimeError):
+    """Translation-layer failures."""
+
+
+def build_service_worker(
+    subnet_public_key: EcdsaPublicKey,
+    verify_signatures: bool = True,
+    version: str = "1.0.0",
+) -> bytes:
+    """Produce the service-worker blob baked into the BN image.
+
+    ``verify_signatures=False`` yields the *malicious* worker of the
+    paper's threat discussion — it skips response verification.  It is
+    a different byte string, hence a different rootfs hash, hence a
+    different launch measurement."""
+    return encoding.encode(
+        {
+            "magic": "ic-service-worker",
+            "version": version,
+            "subnet_key": subnet_public_key.encode(),
+            "verify": verify_signatures,
+        }
+    )
+
+
+@dataclass
+class ServiceWorker:
+    """The browser-side worker, parsed from the served sw.js blob."""
+
+    version: str
+    subnet_public_key: EcdsaPublicKey
+    verify_signatures: bool
+
+    @classmethod
+    def decode(cls, blob: bytes) -> "ServiceWorker":
+        """Parse an instance back out of canonical TLV bytes."""
+        try:
+            decoded = encoding.decode(blob)
+        except ValueError as exc:
+            raise BoundaryNodeError("not a service worker blob") from exc
+        if not isinstance(decoded, dict) or decoded.get("magic") != "ic-service-worker":
+            raise BoundaryNodeError("not a service worker blob")
+        return cls(
+            version=decoded["version"],
+            subnet_public_key=EcdsaPublicKey.decode(decoded["subnet_key"]),
+            verify_signatures=decoded["verify"],
+        )
+
+    def call(
+        self,
+        http_client,
+        base_url: str,
+        canister_id: str,
+        method: str,
+        argument: bytes,
+        kind: str = "query",
+    ) -> bytes:
+        """Translate a request into an IC message via the BN and verify
+        the threshold signature on the certified response."""
+        body = encoding.encode(
+            {"canister": canister_id, "method": method, "arg": argument}
+        )
+        response, _ = http_client.post(f"{base_url}/api/v2/{kind}", body)
+        if response.status != 200:
+            raise BoundaryNodeError(
+                f"boundary node returned {response.status}: {response.body!r}"
+            )
+        certified = CertifiedResponse.decode(response.body)
+        if self.verify_signatures:
+            if not certified.verify(self.subnet_public_key):
+                raise BoundaryNodeError(
+                    "threshold signature verification failed: forged response"
+                )
+            if certified.argument_digest != hashlib.sha256(argument).digest():
+                raise BoundaryNodeError("response certifies a different request")
+        return certified.response
+
+
+class BoundaryNodeApp:
+    """The application installed on a Revelio node (app factory)."""
+
+    def __init__(
+        self,
+        subnet: Subnet,
+        frontend_canister: str = FRONTEND_CANISTER,
+        forge_responses: bool = False,
+    ):
+        self.subnet = subnet
+        self.frontend_canister = frontend_canister
+        #: Attack switch: forge canister responses after certification.
+        self.forge_responses = forge_responses
+        self._node = None
+
+    def install(self, node) -> None:
+        """Wire the BN routes onto a :class:`~repro.core.guest.RevelioNode`."""
+        self._node = node
+        node.add_app_route("GET", "/", self._serve_index)
+        node.add_app_route("GET", "/sw.js", self._serve_service_worker)
+        node.add_app_route("POST", "/api/v2/query", self._handle_query)
+        node.add_app_route("POST", "/api/v2/update", self._handle_update)
+
+    # -- direct translation mode ---------------------------------------------
+
+    def _serve_index(self, request: HttpRequest, context) -> HttpResponse:
+        try:
+            certified = self.subnet.query(
+                self.frontend_canister, "http_request", b"/index.html"
+            )
+        except (SubnetError, Exception) as exc:
+            return HttpResponse.error(f"IC unavailable: {exc}")
+        asset = encoding.decode(certified.response)
+        if asset["status"] != 200:
+            return HttpResponse.not_found()
+        return HttpResponse.ok(asset["body"])
+
+    def _serve_service_worker(self, request: HttpRequest, context) -> HttpResponse:
+        """Serve the worker from the measured rootfs — tampering with it
+        means shipping a different image with a different measurement."""
+        rootfs = self._node.vm.rootfs
+        if not rootfs.exists(SERVICE_WORKER_PATH):
+            return HttpResponse.not_found()
+        return HttpResponse.ok(
+            rootfs.read_file(SERVICE_WORKER_PATH), "application/javascript"
+        )
+
+    # -- service worker mode -----------------------------------------------------
+
+    def _handle_query(self, request: HttpRequest, context) -> HttpResponse:
+        return self._handle_ic_call(request, kind="query")
+
+    def _handle_update(self, request: HttpRequest, context) -> HttpResponse:
+        return self._handle_ic_call(request, kind="update")
+
+    def _handle_ic_call(self, request: HttpRequest, kind: str) -> HttpResponse:
+        try:
+            decoded = encoding.decode(request.body)
+            canister_id = decoded["canister"]
+            method = decoded["method"]
+            argument = decoded["arg"]
+        except (ValueError, KeyError, TypeError):
+            return HttpResponse.error("malformed IC call")
+        try:
+            if kind == "query":
+                certified = self.subnet.query(canister_id, method, argument)
+            else:
+                certified = self.subnet.update(canister_id, method, argument)
+        except (SubnetError, Exception) as exc:
+            return HttpResponse.error(f"IC call failed: {exc}")
+        if self.forge_responses:
+            certified = _forge(certified)
+        return HttpResponse.ok(certified.encode(), "application/octet-stream")
+
+
+def _forge(certified: CertifiedResponse) -> CertifiedResponse:
+    """The malicious-BN manipulation: replace the response payload while
+    keeping the (now invalid) signature."""
+    return CertifiedResponse(
+        canister_id=certified.canister_id,
+        method=certified.method,
+        argument_digest=certified.argument_digest,
+        response=b"forged:" + certified.response,
+        height=certified.height,
+        signature=certified.signature,
+    )

@@ -1,0 +1,124 @@
+"""Canisters: the Internet Computer's smart contracts.
+
+A canister is a deterministic state machine exposing *query* methods
+(read-only, answered by any replica) and *update* methods (mutating,
+sequenced through consensus).  Two concrete canisters cover the
+boundary-node use case: a key-value canister (application state) and an
+asset canister (the web frontend the boundary node serves).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto import encoding
+
+
+class CanisterError(RuntimeError):
+    """Raised on unknown methods or malformed arguments."""
+
+
+class Canister:
+    """Base class: dispatch by method name, deterministic execution."""
+
+    QUERY_METHODS: tuple = ()
+    UPDATE_METHODS: tuple = ()
+
+    def query(self, method: str, argument: bytes) -> bytes:
+        """Execute a read-only method."""
+        if method not in self.QUERY_METHODS:
+            raise CanisterError(f"no query method {method!r}")
+        return getattr(self, f"query_{method}")(argument)
+
+    def update(self, method: str, argument: bytes) -> bytes:
+        """Execute a state-mutating method."""
+        if method not in self.UPDATE_METHODS:
+            raise CanisterError(f"no update method {method!r}")
+        return getattr(self, f"update_{method}")(argument)
+
+    def state_digest(self) -> bytes:
+        """Canonical state hash (used to check replica agreement)."""
+        import hashlib
+
+        return hashlib.sha256(self._state_bytes()).digest()
+
+    def _state_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    def clone(self) -> "Canister":
+        """Deep copy for per-replica state."""
+        raise NotImplementedError
+
+
+class KvCanister(Canister):
+    """A key-value store contract."""
+
+    QUERY_METHODS = ("get", "keys")
+    UPDATE_METHODS = ("put", "delete")
+
+    def __init__(self, initial: Dict[str, bytes] = None):
+        self._data: Dict[str, bytes] = dict(initial or {})
+
+    def query_get(self, argument: bytes) -> bytes:
+        """get(key) -> {found, value}."""
+        key = argument.decode("utf-8")
+        value = self._data.get(key)
+        return encoding.encode({"found": value is not None, "value": value or b""})
+
+    def query_keys(self, argument: bytes) -> bytes:
+        """keys() -> sorted key list."""
+        return encoding.encode(sorted(self._data))
+
+    def update_put(self, argument: bytes) -> bytes:
+        """put({key, value}) -> {ok}."""
+        decoded = encoding.decode(argument)
+        self._data[decoded["key"]] = decoded["value"]
+        return encoding.encode({"ok": True})
+
+    def update_delete(self, argument: bytes) -> bytes:
+        """delete(key) -> {ok: existed}."""
+        key = argument.decode("utf-8")
+        existed = self._data.pop(key, None) is not None
+        return encoding.encode({"ok": existed})
+
+    def _state_bytes(self) -> bytes:
+        return encoding.encode({k: v for k, v in sorted(self._data.items())})
+
+    def clone(self) -> "KvCanister":
+        """Deep copy for per-replica state."""
+        return KvCanister(dict(self._data))
+
+
+class AssetCanister(Canister):
+    """Serves the web application's static assets (the dapp frontend)."""
+
+    QUERY_METHODS = ("http_request", "list_assets")
+    UPDATE_METHODS = ("store",)
+
+    def __init__(self, assets: Dict[str, bytes] = None):
+        self._assets: Dict[str, bytes] = dict(assets or {})
+
+    def query_http_request(self, argument: bytes) -> bytes:
+        """http_request(path) -> {status, body}."""
+        path = argument.decode("utf-8")
+        asset = self._assets.get(path)
+        if asset is None:
+            return encoding.encode({"status": 404, "body": b""})
+        return encoding.encode({"status": 200, "body": asset})
+
+    def query_list_assets(self, argument: bytes) -> bytes:
+        """list_assets() -> sorted path list."""
+        return encoding.encode(sorted(self._assets))
+
+    def update_store(self, argument: bytes) -> bytes:
+        """store({path, content}) -> {ok}."""
+        decoded = encoding.decode(argument)
+        self._assets[decoded["path"]] = decoded["content"]
+        return encoding.encode({"ok": True})
+
+    def _state_bytes(self) -> bytes:
+        return encoding.encode({k: v for k, v in sorted(self._assets.items())})
+
+    def clone(self) -> "AssetCanister":
+        """Deep copy for per-replica state."""
+        return AssetCanister(dict(self._assets))

@@ -1,0 +1,230 @@
+"""An Internet Computer subnet: replicas, consensus, certified responses.
+
+A subnet of *n* replicas tolerates *f = (n-1) // 3* Byzantine members
+(the IC's bound).  Updates are sequenced through a toy BFT round —
+every honest replica executes the message deterministically on its own
+canister state and the result commits only if at least ``2f + 1``
+replicas agree on the post-state digest.  Responses (for updates *and*
+certified queries) are threshold-signed with the subnet key, so a
+client — or a boundary-node service worker — can verify authenticity
+end to end without trusting any single replica *or the boundary node
+in between* (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..crypto import encoding
+from ..crypto.drbg import HmacDrbg
+from ..crypto.ecdsa import EcdsaPublicKey
+from .canister import Canister, CanisterError
+from .threshold import SigningSession, ThresholdError, ThresholdKey
+
+
+class SubnetError(RuntimeError):
+    """Consensus failure: not enough agreeing honest replicas."""
+
+
+@dataclass
+class Replica:
+    """One IC node machine."""
+
+    index: int
+    canisters: Dict[str, Canister] = field(default_factory=dict)
+    #: Byzantine behaviours (for fault-injection tests):
+    offline: bool = False
+    corrupt_execution: bool = False
+
+    def execute_update(self, canister_id: str, method: str, argument: bytes) -> bytes:
+        """Apply an update message to this replica's state."""
+        canister = self._canister(canister_id)
+        response = canister.update(method, argument)
+        if self.corrupt_execution:
+            # A Byzantine replica diverges from deterministic execution.
+            canister.update(method, argument)  # double-apply: wrong state
+        return response
+
+    def execute_query(self, canister_id: str, method: str, argument: bytes) -> bytes:
+        """Answer a query from this replica's state."""
+        response = self._canister(canister_id).query(method, argument)
+        if self.corrupt_execution:
+            return b"forged:" + response
+        return response
+
+    def state_digest(self, canister_id: str) -> bytes:
+        """Canonical state hash (replica agreement checks)."""
+        return self._canister(canister_id).state_digest()
+
+    def _canister(self, canister_id: str) -> Canister:
+        try:
+            return self.canisters[canister_id]
+        except KeyError:
+            raise CanisterError(f"no canister {canister_id!r}") from None
+
+
+@dataclass(frozen=True)
+class CertifiedResponse:
+    """A subnet response plus its threshold signature."""
+
+    canister_id: str
+    method: str
+    argument_digest: bytes
+    response: bytes
+    height: int
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The canonical byte string covered by the signature."""
+        return encoding.encode(
+            {
+                "canister": self.canister_id,
+                "method": self.method,
+                "arg_digest": self.argument_digest,
+                "response": self.response,
+                "height": self.height,
+            }
+        )
+
+    def verify(self, subnet_public_key: EcdsaPublicKey) -> bool:
+        """Client-side authenticity check (what the service worker does)."""
+        return subnet_public_key.verify(self.signed_payload(), self.signature)
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode(
+            {"payload": self.signed_payload(), "sig": self.signature}
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CertifiedResponse":
+        """Parse an instance back out of canonical TLV bytes."""
+        outer = encoding.decode(data)
+        payload = encoding.decode(outer["payload"])
+        return cls(
+            canister_id=payload["canister"],
+            method=payload["method"],
+            argument_digest=payload["arg_digest"],
+            response=payload["response"],
+            height=payload["height"],
+            signature=outer["sig"],
+        )
+
+
+class Subnet:
+    """A subnet instance with its replicas and threshold key."""
+
+    def __init__(self, num_replicas: int = 4, seed: bytes = b"ic-subnet"):
+        if num_replicas < 4:
+            raise SubnetError("a BFT subnet needs at least 4 replicas (f >= 1)")
+        self.num_replicas = num_replicas
+        self.fault_tolerance = (num_replicas - 1) // 3
+        self.agreement_threshold = 2 * self.fault_tolerance + 1
+        rng = HmacDrbg(seed)
+        self.key = ThresholdKey(
+            threshold=self.agreement_threshold, num_replicas=num_replicas, rng=rng
+        )
+        self.replicas: List[Replica] = [Replica(index=i) for i in range(num_replicas)]
+        self.height = 0
+
+    @property
+    def public_key(self) -> EcdsaPublicKey:
+        """What clients (and service workers) pin to verify responses."""
+        return self.key.public_key
+
+    def install_canister(self, canister_id: str, canister: Canister) -> None:
+        """Deploy a canister: every replica gets its own state copy."""
+        for replica in self.replicas:
+            replica.canisters[canister_id] = canister.clone()
+
+    # -- message execution ---------------------------------------------------
+
+    def query(
+        self, canister_id: str, method: str, argument: bytes, certified: bool = True
+    ) -> CertifiedResponse:
+        """A read-only call.  With ``certified=True`` the response is
+        threshold-signed by the replicas that agree on it."""
+        responses: Dict[bytes, List[Replica]] = {}
+        for replica in self.replicas:
+            if replica.offline:
+                continue
+            result = replica.execute_query(canister_id, method, argument)
+            responses.setdefault(result, []).append(replica)
+        if not responses:
+            raise SubnetError("no replica answered the query")
+        majority_response, agreeing = max(
+            responses.items(), key=lambda item: len(item[1])
+        )
+        if certified and len(agreeing) < self.agreement_threshold:
+            raise SubnetError(
+                f"only {len(agreeing)} replicas agree "
+                f"(threshold {self.agreement_threshold})"
+            )
+        return self._certify(canister_id, method, argument, majority_response, agreeing)
+
+    def update(self, canister_id: str, method: str, argument: bytes) -> CertifiedResponse:
+        """A state-mutating call, sequenced through consensus."""
+        self.height += 1
+        responses: Dict[bytes, List[Replica]] = {}
+        digests: Dict[int, bytes] = {}
+        for replica in self.replicas:
+            if replica.offline:
+                continue
+            result = replica.execute_update(canister_id, method, argument)
+            digests[replica.index] = replica.state_digest(canister_id)
+            responses.setdefault(result, []).append(replica)
+
+        # Agreement is on the post-execution state digest.
+        digest_groups: Dict[bytes, List[int]] = {}
+        for index, digest in digests.items():
+            digest_groups.setdefault(digest, []).append(index)
+        _majority_digest, agreeing_indices = max(
+            digest_groups.items(), key=lambda item: len(item[1])
+        )
+        if len(agreeing_indices) < self.agreement_threshold:
+            raise SubnetError(
+                f"state divergence: only {len(agreeing_indices)} replicas agree"
+            )
+        agreeing = [self.replicas[i] for i in agreeing_indices]
+        majority_response = next(
+            response
+            for response, replicas in responses.items()
+            if any(r.index in agreeing_indices for r in replicas)
+        )
+        return self._certify(canister_id, method, argument, majority_response, agreeing)
+
+    def _certify(
+        self,
+        canister_id: str,
+        method: str,
+        argument: bytes,
+        response: bytes,
+        agreeing: List[Replica],
+    ) -> CertifiedResponse:
+        unsigned = CertifiedResponse(
+            canister_id=canister_id,
+            method=method,
+            argument_digest=hashlib.sha256(argument).digest(),
+            response=response,
+            height=self.height,
+            signature=b"",
+        )
+        session = SigningSession(self.key, unsigned.signed_payload())
+        for replica in agreeing:
+            session.contribute(self.key.share_for(replica.index))
+            if session.ready:
+                break
+        try:
+            signature = session.sign()
+        except ThresholdError as exc:
+            raise SubnetError(f"could not certify response: {exc}") from exc
+        return CertifiedResponse(
+            canister_id=unsigned.canister_id,
+            method=unsigned.method,
+            argument_digest=unsigned.argument_digest,
+            response=unsigned.response,
+            height=unsigned.height,
+            signature=signature,
+        )

@@ -1,0 +1,109 @@
+"""Subnet threshold signing.
+
+The Internet Computer authenticates subnet responses with
+threshold-signed messages (paper section 4.2): a signature that can
+only be produced if a threshold of the subnet's replicas cooperate, and
+that clients verify against a single subnet public key.
+
+Full threshold-ECDSA is a multi-round MPC protocol; this reproduction
+models its *interface and trust properties* instead: the subnet key is
+dealt as Shamir shares to the replicas at genesis, and a signature is
+produced by a signing session that collects >= t shares, reconstructs
+the key in ephemeral memory, signs, and discards it.  Fewer than t
+cooperating replicas can neither sign nor learn the key (Shamir's
+guarantee, property-tested in the crypto suite).  Clients verify plain
+ECDSA — exactly what IC clients do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.ec import P256
+from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+from ..crypto.shamir import Share, reconstruct_secret, split_secret
+
+
+class ThresholdError(RuntimeError):
+    """Raised when a signing session lacks shares or shares are bad."""
+
+
+@dataclass(frozen=True)
+class KeyShare:
+    """One replica's share of the subnet signing key."""
+
+    replica_index: int
+    share: Share
+
+
+class ThresholdKey:
+    """The dealt subnet key: public part + per-replica shares."""
+
+    def __init__(self, threshold: int, num_replicas: int, rng: HmacDrbg):
+        if not (1 <= threshold <= num_replicas):
+            raise ThresholdError("need 1 <= threshold <= replicas")
+        secret_key = EcdsaPrivateKey.generate(P256, rng)
+        self.threshold = threshold
+        self.num_replicas = num_replicas
+        self.public_key: EcdsaPublicKey = secret_key.public_key()
+        shares = split_secret(
+            secret_key.d, threshold, num_replicas, rng, prime=P256.n
+        )
+        self._shares: List[KeyShare] = [
+            KeyShare(replica_index=index, share=share)
+            for index, share in enumerate(shares)
+        ]
+        # The dealer forgets the key; only shares remain.
+        del secret_key
+
+    def share_for(self, replica_index: int) -> KeyShare:
+        """The key share dealt to a replica."""
+        return self._shares[replica_index]
+
+
+class SigningSession:
+    """Collects share contributions for one message and signs at t."""
+
+    def __init__(self, key: "ThresholdKey", message: bytes):
+        self._key = key
+        self.message = message
+        self._contributions: Dict[int, Share] = {}
+
+    def contribute(self, key_share: KeyShare) -> None:
+        """Add one replica's share to the session."""
+        self._contributions[key_share.replica_index] = key_share.share
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough shares arrived to sign."""
+        return len(self._contributions) >= self._key.threshold
+
+    def sign(self) -> bytes:
+        """Produce the subnet signature once enough shares arrived."""
+        if not self.ready:
+            raise ThresholdError(
+                f"only {len(self._contributions)} of "
+                f"{self._key.threshold} required shares"
+            )
+        scalar = reconstruct_secret(
+            list(self._contributions.values()), self._key.threshold, prime=P256.n
+        )
+        try:
+            ephemeral = EcdsaPrivateKey(P256, scalar)
+        except ValueError as exc:
+            raise ThresholdError("share contributions are inconsistent") from exc
+        if ephemeral.public_key() != self._key.public_key:
+            raise ThresholdError("reconstructed key does not match subnet key")
+        return ephemeral.sign(self.message)
+
+
+def threshold_sign(
+    key: ThresholdKey, message: bytes, shares: Iterable[KeyShare]
+) -> bytes:
+    """One-shot helper: sign *message* with the given contributions."""
+    session = SigningSession(key, message)
+    for key_share in shares:
+        session.contribute(key_share)
+    return session.sign()

@@ -1,0 +1,55 @@
+"""Network substrate: simulated internet, TLS, HTTP, DNS, firewalls."""
+
+from .dns import DnsError, DnsRegistry
+from .firewall import SSH_PORT, ConnectionRefused, Firewall
+from .http import (
+    HTTP_PORT,
+    HTTPS_PORT,
+    ConnectionInfo,
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    parse_url,
+)
+from .latency import ZERO_LATENCY, LatencyModel, SimClock
+from .simnet import Host, Network, NetworkError, RequestContext
+from .tls import (
+    TlsConnection,
+    TlsError,
+    TlsHandshakeError,
+    TlsRecordError,
+    TlsServer,
+    tls_connect,
+)
+
+__all__ = [
+    "ConnectionInfo",
+    "ConnectionRefused",
+    "DnsError",
+    "DnsRegistry",
+    "Firewall",
+    "HTTP_PORT",
+    "HTTPS_PORT",
+    "Host",
+    "HttpClient",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "LatencyModel",
+    "Network",
+    "NetworkError",
+    "RequestContext",
+    "SSH_PORT",
+    "SimClock",
+    "TlsConnection",
+    "TlsError",
+    "TlsHandshakeError",
+    "TlsRecordError",
+    "TlsServer",
+    "ZERO_LATENCY",
+    "parse_url",
+    "tls_connect",
+]

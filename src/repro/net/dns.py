@@ -1,0 +1,82 @@
+"""DNS, as controlled by whoever owns the domain.
+
+Three properties matter for Revelio:
+
+* ACME DNS-01 challenges prove domain control by publishing TXT records
+  (section 2.2), so the registry stores TXT as well as A records;
+* a malicious service provider *does* control DNS and can re-point a
+  domain at a different host to redirect users away from the attested
+  VM (section 5.3.2) — the registry allows exactly that, and the web
+  extension is what must catch it;
+* a fleet serves one domain from many nodes (requirement D3), so a
+  domain may hold several A records and resolution round-robins across
+  them — safe for Revelio users precisely *because* the fleet shares
+  one attested TLS identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+
+class DnsError(LookupError):
+    """Raised when a name does not resolve."""
+
+
+@dataclass
+class DnsRegistry:
+    """The global name service of the simulated internet."""
+
+    _a_records: Dict[str, List[str]] = field(default_factory=dict)
+    _rotation: Dict[str, int] = field(default_factory=dict)
+    _txt_records: Dict[str, List[str]] = field(default_factory=dict)
+
+    def register(self, domain: str, address: Union[str, Sequence[str]]) -> None:
+        """Create or replace the A record set (domain-owner operation).
+
+        *address* may be a single IP or a list (round-robin set)."""
+        addresses = [address] if isinstance(address, str) else list(address)
+        if not addresses:
+            raise DnsError("at least one address is required")
+        self._a_records[domain.lower()] = addresses
+        self._rotation[domain.lower()] = 0
+
+    def add_record(self, domain: str, ip_address: str) -> None:
+        """Append an A record (scaling the fleet out)."""
+        self._a_records.setdefault(domain.lower(), []).append(ip_address)
+        self._rotation.setdefault(domain.lower(), 0)
+
+    def resolve(self, domain: str) -> str:
+        """Resolve to one address, rotating through the record set."""
+        key = domain.lower()
+        try:
+            addresses = self._a_records[key]
+        except KeyError:
+            raise DnsError(f"NXDOMAIN: {domain}") from None
+        index = self._rotation.get(key, 0)
+        self._rotation[key] = (index + 1) % len(addresses)
+        return addresses[index % len(addresses)]
+
+    def resolve_all(self, domain: str) -> List[str]:
+        """The full A record set."""
+        try:
+            return list(self._a_records[domain.lower()])
+        except KeyError:
+            raise DnsError(f"NXDOMAIN: {domain}") from None
+
+    def set_txt(self, name: str, values: List[str]) -> None:
+        """Publish TXT records (the DNS-01 challenge mechanism)."""
+        self._txt_records[name.lower()] = list(values)
+
+    def get_txt(self, name: str) -> List[str]:
+        """TXT records published under a name."""
+        return list(self._txt_records.get(name.lower(), []))
+
+    def redirect(self, domain: str, new_ip: str) -> List[str]:
+        """The section 5.3.2 attack: re-point an existing domain.
+
+        Returns the previous record set so tests can restore it."""
+        previous = self.resolve_all(domain)
+        self.register(domain, new_ip)
+        return previous

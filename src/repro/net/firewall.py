@@ -1,0 +1,54 @@
+"""Host firewalls: the network lockdown of requirement F4.
+
+A Revelio VM's firewall configuration is part of the measured rootfs
+(``/etc/revelio/network.conf``), so "just open ssh" is not something a
+service provider can do after attestation — the config they ship is
+what end-users verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+SSH_PORT = 22
+
+
+class ConnectionRefused(ConnectionError):
+    """The destination host's firewall dropped the connection."""
+
+
+@dataclass(frozen=True)
+class Firewall:
+    """Inbound filtering rules for one host."""
+
+    allowed_inbound_ports: Tuple[int, ...] = (443,)
+    ssh_enabled: bool = False
+    allow_outbound: bool = True
+
+    def allows_inbound(self, port: int) -> bool:
+        """Whether the firewall admits inbound traffic on a port."""
+        if port == SSH_PORT:
+            return self.ssh_enabled
+        return port in self.allowed_inbound_ports
+
+    def check_inbound(self, port: int, host_name: str = "") -> None:
+        """Raise ConnectionRefused unless the port is admitted."""
+        if not self.allows_inbound(port):
+            raise ConnectionRefused(
+                f"connection to {host_name or 'host'}:{port} refused by firewall"
+            )
+
+    @classmethod
+    def open_firewall(cls) -> "Firewall":
+        """An allow-everything firewall (ordinary, non-Revelio hosts)."""
+        return cls(allowed_inbound_ports=tuple(range(1, 65536)), ssh_enabled=True)
+
+    @classmethod
+    def from_network_policy(cls, policy) -> "Firewall":
+        """Build from a :class:`repro.build.NetworkPolicy`."""
+        return cls(
+            allowed_inbound_ports=tuple(policy.allowed_inbound_ports),
+            ssh_enabled=policy.ssh_enabled,
+            allow_outbound=policy.allow_outbound,
+        )

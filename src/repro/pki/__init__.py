@@ -1,0 +1,25 @@
+"""Web PKI + ACME substrate (the Let's Encrypt / certbot analogue)."""
+
+from .acme import (
+    CERT_LIFETIME,
+    DEFAULT_RATE_LIMIT,
+    DEFAULT_RATE_WINDOW,
+    AcmeError,
+    AcmeOrder,
+    AcmeServer,
+    RateLimitError,
+)
+from .ca import WebPki
+from .certbot import CertbotClient
+
+__all__ = [
+    "AcmeError",
+    "AcmeOrder",
+    "AcmeServer",
+    "CERT_LIFETIME",
+    "CertbotClient",
+    "DEFAULT_RATE_LIMIT",
+    "DEFAULT_RATE_WINDOW",
+    "RateLimitError",
+    "WebPki",
+]

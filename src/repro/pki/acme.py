@@ -1,0 +1,166 @@
+"""An ACME certificate authority with DNS-01 challenges and rate limits.
+
+Models Let's Encrypt (paper section 2.2): orders, DNS-01 domain
+validation against the simulated DNS, CSR-based issuance, and — the
+detail Revelio's TLS-key-sharing design exists to work around
+(section 3.4.6) — **per-domain rate limiting** of certificate issuance
+within a rolling window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.x509 import Certificate, CertificateSigningRequest
+from ..net.dns import DnsRegistry
+from ..net.latency import LatencyModel, SimClock
+from .ca import WebPki
+
+#: Let's Encrypt's "duplicate certificate" limit: 5 per week.
+DEFAULT_RATE_LIMIT = 5
+DEFAULT_RATE_WINDOW = 7 * 24 * 3600
+#: 90-day leaf lifetime, like Let's Encrypt.
+CERT_LIFETIME = 90 * 24 * 3600
+
+
+class AcmeError(ValueError):
+    """Protocol violations: bad orders, failed challenges, bad CSRs."""
+
+
+class RateLimitError(AcmeError):
+    """The per-domain issuance limit was hit (Let's Encrypt 429)."""
+
+
+@dataclass
+class AcmeOrder:
+    """One in-flight certificate order."""
+
+    order_id: str
+    domain: str
+    challenge_token: str
+    validated: bool = False
+    fulfilled: bool = False
+
+    @property
+    def txt_record_name(self) -> str:
+        """The _acme-challenge TXT name for this order."""
+        return f"_acme-challenge.{self.domain}"
+
+    def key_authorization(self) -> str:
+        """The digest the client must publish in DNS."""
+        return hashlib.sha256(self.challenge_token.encode()).hexdigest()
+
+
+class AcmeServer:
+    """The CA endpoint (directory + order + finalize in one object)."""
+
+    def __init__(
+        self,
+        pki: WebPki,
+        dns: DnsRegistry,
+        clock: SimClock,
+        rng: HmacDrbg,
+        latency: Optional[LatencyModel] = None,
+        rate_limit: int = DEFAULT_RATE_LIMIT,
+        rate_window: float = DEFAULT_RATE_WINDOW,
+    ):
+        self._pki = pki
+        self._dns = dns
+        self._clock = clock
+        self._rng = rng
+        self._latency = latency if latency is not None else LatencyModel()
+        self.rate_limit = rate_limit
+        self.rate_window = rate_window
+        self._orders: Dict[str, AcmeOrder] = {}
+        self._issuance_times: Dict[str, List[float]] = {}
+        self.issued: List[Certificate] = []
+
+    # -- the ACME flow -----------------------------------------------------
+
+    def new_order(self, domain: str) -> AcmeOrder:
+        """Create an order and its DNS-01 challenge."""
+        if not domain or "/" in domain:
+            raise AcmeError(f"invalid domain {domain!r}")
+        self._check_rate_limit(domain, charge=False)
+        token = self._rng.generate(16).hex()
+        order = AcmeOrder(
+            order_id=self._rng.generate(8).hex(),
+            domain=domain.lower(),
+            challenge_token=token,
+        )
+        self._orders[order.order_id] = order
+        return order
+
+    def validate_challenge(self, order_id: str) -> None:
+        """Check the TXT record; the client must have published it."""
+        order = self._order(order_id)
+        published = self._dns.get_txt(order.txt_record_name)
+        if order.key_authorization() not in published:
+            raise AcmeError(
+                f"DNS-01 challenge failed for {order.domain}: "
+                "key authorization not found in TXT records"
+            )
+        order.validated = True
+
+    def finalize(self, order_id: str, csr: CertificateSigningRequest) -> Certificate:
+        """Issue the certificate for a validated order and CSR.
+
+        The CSR's key becomes the certified key (the paper's flow:
+        Revelio VM creates the key pair + CSR; the CA never sees a
+        private key)."""
+        order = self._order(order_id)
+        if not order.validated:
+            raise AcmeError("order has not passed domain validation")
+        if order.fulfilled:
+            raise AcmeError("order already fulfilled")
+        if not csr.verify():
+            raise AcmeError("CSR proof-of-possession signature invalid")
+        csr_names = {csr.subject.common_name.lower(), *[s.lower() for s in csr.san]}
+        if order.domain not in csr_names:
+            raise AcmeError(
+                f"CSR does not cover the ordered domain {order.domain!r}"
+            )
+        self._check_rate_limit(order.domain, charge=True)
+
+        self._clock.advance(self._latency.acme_issuance)
+        now = self._clock.epoch_seconds()
+        certificate = self._pki.intermediate.issue(
+            csr.subject,
+            csr.public_key,
+            not_before=now,
+            not_after=now + CERT_LIFETIME,
+            san=tuple({order.domain, *csr.san}),
+            key_usage=("digital_signature",),
+        )
+        order.fulfilled = True
+        self.issued.append(certificate)
+        return certificate
+
+    def chain(self) -> List[Certificate]:
+        """The intermediate chain served alongside leaf certificates."""
+        return [self._pki.intermediate.certificate]
+
+    # -- internals ---------------------------------------------------------
+
+    def _order(self, order_id: str) -> AcmeOrder:
+        try:
+            return self._orders[order_id]
+        except KeyError:
+            raise AcmeError(f"unknown order {order_id!r}") from None
+
+    def _check_rate_limit(self, domain: str, charge: bool) -> None:
+        domain = domain.lower()
+        now = self._clock.now
+        window_start = now - self.rate_window
+        recent = [t for t in self._issuance_times.get(domain, []) if t > window_start]
+        self._issuance_times[domain] = recent
+        if len(recent) >= self.rate_limit:
+            raise RateLimitError(
+                f"rate limit of {self.rate_limit} certificates per "
+                f"{self.rate_window:.0f}s exceeded for {domain}"
+            )
+        if charge:
+            recent.append(now)

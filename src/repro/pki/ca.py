@@ -1,0 +1,61 @@
+"""The browser-trusted web PKI hierarchy.
+
+A root CA ("ISRG Root" analogue) with an issuing intermediate ("R3"
+analogue).  Browsers in the simulation pin the root; the ACME server
+signs leaf certificates with the intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..crypto.drbg import HmacDrbg
+from ..crypto.keys import PrivateKey
+from ..crypto.x509 import Certificate, CertificateIssuer, Name
+
+#: ~100 years in simulated seconds; CA certificates outlive every test.
+_CA_LIFETIME = 3_155_760_000
+
+
+@dataclass
+class WebPki:
+    """A complete web-PKI: root + intermediate + the served chain."""
+
+    root: CertificateIssuer
+    intermediate: CertificateIssuer
+
+    @classmethod
+    def create(cls, rng: HmacDrbg, name: str = "Simulated Trust Services",
+               not_before: int = 0) -> "WebPki":
+        """Construct and validate an instance."""
+        root_key = PrivateKey.generate_ecdsa(rng.fork(b"web-root"), "P-384")
+        root = CertificateIssuer.self_signed_root(
+            Name(f"{name} Root X1", organization=name),
+            root_key,
+            not_before,
+            not_before + _CA_LIFETIME,
+        )
+        intermediate_key = PrivateKey.generate_ecdsa(rng.fork(b"web-intermediate"))
+        intermediate_cert = root.issue(
+            Name(f"{name} Intermediate R3", organization=name),
+            intermediate_key.public_key(),
+            not_before,
+            not_before + _CA_LIFETIME,
+            is_ca=True,
+            path_length=0,
+            key_usage=("cert_sign",),
+        )
+        return cls(
+            root=root,
+            intermediate=CertificateIssuer(intermediate_cert, intermediate_key),
+        )
+
+    @property
+    def trust_anchor(self) -> Certificate:
+        """What browsers ship in their root store."""
+        return self.root.certificate
+
+    def chain_for(self, leaf: Certificate) -> List[Certificate]:
+        """The chain a server should present: leaf + intermediate."""
+        return [leaf, self.intermediate.certificate]

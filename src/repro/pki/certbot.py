@@ -1,0 +1,40 @@
+"""The ACME client (certbot analogue).
+
+Runs on the SP node — the machine on the service provider's premises
+that holds the DNS API credentials (section 3.4.6).  Given a CSR (which
+came out of an attested Revelio VM), it drives the full ACME DNS-01
+dance: order, publish TXT record, trigger validation, finalize, and
+return the certificate chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..crypto.x509 import Certificate, CertificateSigningRequest
+from ..net.dns import DnsRegistry
+from .acme import AcmeServer
+
+
+@dataclass
+class CertbotClient:
+    """An ACME account with DNS credentials for its domains."""
+
+    acme: AcmeServer
+    dns: DnsRegistry
+
+    def obtain_certificate(
+        self, domain: str, csr: CertificateSigningRequest
+    ) -> List[Certificate]:
+        """Run the DNS-01 flow; returns the leaf + intermediate chain."""
+        order = self.acme.new_order(domain)
+        # Prove domain control: publish the key authorisation in DNS.
+        self.dns.set_txt(order.txt_record_name, [order.key_authorization()])
+        try:
+            self.acme.validate_challenge(order.order_id)
+            certificate = self.acme.finalize(order.order_id, csr)
+        finally:
+            # Clean up the challenge record either way.
+            self.dns.set_txt(order.txt_record_name, [])
+        return [certificate, *self.acme.chain()]

@@ -1,0 +1,79 @@
+"""Storage substrate: block devices, device-mapper targets, filesystem.
+
+Simulates the Linux storage stack a Revelio VM relies on:
+
+* :mod:`blockdev` — fixed-block devices (RAM-backed, slices, read-only
+  views) with corruption/rollback primitives for attack simulation,
+* :mod:`partition` — a GPT-like table with pinned UUIDs,
+* :mod:`dm_verity` — verify-on-read integrity target (Merkle tree),
+* :mod:`dm_crypt` — AES-XTS-plain64 encryption with a LUKS-like header,
+* :mod:`filesystem` — a deterministic read-only filesystem image.
+"""
+
+from .blockdev import (
+    DEFAULT_BLOCK_SIZE,
+    BlockDevice,
+    BlockDeviceError,
+    RamBlockDevice,
+    ReadOnlyDeviceError,
+    ReadOnlyView,
+    SliceView,
+)
+from .dm_crypt import (
+    CryptDevice,
+    DmCryptError,
+    LuksHeader,
+    is_luks,
+    luks_add_key,
+    luks_format,
+    luks_open,
+    read_header,
+)
+from .dm_verity import (
+    VerityDevice,
+    VerityError,
+    VerityFormatResult,
+    VeritySuperblock,
+    verity_format,
+    verity_open,
+)
+from .filesystem import (
+    FileEntry,
+    FileSystem,
+    FileSystemError,
+    build_image,
+    image_to_device,
+)
+from .partition import PartitionEntry, PartitionError, PartitionTable
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockDevice",
+    "BlockDeviceError",
+    "CryptDevice",
+    "DmCryptError",
+    "FileEntry",
+    "FileSystem",
+    "FileSystemError",
+    "LuksHeader",
+    "PartitionEntry",
+    "PartitionError",
+    "PartitionTable",
+    "RamBlockDevice",
+    "ReadOnlyDeviceError",
+    "ReadOnlyView",
+    "SliceView",
+    "VerityDevice",
+    "VerityError",
+    "VerityFormatResult",
+    "VeritySuperblock",
+    "build_image",
+    "image_to_device",
+    "is_luks",
+    "luks_add_key",
+    "luks_format",
+    "luks_open",
+    "read_header",
+    "verity_format",
+    "verity_open",
+]

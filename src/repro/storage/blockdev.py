@@ -1,0 +1,181 @@
+"""Block device abstractions.
+
+Everything storage-related in the reproduction — dm-crypt, dm-verity,
+the filesystem, partitions — stacks on the small interface defined
+here, just like Linux's block layer.  Devices are addressed in
+fixed-size blocks (default 4 KiB, the paper's dm-verity data/hash block
+size).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+class BlockDeviceError(IOError):
+    """Raised on out-of-range or otherwise invalid block operations."""
+
+
+class ReadOnlyDeviceError(BlockDeviceError):
+    """Raised when writing to a read-only device (dm-verity targets)."""
+
+
+class BlockDevice:
+    """Abstract fixed-block-size random-access device."""
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE):
+        if num_blocks < 0:
+            raise BlockDeviceError("device cannot have negative size")
+        if block_size <= 0:
+            raise BlockDeviceError("block size must be positive")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+
+    # -- interface to implement ------------------------------------------
+
+    def read_block(self, index: int) -> bytes:
+        """Read one block by index."""
+        raise NotImplementedError
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write one full block at index."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Device capacity in bytes."""
+        return self.num_blocks * self.block_size
+
+    def _check_block(self, index: int) -> None:
+        if not (0 <= index < self.num_blocks):
+            raise BlockDeviceError(
+                f"block {index} out of range (device has {self.num_blocks})"
+            )
+
+    def _check_write(self, index: int, data: bytes) -> None:
+        self._check_block(index)
+        if len(data) != self.block_size:
+            raise BlockDeviceError(
+                f"write must be exactly one block ({self.block_size} bytes), "
+                f"got {len(data)}"
+            )
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        """Byte-granular read spanning blocks (read-modify on the edges)."""
+        if offset < 0 or length < 0 or offset + length > self.size_bytes:
+            raise BlockDeviceError("byte range out of device bounds")
+        if length == 0:
+            return b""
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        chunk = b"".join(self.read_block(i) for i in range(first, last + 1))
+        start = offset - first * self.block_size
+        return chunk[start : start + length]
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Byte-granular write spanning blocks."""
+        if offset < 0 or offset + len(data) > self.size_bytes:
+            raise BlockDeviceError("byte range out of device bounds")
+        if not data:
+            return
+        first = offset // self.block_size
+        last = (offset + len(data) - 1) // self.block_size
+        buffer = bytearray(
+            b"".join(self.read_block(i) for i in range(first, last + 1))
+        )
+        start = offset - first * self.block_size
+        buffer[start : start + len(data)] = data
+        for position, index in enumerate(range(first, last + 1)):
+            begin = position * self.block_size
+            self.write_block(index, bytes(buffer[begin : begin + self.block_size]))
+
+    def read_all(self) -> bytes:
+        """Read the whole device (small devices / tests only)."""
+        return b"".join(self.read_block(i) for i in range(self.num_blocks))
+
+
+class RamBlockDevice(BlockDevice):
+    """An in-memory block device."""
+
+    def __init__(self, num_blocks: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                 initial: Optional[bytes] = None):
+        super().__init__(num_blocks, block_size)
+        self._data = bytearray(num_blocks * block_size)
+        if initial is not None:
+            if len(initial) > len(self._data):
+                raise BlockDeviceError("initial contents larger than device")
+            self._data[: len(initial)] = initial
+        self.reads = 0
+        self.writes = 0
+
+    def read_block(self, index: int) -> bytes:
+        """Read one block by index."""
+        self._check_block(index)
+        self.reads += 1
+        start = index * self.block_size
+        return bytes(self._data[start : start + self.block_size])
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write one full block at index."""
+        self._check_write(index, data)
+        self.writes += 1
+        start = index * self.block_size
+        self._data[start : start + self.block_size] = data
+
+    def corrupt(self, byte_offset: int, xor_mask: int = 0x01) -> None:
+        """Flip bits at *byte_offset* — the attacker's primitive in tests
+        and the security benchmarks (offline disk tampering)."""
+        if not (0 <= byte_offset < len(self._data)):
+            raise BlockDeviceError("corruption offset out of range")
+        self._data[byte_offset] ^= xor_mask
+
+    def snapshot(self) -> bytes:
+        """A copy of the raw contents (for rollback-attack simulations)."""
+        return bytes(self._data)
+
+    def restore(self, snapshot: bytes) -> None:
+        """Overwrite contents with an earlier snapshot (rollback attack)."""
+        if len(snapshot) != len(self._data):
+            raise BlockDeviceError("snapshot size mismatch")
+        self._data[:] = snapshot
+
+
+class ReadOnlyView(BlockDevice):
+    """A read-only wrapper around another device."""
+
+    def __init__(self, backing: BlockDevice):
+        super().__init__(backing.num_blocks, backing.block_size)
+        self._backing = backing
+
+    def read_block(self, index: int) -> bytes:
+        """Read one block by index."""
+        return self._backing.read_block(index)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write one full block at index."""
+        raise ReadOnlyDeviceError("device is read-only")
+
+
+class SliceView(BlockDevice):
+    """A contiguous sub-range of another device (a partition's extent)."""
+
+    def __init__(self, backing: BlockDevice, first_block: int, num_blocks: int):
+        if first_block < 0 or first_block + num_blocks > backing.num_blocks:
+            raise BlockDeviceError("slice out of backing device bounds")
+        super().__init__(num_blocks, backing.block_size)
+        self._backing = backing
+        self._first = first_block
+
+    def read_block(self, index: int) -> bytes:
+        """Read one block by index."""
+        self._check_block(index)
+        return self._backing.read_block(self._first + index)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        """Write one full block at index."""
+        self._check_write(index, data)
+        self._backing.write_block(self._first + index, data)

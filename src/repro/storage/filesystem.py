@@ -1,0 +1,200 @@
+"""A deterministic read-only filesystem image format.
+
+Plays the role of the squashed ext4 rootfs in the Revelio image: the
+builder lays files out *canonically* (paths sorted, timestamps squashed
+to zero, fixed label) so that identical inputs produce a byte-identical
+image — the linchpin of requirement F5 (reproducible builds).  At
+runtime the filesystem is mounted read-only on top of a block device,
+typically a :class:`~repro.storage.dm_verity.VerityDevice`, so every
+file read is integrity-verified.
+
+Layout: block 0 is the superblock (magic + table extent); the file
+table occupies the following blocks; each file's data starts on a block
+boundary after the table, in path-sorted order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..crypto import encoding
+from .blockdev import BlockDevice, RamBlockDevice
+
+_FS_MAGIC = "repro-fs-v1"
+_SQUASHED_MTIME = 0
+_DEFAULT_MODE = 0o755
+
+
+class FileSystemError(IOError):
+    """Raised on malformed images or missing files."""
+
+
+@dataclass(frozen=True)
+class FileEntry:
+    """One file's metadata in the table."""
+
+    path: str
+    first_block: int
+    size: int
+    mode: int
+    mtime: int
+
+    def to_dict(self) -> dict:
+        """Dict form for canonical TLV embedding."""
+        return {
+            "path": self.path,
+            "first": self.first_block,
+            "size": self.size,
+            "mode": self.mode,
+            "mtime": self.mtime,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileEntry":
+        """Rebuild from the dict form."""
+        return cls(
+            path=data["path"],
+            first_block=data["first"],
+            size=data["size"],
+            mode=data["mode"],
+            mtime=data["mtime"],
+        )
+
+
+def build_image(
+    files: Mapping[str, bytes],
+    block_size: int = 4096,
+    label: str = "rootfs",
+) -> bytes:
+    """Serialise *files* into a deterministic filesystem image.
+
+    Identical inputs yield identical bytes: paths are sorted, mtimes are
+    squashed, and no randomness enters the layout.
+    """
+    for path in files:
+        if not path or path.startswith("/") is False:
+            raise FileSystemError(f"paths must be absolute, got {path!r}")
+    ordered = sorted(files.items())
+
+    def blocks_for(size: int) -> int:
+        return max(1, -(-size // block_size))
+
+    # The table size depends on file offsets which depend on the table
+    # size; iterate to a fixed point (converges in a couple of rounds).
+    table_blocks = 1
+    while True:
+        entries = []
+        position = 1 + table_blocks
+        for path, content in ordered:
+            entries.append(
+                FileEntry(
+                    path=path,
+                    first_block=position,
+                    size=len(content),
+                    mode=_DEFAULT_MODE,
+                    mtime=_SQUASHED_MTIME,
+                )
+            )
+            position += blocks_for(len(content))
+        table = encoding.encode(
+            {"label": label, "entries": [entry.to_dict() for entry in entries]}
+        )
+        needed = max(1, -(-len(table) // block_size))
+        if needed == table_blocks:
+            break
+        table_blocks = needed
+
+    superblock = encoding.encode(
+        {
+            "magic": _FS_MAGIC,
+            "block_size": block_size,
+            "table_blocks": table_blocks,
+            "total_blocks": position,
+        }
+    )
+    if len(superblock) > block_size:
+        raise FileSystemError("superblock overflow")
+
+    image = bytearray(position * block_size)
+    image[: len(superblock)] = superblock
+    table_start = block_size
+    image[table_start : table_start + len(table)] = table
+    for entry, (_, content) in zip(entries, ordered):
+        start = entry.first_block * block_size
+        image[start : start + len(content)] = content
+    return bytes(image)
+
+
+def image_to_device(image: bytes, block_size: int = 4096) -> RamBlockDevice:
+    """Load an image produced by :func:`build_image` into a RAM device."""
+    if len(image) % block_size:
+        raise FileSystemError("image is not a whole number of blocks")
+    return RamBlockDevice(len(image) // block_size, block_size, initial=image)
+
+
+class FileSystem:
+    """A mounted (read-only) filesystem on top of any block device."""
+
+    def __init__(self, device: BlockDevice):
+        self._device = device
+        superblock = self._decode_block(device.read_block(0))
+        if superblock.get("magic") != _FS_MAGIC:
+            raise FileSystemError("not a repro filesystem")
+        if superblock["block_size"] != device.block_size:
+            raise FileSystemError("filesystem/device block size mismatch")
+        table_blocks = superblock["table_blocks"]
+        raw_table = b"".join(
+            device.read_block(1 + index) for index in range(table_blocks)
+        )
+        table = self._decode_block(raw_table)
+        self.label: str = table["label"]
+        self._entries: Dict[str, FileEntry] = {
+            entry["path"]: FileEntry.from_dict(entry) for entry in table["entries"]
+        }
+
+    @staticmethod
+    def _decode_block(raw: bytes) -> dict:
+        try:
+            length = 5 + int.from_bytes(raw[1:5], "big")
+            decoded = encoding.decode(raw[:length])
+        except (IndexError, ValueError) as exc:
+            raise FileSystemError("corrupt filesystem metadata") from exc
+        if not isinstance(decoded, dict):
+            raise FileSystemError("corrupt filesystem metadata")
+        return decoded
+
+    def list_files(self) -> List[str]:
+        """All file paths, sorted."""
+        return sorted(self._entries)
+
+    def exists(self, path: str) -> bool:
+        """Whether the path exists."""
+        return path in self._entries
+
+    def file_size(self, path: str) -> int:
+        """Size of a file in bytes."""
+        return self._entry(path).size
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file (every underlying block read is subject to
+        whatever the backing device enforces, e.g. verity checks)."""
+        entry = self._entry(path)
+        if entry.size == 0:
+            return b""
+        num_blocks = -(-entry.size // self._device.block_size)
+        data = b"".join(
+            self._device.read_block(entry.first_block + index)
+            for index in range(num_blocks)
+        )
+        return data[: entry.size]
+
+    def stat(self, path: str) -> FileEntry:
+        """The file's table entry."""
+        return self._entry(path)
+
+    def _entry(self, path: str) -> FileEntry:
+        try:
+            return self._entries[path]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path}") from None

@@ -1,0 +1,23 @@
+"""Simulated Intel TDX: the second VM-model TEE backend."""
+
+from .module import (
+    NUM_RTMRS,
+    IntelInfrastructure,
+    ProvisioningCertificationService,
+    TdContext,
+    TdQuote,
+    TdxError,
+    TdxPlatform,
+    verify_td_quote,
+)
+
+__all__ = [
+    "IntelInfrastructure",
+    "NUM_RTMRS",
+    "ProvisioningCertificationService",
+    "TdContext",
+    "TdQuote",
+    "TdxError",
+    "TdxPlatform",
+    "verify_td_quote",
+]

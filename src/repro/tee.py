@@ -1,0 +1,196 @@
+"""The hardware-agnostic TEE evidence layer.
+
+Revelio's design is TEE-portable (paper section 1: "Revelio can be
+deployed in a hardware-agnostic fashion, as long as the TEE follows the
+VM model").  This module is the seam that makes that concrete: evidence
+from different VM-model TEEs is wrapped in a tagged envelope, and a
+:class:`TeeVerifier` dispatches to per-technology verifiers that all
+reduce to the same question — *does this evidence bind (measurement,
+report_data) to a genuine platform?*
+
+Shipped backends: AMD SEV-SNP (:mod:`repro.amd`) and Intel TDX
+(:mod:`repro.tdx`).  Adding ARM CCA would mean one more entry in the
+registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+from .crypto import encoding
+
+KIND_SEV_SNP = "sev-snp"
+KIND_TDX = "tdx"
+KIND_CCA = "arm-cca"
+
+
+class TeeError(RuntimeError):
+    """Evidence envelope or verification failures."""
+
+
+@dataclass(frozen=True)
+class TeeEvidence:
+    """A tagged evidence envelope."""
+
+    kind: str
+    body: bytes  # encoded AttestationReport or TdQuote
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode({"kind": self.kind, "body": self.body})
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TeeEvidence":
+        """Parse an instance back out of canonical TLV bytes."""
+        try:
+            decoded = encoding.decode(data)
+            return cls(kind=decoded["kind"], body=decoded["body"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TeeError("malformed evidence envelope") from exc
+
+
+@dataclass(frozen=True)
+class VerifiedEvidence:
+    """The technology-independent verification outcome."""
+
+    kind: str
+    measurement: bytes
+    report_data: bytes
+
+
+#: kind -> callable(body, context, now, expected_measurements) -> VerifiedEvidence
+_VERIFIERS: Dict[str, Callable] = {}
+
+
+def register_verifier(kind: str):
+    """Register a per-technology evidence verifier."""
+    def decorator(fn):
+        _VERIFIERS[kind] = fn
+        return fn
+
+    return decorator
+
+
+class TeeVerifier:
+    """A verifier holding per-technology trust material.
+
+    ``contexts`` maps evidence kind to whatever that technology's
+    verifier needs (a KdsClient for SNP, a PCS handle for TDX).
+    """
+
+    def __init__(self, contexts: Dict[str, object]):
+        self._contexts = dict(contexts)
+
+    def supported_kinds(self) -> Iterable[str]:
+        """Evidence kinds this verifier can handle."""
+        return sorted(set(self._contexts) & set(_VERIFIERS))
+
+    def verify(
+        self,
+        evidence: TeeEvidence,
+        now: int,
+        expected_measurements: Iterable[bytes],
+        expected_report_data: Optional[bytes] = None,
+    ) -> VerifiedEvidence:
+        """Dispatch on evidence kind; raise :class:`TeeError` on failure."""
+        verifier = _VERIFIERS.get(evidence.kind)
+        context = self._contexts.get(evidence.kind)
+        if verifier is None or context is None:
+            raise TeeError(f"no verifier configured for {evidence.kind!r}")
+        verified = verifier(
+            evidence.body, context, now, [bytes(m) for m in expected_measurements]
+        )
+        if (
+            expected_report_data is not None
+            and verified.report_data != expected_report_data
+        ):
+            raise TeeError("REPORT_DATA does not match expectation")
+        return verified
+
+
+@register_verifier(KIND_SEV_SNP)
+def _verify_snp(body: bytes, kds, now: int, golden) -> VerifiedEvidence:
+    from .amd.report import AttestationReport, ReportError
+    from .amd.verify import AttestationError, verify_attestation_report
+
+    try:
+        report = AttestationReport.decode(body)
+    except ReportError as exc:
+        raise TeeError(f"malformed SNP report: {exc}") from exc
+    if bytes(report.measurement) not in golden:
+        raise TeeError("SNP measurement not in golden set")
+    try:
+        vcek = kds.get_vcek(report.chip_id, report.reported_tcb)
+        verify_attestation_report(
+            report, vcek, kds.cert_chain(), [kds.trust_anchor], now=now
+        )
+    except (AttestationError, LookupError) as exc:
+        raise TeeError(f"SNP verification failed: {exc}") from exc
+    return VerifiedEvidence(
+        kind=KIND_SEV_SNP,
+        measurement=report.measurement,
+        report_data=report.report_data,
+    )
+
+
+@register_verifier(KIND_TDX)
+def _verify_tdx(body: bytes, pcs, now: int, golden) -> VerifiedEvidence:
+    from .tdx.module import TdQuote, TdxError, verify_td_quote
+
+    try:
+        quote = TdQuote.decode(body)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TeeError(f"malformed TDX quote: {exc}") from exc
+    if bytes(quote.mrtd) not in golden:
+        raise TeeError("TDX MRTD not in golden set")
+    try:
+        pck = pcs.get_pck_certificate(quote.platform_id, quote.tee_tcb_svn)
+        verify_td_quote(
+            quote, pck, pcs.cert_chain(), [pcs.root_certificate], now=now
+        )
+    except TdxError as exc:
+        raise TeeError(f"TDX verification failed: {exc}") from exc
+    return VerifiedEvidence(
+        kind=KIND_TDX, measurement=quote.mrtd, report_data=quote.report_data
+    )
+
+
+@register_verifier(KIND_CCA)
+def _verify_cca(body: bytes, context, now: int, golden) -> VerifiedEvidence:
+    """*context* is a (cpak_lookup, trust_anchors) pair, where
+    ``cpak_lookup(platform_id)`` returns the CPAK certificate."""
+    from .cca.realms import CcaError, CcaToken, verify_cca_token
+
+    cpak_lookup, anchors = context
+    try:
+        token = CcaToken.decode(body)
+    except CcaError as exc:
+        raise TeeError(f"malformed CCA token: {exc}") from exc
+    if bytes(token.realm_token.rim) not in golden:
+        raise TeeError("CCA RIM not in golden set")
+    try:
+        cpak = cpak_lookup(token.platform_token.platform_id)
+        verify_cca_token(token, cpak, anchors, now=now)
+    except (CcaError, LookupError) as exc:
+        raise TeeError(f"CCA verification failed: {exc}") from exc
+    return VerifiedEvidence(
+        kind=KIND_CCA,
+        measurement=token.realm_token.rim,
+        report_data=token.realm_token.challenge,
+    )
+
+
+def snp_evidence(report) -> TeeEvidence:
+    """Wrap an SNP attestation report."""
+    return TeeEvidence(kind=KIND_SEV_SNP, body=report.encode())
+
+
+def tdx_evidence(quote) -> TeeEvidence:
+    """Wrap a TDX quote."""
+    return TeeEvidence(kind=KIND_TDX, body=quote.encode())
+
+
+def cca_evidence(token) -> TeeEvidence:
+    """Wrap a CCA token bundle."""
+    return TeeEvidence(kind=KIND_CCA, body=token.encode())

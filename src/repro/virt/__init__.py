@@ -1,0 +1,67 @@
+"""Virtualization substrate: firmware, hypervisor, and guest VMs.
+
+Simulates QEMU + OVMF with the SEV-SNP measured-direct-boot patches
+(paper section 2.1.2), including the full attack surface of an
+untrusted host (section 6.1).
+"""
+
+from .firmware import (
+    BootVerificationError,
+    FirmwareError,
+    HashTable,
+    build_firmware,
+    firmware_boot_check,
+    firmware_hash_table,
+    firmware_version,
+    inject_hash_table,
+)
+from .hypervisor import Hypervisor, LaunchAttack
+from .image import (
+    ImageError,
+    InitrdDescriptor,
+    KernelBlob,
+    VmImage,
+    get_init_step,
+    list_init_steps,
+    parse_cmdline,
+    register_init_step,
+)
+from .vm import (
+    STATE_CREATED,
+    STATE_FAILED,
+    STATE_RUNNING,
+    STATE_STOPPED,
+    BootFailure,
+    BootTiming,
+    VirtualMachine,
+    VmError,
+)
+
+__all__ = [
+    "BootFailure",
+    "BootTiming",
+    "BootVerificationError",
+    "FirmwareError",
+    "HashTable",
+    "Hypervisor",
+    "ImageError",
+    "InitrdDescriptor",
+    "KernelBlob",
+    "LaunchAttack",
+    "STATE_CREATED",
+    "STATE_FAILED",
+    "STATE_RUNNING",
+    "STATE_STOPPED",
+    "VirtualMachine",
+    "VmError",
+    "VmImage",
+    "build_firmware",
+    "firmware_boot_check",
+    "firmware_hash_table",
+    "firmware_version",
+    "get_init_step",
+    "inject_hash_table",
+    "list_init_steps",
+    "parse_cmdline",
+    "register_init_step",
+]

@@ -1,0 +1,137 @@
+"""The virtual firmware (OVMF) with measured-direct-boot support.
+
+Models the patched OVMF of Murik & Franke's "measured direct boot"
+(paper section 2.1.2, Fig. 1): the firmware binary reserves a *hash
+table* region; at launch the hypervisor computes SHA-256 hashes of the
+kernel, initrd, and kernel command line and injects them there; the
+AMD-SP then measures the *whole* firmware image — table included — so
+the injected hashes are covered by the attestation report.  When the
+guest boots, firmware code re-hashes each blob received over fw_cfg and
+refuses to boot on any mismatch.
+
+A *malicious* firmware variant (``verify_hashes=False``) is also
+constructible — its measurement necessarily differs, which is exactly
+the defence the paper describes in section 6.1.1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto import encoding
+
+_FIRMWARE_MAGIC = "repro-ovmf"
+
+#: The version string of the stock, hash-verifying Revelio firmware.
+DEFAULT_VERSION = "revelio-ovmf-1.0"
+
+
+class FirmwareError(ValueError):
+    """Raised on malformed firmware images."""
+
+
+class BootVerificationError(RuntimeError):
+    """Raised by firmware when a measured blob does not match its table
+    entry — the VM halts instead of booting (section 2.1.2)."""
+
+
+@dataclass(frozen=True)
+class HashTable:
+    """The kernel-hashes table embedded in the firmware volume."""
+
+    kernel: bytes
+    initrd: bytes
+    cmdline: bytes
+
+    def to_dict(self) -> dict:
+        """Dict form for canonical TLV embedding."""
+        return {"kernel": self.kernel, "initrd": self.initrd, "cmdline": self.cmdline}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HashTable":
+        """Rebuild from the dict form."""
+        return cls(kernel=data["kernel"], initrd=data["initrd"], cmdline=data["cmdline"])
+
+    @classmethod
+    def for_blobs(cls, kernel: bytes, initrd: bytes, cmdline: str) -> "HashTable":
+        """Hash the direct-boot blobs the way QEMU does before injection."""
+        return cls(
+            kernel=hashlib.sha256(kernel).digest(),
+            initrd=hashlib.sha256(initrd).digest(),
+            cmdline=hashlib.sha256(cmdline.encode("utf-8")).digest(),
+        )
+
+
+def build_firmware(
+    version: str = DEFAULT_VERSION, verify_hashes: bool = True
+) -> bytes:
+    """Build a firmware *template*: code identity + an empty hash table.
+
+    ``verify_hashes=False`` yields the attacker's firmware that skips
+    the boot-time check; it is a distinct binary and therefore has a
+    distinct launch measurement.
+    """
+    return encoding.encode(
+        {
+            "magic": _FIRMWARE_MAGIC,
+            "version": version,
+            "verify_hashes": verify_hashes,
+            "hash_table": None,
+        }
+    )
+
+
+def inject_hash_table(firmware_template: bytes, table: HashTable) -> bytes:
+    """QEMU's injection step: fill the reserved table in the firmware
+    volume.  The result is what the AMD-SP measures."""
+    decoded = _decode(firmware_template)
+    decoded["hash_table"] = table.to_dict()
+    return encoding.encode(decoded)
+
+
+def firmware_version(firmware_image: bytes) -> str:
+    """The version string embedded in a firmware image."""
+    return _decode(firmware_image)["version"]
+
+
+def firmware_hash_table(firmware_image: bytes) -> Optional[HashTable]:
+    """The injected hash table, or None on a bare template."""
+    table = _decode(firmware_image)["hash_table"]
+    return HashTable.from_dict(table) if table is not None else None
+
+
+def firmware_boot_check(
+    firmware_image: bytes, kernel: bytes, initrd: bytes, cmdline: str
+) -> None:
+    """Execute the firmware's measured-direct-boot verification.
+
+    Re-hashes each blob received over fw_cfg and compares against the
+    embedded table.  Raises :class:`BootVerificationError` on mismatch
+    (honest firmware) and silently accepts anything if this firmware was
+    built without verification (the malicious variant).
+    """
+    decoded = _decode(firmware_image)
+    if not decoded["verify_hashes"]:
+        return  # malicious firmware: boots anything, but is measured as such
+    table_dict = decoded["hash_table"]
+    if table_dict is None:
+        raise BootVerificationError("hash table was never injected")
+    expected = HashTable.from_dict(table_dict)
+    actual = HashTable.for_blobs(kernel, initrd, cmdline)
+    for blob_name in ("kernel", "initrd", "cmdline"):
+        if getattr(expected, blob_name) != getattr(actual, blob_name):
+            raise BootVerificationError(
+                f"measured direct boot: {blob_name} hash mismatch; halting"
+            )
+
+
+def _decode(firmware_image: bytes) -> dict:
+    try:
+        decoded = encoding.decode(firmware_image)
+    except ValueError as exc:
+        raise FirmwareError("unreadable firmware image") from exc
+    if not isinstance(decoded, dict) or decoded.get("magic") != _FIRMWARE_MAGIC:
+        raise FirmwareError("not a firmware image")
+    return decoded

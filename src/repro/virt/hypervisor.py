@@ -1,0 +1,155 @@
+"""The (untrusted) hypervisor.
+
+Models QEMU with the SEV-SNP + measured-direct-boot patches: it loads
+the firmware template, hashes the direct-boot blobs, injects the hash
+table, asks the AMD-SP to measure and launch, and attaches the
+host-controlled disk.
+
+Because the hypervisor is *untrusted* in the threat model, this class
+also exposes every attack the paper's security analysis (section 6.1)
+considers, as explicit :class:`LaunchAttack` options and runtime
+tampering methods.  Defences live elsewhere (firmware, AMD-SP,
+dm-verity, the verifier) — the hypervisor happily executes the attacks;
+the tests and the security-matrix benchmark check that each one is
+caught downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..amd.policy import REVELIO_POLICY, GuestPolicy
+from ..amd.secure_processor import SecureProcessor
+from ..crypto.drbg import HmacDrbg
+from ..storage.blockdev import RamBlockDevice
+from .firmware import HashTable, inject_hash_table
+from .image import VmImage
+from .vm import VirtualMachine
+
+
+@dataclass
+class LaunchAttack:
+    """Host-side manipulations applied while launching a guest.
+
+    Each field corresponds to an attack from section 6.1:
+
+    * ``replace_kernel`` / ``replace_initrd`` / ``replace_cmdline`` —
+      load modified boot components (6.1.1),
+    * ``inject_expected_hashes`` — fill the firmware table with the
+      *original* image's hashes while passing the substituted blobs,
+      hoping the firmware won't notice (6.1.1, third variant),
+    * ``replace_firmware_template`` — boot a malicious OVMF that skips
+      verification (6.1.1, second variant),
+    * ``tamper_disk`` — arbitrary offline modification of the disk
+      (6.1.2), applied before the guest boots.
+    """
+
+    replace_kernel: Optional[bytes] = None
+    replace_initrd: Optional[bytes] = None
+    replace_cmdline: Optional[str] = None
+    replace_firmware_template: Optional[bytes] = None
+    inject_expected_hashes: bool = False
+    tamper_disk: Optional[Callable[[RamBlockDevice], None]] = None
+
+
+class Hypervisor:
+    """One host's VMM, bound to that host's AMD-SP."""
+
+    def __init__(self, processor: SecureProcessor, rng: Optional[HmacDrbg] = None,
+                 host_name: str = "host-0"):
+        self.processor = processor
+        self.host_name = host_name
+        self._rng = rng if rng is not None else HmacDrbg(b"hypervisor:" + host_name.encode())
+        self._launch_counter = 0
+        self.vms: List[VirtualMachine] = []
+        #: Host-side persistent storage: VM name -> its disk, surviving
+        #: guest shutdowns (how Revelio's sealed state persists).
+        self.disk_store: Dict[str, RamBlockDevice] = {}
+
+    def launch(
+        self,
+        image: VmImage,
+        policy: GuestPolicy = REVELIO_POLICY,
+        name: Optional[str] = None,
+        reuse_disk: bool = False,
+        attack: Optional[LaunchAttack] = None,
+        ip_address: Optional[str] = None,
+    ) -> VirtualMachine:
+        """Launch a guest from *image*.
+
+        With ``reuse_disk=True`` the previously stored disk for this VM
+        name is re-attached (second boot of a stateful service);
+        otherwise a fresh disk is created from the image.
+        """
+        attack = attack if attack is not None else LaunchAttack()
+        self._launch_counter += 1
+        vm_name = name if name is not None else f"{image.name}-{self._launch_counter}"
+
+        kernel = attack.replace_kernel if attack.replace_kernel is not None else image.kernel
+        initrd = attack.replace_initrd if attack.replace_initrd is not None else image.initrd
+        cmdline = (
+            attack.replace_cmdline if attack.replace_cmdline is not None else image.cmdline
+        )
+        firmware_template = (
+            attack.replace_firmware_template
+            if attack.replace_firmware_template is not None
+            else image.firmware_template
+        )
+
+        if attack.inject_expected_hashes:
+            # Lie to the firmware: advertise the honest image's hashes.
+            table = HashTable.for_blobs(image.kernel, image.initrd, image.cmdline)
+        else:
+            table = HashTable.for_blobs(kernel, initrd, cmdline)
+        firmware_image = inject_hash_table(firmware_template, table)
+
+        guest_context = self.processor.launch_vm(firmware_image, policy)
+
+        first_boot = True
+        if reuse_disk and vm_name in self.disk_store:
+            disk = self.disk_store[vm_name]
+            first_boot = False
+        else:
+            if len(image.disk_image) % image.disk_block_size:
+                raise ValueError("disk image not block aligned")
+            disk = RamBlockDevice(
+                len(image.disk_image) // image.disk_block_size,
+                image.disk_block_size,
+                initial=image.disk_image,
+            )
+        self.disk_store[vm_name] = disk
+        if attack.tamper_disk is not None:
+            attack.tamper_disk(disk)
+
+        vm = VirtualMachine(
+            name=vm_name,
+            firmware_image=firmware_image,
+            kernel=kernel,
+            initrd=initrd,
+            cmdline=cmdline,
+            disk=disk,
+            guest_context=guest_context,
+            rng=self._rng.fork(vm_name.encode() + self._launch_counter.to_bytes(4, "big")),
+            base_boot_seconds=image.base_boot_seconds(),
+            first_boot=first_boot,
+        )
+        vm.ip_address = ip_address
+        self.vms.append(vm)
+        return vm
+
+    # -- runtime host attacks -------------------------------------------------
+
+    def tamper_disk_at_runtime(self, vm: VirtualMachine, byte_offset: int,
+                               xor_mask: int = 0x01) -> None:
+        """Flip disk bits under a *running* guest (section 6.1.3): the
+        host always can — dm-verity makes the guest notice on read."""
+        vm.disk.corrupt(byte_offset, xor_mask)
+
+    def snapshot_disk(self, vm_name: str) -> bytes:
+        """Capture a disk image for a later rollback attack (6.1.4)."""
+        return self.disk_store[vm_name].snapshot()
+
+    def rollback_disk(self, vm_name: str, snapshot: bytes) -> None:
+        """Replace the stored disk with an older snapshot (6.1.4)."""
+        self.disk_store[vm_name].restore(snapshot)

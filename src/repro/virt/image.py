@@ -1,0 +1,220 @@
+"""VM image container: everything a hypervisor needs to launch a guest.
+
+Produced by the reproducible build pipeline (``repro.build``) and
+consumed by the hypervisor.  The *initrd* is a TLV descriptor listing
+the init steps the guest runs at boot — semantically it *is* the init
+code, so any change to boot behaviour changes the initrd bytes and
+therefore the measured hash (paper section 5.1.2: "the code enforcing
+the integrity protection for the rootfs is part of the initrd and the
+kernel, which are both measured").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..crypto import encoding
+
+
+class ImageError(ValueError):
+    """Raised on malformed images or initrd descriptors."""
+
+
+@dataclass(frozen=True)
+class InitrdDescriptor:
+    """The init sequence and parameters embedded in the initrd blob."""
+
+    init_steps: Tuple[str, ...]
+    parameters: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode(
+            {
+                "magic": "repro-initrd",
+                "steps": list(self.init_steps),
+                "params": dict(self.parameters),
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "InitrdDescriptor":
+        """Parse an instance back out of canonical TLV bytes."""
+        try:
+            decoded = encoding.decode(data)
+        except ValueError as exc:
+            raise ImageError("unreadable initrd") from exc
+        if not isinstance(decoded, dict) or decoded.get("magic") != "repro-initrd":
+            raise ImageError("not an initrd descriptor")
+        return cls(
+            init_steps=tuple(decoded["steps"]),
+            parameters=dict(decoded["params"]),
+        )
+
+
+@dataclass(frozen=True)
+class KernelBlob:
+    """The kernel image: identity + feature flags (content-addressed)."""
+
+    name: str
+    version: str
+    features: Tuple[str, ...] = ()
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode(
+            {
+                "magic": "repro-kernel",
+                "name": self.name,
+                "version": self.version,
+                "features": list(self.features),
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "KernelBlob":
+        """Parse an instance back out of canonical TLV bytes."""
+        try:
+            decoded = encoding.decode(data)
+        except ValueError as exc:
+            raise ImageError("unreadable kernel blob") from exc
+        if not isinstance(decoded, dict) or decoded.get("magic") != "repro-kernel":
+            raise ImageError("not a kernel blob")
+        return cls(
+            name=decoded["name"],
+            version=decoded["version"],
+            features=tuple(decoded["features"]),
+        )
+
+
+def parse_cmdline(cmdline: str) -> Dict[str, str]:
+    """Parse ``key=value`` kernel command-line arguments (bare words map
+    to the empty string)."""
+    arguments: Dict[str, str] = {}
+    for token in cmdline.split():
+        key, _, value = token.partition("=")
+        arguments[key] = value
+    return arguments
+
+
+@dataclass(frozen=True)
+class VmImage:
+    """A complete, launch-ready Revelio VM image."""
+
+    name: str
+    version: str
+    firmware_template: bytes
+    kernel: bytes
+    initrd: bytes
+    cmdline: str
+    disk_image: bytes
+    disk_block_size: int = 4096
+    #: Simulated cost (seconds) of the image's non-Revelio system
+    #: services during boot — the denominator of Table 1's overhead %.
+    base_boot_services: Tuple[Tuple[str, float], ...] = ()
+
+    def initrd_descriptor(self) -> InitrdDescriptor:
+        """Parse the initrd blob."""
+        return InitrdDescriptor.decode(self.initrd)
+
+    def kernel_blob(self) -> KernelBlob:
+        """Parse the kernel blob."""
+        return KernelBlob.decode(self.kernel)
+
+    def cmdline_args(self) -> Dict[str, str]:
+        """Parsed kernel command-line arguments."""
+        return parse_cmdline(self.cmdline)
+
+    def base_boot_seconds(self) -> float:
+        """Total simulated base-service boot cost."""
+        return sum(duration for _, duration in self.base_boot_services)
+
+    def encode(self) -> bytes:
+        """Serialise the image for distribution / on-disk storage."""
+        return encoding.encode(
+            {
+                "magic": "repro-vm-image",
+                "name": self.name,
+                "version": self.version,
+                "firmware": self.firmware_template,
+                "kernel": self.kernel,
+                "initrd": self.initrd,
+                "cmdline": self.cmdline,
+                "disk": self.disk_image,
+                "block_size": self.disk_block_size,
+                "base_boot": [
+                    [name, int(duration * 1_000_000)]
+                    for name, duration in self.base_boot_services
+                ],
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "VmImage":
+        """Parse an instance back out of canonical TLV bytes."""
+        try:
+            decoded = encoding.decode(data)
+        except ValueError as exc:
+            raise ImageError("unreadable VM image") from exc
+        if not isinstance(decoded, dict) or decoded.get("magic") != "repro-vm-image":
+            raise ImageError("not a VM image")
+        return cls(
+            name=decoded["name"],
+            version=decoded["version"],
+            firmware_template=decoded["firmware"],
+            kernel=decoded["kernel"],
+            initrd=decoded["initrd"],
+            cmdline=decoded["cmdline"],
+            disk_image=decoded["disk"],
+            disk_block_size=decoded["block_size"],
+            base_boot_services=tuple(
+                (name, micros / 1_000_000) for name, micros in decoded["base_boot"]
+            ),
+        )
+
+
+#: Init steps registry: the build names steps in the initrd descriptor;
+#: packages register implementations here (repro.core registers the
+#: Revelio services).  Maps name -> callable(vm) -> None.
+INIT_STEP_REGISTRY: Dict[str, "InitStep"] = {}
+
+
+class InitStep:
+    """A named guest init step executed during :meth:`VirtualMachine.boot`."""
+
+    def __init__(self, name: str, run):
+        self.name = name
+        self.run = run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InitStep({self.name!r})"
+
+
+def register_init_step(name: str):
+    """Decorator: register an init-step implementation under *name*."""
+
+    def decorator(fn):
+        INIT_STEP_REGISTRY[name] = InitStep(name, fn)
+        return fn
+
+    return decorator
+
+
+def get_init_step(name: str) -> InitStep:
+    """Look up a registered init step (loads the standard steps lazily)."""
+    if name not in INIT_STEP_REGISTRY:
+        # The standard Revelio steps live in repro.core.guest; load them
+        # on first use so boots work regardless of import order.
+        import importlib
+
+        importlib.import_module("repro.core.guest")
+    try:
+        return INIT_STEP_REGISTRY[name]
+    except KeyError:
+        raise ImageError(f"unknown init step {name!r} (kernel panic)") from None
+
+
+def list_init_steps() -> List[str]:
+    """Names of all registered init steps."""
+    return sorted(INIT_STEP_REGISTRY)

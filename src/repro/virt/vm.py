@@ -1,0 +1,155 @@
+"""Guest virtual machine lifecycle.
+
+A :class:`VirtualMachine` is what the hypervisor launches: it holds the
+blobs the hypervisor *actually passed* (which a malicious host may have
+substituted), the AMD-SP guest context fixed at launch, and the
+host-controlled disk.  :meth:`boot` executes the guest side of measured
+direct boot — the firmware hash check, then the init steps named by the
+initrd descriptor (dm-verity rootfs setup, dm-crypt, identity creation,
+network lockdown ... registered by ``repro.core.guest``).
+
+Boot timings are recorded per init step; Table 1 of the paper is
+regenerated from exactly these numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..amd.secure_processor import GuestContext
+from ..crypto.drbg import HmacDrbg
+from ..storage.blockdev import RamBlockDevice
+from .firmware import firmware_boot_check
+from .image import InitrdDescriptor, KernelBlob, get_init_step, parse_cmdline
+
+STATE_CREATED = "created"
+STATE_RUNNING = "running"
+STATE_FAILED = "failed"
+STATE_STOPPED = "stopped"
+
+
+class VmError(RuntimeError):
+    """Raised on invalid VM lifecycle operations."""
+
+
+class BootFailure(VmError):
+    """The VM refused to boot (measured-boot or init-step failure)."""
+
+
+@dataclass
+class BootTiming:
+    """Wall-clock cost of one init step, for the Table 1 benchmark."""
+
+    step: str
+    seconds: float
+
+
+class VirtualMachine:
+    """One launched guest."""
+
+    def __init__(
+        self,
+        name: str,
+        firmware_image: bytes,
+        kernel: bytes,
+        initrd: bytes,
+        cmdline: str,
+        disk: RamBlockDevice,
+        guest_context: GuestContext,
+        rng: HmacDrbg,
+        base_boot_seconds: float = 0.0,
+        first_boot: bool = True,
+    ):
+        self.name = name
+        self.firmware_image = firmware_image
+        self.kernel = kernel
+        self.initrd = initrd
+        self.cmdline = cmdline
+        self.disk = disk
+        self.guest = guest_context
+        self.rng = rng
+        self.state = STATE_CREATED
+        self.first_boot = first_boot
+        self.base_boot_seconds = base_boot_seconds
+        self.boot_timings: List[BootTiming] = []
+        self.boot_error: Optional[str] = None
+
+        # Populated by init steps during boot:
+        self.cmdline_args: Dict[str, str] = {}
+        self.initrd_params: Dict[str, str] = {}
+        self.rootfs = None  # FileSystem on the verity device
+        self.storage: Dict[str, Any] = {}  # opened devices by role
+        self.services: Dict[str, Any] = {}  # app services by name
+        self.identity: Optional[Any] = None  # VmIdentity from core.guest
+        self.firewall = None  # core.guest installs the network lockdown
+        self.ip_address: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(self) -> None:
+        """Run the guest boot sequence; raises :class:`BootFailure` and
+        moves to the failed state on any verification error."""
+        if self.state != STATE_CREATED:
+            raise VmError(f"cannot boot a VM in state {self.state!r}")
+        try:
+            self._boot_sequence()
+        except Exception as exc:
+            # Any verification or init failure terminates the launch
+            # (section 5.2.1: "otherwise, the VM's launching is terminated").
+            self.state = STATE_FAILED
+            self.boot_error = str(exc)
+            raise BootFailure(str(exc)) from exc
+        self.state = STATE_RUNNING
+
+    def _boot_sequence(self) -> None:
+        # 1. Firmware: measured direct boot verification of the blobs the
+        #    hypervisor handed over fw_cfg.
+        firmware_boot_check(self.firmware_image, self.kernel, self.initrd, self.cmdline)
+        # 2. Kernel + initrd parse ("loading" them).
+        KernelBlob.decode(self.kernel)
+        descriptor = InitrdDescriptor.decode(self.initrd)
+        self.cmdline_args = parse_cmdline(self.cmdline)
+        self.initrd_params = dict(descriptor.parameters)
+        # 3. Init: run each step named by the (measured) initrd.
+        for step_name in descriptor.init_steps:
+            step = get_init_step(step_name)
+            started = time.perf_counter()
+            step.run(self)
+            self.boot_timings.append(
+                BootTiming(step=step_name, seconds=time.perf_counter() - started)
+            )
+
+    def shutdown(self) -> None:
+        """Stop the VM: the guest context dies, the disk persists on the
+        host (and is re-attached at the next launch)."""
+        if self.state not in (STATE_RUNNING, STATE_FAILED):
+            raise VmError(f"cannot shut down a VM in state {self.state!r}")
+        self.guest.terminate()
+        self.state = STATE_STOPPED
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def measurement(self) -> bytes:
+        """The launch measurement fixed by the AMD-SP."""
+        return self.guest.measurement
+
+    def boot_timing(self, step: str) -> float:
+        """Seconds spent in the named init step during boot."""
+        for timing in self.boot_timings:
+            if timing.step == step:
+                return timing.seconds
+        raise VmError(f"no timing recorded for step {step!r}")
+
+    def total_boot_seconds(self) -> float:
+        """Measured Revelio init cost + the image's simulated base
+        services — the denominator used for Table 1's overhead column."""
+        measured = sum(timing.seconds for timing in self.boot_timings)
+        return measured + self.base_boot_seconds
+
+    def require_running(self) -> None:
+        """Raise unless the VM is running."""
+        if self.state != STATE_RUNNING:
+            raise VmError(f"VM {self.name!r} is not running (state={self.state})")

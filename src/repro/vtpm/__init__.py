@@ -1,0 +1,40 @@
+"""Optional vTPM-based runtime monitoring (the e-vTPM extension the
+paper's related work points at)."""
+
+from .monitoring import (
+    MonitoringEvidence,
+    RuntimeMonitor,
+    measure_service_start,
+    produce_evidence,
+    vm_vtpm,
+)
+from .vtpm import (
+    NUM_PCRS,
+    PCR_CONFIG,
+    PCR_SERVICES,
+    EventLogEntry,
+    Quote,
+    Vtpm,
+    VtpmError,
+    decode_event_log,
+    replay_event_log,
+    verify_quote_against_log,
+)
+
+__all__ = [
+    "EventLogEntry",
+    "MonitoringEvidence",
+    "NUM_PCRS",
+    "PCR_CONFIG",
+    "PCR_SERVICES",
+    "Quote",
+    "RuntimeMonitor",
+    "Vtpm",
+    "VtpmError",
+    "decode_event_log",
+    "measure_service_start",
+    "produce_evidence",
+    "replay_event_log",
+    "verify_quote_against_log",
+    "vm_vtpm",
+]

@@ -1,0 +1,205 @@
+"""An ephemeral vTPM for runtime monitoring of Revelio VMs.
+
+The paper's design deliberately has *no* runtime monitoring — it locks
+the system down instead (F4) — but its related-work section points at
+Narayanan et al.'s SEV-SNP e-vTPM as a compatible extension.  This
+module implements that extension:
+
+* a software TPM with SHA-256 PCR banks and a measured event log,
+* an **attestation key (AK)** generated inside the guest and endorsed
+  by the AMD-SP — a report whose ``REPORT_DATA`` binds the AK public
+  key, rooting the vTPM in the hardware RoT,
+* signed **quotes** over selected PCRs with verifier-supplied nonces,
+* verifier-side event-log replay: the expected PCR values are recomputed
+  from the log and compared against the quoted ones, so any unlogged
+  or out-of-order runtime event is detected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..crypto import encoding
+from ..crypto.drbg import HmacDrbg
+from ..crypto.ec import P256
+from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+
+NUM_PCRS = 24
+_DIGEST_SIZE = 32
+
+#: Conventional PCR assignments for Revelio runtime events.
+PCR_SERVICES = 8  # application service starts
+PCR_CONFIG = 9  # runtime configuration changes
+
+
+class VtpmError(RuntimeError):
+    """Invalid vTPM operations or failed quote verification."""
+
+
+@dataclass(frozen=True)
+class EventLogEntry:
+    """One measured runtime event."""
+
+    pcr_index: int
+    digest: bytes
+    description: str
+
+    def to_dict(self) -> dict:
+        """Dict form for canonical TLV embedding."""
+        return {
+            "pcr": self.pcr_index,
+            "digest": self.digest,
+            "desc": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EventLogEntry":
+        """Rebuild from the dict form."""
+        return cls(
+            pcr_index=data["pcr"], digest=data["digest"], description=data["desc"]
+        )
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed snapshot of selected PCRs."""
+
+    nonce: bytes
+    pcr_values: Tuple[Tuple[int, bytes], ...]
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        """The canonical byte string covered by the signature."""
+        return encoding.encode(
+            {
+                "nonce": self.nonce,
+                "pcrs": [[index, value] for index, value in self.pcr_values],
+            }
+        )
+
+    def verify(self, attestation_key: EcdsaPublicKey) -> bool:
+        """Check the signature; True if it verifies."""
+        if not self.signature:
+            return False
+        return attestation_key.verify(self.signed_payload(), self.signature)
+
+    def pcr_map(self) -> Dict[int, bytes]:
+        """The quoted PCRs as a dict."""
+        return dict(self.pcr_values)
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes."""
+        return encoding.encode(
+            {"payload": self.signed_payload(), "sig": self.signature}
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Quote":
+        """Parse an instance back out of canonical TLV bytes."""
+        outer = encoding.decode(data)
+        payload = encoding.decode(outer["payload"])
+        return cls(
+            nonce=payload["nonce"],
+            pcr_values=tuple((index, value) for index, value in payload["pcrs"]),
+            signature=outer["sig"],
+        )
+
+
+class Vtpm:
+    """One guest's vTPM instance."""
+
+    def __init__(self, rng: HmacDrbg):
+        self._pcrs: List[bytes] = [b"\x00" * _DIGEST_SIZE for _ in range(NUM_PCRS)]
+        self.event_log: List[EventLogEntry] = []
+        self.attestation_key = EcdsaPrivateKey.generate(P256, rng)
+
+    @property
+    def ak_public(self) -> EcdsaPublicKey:
+        """The vTPM attestation key's public half."""
+        return self.attestation_key.public_key()
+
+    def read_pcr(self, index: int) -> bytes:
+        """Current value of the indexed PCR."""
+        self._check_index(index)
+        return self._pcrs[index]
+
+    def extend(self, index: int, digest: bytes, description: str = "") -> None:
+        """PCR extend + event log append."""
+        self._check_index(index)
+        if len(digest) != _DIGEST_SIZE:
+            raise VtpmError("extend digest must be 32 bytes")
+        self._pcrs[index] = hashlib.sha256(self._pcrs[index] + digest).digest()
+        self.event_log.append(
+            EventLogEntry(pcr_index=index, digest=digest, description=description)
+        )
+
+    def measure_event(self, index: int, data: bytes, description: str) -> None:
+        """Hash arbitrary event data and extend."""
+        self.extend(index, hashlib.sha256(data).digest(), description)
+
+    def quote(self, nonce: bytes, pcr_indices: Sequence[int]) -> Quote:
+        """Produce a signed quote over the selected PCRs."""
+        for index in pcr_indices:
+            self._check_index(index)
+        unsigned = Quote(
+            nonce=nonce,
+            pcr_values=tuple(
+                (index, self._pcrs[index]) for index in sorted(set(pcr_indices))
+            ),
+        )
+        from dataclasses import replace
+
+        return replace(
+            unsigned,
+            signature=self.attestation_key.sign(unsigned.signed_payload()),
+        )
+
+    def encoded_event_log(self) -> bytes:
+        """The event log in canonical TLV form."""
+        return encoding.encode([entry.to_dict() for entry in self.event_log])
+
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not (0 <= index < NUM_PCRS):
+            raise VtpmError(f"PCR index {index} out of range")
+
+
+def decode_event_log(data: bytes) -> List[EventLogEntry]:
+    """Parse an event log from canonical TLV bytes."""
+    decoded = encoding.decode(data)
+    return [EventLogEntry.from_dict(entry) for entry in decoded]
+
+
+def replay_event_log(entries: Iterable[EventLogEntry]) -> Dict[int, bytes]:
+    """Recompute the PCR values an honest vTPM would hold after *entries*."""
+    pcrs: Dict[int, bytes] = {}
+    for entry in entries:
+        if not (0 <= entry.pcr_index < NUM_PCRS):
+            raise VtpmError("event log references an invalid PCR")
+        current = pcrs.get(entry.pcr_index, b"\x00" * _DIGEST_SIZE)
+        pcrs[entry.pcr_index] = hashlib.sha256(current + entry.digest).digest()
+    return pcrs
+
+
+def verify_quote_against_log(
+    quote: Quote,
+    event_log: Sequence[EventLogEntry],
+    attestation_key: EcdsaPublicKey,
+    expected_nonce: bytes,
+) -> None:
+    """Full verifier-side check: signature, nonce freshness, and
+    PCR-vs-log consistency.  Raises :class:`VtpmError` on any failure."""
+    if quote.nonce != expected_nonce:
+        raise VtpmError("quote nonce mismatch (replay?)")
+    if not quote.verify(attestation_key):
+        raise VtpmError("quote signature invalid")
+    replayed = replay_event_log(event_log)
+    for index, value in quote.pcr_values:
+        expected = replayed.get(index, b"\x00" * _DIGEST_SIZE)
+        if value != expected:
+            raise VtpmError(
+                f"PCR {index} does not match the event log "
+                "(unlogged runtime event detected)"
+            )

@@ -1,0 +1,164 @@
+"""Attestation report structure and signature tests."""
+
+import pytest
+
+from repro.amd.policy import GuestPolicy
+from repro.amd.report import (
+    REPORT_VERSION,
+    SIGNATURE_ALGO_ECDSA_P384_SHA384,
+    AttestationReport,
+    ReportError,
+)
+from repro.amd.tcb import TcbVersion
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import P384
+from repro.crypto.ecdsa import EcdsaPrivateKey
+
+
+@pytest.fixture(scope="module")
+def vcek():
+    return EcdsaPrivateKey.generate(P384, HmacDrbg(b"vcek"))
+
+
+@pytest.fixture
+def report():
+    return AttestationReport(
+        version=REPORT_VERSION,
+        guest_svn=1,
+        policy=GuestPolicy(abi_major=1, abi_minor=51),
+        family_id=b"\x01" * 16,
+        image_id=b"\x02" * 16,
+        vmpl=0,
+        signature_algo=SIGNATURE_ALGO_ECDSA_P384_SHA384,
+        current_tcb=TcbVersion(3, 0, 8, 115),
+        platform_info=0,
+        report_data=b"\x03" * 64,
+        measurement=b"\x04" * 48,
+        host_data=b"\x05" * 32,
+        id_key_digest=b"\x00" * 48,
+        report_id=b"\x06" * 32,
+        reported_tcb=TcbVersion(3, 0, 8, 115),
+        chip_id=b"\x07" * 64,
+    )
+
+
+class TestWireFormat:
+    def test_round_trip(self, report, vcek):
+        signed = report.sign(vcek)
+        assert AttestationReport.decode(signed.encode()) == signed
+
+    def test_unsigned_cannot_encode(self, report):
+        with pytest.raises(ReportError):
+            report.encode()
+
+    def test_wrong_size_rejected(self, report, vcek):
+        data = report.sign(vcek).encode()
+        with pytest.raises(ReportError):
+            AttestationReport.decode(data[:-1])
+        with pytest.raises(ReportError):
+            AttestationReport.decode(data + b"\x00")
+
+    @pytest.mark.parametrize(
+        "field_name,size",
+        [
+            ("report_data", 64),
+            ("measurement", 48),
+            ("chip_id", 64),
+            ("host_data", 32),
+            ("report_id", 32),
+            ("family_id", 16),
+            ("image_id", 16),
+        ],
+    )
+    def test_field_sizes_enforced(self, report, field_name, size):
+        from dataclasses import replace
+
+        with pytest.raises(ReportError):
+            replace(report, **{field_name: b"\x00" * (size - 1)})
+
+    def test_policy_survives_round_trip(self, report, vcek):
+        from dataclasses import replace
+
+        debug = replace(
+            report, policy=GuestPolicy(abi_major=1, abi_minor=51, debug_allowed=True)
+        ).sign(vcek)
+        decoded = AttestationReport.decode(debug.encode())
+        assert decoded.policy.debug_allowed
+
+
+class TestSignature:
+    def test_sign_verify(self, report, vcek):
+        signed = report.sign(vcek)
+        assert signed.verify_signature(vcek.public_key())
+
+    def test_unsigned_does_not_verify(self, report, vcek):
+        assert not report.verify_signature(vcek.public_key())
+
+    def test_wrong_key_rejected(self, report, vcek):
+        other = EcdsaPrivateKey.generate(P384, HmacDrbg(b"other"))
+        assert not report.sign(vcek).verify_signature(other.public_key())
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"measurement": b"\xaa" * 48},
+            {"report_data": b"\xbb" * 64},
+            {"chip_id": b"\xcc" * 64},
+            {"guest_svn": 99},
+            {"vmpl": 3},
+        ],
+    )
+    def test_any_field_mutation_breaks_signature(self, report, vcek, mutation):
+        from dataclasses import replace
+
+        signed = report.sign(vcek)
+        tampered = replace(signed, **mutation)
+        assert not tampered.verify_signature(vcek.public_key())
+
+    def test_tcb_mutation_breaks_signature(self, report, vcek):
+        from dataclasses import replace
+
+        signed = report.sign(vcek)
+        tampered = replace(signed, reported_tcb=TcbVersion(0, 0, 0, 0))
+        assert not tampered.verify_signature(vcek.public_key())
+
+
+class TestTcbVersion:
+    def test_codec(self):
+        tcb = TcbVersion(1, 2, 3, 4)
+        assert TcbVersion.decode(tcb.encode()) == tcb
+
+    def test_at_least(self):
+        assert TcbVersion(3, 0, 8, 115).at_least(TcbVersion(3, 0, 8, 100))
+        assert not TcbVersion(3, 0, 8, 99).at_least(TcbVersion(3, 0, 8, 100))
+        # Mixed: one component newer, one older -> not at_least either way.
+        assert not TcbVersion(4, 0, 7, 100).at_least(TcbVersion(3, 0, 8, 100))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            TcbVersion(256, 0, 0, 0)
+
+    def test_bad_decode_size(self):
+        with pytest.raises(ValueError):
+            TcbVersion.decode(b"\x00" * 7)
+
+
+class TestGuestPolicy:
+    def test_qword_round_trip(self):
+        policy = GuestPolicy(
+            abi_major=1,
+            abi_minor=51,
+            smt_allowed=False,
+            migrate_ma_allowed=True,
+            debug_allowed=True,
+            single_socket_required=True,
+        )
+        assert GuestPolicy.decode_qword(policy.encode_qword()) == policy
+
+    def test_debug_bit_position(self):
+        assert GuestPolicy(debug_allowed=True).encode_qword() & (1 << 19)
+        assert not GuestPolicy().encode_qword() & (1 << 19)
+
+    def test_abi_out_of_range(self):
+        with pytest.raises(ValueError):
+            GuestPolicy(abi_major=300)

@@ -1,0 +1,141 @@
+"""AMD-SP behaviour: launch measurement, report issuance, sealing keys."""
+
+import pytest
+
+from repro.amd.policy import REVELIO_POLICY, GuestPolicy
+from repro.amd.report import ReportError
+from repro.amd.secure_processor import AmdKeyInfrastructure, SevError
+from repro.amd.tcb import TcbVersion
+from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture
+def amd():
+    return AmdKeyInfrastructure(HmacDrbg(b"amd-tests"))
+
+
+@pytest.fixture
+def chip(amd):
+    return amd.provision_chip("serial-0001")
+
+
+class TestProvisioning:
+    def test_chip_ids_unique(self, amd):
+        first = amd.provision_chip("serial-a")
+        second = amd.provision_chip("serial-b")
+        assert first.chip_id != second.chip_id
+        assert len(first.chip_id) == 64
+
+    def test_amd_knows_its_chips(self, amd, chip):
+        assert amd.knows_chip(chip.chip_id)
+        assert not amd.knows_chip(b"\x00" * 64)
+
+    def test_vcek_public_matches_chip_private(self, amd, chip):
+        derived = amd.vcek_public_key(chip.chip_id, chip.current_tcb)
+        assert derived == chip.vcek_private().public_key()
+
+    def test_unknown_chip_rejected(self, amd):
+        with pytest.raises(SevError):
+            amd.vcek_public_key(b"\x00" * 64, TcbVersion())
+
+    def test_vcek_changes_with_tcb(self, chip):
+        old = chip.vcek_private(TcbVersion(1, 0, 0, 0))
+        new = chip.vcek_private(TcbVersion(2, 0, 0, 0))
+        assert old.d != new.d
+
+
+class TestLaunchMeasurement:
+    def test_same_state_same_measurement(self, chip):
+        first = chip.launch_vm(b"firmware-image", REVELIO_POLICY)
+        second = chip.launch_vm(b"firmware-image", REVELIO_POLICY)
+        assert first.measurement == second.measurement
+
+    def test_state_change_changes_measurement(self, chip):
+        first = chip.launch_vm(b"firmware-image", REVELIO_POLICY)
+        second = chip.launch_vm(b"firmware-imagf", REVELIO_POLICY)
+        assert first.measurement != second.measurement
+
+    def test_policy_change_changes_measurement(self, chip):
+        first = chip.launch_vm(b"fw", REVELIO_POLICY)
+        second = chip.launch_vm(b"fw", GuestPolicy(debug_allowed=True))
+        assert first.measurement != second.measurement
+
+    def test_measurement_is_sha384_sized(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        assert len(guest.measurement) == 48
+
+    def test_cross_chip_measurement_identical(self, amd):
+        # The launch digest depends only on guest state, not the chip —
+        # that's what makes golden measurements portable across platforms.
+        a = amd.provision_chip("chip-a").launch_vm(b"fw", REVELIO_POLICY)
+        b = amd.provision_chip("chip-b").launch_vm(b"fw", REVELIO_POLICY)
+        assert a.measurement == b.measurement
+
+    def test_report_ids_unique_per_launch(self, chip):
+        first = chip.launch_vm(b"fw", REVELIO_POLICY)
+        second = chip.launch_vm(b"fw", REVELIO_POLICY)
+        assert first.report_id != second.report_id
+
+
+class TestReports:
+    def test_report_reflects_guest(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        report = guest.get_report(b"\xab" * 64)
+        assert report.measurement == guest.measurement
+        assert report.report_data == b"\xab" * 64
+        assert report.chip_id == chip.chip_id
+        assert report.verify_signature(chip.vcek_private().public_key())
+
+    def test_report_data_size_enforced(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        with pytest.raises(ReportError):
+            guest.get_report(b"short")
+
+    def test_terminated_guest_cannot_report(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        guest.terminate()
+        with pytest.raises(SevError):
+            guest.get_report(b"\x00" * 64)
+
+
+class TestSealing:
+    def test_same_measurement_same_key(self, chip):
+        first = chip.launch_vm(b"fw", REVELIO_POLICY)
+        second = chip.launch_vm(b"fw", REVELIO_POLICY)
+        assert first.derive_sealing_key() == second.derive_sealing_key()
+
+    def test_different_measurement_different_key(self, chip):
+        good = chip.launch_vm(b"fw", REVELIO_POLICY)
+        evil = chip.launch_vm(b"tampered-fw", REVELIO_POLICY)
+        assert good.derive_sealing_key() != evil.derive_sealing_key()
+
+    def test_different_chip_different_key(self, amd):
+        a = amd.provision_chip("chip-a").launch_vm(b"fw", REVELIO_POLICY)
+        b = amd.provision_chip("chip-b").launch_vm(b"fw", REVELIO_POLICY)
+        assert a.derive_sealing_key() != b.derive_sealing_key()
+
+    def test_context_separates_keys(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        assert guest.derive_sealing_key(b"disk") != guest.derive_sealing_key(b"tls")
+
+    def test_policy_bound(self, chip):
+        strict = chip.launch_vm(b"fw", REVELIO_POLICY)
+        debug = chip.launch_vm(b"fw", GuestPolicy(debug_allowed=True))
+        # Different policy -> different measurement AND different key.
+        assert strict.derive_sealing_key() != debug.derive_sealing_key()
+
+    def test_terminated_guest_cannot_derive(self, chip):
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        guest.terminate()
+        with pytest.raises(SevError):
+            guest.derive_sealing_key()
+
+
+class TestTcbUpdates:
+    def test_upgrade_allowed(self, chip):
+        chip.update_tcb(TcbVersion(4, 0, 9, 120))
+        assert chip.current_tcb == TcbVersion(4, 0, 9, 120)
+
+    def test_downgrade_rejected(self, chip):
+        with pytest.raises(SevError):
+            chip.update_tcb(TcbVersion(0, 0, 0, 0))

@@ -1,0 +1,167 @@
+"""CryptPad use case: E2EE pads on a Revelio VM (paper §4.1)."""
+
+import pytest
+
+from repro.apps import CryptPadClient, CryptPadError, CryptPadServer
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.crypto.drbg import HmacDrbg
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def world(registry_and_pins):
+    registry, pins = registry_and_pins
+    build = build_revelio_image(
+        make_spec(registry, pins, name="cryptpad", data_volume_blocks=64)
+    )
+    deployment = RevelioDeployment(
+        build, num_nodes=1, latency=ZERO_LATENCY, seed=b"cp-deploy"
+    )
+    server = CryptPadServer()
+    deployment.launch_fleet(app_factory=server.install)
+    deployment.create_sp_node()
+    deployment.provision_certificates()
+    return deployment, server
+
+
+@pytest.fixture
+def user(world):
+    deployment, _ = world
+    index = getattr(user, "_counter", 0)
+    user._counter = index + 1
+    browser, _ = deployment.make_user(f"cp-user-{index}", f"10.2.2.{index + 1}")
+    browser.navigate(f"https://{deployment.domain}/")  # attest first
+    return CryptPadClient(
+        browser.client,
+        f"https://{deployment.domain}",
+        HmacDrbg(f"cp-client-{index}".encode()),
+    )
+
+
+class TestPads:
+    def test_create_append_read(self, world, user):
+        user.create_pad("meeting-notes")
+        user.append("meeting-notes", "agenda: secure the cloud")
+        user.append("meeting-notes", "action: deploy revelio")
+        assert user.read("meeting-notes") == [
+            "agenda: secure the cloud",
+            "action: deploy revelio",
+        ]
+
+    def test_collaboration_via_shared_key(self, world, user):
+        deployment, _ = world
+        key = user.create_pad("shared-doc")
+        user.append("shared-doc", "alice writes this")
+
+        browser, _ = deployment.make_user("cp-bob", "10.2.2.99")
+        browser.navigate(f"https://{deployment.domain}/")
+        bob = CryptPadClient(
+            browser.client, f"https://{deployment.domain}", HmacDrbg(b"bob")
+        )
+        bob.open_pad("shared-doc", key)
+        assert bob.read("shared-doc") == ["alice writes this"]
+        bob.append("shared-doc", "bob replies")
+        assert user.read("shared-doc")[-1] == "bob replies"
+
+    def test_wrong_key_cannot_read(self, world, user):
+        user.create_pad("private")
+        user.append("private", "secret")
+        eve = CryptPadClient(
+            user._http, f"https://{world[0].domain}", HmacDrbg(b"eve")
+        )
+        eve.open_pad("private", b"\x00" * 32)
+        with pytest.raises(CryptPadError, match="authentication"):
+            eve.read("private")
+
+    def test_duplicate_pad_rejected(self, world, user):
+        user.create_pad("dup")
+        with pytest.raises(CryptPadError):
+            user.create_pad("dup")
+
+    def test_missing_pad(self, world, user):
+        user.open_pad("ghost", b"\x11" * 32)
+        with pytest.raises(CryptPadError):
+            user.read("ghost")
+        with pytest.raises(CryptPadError):
+            user.append("ghost", "x")
+
+    def test_no_key_no_access(self, world, user):
+        with pytest.raises(CryptPadError, match="no key"):
+            user.read("never-opened")
+
+
+class TestServerBlindness:
+    def test_server_sees_only_ciphertext(self, world, user):
+        _, server = world
+        user.create_pad("blind-test")
+        plaintext = "the server must never see this"
+        user.append("blind-test", plaintext)
+        stored = server.snoop_ciphertexts("blind-test")
+        assert len(stored) == 1
+        assert plaintext.encode() not in stored[0]
+
+    def test_pads_persisted_on_sealed_volume(self, world, user):
+        deployment, server = world
+        user.create_pad("persistent")
+        user.append("persistent", "survives reboots")
+        # The raw data volume on the host carries only dm-crypt output.
+        deployed = deployment.nodes[0]
+        from repro.storage.partition import PartitionTable
+
+        table = PartitionTable.read_from(deployed.vm.disk)
+        data_part = table.open(deployed.vm.disk, "data")
+        raw = b"".join(
+            data_part.read_block(i) for i in range(data_part.num_blocks)
+        )
+        assert b"survives reboots" not in raw
+
+    def test_app_shell_served_from_measured_rootfs(self, world):
+        deployment, _ = world
+        browser, _ = deployment.make_user("cp-shell", "10.2.2.98")
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert b"e2ee client code" in result.response.body
+
+
+class TestReboot:
+    def test_pads_survive_reboot_of_identical_image(self, registry_and_pins):
+        registry, pins = registry_and_pins
+        build = build_revelio_image(
+            make_spec(registry, pins, name="cryptpad", data_volume_blocks=64)
+        )
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"cp-reboot"
+        )
+        server = CryptPadServer()
+        deployment.launch_fleet(app_factory=server.install)
+        deployment.create_sp_node()
+        deployment.provision_certificates()
+        browser, _ = deployment.make_user("cp-r", "10.2.2.97")
+        browser.navigate(f"https://{deployment.domain}/")
+        client = CryptPadClient(
+            browser.client, f"https://{deployment.domain}", HmacDrbg(b"r")
+        )
+        key = client.create_pad("diary")
+        client.append("diary", "entry one")
+
+        deployed = deployment.nodes[0]
+        deployed.vm.shutdown()
+        vm2 = deployed.hypervisor.launch(
+            build.image, name=deployed.vm.name, reuse_disk=True
+        )
+        vm2.boot()
+
+        # A fresh server instance on the rebooted VM reloads the pads
+        # from the sealed volume.
+        reloaded = CryptPadServer()
+        reloaded._storage = vm2.storage["data"]
+        reloaded._load()
+        assert reloaded.snoop_ciphertexts("diary") != []
+        # And the pad still decrypts with the original client key.
+        ops = reloaded.snoop_ciphertexts("diary")
+        from repro.crypto.modes import AeadCipher
+
+        nonce, ciphertext = ops[0][:12], ops[0][12:]
+        plaintext = AeadCipher(key).open(nonce, ciphertext, aad=b"diary")
+        assert plaintext == b"entry one"

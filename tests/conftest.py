@@ -1,0 +1,88 @@
+"""Shared fixtures: a pinned package registry and built Revelio images."""
+
+import pytest
+
+from repro.build import ImageSpec, Package, PackagePin, PackageRegistry, build_revelio_image
+from repro.crypto.drbg import HmacDrbg
+
+
+def make_registry():
+    """A registry with the software the use-case images install."""
+    registry = PackageRegistry()
+    pins = {}
+    catalogue = [
+        Package.create(
+            "nginx",
+            "1.24.0",
+            files={
+                "/usr/sbin/nginx": b"\x7fELF-nginx" + b"n" * 2000,
+                "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+            },
+            build_files={"/usr/include/nginx.h": b"#define NGINX"},
+        ),
+        Package.create(
+            "cryptpad-server",
+            "5.2.1",
+            files={
+                "/opt/cryptpad/server.js": b"// cryptpad server " + b"c" * 3000,
+                "/opt/cryptpad/www/app.js": b"// e2ee client code " + b"a" * 1500,
+            },
+        ),
+        Package.create(
+            "ic-boundary-node",
+            "0.9.0",
+            files={
+                "/opt/ic/boundary-node": b"\x7fELF-bn" + b"b" * 4000,
+                "/opt/ic/service-worker.js": b"// ic service worker " + b"s" * 1000,
+            },
+        ),
+        Package.create(
+            "revelio-agent",
+            "1.0.0",
+            files={
+                "/usr/bin/revelio-agent": b"\x7fELF-agent" + b"r" * 1000,
+            },
+        ),
+    ]
+    for package in catalogue:
+        digest = registry.publish(package)
+        pins[package.name] = PackagePin(package.name, package.version, digest)
+    return registry, pins
+
+
+@pytest.fixture(scope="session")
+def registry_and_pins():
+    return make_registry()
+
+
+def make_spec(registry, pins, name="boundary-node", init_steps=None, **overrides):
+    """An ImageSpec for the standard test service."""
+    package_names = {
+        "boundary-node": ["nginx", "ic-boundary-node", "revelio-agent"],
+        "cryptpad": ["nginx", "cryptpad-server", "revelio-agent"],
+    }.get(name, ["nginx", "revelio-agent"])
+    kwargs = dict(
+        name=name,
+        version="1.0.0",
+        registry=registry,
+        package_pins=[pins[p] for p in package_names],
+        service_domain=f"{name}.example",
+        services=("https",),
+        data_volume_blocks=16,
+    )
+    if init_steps is not None:
+        kwargs["init_steps"] = init_steps
+    kwargs.update(overrides)
+    return ImageSpec(**kwargs)
+
+
+@pytest.fixture(scope="session")
+def built_image(registry_and_pins):
+    """A fully built boundary-node image (init steps included)."""
+    registry, pins = registry_and_pins
+    return build_revelio_image(make_spec(registry, pins))
+
+
+@pytest.fixture
+def rng():
+    return HmacDrbg(b"test-fixture-rng")

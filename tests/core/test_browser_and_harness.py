@@ -1,0 +1,89 @@
+"""Unit tests for the browser shell and the benchmark harness."""
+
+import pytest
+
+from repro.bench.harness import Reporter, bench_scale, scaled_blocks
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins):
+    registry, pins = registry_and_pins
+    build = build_revelio_image(make_spec(registry, pins))
+    return RevelioDeployment(
+        build, num_nodes=1, latency=ZERO_LATENCY, seed=b"browser-tests"
+    ).deploy()
+
+
+class TestBrowser:
+    def test_history_records_navigations(self, deployment):
+        browser, _ = deployment.make_user("b-u1", "10.8.0.1")
+        browser.navigate(f"https://{deployment.domain}/")
+        browser.navigate(f"https://{deployment.domain}/missing")
+        assert len(browser.history) == 2
+        assert browser.history[0].response.status == 200
+        assert browser.history[1].response.status == 404
+
+    def test_blocked_navigation_has_no_response(self, deployment):
+        browser, extension = deployment.make_user(
+            "b-u2", "10.8.0.2", register_service=False
+        )
+        extension.register_site(deployment.domain, [b"\x00" * 48])
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert result.blocked
+        assert result.response is None
+        assert result.block_reason
+
+    def test_connection_fingerprint_absent_without_connection(self, deployment):
+        browser, _ = deployment.make_user("b-u3", "10.8.0.3",
+                                          with_extension=False)
+        assert browser.connection_public_key_fingerprint("nowhere.example") is None
+
+    def test_new_session_closes_connections(self, deployment):
+        browser, _ = deployment.make_user("b-u4", "10.8.0.4",
+                                          with_extension=False)
+        browser.navigate(f"https://{deployment.domain}/")
+        assert browser.client.current_connection(deployment.domain) is not None
+        browser.new_session()
+        assert browser.client.current_connection(deployment.domain) is None
+
+
+class TestHarness:
+    def test_reporter_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REVELIO_RESULTS_DIR", str(tmp_path))
+        reporter = Reporter("unit-test", "a title")
+        reporter.line("hello")
+        reporter.compare("metric", 10.0, 12.5, note="(x)")
+        reporter.header(["a", "b"], [4, 4])
+        reporter.row(["1", "2"], [4, 4])
+        path = reporter.finish()
+        content = path.read_text()
+        assert "unit-test: a title" in content
+        assert "hello" in content
+        assert "12.5" in content
+        assert "unit-test" in capsys.readouterr().out
+
+    def test_compare_without_paper_value(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REVELIO_RESULTS_DIR", str(tmp_path))
+        reporter = Reporter("unit-test-2", "t")
+        reporter.compare("measured-only", None, 5.0)
+        path = reporter.finish()
+        assert "measured-only" in path.read_text()
+
+    def test_bench_scale_default_and_env(self, monkeypatch):
+        monkeypatch.delenv("REVELIO_BENCH_SCALE", raising=False)
+        assert bench_scale() == pytest.approx(1 / 32)
+        monkeypatch.setenv("REVELIO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        monkeypatch.setenv("REVELIO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scaled_blocks_floor(self, monkeypatch):
+        monkeypatch.setenv("REVELIO_BENCH_SCALE", "0.001")
+        assert scaled_blocks(4096 * 10) == 8  # clamps to the minimum
+        monkeypatch.setenv("REVELIO_BENCH_SCALE", "1.0")
+        assert scaled_blocks(4096 * 100) == 100

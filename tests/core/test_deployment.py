@@ -1,0 +1,104 @@
+"""Deployment orchestration unit tests."""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from repro.net.simnet import NetworkError
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def build(registry_and_pins):
+    registry, pins = registry_and_pins
+    return build_revelio_image(make_spec(registry, pins))
+
+
+class TestOrchestration:
+    def test_domain_read_from_image(self, build):
+        deployment = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                       seed=b"dep-1")
+        assert deployment.domain == "boundary-node.example"
+
+    def test_node_ips_sequential(self, build):
+        deployment = RevelioDeployment(build, num_nodes=3, latency=ZERO_LATENCY,
+                                       seed=b"dep-2")
+        assert [deployment.node_ip(i) for i in range(3)] == [
+            "10.0.0.1", "10.0.0.2", "10.0.0.3",
+        ]
+
+    def test_deploy_is_idempotent_shorthand(self, build):
+        deployment = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                       seed=b"dep-3").deploy()
+        assert deployment.provisioning is not None
+        assert deployment.leader.host.ip_address == deployment.provisioning.leader_ip
+
+    def test_leader_before_provisioning_raises(self, build):
+        deployment = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                       seed=b"dep-4")
+        with pytest.raises(RuntimeError, match="not provisioned"):
+            deployment.leader
+
+    def test_duplicate_user_ip_rejected(self, build):
+        deployment = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                       seed=b"dep-5").deploy()
+        deployment.make_user("u-a", "10.2.0.50")
+        with pytest.raises(NetworkError, match="already in use"):
+            deployment.make_user("u-b", "10.2.0.50")
+
+    def test_per_node_dns_names(self, build):
+        deployment = RevelioDeployment(build, num_nodes=2, latency=ZERO_LATENCY,
+                                       seed=b"dep-6").deploy()
+        for index in range(2):
+            assert (
+                deployment.network.dns.resolve(f"node{index}.{deployment.domain}")
+                == deployment.node_ip(index)
+            )
+
+    def test_service_domain_round_robins(self, build):
+        deployment = RevelioDeployment(build, num_nodes=2, latency=ZERO_LATENCY,
+                                       seed=b"dep-7").deploy()
+        resolved = {deployment.network.dns.resolve(deployment.domain)
+                    for _ in range(4)}
+        assert resolved == {"10.0.0.1", "10.0.0.2"}
+
+    def test_deterministic_across_runs(self, build):
+        first = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                  seed=b"same").deploy()
+        second = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                   seed=b"same").deploy()
+        assert (
+            first.nodes[0].vm.identity.public_key
+            == second.nodes[0].vm.identity.public_key
+        )
+        assert (
+            first.provisioning.certificate_chain[0].public_key
+            == second.provisioning.certificate_chain[0].public_key
+        )
+
+    def test_different_seeds_different_keys(self, build):
+        first = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                  seed=b"seed-a").deploy()
+        second = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                   seed=b"seed-b").deploy()
+        assert (
+            first.nodes[0].vm.identity.public_key
+            != second.nodes[0].vm.identity.public_key
+        )
+
+    def test_sp_pins_fleet_chips_and_ips_by_default(self, build):
+        deployment = RevelioDeployment(build, num_nodes=2, latency=ZERO_LATENCY,
+                                       seed=b"dep-8")
+        deployment.launch_fleet()
+        deployment.create_sp_node()
+        assert len(deployment.sp.approved_chip_ids) == 2
+        assert deployment.sp.approved_ips == {"10.0.0.1", "10.0.0.2"}
+
+    def test_sp_pinning_can_be_disabled(self, build):
+        deployment = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                       seed=b"dep-9")
+        deployment.launch_fleet()
+        deployment.create_sp_node(pin_chip_ids=False, pin_ips=False)
+        assert deployment.sp.approved_chip_ids is None
+        assert deployment.sp.approved_ips is None

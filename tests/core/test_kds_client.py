@@ -1,0 +1,76 @@
+"""KDS client latency accounting and caching tests."""
+
+import pytest
+
+from repro.amd.kds import KeyDistributionServer
+from repro.amd.secure_processor import AmdKeyInfrastructure
+from repro.core.kds_client import KdsClient
+from repro.crypto.drbg import HmacDrbg
+from repro.net.latency import LatencyModel, SimClock
+
+
+@pytest.fixture
+def setup():
+    amd = AmdKeyInfrastructure(HmacDrbg(b"kds-client-tests"))
+    kds = KeyDistributionServer(amd)
+    chip = amd.provision_chip("kc-chip")
+    clock = SimClock()
+    model = LatencyModel(kds_rtt=0.4, kds_processing=0.0273)
+    return amd, kds, chip, clock, model
+
+
+class TestCaching:
+    def test_first_fetch_charges_latency(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert clock.now == pytest.approx(0.4273)
+        assert client.fetches == 1
+
+    def test_cache_hit_is_free(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        after_first = clock.now
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert clock.now == after_first
+        assert client.cache_hits == 1
+
+    def test_cache_disabled_always_fetches(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 2
+        assert clock.now == pytest.approx(2 * 0.4273)
+
+    def test_tcb_update_invalidates_cache_key(self, setup):
+        amd, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        from repro.amd.tcb import TcbVersion
+
+        chip.update_tcb(TcbVersion(9, 9, 9, 250))
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 2
+
+    def test_chain_cached(self, setup):
+        _, kds, _, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.cert_chain()
+        client.cert_chain()
+        assert client.fetches == 1
+
+    def test_clear_cache(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        client.clear_cache()
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 2
+
+    def test_trust_anchor_is_local(self, setup):
+        _, kds, _, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        assert client.trust_anchor == kds.ark_certificate
+        assert clock.now == 0.0  # pinned, never fetched

@@ -1,0 +1,162 @@
+"""Report bundles and ECIES key wrapping tests."""
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.amd.kds import KeyDistributionServer
+from repro.amd.policy import REVELIO_POLICY
+from repro.amd.secure_processor import AmdKeyInfrastructure
+from repro.amd.verify import AttestationError
+from repro.core.kds_client import KdsClient
+from repro.core.key_sharing import (
+    BUNDLE_KIND_PUBLIC_KEY,
+    KeySharingError,
+    ReportBundle,
+    decrypt_with_private_key,
+    encrypt_to_public_key,
+    report_data_for,
+    verify_report_bundle,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import P256
+from repro.crypto.ecdsa import EcdsaPrivateKey
+from repro.crypto.keys import PrivateKey
+from repro.net.latency import ZERO_LATENCY, SimClock
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = HmacDrbg(b"key-sharing-tests")
+    amd = AmdKeyInfrastructure(rng.fork(b"amd"))
+    kds = KeyDistributionServer(amd)
+    chip = amd.provision_chip("ks-chip")
+    guest = chip.launch_vm(b"revelio-fw", REVELIO_POLICY)
+    key = EcdsaPrivateKey.generate(P256, rng.fork(b"id"))
+    wrapped = PrivateKey("ecdsa", key)
+    payload = wrapped.public_key().encode()
+    report = guest.get_report(
+        report_data_for(wrapped.public_key().fingerprint())
+    )
+    bundle = ReportBundle(BUNDLE_KIND_PUBLIC_KEY, report, payload)
+    client = KdsClient(kds, SimClock(), ZERO_LATENCY)
+    return {
+        "rng": rng, "amd": amd, "kds": kds, "chip": chip, "guest": guest,
+        "key": key, "bundle": bundle, "client": client,
+    }
+
+
+class TestBundles:
+    def test_round_trip(self, world):
+        bundle = world["bundle"]
+        assert ReportBundle.decode(bundle.encode()) == bundle
+
+    def test_binding_ok(self, world):
+        assert world["bundle"].binding_ok()
+
+    def test_binding_detects_payload_swap(self, world):
+        other_key = PrivateKey.generate_ecdsa(HmacDrbg(b"other"))
+        swapped = replace(world["bundle"], payload=other_key.public_key().encode())
+        assert not swapped.binding_ok()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(KeySharingError):
+            ReportBundle.decode(b"garbage")
+
+    def test_report_data_helper(self):
+        digest = hashlib.sha256(b"x").digest()
+        assert report_data_for(digest) == digest + b"\x00" * 32
+        with pytest.raises(KeySharingError):
+            report_data_for(b"short")
+
+
+class TestBundleVerification:
+    def test_happy_path(self, world):
+        verified = verify_report_bundle(
+            world["bundle"], world["client"], now=0,
+            expected_measurements=[world["guest"].measurement],
+        )
+        assert verified.report.measurement == world["guest"].measurement
+
+    def test_unknown_measurement_rejected(self, world):
+        with pytest.raises(AttestationError) as excinfo:
+            verify_report_bundle(
+                world["bundle"], world["client"], now=0,
+                expected_measurements=[b"\x00" * 48],
+            )
+        assert excinfo.value.reason == "measurement_mismatch"
+
+    def test_payload_swap_rejected(self, world):
+        other_key = PrivateKey.generate_ecdsa(HmacDrbg(b"mitm"))
+        swapped = replace(world["bundle"], payload=other_key.public_key().encode())
+        with pytest.raises(AttestationError) as excinfo:
+            verify_report_bundle(
+                swapped, world["client"], now=0,
+                expected_measurements=[world["guest"].measurement],
+            )
+        assert excinfo.value.reason == "report_data_mismatch"
+
+    def test_chip_allowlist_enforced(self, world):
+        with pytest.raises(AttestationError) as excinfo:
+            verify_report_bundle(
+                world["bundle"], world["client"], now=0,
+                expected_measurements=[world["guest"].measurement],
+                allowed_chip_ids=[b"\xff" * 64],
+            )
+        assert excinfo.value.reason == "chip_id_not_allowed"
+
+    def test_forged_report_rejected(self, world):
+        # Attacker fabricates a report for their own key with a stolen
+        # measurement but no access to a genuine AMD-SP.
+        fake_amd = AmdKeyInfrastructure(HmacDrbg(b"fake"))
+        fake_chip = fake_amd.provision_chip("fake-chip")
+        fake_guest = fake_chip.launch_vm(b"revelio-fw", REVELIO_POLICY)
+        key = PrivateKey.generate_ecdsa(HmacDrbg(b"fk"))
+        forged = ReportBundle(
+            BUNDLE_KIND_PUBLIC_KEY,
+            fake_guest.get_report(report_data_for(key.public_key().fingerprint())),
+            key.public_key().encode(),
+        )
+        with pytest.raises(AttestationError):
+            verify_report_bundle(
+                forged, world["client"], now=0,
+                expected_measurements=[fake_guest.measurement],
+            )
+
+
+class TestEcies:
+    def test_round_trip(self):
+        rng = HmacDrbg(b"ecies")
+        recipient = EcdsaPrivateKey.generate(P256, rng)
+        blob = encrypt_to_public_key(recipient.public_key(), b"tls private key", rng)
+        assert decrypt_with_private_key(recipient, blob) == b"tls private key"
+
+    def test_wrong_recipient_fails(self):
+        rng = HmacDrbg(b"ecies2")
+        recipient = EcdsaPrivateKey.generate(P256, rng)
+        eavesdropper = EcdsaPrivateKey.generate(P256, rng)
+        blob = encrypt_to_public_key(recipient.public_key(), b"secret", rng)
+        with pytest.raises(KeySharingError):
+            decrypt_with_private_key(eavesdropper, blob)
+
+    def test_tampered_blob_fails(self):
+        rng = HmacDrbg(b"ecies3")
+        recipient = EcdsaPrivateKey.generate(P256, rng)
+        blob = bytearray(encrypt_to_public_key(recipient.public_key(), b"s", rng))
+        blob[-1] ^= 1
+        with pytest.raises(KeySharingError):
+            decrypt_with_private_key(recipient, bytes(blob))
+
+    def test_randomised(self):
+        rng = HmacDrbg(b"ecies4")
+        recipient = EcdsaPrivateKey.generate(P256, rng)
+        first = encrypt_to_public_key(recipient.public_key(), b"s", rng)
+        second = encrypt_to_public_key(recipient.public_key(), b"s", rng)
+        assert first != second
+
+    def test_malformed_blob(self):
+        rng = HmacDrbg(b"ecies5")
+        recipient = EcdsaPrivateKey.generate(P256, rng)
+        with pytest.raises(KeySharingError):
+            decrypt_with_private_key(recipient, b"not a blob")

@@ -1,0 +1,191 @@
+"""RA-TLS integration tests: CA-less attested TLS channels."""
+
+import pytest
+
+from repro.build import NetworkPolicy, build_revelio_image
+from repro.core import RevelioDeployment
+from repro.core.ra_tls import (
+    RA_TLS_PORT,
+    RaTlsError,
+    extract_report,
+    issue_ra_tls_certificate,
+    ra_tls_connect,
+    serve_ra_tls,
+    validate_ra_tls_certificate,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins):
+    registry, pins = registry_and_pins
+    build = build_revelio_image(
+        make_spec(
+            registry, pins,
+            network_policy=NetworkPolicy(
+                allowed_inbound_ports=(443, 8080, RA_TLS_PORT)
+            ),
+        )
+    )
+    deployment = RevelioDeployment(
+        build, num_nodes=1, latency=ZERO_LATENCY, seed=b"ra-tls"
+    ).deploy()
+    serve_ra_tls(deployment.nodes[0].node)
+    return deployment
+
+
+@pytest.fixture
+def client(deployment):
+    index = getattr(client, "_counter", 0)
+    client._counter = index + 1
+    return deployment.network.add_host(f"ra-client-{index}", f"10.4.0.{index + 1}")
+
+
+class TestHappyPath:
+    def test_connect_and_request(self, deployment, client):
+        connection = ra_tls_connect(
+            client,
+            deployment.node_ip(0),
+            RA_TLS_PORT,
+            f"{deployment.nodes[0].vm.name}.ra-tls",
+            deployment._new_kds_client(),
+            [deployment.build.expected_measurement],
+            HmacDrbg(b"c1"),
+        )
+        response = HttpResponse.decode(
+            connection.request(HttpRequest("GET", "/").encode())
+        )
+        assert response.status == 200
+
+    def test_certificate_carries_valid_report(self, deployment):
+        node = deployment.nodes[0]
+        certificate = issue_ra_tls_certificate(
+            node.vm.guest, node.vm.identity.wrapped_private_key, "test-subject"
+        )
+        report = extract_report(certificate)
+        assert report.measurement == deployment.build.expected_measurement
+
+    def test_chip_allowlist_supported(self, deployment, client):
+        chip_id = deployment.nodes[0].vm.guest.processor.chip_id
+        connection = ra_tls_connect(
+            client,
+            deployment.node_ip(0),
+            RA_TLS_PORT,
+            f"{deployment.nodes[0].vm.name}.ra-tls",
+            deployment._new_kds_client(),
+            [deployment.build.expected_measurement],
+            HmacDrbg(b"c2"),
+            allowed_chip_ids=[chip_id],
+        )
+        connection.close()
+
+
+class TestRejections:
+    def test_wrong_measurement_rejected(self, deployment, client):
+        with pytest.raises(RaTlsError, match="golden"):
+            ra_tls_connect(
+                client,
+                deployment.node_ip(0),
+                RA_TLS_PORT,
+                f"{deployment.nodes[0].vm.name}.ra-tls",
+                deployment._new_kds_client(),
+                [b"\x00" * 48],
+                HmacDrbg(b"c3"),
+            )
+
+    def test_wrong_chip_rejected(self, deployment, client):
+        with pytest.raises(RaTlsError, match="verification"):
+            ra_tls_connect(
+                client,
+                deployment.node_ip(0),
+                RA_TLS_PORT,
+                f"{deployment.nodes[0].vm.name}.ra-tls",
+                deployment._new_kds_client(),
+                [deployment.build.expected_measurement],
+                HmacDrbg(b"c4"),
+                allowed_chip_ids=[b"\xaa" * 64],
+            )
+
+    def test_certificate_without_report_rejected(self, deployment):
+        from repro.crypto.keys import PrivateKey
+        from repro.crypto.x509 import Certificate, Name
+        from dataclasses import replace
+
+        key = PrivateKey.generate_ecdsa(HmacDrbg(b"no-report"))
+        unsigned = Certificate(
+            subject=Name("bare"), issuer=Name("bare"),
+            public_key=key.public_key(), serial=1,
+            not_before=0, not_after=2**61,
+        )
+        bare = replace(unsigned, signature=key.sign(unsigned.tbs_bytes()))
+        with pytest.raises(RaTlsError, match="no attestation report"):
+            validate_ra_tls_certificate(
+                bare, deployment._new_kds_client(), 0,
+                [deployment.build.expected_measurement],
+            )
+
+    def test_stolen_report_on_attacker_key_rejected(self, deployment):
+        # An attacker grafts a genuine VM's report onto a certificate
+        # for their own key: the REPORT_DATA binding catches it.
+        from dataclasses import replace
+
+        from repro.crypto.keys import PrivateKey
+        from repro.crypto.x509 import Certificate, Name
+        from repro.core.ra_tls import REPORT_EXTENSION
+
+        node = deployment.nodes[0]
+        genuine = issue_ra_tls_certificate(
+            node.vm.guest, node.vm.identity.wrapped_private_key, "victim"
+        )
+        stolen_report = genuine.extension(REPORT_EXTENSION)
+        attacker_key = PrivateKey.generate_ecdsa(HmacDrbg(b"attacker"))
+        unsigned = Certificate(
+            subject=Name("attacker"), issuer=Name("attacker"),
+            public_key=attacker_key.public_key(), serial=1,
+            not_before=0, not_after=2**61,
+            extensions=((REPORT_EXTENSION, stolen_report),),
+        )
+        forged = replace(
+            unsigned, signature=attacker_key.sign(unsigned.tbs_bytes())
+        )
+        with pytest.raises(RaTlsError, match="does not endorse"):
+            validate_ra_tls_certificate(
+                forged, deployment._new_kds_client(), 0,
+                [deployment.build.expected_measurement],
+            )
+
+    def test_not_self_signed_rejected(self, deployment):
+        from dataclasses import replace
+
+        node = deployment.nodes[0]
+        genuine = issue_ra_tls_certificate(
+            node.vm.guest, node.vm.identity.wrapped_private_key, "victim2"
+        )
+        unsigned = replace(genuine, signature=b"\x00" * 64)
+        with pytest.raises(RaTlsError, match="self-signed"):
+            validate_ra_tls_certificate(
+                unsigned, deployment._new_kds_client(), 0,
+                [deployment.build.expected_measurement],
+            )
+
+    def test_firewall_still_applies(self, deployment, registry_and_pins):
+        # A *default-policy* image (no 8443) cannot expose RA-TLS: the
+        # measured firewall blocks it, keeping the config attested.
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        other = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"ra-closed"
+        ).deploy()
+        serve_ra_tls(other.nodes[0].node)  # server binds...
+        probe = other.network.add_host("ra-probe", "10.4.9.1")
+        from repro.net.firewall import ConnectionRefused
+
+        with pytest.raises(ConnectionRefused):
+            ra_tls_connect(
+                probe, other.node_ip(0), RA_TLS_PORT, "x",
+                other._new_kds_client(),
+                [other.build.expected_measurement], HmacDrbg(b"c5"),
+            )

@@ -1,0 +1,215 @@
+"""Image rollout and certificate renewal tests."""
+
+import pytest
+
+from repro.amd.verify import AttestationError
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.core.rollout import (
+    RolloutError,
+    renew_certificate,
+    roll_out_image,
+)
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def world(registry_and_pins):
+    registry, pins = registry_and_pins
+    build_v1 = build_revelio_image(make_spec(registry, pins, version="1.0.0"))
+    build_v2 = build_revelio_image(make_spec(registry, pins, version="2.0.0"))
+    deployment = RevelioDeployment(
+        build_v1, num_nodes=2, latency=ZERO_LATENCY, seed=b"rollout"
+    ).deploy()
+    return deployment, build_v1, build_v2
+
+
+class TestRollout:
+    def test_fleet_runs_new_image_after_rollout(self, world):
+        deployment, build_v1, build_v2 = world
+        result = roll_out_image(deployment, build_v2)
+        assert result.new_measurement == build_v2.expected_measurement
+        for deployed in deployment.nodes:
+            assert deployed.vm.measurement == build_v2.expected_measurement
+            assert deployed.node.serving
+
+    def test_users_attest_new_image(self, world):
+        deployment, _, build_v2 = world
+        roll_out_image(deployment, build_v2)
+        browser, extension = deployment.make_user(
+            "ro-user", "10.7.0.1", register_service=False
+        )
+        extension.register_site(
+            deployment.domain, [build_v2.expected_measurement]
+        )
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+
+    def test_old_measurement_revoked(self, world):
+        deployment, build_v1, build_v2 = world
+        roll_out_image(deployment, build_v2)
+        assert (
+            bytes(build_v1.expected_measurement)
+            in deployment.sp.revoked_measurements
+        )
+        # A lingering old-image node can no longer be provisioned.
+        lingering_chip = deployment.amd.provision_chip("lingering")
+        from repro.crypto.drbg import HmacDrbg
+        from repro.virt.hypervisor import Hypervisor
+
+        hypervisor = Hypervisor(lingering_chip, HmacDrbg(b"lihv"))
+        old_vm = hypervisor.launch(build_v1.image, ip_address="10.0.0.77")
+        old_vm.boot()
+        host = deployment.network.add_host("lingering", "10.0.0.77",
+                                           firewall=old_vm.firewall)
+        from repro.core.guest import RevelioNode
+
+        RevelioNode(old_vm, host, deployment._new_kds_client())
+        deployment.sp.approved_ips.add("10.0.0.77")
+        deployment.sp.approved_chip_ids.append(lingering_chip.chip_id)
+        with pytest.raises(AttestationError) as excinfo:
+            deployment.sp.provision_fleet(["10.0.0.77"])
+        assert excinfo.value.reason == "measurement_revoked"
+
+    def test_old_sealed_disks_unreadable_by_new_image(self, world):
+        deployment, build_v1, build_v2 = world
+        # Write sealed state under v1 first.
+        deployment.nodes[0].vm.storage["data"].write_block(2, b"\x5a" * 4096)
+        result = roll_out_image(deployment, build_v2)
+        assert result.retired_disks
+        # Splice the old sealed data partition under a new-image VM:
+        # boot fails, because the sealing key differs (F6 intact).
+        from repro.storage.partition import PartitionTable
+        from repro.virt.vm import BootFailure
+
+        old_disk = next(iter(result.retired_disks.values()))
+        deployed = deployment.nodes[0]
+        victim = deployed.hypervisor.launch(build_v2.image, name="splice-test")
+        old_table = PartitionTable.read_from(old_disk)
+        new_table = PartitionTable.read_from(victim.disk)
+        old_data = old_table.open(old_disk, "data")
+        new_data = new_table.open(victim.disk, "data")
+        for block in range(min(old_data.num_blocks, new_data.num_blocks)):
+            new_data.write_block(block, old_data.read_block(block))
+        with pytest.raises(BootFailure):
+            victim.boot()
+
+    def test_identical_measurement_rejected(self, world):
+        deployment, build_v1, _ = world
+        with pytest.raises(RolloutError, match="identical"):
+            roll_out_image(deployment, build_v1)
+
+    def test_rollout_requires_provisioned_fleet(self, registry_and_pins):
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        bare = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                 seed=b"bare")
+        with pytest.raises(RolloutError):
+            roll_out_image(bare, build)
+
+
+class TestRenewal:
+    def test_renewal_keeps_tls_key(self, world):
+        deployment, _, _ = world
+        old_leaf = deployment.provisioning.certificate_chain[0]
+        result = renew_certificate(deployment)
+        new_leaf = result.certificate_chain[0]
+        assert new_leaf.public_key == old_leaf.public_key
+        assert new_leaf.serial != old_leaf.serial
+
+    def test_users_unaffected_by_renewal(self, world):
+        deployment, _, _ = world
+        browser, extension = deployment.make_user("rn-user", "10.7.0.2")
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+        pinned_before = extension.pinned_key_fingerprint(deployment.domain)
+
+        renew_certificate(deployment)
+        # Sessions were reset by the server restart; the client silently
+        # reconnects and the pinned key still matches.
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+        assert extension.pinned_key_fingerprint(deployment.domain) == pinned_before
+
+    def test_renewal_requires_provisioning(self, registry_and_pins):
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        bare = RevelioDeployment(build, num_nodes=1, latency=ZERO_LATENCY,
+                                 seed=b"bare2")
+        with pytest.raises(RolloutError):
+            renew_certificate(bare)
+
+    def test_all_nodes_still_share_key_after_renewal(self, world):
+        deployment, _, _ = world
+        renew_certificate(deployment)
+        keys = {d.node.tls_private_key.d for d in deployment.nodes}
+        assert len(keys) == 1
+
+
+class TestKeyRotation:
+    """Leader change = new TLS key pair: §6.4's re-validation option."""
+
+    def _rotate_key(self, deployment):
+        old_key = deployment.provisioning.certificate_chain[0].public_key
+        deployment.provisioning = deployment.sp.provision_fleet(
+            [d.host.ip_address for d in deployment.nodes], leader_index=1
+        )
+        new_key = deployment.provisioning.certificate_chain[0].public_key
+        assert new_key != old_key  # genuinely rotated
+
+    def test_strict_user_blocked_on_rotation(self, world):
+        deployment, _, _ = world
+        browser, _ = deployment.make_user("kr-strict", "10.7.0.3")
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+        self._rotate_key(deployment)
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert result.blocked
+        assert "re-keyed" in result.block_reason
+
+    def test_reattesting_user_continues_after_rotation(self, world):
+        deployment, _, _ = world
+        browser, extension = deployment.make_user(
+            "kr-flex", "10.7.0.4", reattest_on_rekey=True
+        )
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+        self._rotate_key(deployment)
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+        assert any("re-attestation succeeded" in w for w in result.warnings)
+        # Pin now tracks the new key.
+        new_key = deployment.provisioning.certificate_chain[0].public_key
+        assert extension.pinned_key_fingerprint(
+            deployment.domain
+        ) == new_key.fingerprint()
+
+    def test_reattest_still_blocks_real_redirect(self, world):
+        # reattest_on_rekey must NOT weaken the redirect defence: the
+        # evil endpoint has no valid report, so re-attestation fails.
+        deployment, _, _ = world
+        browser, _ = deployment.make_user(
+            "kr-victim", "10.7.0.5", reattest_on_rekey=True
+        )
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+
+        from repro.crypto.drbg import HmacDrbg
+        from repro.crypto.keys import PrivateKey
+        from repro.crypto.x509 import CertificateSigningRequest, Name
+        from repro.net.http import HttpResponse, HttpServer
+        from repro.pki.certbot import CertbotClient
+
+        rng = HmacDrbg(b"kr-evil")
+        evil_key = PrivateKey.generate_ecdsa(rng)
+        csr = CertificateSigningRequest.create(
+            Name(deployment.domain), evil_key, san=(deployment.domain,)
+        )
+        chain = CertbotClient(
+            deployment.acme, deployment.network.dns
+        ).obtain_certificate(deployment.domain, csr)
+        evil_host = deployment.network.add_host("kr-evil", "10.7.6.6")
+        server = HttpServer("evil")
+        server.add_route("GET", "/", lambda r, c: HttpResponse.ok(b"phish"))
+        server.serve_tls(evil_host, chain, evil_key, rng.fork(b"tls"))
+        deployment.network.dns.redirect(deployment.domain, "10.7.6.6")
+        browser.client.close_all()
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert result.blocked

@@ -1,0 +1,173 @@
+"""Error-path unit tests for the SP node and the Revelio node server."""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import BOOTSTRAP_PORT, RevelioDeployment
+from repro.core.guest import GuestError, RevelioNode
+from repro.core.sp_node import ProvisioningError
+from repro.crypto import encoding
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins):
+    registry, pins = registry_and_pins
+    build = build_revelio_image(make_spec(registry, pins))
+    deployment = RevelioDeployment(
+        build, num_nodes=2, latency=ZERO_LATENCY, seed=b"spg"
+    )
+    deployment.launch_fleet()
+    deployment.create_sp_node()
+    return deployment
+
+
+class TestSpNodeErrors:
+    def test_empty_fleet_rejected(self, deployment):
+        with pytest.raises(ProvisioningError, match="empty"):
+            deployment.sp.provision_fleet([])
+
+    def test_bad_leader_index_rejected(self, deployment):
+        with pytest.raises(ProvisioningError, match="leader"):
+            deployment.sp.provision_fleet(
+                [deployment.node_ip(0)], leader_index=5
+            )
+
+    def test_unreachable_node_fails_cleanly(self, deployment):
+        from repro.net.simnet import NetworkError
+
+        with pytest.raises(NetworkError):
+            deployment.sp.provision_fleet(["10.99.99.99"])
+
+    def test_non_csr_bundle_rejected(self, deployment):
+        node = deployment.nodes[0]
+        key_bundle = node.vm.identity.key_bundle()  # wrong kind
+        with pytest.raises(ProvisioningError, match="non-CSR"):
+            deployment.sp.attest_node(node.host.ip_address, key_bundle)
+
+    def test_csr_domain_mismatch_rejected(self, registry_and_pins, deployment):
+        # A node built for another domain (launched on the same AMD
+        # infrastructure, so its report verifies) presents a valid
+        # bundle; the SP for *this* domain still refuses the CSR.
+        from repro.crypto.drbg import HmacDrbg
+        from repro.virt.hypervisor import Hypervisor
+
+        registry, pins = registry_and_pins
+        other_build = build_revelio_image(
+            make_spec(registry, pins, service_domain="other.example")
+        )
+        chip = deployment.amd.provision_chip("spg-other-chip")
+        hypervisor = Hypervisor(chip, HmacDrbg(b"spg-other-hv"))
+        vm = hypervisor.launch(other_build.image)
+        vm.boot()
+        bundle = vm.identity.csr_bundle()
+        deployment.sp.expected_measurements.append(
+            other_build.expected_measurement
+        )
+        deployment.sp.approved_chip_ids.append(chip.chip_id)
+        try:
+            with pytest.raises(ProvisioningError, match="does not cover"):
+                deployment.sp.attest_node("10.0.0.1", bundle)
+        finally:
+            deployment.sp.expected_measurements.remove(
+                other_build.expected_measurement
+            )
+            deployment.sp.approved_chip_ids.remove(chip.chip_id)
+
+
+class TestNodeServerErrors:
+    def test_malformed_certificate_delivery(self, deployment):
+        probe = deployment.network.add_host("spg-probe1", "10.6.1.1")
+        raw = probe.request(
+            deployment.node_ip(0),
+            BOOTSTRAP_PORT,
+            HttpRequest("POST", "/revelio/certificate", body=b"garbage").encode(),
+        )
+        assert HttpResponse.decode(raw).status == 500
+
+    def test_key_request_before_leadership(self, deployment):
+        # Node has no TLS identity installed yet -> not the leader.
+        probe = deployment.network.add_host("spg-probe2", "10.6.1.2")
+        bundle = deployment.nodes[1].vm.identity.key_bundle()
+        raw = probe.request(
+            deployment.node_ip(0),
+            BOOTSTRAP_PORT,
+            HttpRequest(
+                "POST", "/revelio/key-request", body=bundle.encode()
+            ).encode(),
+        )
+        assert HttpResponse.decode(raw).status == 500
+
+    def test_malformed_key_request(self, deployment):
+        probe = deployment.network.add_host("spg-probe3", "10.6.1.3")
+        raw = probe.request(
+            deployment.node_ip(0),
+            BOOTSTRAP_PORT,
+            HttpRequest("POST", "/revelio/key-request", body=b"junk").encode(),
+        )
+        assert HttpResponse.decode(raw).status in (403, 500)
+
+    def test_attestation_endpoint_404_before_install(self, deployment):
+        # HTTPS isn't even served before the identity installs; probe the
+        # handler directly.
+        node = deployment.nodes[0].node
+        response = node._serve_attestation(HttpRequest("GET", "/x"), None)
+        assert response.status in (404, 200)
+
+    def test_unbooted_vm_rejected_by_node(self, registry_and_pins):
+        from repro.amd.secure_processor import AmdKeyInfrastructure
+        from repro.crypto.drbg import HmacDrbg
+        from repro.net.simnet import Network
+        from repro.virt.hypervisor import Hypervisor
+
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        amd = AmdKeyInfrastructure(HmacDrbg(b"spg-unbooted"))
+        hypervisor = Hypervisor(amd.provision_chip("c"), HmacDrbg(b"hv"))
+        vm = hypervisor.launch(build.image)  # never booted
+        network = Network(ZERO_LATENCY)
+        host = network.add_host("unbooted", "10.6.1.9")
+        from repro.core.kds_client import KdsClient
+        from repro.amd.kds import KeyDistributionServer
+
+        kds = KdsClient(KeyDistributionServer(amd), network.clock, ZERO_LATENCY)
+        with pytest.raises(Exception):
+            RevelioNode(vm, host, kds)
+
+    def test_cert_mismatching_key_rejected(self, registry_and_pins):
+        # The SP (or a MITM) delivers a certificate whose key matches no
+        # fleet member: the leader check fails and key acquisition from a
+        # bogus leader address errors out.
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"spg-badcert"
+        )
+        deployment.launch_fleet()
+        from repro.crypto.drbg import HmacDrbg
+        from repro.crypto.keys import PrivateKey
+        from repro.crypto.x509 import Name
+
+        stranger = PrivateKey.generate_ecdsa(HmacDrbg(b"stranger"))
+        bogus_cert = deployment.web_pki.intermediate.issue(
+            Name(deployment.domain), stranger.public_key(), 0, 2**61,
+            san=(deployment.domain,),
+        )
+        probe = deployment.network.add_host("spg-probe4", "10.6.1.4")
+        payload = encoding.encode(
+            {
+                "chain": [bogus_cert.encode()],
+                "leader_ip": "10.99.99.99",  # nobody there
+            }
+        )
+        raw = probe.request(
+            deployment.node_ip(0),
+            BOOTSTRAP_PORT,
+            HttpRequest("POST", "/revelio/certificate", body=payload).encode(),
+        )
+        # The node is not the leader (key mismatch) and cannot reach the
+        # bogus leader -> the delivery fails, nothing is installed.
+        assert HttpResponse.decode(raw).status == 500
+        assert not deployment.nodes[0].node.serving

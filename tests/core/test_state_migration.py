@@ -1,0 +1,132 @@
+"""Attested sealed-state migration across image versions."""
+
+import pytest
+
+from repro.amd.verify import AttestationError
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.core.rollout import (
+    export_sealed_master_key,
+    import_sealed_state,
+    migrate_sealed_state,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.net.latency import ZERO_LATENCY
+from repro.virt.hypervisor import Hypervisor
+from tests.conftest import make_spec
+
+SECRET_BLOCK = b"\x5a" * 4096
+
+
+@pytest.fixture
+def world(registry_and_pins):
+    registry, pins = registry_and_pins
+    build_v1 = build_revelio_image(make_spec(registry, pins, version="1.0.0"))
+    build_v2 = build_revelio_image(make_spec(registry, pins, version="2.0.0"))
+    deployment = RevelioDeployment(
+        build_v1, num_nodes=1, latency=ZERO_LATENCY, seed=b"migrate"
+    )
+    deployment.launch_fleet()
+    old = deployment.nodes[0]
+    old.vm.storage["data"].write_block(1, SECRET_BLOCK)
+
+    # The successor VM, booted on the same host's chip.
+    new_vm = old.hypervisor.launch(build_v2.image, name="successor")
+    new_vm.boot()
+    return deployment, build_v1, build_v2, old, new_vm
+
+
+class TestMigration:
+    def test_happy_path(self, world):
+        deployment, build_v1, build_v2, old, new_vm = world
+        blocks = migrate_sealed_state(
+            old,
+            new_vm,
+            deployment._new_kds_client,
+            now=0,
+            old_accepts=[build_v2.expected_measurement],
+            new_accepts=[build_v1.expected_measurement],
+        )
+        assert blocks > 1
+        assert new_vm.storage["data"].read_block(1) == SECRET_BLOCK
+
+    def test_rogue_successor_refused_by_old_vm(self, world, registry_and_pins):
+        deployment, _, build_v2, old, _ = world
+        registry, pins = registry_and_pins
+        rogue_build = build_revelio_image(
+            make_spec(registry, pins, version="6.6.6",
+                      extra_files={"/opt/exfiltrate": b"evil"})
+        )
+        rogue_vm = old.hypervisor.launch(rogue_build.image, name="rogue")
+        rogue_vm.boot()
+        with pytest.raises(AttestationError):
+            export_sealed_master_key(
+                old.vm,
+                rogue_vm.identity.key_bundle(),
+                deployment._new_kds_client(),
+                now=0,
+                accepted_measurements=[build_v2.expected_measurement],
+            )
+
+    def test_new_vm_refuses_unattested_source(self, world):
+        # A forged "old node" (different AMD infra) can't feed the new
+        # VM a poisoned disk: the old-side bundle fails verification.
+        deployment, build_v1, build_v2, old, new_vm = world
+        from repro.amd.secure_processor import AmdKeyInfrastructure
+
+        fake_amd = AmdKeyInfrastructure(HmacDrbg(b"fake"))
+        fake_chip = fake_amd.provision_chip("fake")
+        fake_hv = Hypervisor(fake_chip, HmacDrbg(b"fakehv"))
+        fake_vm = fake_hv.launch(build_v1.image)
+        fake_vm.boot()
+        encrypted = export_sealed_master_key(
+            old.vm,
+            new_vm.identity.key_bundle(),
+            deployment._new_kds_client(),
+            now=0,
+            accepted_measurements=[build_v2.expected_measurement],
+        )
+        with pytest.raises(AttestationError):
+            import_sealed_state(
+                new_vm,
+                encrypted,
+                old.vm.disk,
+                fake_vm.identity.key_bundle(),  # bundle from the fake RoT
+                deployment._new_kds_client(),
+                now=0,
+                accepted_measurements=[build_v1.expected_measurement],
+            )
+
+    def test_intercepted_key_useless_to_third_party(self, world):
+        # The exported blob is ECIES to the successor's key; another
+        # (even attested) VM cannot unwrap it.
+        deployment, build_v1, build_v2, old, new_vm = world
+        encrypted = export_sealed_master_key(
+            old.vm,
+            new_vm.identity.key_bundle(),
+            deployment._new_kds_client(),
+            now=0,
+            accepted_measurements=[build_v2.expected_measurement],
+        )
+        bystander = old.hypervisor.launch(deployment.build.image,
+                                          name="bystander")
+        bystander.boot()
+        from repro.core.key_sharing import (
+            KeySharingError,
+            decrypt_with_private_key,
+        )
+
+        with pytest.raises(KeySharingError):
+            decrypt_with_private_key(bystander.identity.private_key, encrypted)
+
+    def test_old_vm_must_be_running(self, world):
+        deployment, _, build_v2, old, new_vm = world
+        old.vm.shutdown()
+        with pytest.raises(Exception):
+            export_sealed_master_key(
+                old.vm,
+                new_vm.identity.key_bundle(),
+                deployment._new_kds_client(),
+                now=0,
+                accepted_measurements=[build_v2.expected_measurement],
+            )

@@ -1,0 +1,134 @@
+"""Delegated verification registries (auditor + DAO) tests."""
+
+import pytest
+
+from repro.core.trusted_registry import (
+    Auditor,
+    AuditorRegistry,
+    DaoRegistry,
+    RegistryError,
+    StaticRegistry,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+
+MEASUREMENT_A = b"\xaa" * 48
+MEASUREMENT_B = b"\xbb" * 48
+DOMAIN = "svc.example"
+
+
+class TestAuditorRegistry:
+    @pytest.fixture
+    def auditor(self):
+        return Auditor(PrivateKey.generate_ecdsa(HmacDrbg(b"auditor-key")))
+
+    @pytest.fixture
+    def registry(self, auditor):
+        return AuditorRegistry(auditor.public_key)
+
+    def test_endorsement_flow(self, auditor, registry):
+        registry.ingest(auditor.endorse(DOMAIN, MEASUREMENT_A))
+        assert registry.golden_measurements(DOMAIN) == {MEASUREMENT_A}
+        assert registry.golden_measurements("other.example") == set()
+
+    def test_revocation_flow(self, auditor, registry):
+        registry.ingest(auditor.endorse(DOMAIN, MEASUREMENT_A))
+        registry.ingest(auditor.revoke(DOMAIN, MEASUREMENT_A))
+        assert registry.golden_measurements(DOMAIN) == set()
+        assert registry.revoked_measurements(DOMAIN) == {MEASUREMENT_A}
+
+    def test_forged_statement_rejected(self, registry):
+        imposter = Auditor(PrivateKey.generate_ecdsa(HmacDrbg(b"imposter")))
+        with pytest.raises(RegistryError):
+            registry.ingest(imposter.endorse(DOMAIN, MEASUREMENT_A))
+
+    def test_tampered_statement_rejected(self, auditor, registry):
+        from dataclasses import replace
+
+        statement = auditor.endorse(DOMAIN, MEASUREMENT_A)
+        tampered = replace(statement, measurement=MEASUREMENT_B)
+        with pytest.raises(RegistryError):
+            registry.ingest(tampered)
+
+    def test_case_insensitive_domains(self, auditor, registry):
+        registry.ingest(auditor.endorse("SVC.example", MEASUREMENT_A))
+        assert registry.golden_measurements("svc.EXAMPLE") == {MEASUREMENT_A}
+
+
+class TestDaoRegistry:
+    @pytest.fixture
+    def dao(self):
+        return DaoRegistry(members=["alice", "bob", "carol", "dave", "erin"])
+
+    def test_threshold(self, dao):
+        assert dao.threshold == 3
+
+    def test_endorsement_requires_majority(self, dao):
+        proposal = dao.propose(DOMAIN, MEASUREMENT_A)
+        dao.vote(proposal, "alice", True)
+        dao.vote(proposal, "bob", True)
+        assert dao.golden_measurements(DOMAIN) == set()
+        dao.vote(proposal, "carol", True)
+        assert dao.golden_measurements(DOMAIN) == {MEASUREMENT_A}
+
+    def test_no_votes_do_not_count(self, dao):
+        proposal = dao.propose(DOMAIN, MEASUREMENT_A)
+        for member in ["alice", "bob"]:
+            dao.vote(proposal, member, True)
+        for member in ["carol", "dave", "erin"]:
+            dao.vote(proposal, member, False)
+        assert dao.golden_measurements(DOMAIN) == set()
+        assert not dao.proposal_status(proposal).executed
+
+    def test_revocation_proposal(self, dao):
+        endorse = dao.propose(DOMAIN, MEASUREMENT_A)
+        for member in ["alice", "bob", "carol"]:
+            dao.vote(endorse, member, True)
+        revoke = dao.propose(DOMAIN, MEASUREMENT_A, action="revoke")
+        for member in ["alice", "bob", "carol"]:
+            dao.vote(revoke, member, True)
+        assert dao.golden_measurements(DOMAIN) == set()
+        assert dao.revoked_measurements(DOMAIN) == {MEASUREMENT_A}
+
+    def test_non_member_cannot_vote(self, dao):
+        proposal = dao.propose(DOMAIN, MEASUREMENT_A)
+        with pytest.raises(RegistryError):
+            dao.vote(proposal, "mallory", True)
+
+    def test_vote_change(self, dao):
+        proposal = dao.propose(DOMAIN, MEASUREMENT_A)
+        dao.vote(proposal, "alice", True)
+        dao.vote(proposal, "alice", False)
+        dao.vote(proposal, "bob", True)
+        dao.vote(proposal, "carol", True)
+        assert not dao.proposal_status(proposal).executed
+
+    def test_executed_proposal_closed(self, dao):
+        proposal = dao.propose(DOMAIN, MEASUREMENT_A)
+        for member in ["alice", "bob", "carol"]:
+            dao.vote(proposal, member, True)
+        with pytest.raises(RegistryError):
+            dao.vote(proposal, "dave", True)
+
+    def test_bad_action(self, dao):
+        with pytest.raises(RegistryError):
+            dao.propose(DOMAIN, MEASUREMENT_A, action="maybe")
+
+    def test_empty_dao_rejected(self):
+        with pytest.raises(RegistryError):
+            DaoRegistry(members=[])
+
+    def test_unknown_proposal(self, dao):
+        with pytest.raises(RegistryError):
+            dao.vote(999, "alice", True)
+
+
+class TestStaticRegistry:
+    def test_lookup(self):
+        registry = StaticRegistry(
+            golden={DOMAIN: [MEASUREMENT_A]},
+            revoked={DOMAIN: [MEASUREMENT_B]},
+        )
+        assert registry.golden_measurements(DOMAIN) == {MEASUREMENT_A}
+        assert registry.revoked_measurements(DOMAIN) == {MEASUREMENT_B}
+        assert registry.golden_measurements("other") == set()

@@ -1,0 +1,178 @@
+"""ECDSA tests: RFC 6979 known answers, tamper rejection, ECDH."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import P256, P384, InvalidPointError, Point, get_curve
+from repro.crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
+
+# RFC 6979 appendix A.2.5 (P-256) and A.2.6 (P-384), message "sample".
+_P256_KEY = 0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721
+_P256_SAMPLE_R = 0xEFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716
+_P256_SAMPLE_S = 0xF7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8
+_P256_TEST_R = 0xF1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367
+_P256_TEST_S = 0x019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083
+
+_P384_KEY = int(
+    "6B9D3DAD2E1B8C1C05B19875B6659F4DE23C3B667BF297BA9AA47740787137D8"
+    "96D5724E4C70A825F872C9EA60D2EDF5",
+    16,
+)
+_P384_SAMPLE_R = int(
+    "94EDBB92A5ECB8AAD4736E56C691916B3F88140666CE9FA73D64C4EA95AD133C"
+    "81A648152E44ACF96E36DD1E80FABE46",
+    16,
+)
+_P384_SAMPLE_S = int(
+    "99EF4AEB15F178CEA1FE40DB2603138F130E740A19624526203B6351D0A3A94F"
+    "A329C145786E679E7B82C71A38628AC8",
+    16,
+)
+
+
+class TestKnownAnswers:
+    def test_rfc6979_p256_sample(self):
+        key = EcdsaPrivateKey(P256, _P256_KEY)
+        signature = key.sign(b"sample", "sha256")
+        assert int.from_bytes(signature[:32], "big") == _P256_SAMPLE_R
+        assert int.from_bytes(signature[32:], "big") == _P256_SAMPLE_S
+
+    def test_rfc6979_p256_test(self):
+        key = EcdsaPrivateKey(P256, _P256_KEY)
+        signature = key.sign(b"test", "sha256")
+        assert int.from_bytes(signature[:32], "big") == _P256_TEST_R
+        assert int.from_bytes(signature[32:], "big") == _P256_TEST_S
+
+    def test_rfc6979_p384_sample(self):
+        key = EcdsaPrivateKey(P384, _P384_KEY)
+        signature = key.sign(b"sample", "sha384")
+        assert int.from_bytes(signature[:48], "big") == _P384_SAMPLE_R
+        assert int.from_bytes(signature[48:], "big") == _P384_SAMPLE_S
+
+    def test_rfc6979_public_key_p256(self):
+        key = EcdsaPrivateKey(P256, _P256_KEY)
+        point = key.public_key().point
+        assert point.x == 0x60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6
+        assert point.y == 0x7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299
+
+
+class TestSignVerify:
+    @pytest.fixture
+    def rng(self):
+        return HmacDrbg(b"ecdsa-tests")
+
+    @pytest.mark.parametrize("curve,hash_name", [(P256, "sha256"), (P384, "sha384")])
+    def test_round_trip(self, rng, curve, hash_name):
+        key = EcdsaPrivateKey.generate(curve, rng)
+        signature = key.sign(b"message", hash_name)
+        assert key.public_key().verify(b"message", signature, hash_name)
+
+    def test_deterministic(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        assert key.sign(b"m") == key.sign(b"m")
+
+    def test_wrong_message_rejected(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        signature = key.sign(b"message")
+        assert not key.public_key().verify(b"other", signature)
+
+    def test_bitflip_rejected(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        signature = bytearray(key.sign(b"message"))
+        for index in range(0, len(signature), 7):
+            flipped = bytearray(signature)
+            flipped[index] ^= 0x01
+            assert not key.public_key().verify(b"message", bytes(flipped))
+
+    def test_wrong_key_rejected(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        other = EcdsaPrivateKey.generate(P256, rng)
+        assert not other.public_key().verify(b"message", key.sign(b"message"))
+
+    def test_wrong_length_signature_rejected(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        assert not key.public_key().verify(b"m", b"\x01" * 63)
+        assert not key.public_key().verify(b"m", b"")
+
+    def test_zero_rs_rejected(self, rng):
+        key = EcdsaPrivateKey.generate(P256, rng)
+        assert not key.public_key().verify(b"m", b"\x00" * 64)
+
+    def test_scalar_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            EcdsaPrivateKey(P256, 0)
+        with pytest.raises(ValueError):
+            EcdsaPrivateKey(P256, P256.n)
+
+
+class TestEncoding:
+    def test_public_round_trip(self):
+        rng = HmacDrbg(b"enc")
+        key = EcdsaPrivateKey.generate(P384, rng).public_key()
+        assert EcdsaPublicKey.decode(key.encode()) == key
+
+    def test_private_round_trip(self):
+        rng = HmacDrbg(b"enc")
+        key = EcdsaPrivateKey.generate(P256, rng)
+        assert EcdsaPrivateKey.decode(key.encode()) == key
+
+    def test_fingerprint_is_stable_and_distinct(self):
+        rng = HmacDrbg(b"fp")
+        key1 = EcdsaPrivateKey.generate(P256, rng).public_key()
+        key2 = EcdsaPrivateKey.generate(P256, rng).public_key()
+        assert key1.fingerprint() == key1.fingerprint()
+        assert key1.fingerprint() != key2.fingerprint()
+
+
+class TestEcdh:
+    def test_shared_secret_agreement(self):
+        rng = HmacDrbg(b"ecdh")
+        alice = EcdsaPrivateKey.generate(P256, rng)
+        bob = EcdsaPrivateKey.generate(P256, rng)
+        assert alice.ecdh(bob.public_key()) == bob.ecdh(alice.public_key())
+
+    def test_different_peers_different_secrets(self):
+        rng = HmacDrbg(b"ecdh2")
+        alice = EcdsaPrivateKey.generate(P256, rng)
+        bob = EcdsaPrivateKey.generate(P256, rng)
+        carol = EcdsaPrivateKey.generate(P256, rng)
+        assert alice.ecdh(bob.public_key()) != alice.ecdh(carol.public_key())
+
+    def test_curve_mismatch_rejected(self):
+        rng = HmacDrbg(b"ecdh3")
+        alice = EcdsaPrivateKey.generate(P256, rng)
+        bob = EcdsaPrivateKey.generate(P384, rng)
+        with pytest.raises(ValueError):
+            alice.ecdh(bob.public_key())
+
+
+class TestCurveArithmetic:
+    def test_generator_order(self):
+        for curve in (P256, P384):
+            assert (curve.n * curve.generator).is_infinity
+
+    def test_add_negation_is_infinity(self):
+        g = P256.generator
+        assert (g + (-g)).is_infinity
+
+    def test_associativity_spot_check(self):
+        g = P256.generator
+        assert (2 * g) + (3 * g) == 5 * g
+        assert (7 * g) + (11 * g) == 18 * g
+
+    def test_point_validation(self):
+        with pytest.raises(InvalidPointError):
+            Point(P256, 1, 1)
+
+    def test_point_codec(self):
+        point = 12345 * P256.generator
+        assert Point.decode(P256, point.encode()) == point
+        assert Point.decode(P256, b"\x00").is_infinity
+
+    def test_malformed_point_encoding(self):
+        with pytest.raises(InvalidPointError):
+            Point.decode(P256, b"\x04" + b"\x00" * 10)
+
+    def test_unknown_curve(self):
+        with pytest.raises(ValueError):
+            get_curve("P-521")

@@ -1,0 +1,72 @@
+"""HKDF (RFC 5869 vectors) and PBKDF2 tests."""
+
+import pytest
+
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract, pbkdf2
+
+
+class TestHkdfVectors:
+    def test_rfc5869_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestHkdfProperties:
+    def test_info_separates_outputs(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+    def test_salt_separates_outputs(self):
+        assert hkdf(b"ikm", salt=b"a") != hkdf(b"ikm", salt=b"b")
+
+    def test_length_prefix_consistency(self):
+        long = hkdf(b"ikm", info=b"x", length=64)
+        short = hkdf(b"ikm", info=b"x", length=32)
+        assert long[:32] == short
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", length=-1)
+
+    def test_excessive_length_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"ikm", length=256 * 32)
+
+    def test_sha384_variant(self):
+        out = hkdf(b"ikm", hash_name="sha384", length=48)
+        assert len(out) == 48
+        assert out != hkdf(b"ikm", hash_name="sha256", length=48)
+
+
+class TestPbkdf2:
+    def test_rfc6070_style_vector(self):
+        # PBKDF2-HMAC-SHA256, password/salt vector from RFC 7914 test data.
+        out = pbkdf2(b"passwd", b"salt", iterations=1, length=64)
+        assert out[:8] == bytes.fromhex("55ac046e56e3089f")
+
+    def test_iterations_change_output(self):
+        assert pbkdf2(b"p", b"s", 1000) != pbkdf2(b"p", b"s", 1001)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            pbkdf2(b"p", b"s", 0)
+
+    def test_length(self):
+        assert len(pbkdf2(b"p", b"s", 10, length=17)) == 17

@@ -1,0 +1,86 @@
+"""Merkle tree unit tests."""
+
+import pytest
+
+from repro.crypto.hashes import sha256
+from repro.crypto.merkle import MerkleError, MerkleTree
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = MerkleTree.from_blocks([b"only"])
+        assert tree.root == sha256(b"only")
+        assert tree.num_leaves == 1
+
+    def test_root_changes_with_any_leaf(self):
+        blocks = [bytes([i]) * 10 for i in range(20)]
+        base = MerkleTree.from_blocks(blocks, arity=4).root
+        for index in range(20):
+            mutated = list(blocks)
+            mutated[index] = b"tampered"
+            assert MerkleTree.from_blocks(mutated, arity=4).root != base
+
+    def test_root_depends_on_order(self):
+        assert (
+            MerkleTree.from_blocks([b"a", b"b"]).root
+            != MerkleTree.from_blocks([b"b", b"a"]).root
+        )
+
+    def test_deterministic(self):
+        blocks = [b"x" * 64, b"y" * 64]
+        assert (
+            MerkleTree.from_blocks(blocks).root == MerkleTree.from_blocks(blocks).root
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleTree([])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleTree([sha256(b"x")], arity=1)
+
+    def test_bad_leaf_size_rejected(self):
+        with pytest.raises(MerkleError):
+            MerkleTree([b"too-short"])
+
+    @pytest.mark.parametrize("num_leaves", [1, 2, 3, 4, 5, 127, 128, 129, 1000])
+    @pytest.mark.parametrize("arity", [2, 4, 128])
+    def test_various_shapes(self, num_leaves, arity):
+        blocks = [index.to_bytes(4, "big") for index in range(num_leaves)]
+        tree = MerkleTree.from_blocks(blocks, arity=arity)
+        assert len(tree.root) == 32
+        assert tree.num_leaves == num_leaves
+
+
+class TestProofs:
+    @pytest.fixture
+    def tree(self):
+        blocks = [bytes([i]) * 4 for i in range(100)]
+        return MerkleTree.from_blocks(blocks, arity=4)
+
+    def test_all_proofs_verify(self, tree):
+        for index in range(tree.num_leaves):
+            proof = tree.prove(index)
+            leaf = sha256(bytes([index]) * 4)
+            assert MerkleTree.verify_proof(leaf, proof, tree.root, arity=4)
+
+    def test_wrong_leaf_rejected(self, tree):
+        proof = tree.prove(5)
+        assert not MerkleTree.verify_proof(sha256(b"evil"), proof, tree.root, arity=4)
+
+    def test_wrong_root_rejected(self, tree):
+        proof = tree.prove(5)
+        leaf = sha256(bytes([5]) * 4)
+        assert not MerkleTree.verify_proof(leaf, proof, b"\x00" * 32, arity=4)
+
+    def test_proof_for_other_index_rejected(self, tree):
+        proof = tree.prove(6)
+        leaf = sha256(bytes([5]) * 4)
+        assert not MerkleTree.verify_proof(leaf, proof, tree.root, arity=4)
+
+    def test_out_of_range_index(self, tree):
+        with pytest.raises(MerkleError):
+            tree.prove(100)
+        with pytest.raises(MerkleError):
+            tree.prove(-1)

@@ -1,0 +1,118 @@
+"""RSA key generation, signature, and OAEP encryption tests."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaError, RsaPrivateKey, RsaPublicKey
+
+
+@pytest.fixture(scope="module")
+def key():
+    # Module-scoped: RSA keygen is the slow part of this file.
+    return RsaPrivateKey.generate(1024, HmacDrbg(b"rsa-tests"))
+
+
+@pytest.fixture(scope="module")
+def other_key():
+    return RsaPrivateKey.generate(1024, HmacDrbg(b"rsa-tests-other"))
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, key):
+        assert key.n.bit_length() == 1024
+        assert key.size == 128
+
+    def test_key_relation(self, key):
+        # e*d == 1 mod lcm(p-1, q-1) implies the round trip works.
+        message = 0x1234567890ABCDEF
+        assert pow(pow(message, key.e, key.n), key.d, key.n) == message
+
+    def test_primes_multiply_to_modulus(self, key):
+        assert key.p * key.q == key.n
+
+    def test_deterministic_from_seed(self):
+        first = RsaPrivateKey.generate(512, HmacDrbg(b"same-seed"))
+        second = RsaPrivateKey.generate(512, HmacDrbg(b"same-seed"))
+        assert first.n == second.n
+
+    def test_too_small_rejected(self):
+        with pytest.raises(RsaError):
+            RsaPrivateKey.generate(256, HmacDrbg(b"x"))
+
+
+class TestSignatures:
+    def test_round_trip(self, key):
+        signature = key.sign(b"message")
+        assert key.public_key().verify(b"message", signature)
+
+    def test_sha384(self, key):
+        signature = key.sign(b"message", "sha384")
+        assert key.public_key().verify(b"message", signature, "sha384")
+        assert not key.public_key().verify(b"message", signature, "sha256")
+
+    def test_wrong_message_rejected(self, key):
+        assert not key.public_key().verify(b"other", key.sign(b"message"))
+
+    def test_wrong_key_rejected(self, key, other_key):
+        assert not other_key.public_key().verify(b"m", key.sign(b"m"))
+
+    def test_bitflip_rejected(self, key):
+        signature = bytearray(key.sign(b"m"))
+        signature[10] ^= 1
+        assert not key.public_key().verify(b"m", bytes(signature))
+
+    def test_wrong_length_rejected(self, key):
+        assert not key.public_key().verify(b"m", b"\x00" * 64)
+
+    def test_unsupported_hash(self, key):
+        with pytest.raises(RsaError):
+            key.sign(b"m", "sha512")
+
+
+class TestEncryption:
+    def test_round_trip(self, key):
+        rng = HmacDrbg(b"enc")
+        ciphertext = key.public_key().encrypt(b"top secret", rng)
+        assert key.decrypt(ciphertext) == b"top secret"
+
+    def test_randomised(self, key):
+        rng = HmacDrbg(b"enc2")
+        first = key.public_key().encrypt(b"m", rng)
+        second = key.public_key().encrypt(b"m", rng)
+        assert first != second
+        assert key.decrypt(first) == key.decrypt(second) == b"m"
+
+    def test_tampered_ciphertext_rejected(self, key):
+        rng = HmacDrbg(b"enc3")
+        ciphertext = bytearray(key.public_key().encrypt(b"m", rng))
+        ciphertext[5] ^= 1
+        with pytest.raises(RsaError):
+            key.decrypt(bytes(ciphertext))
+
+    def test_wrong_key_rejected(self, key, other_key):
+        rng = HmacDrbg(b"enc4")
+        ciphertext = key.public_key().encrypt(b"m", rng)
+        with pytest.raises(RsaError):
+            other_key.decrypt(ciphertext)
+
+    def test_plaintext_too_long(self, key):
+        rng = HmacDrbg(b"enc5")
+        with pytest.raises(RsaError):
+            key.public_key().encrypt(b"\x00" * 100, rng)
+
+    def test_empty_plaintext(self, key):
+        rng = HmacDrbg(b"enc6")
+        assert key.decrypt(key.public_key().encrypt(b"", rng)) == b""
+
+    def test_wrong_ciphertext_length(self, key):
+        with pytest.raises(RsaError):
+            key.decrypt(b"\x00" * 10)
+
+
+class TestEncoding:
+    def test_public_key_round_trip(self, key):
+        public = key.public_key()
+        assert RsaPublicKey.decode(public.encode()) == public
+
+    def test_fingerprint_distinct(self, key, other_key):
+        assert key.public_key().fingerprint() != other_key.public_key().fingerprint()

@@ -1,0 +1,151 @@
+"""Boundary-node use case: Revelio-protected protocol translation."""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.crypto import encoding
+from repro.ic import (
+    AssetCanister,
+    BoundaryNodeApp,
+    BoundaryNodeError,
+    KvCanister,
+    ServiceWorker,
+    build_service_worker,
+)
+from repro.ic.boundary_node import SERVICE_WORKER_PATH
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+INDEX_HTML = b"<html><body>ic dapp</body></html>"
+
+
+@pytest.fixture(scope="module")
+def subnet():
+    from repro.ic import Subnet
+
+    subnet = Subnet(num_replicas=4, seed=b"bn-tests")
+    subnet.install_canister("frontend", AssetCanister({"/index.html": INDEX_HTML}))
+    subnet.install_canister("app", KvCanister())
+    return subnet
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins, subnet):
+    registry, pins = registry_and_pins
+    worker = build_service_worker(subnet.public_key)
+    build = build_revelio_image(
+        make_spec(registry, pins, extra_files={SERVICE_WORKER_PATH: worker})
+    )
+    deployment = RevelioDeployment(
+        build, num_nodes=2, latency=ZERO_LATENCY, seed=b"bn-deploy"
+    )
+    app = BoundaryNodeApp(subnet)
+    deployment.launch_fleet(app_factory=app.install)
+    deployment.create_sp_node()
+    deployment.provision_certificates()
+    return deployment
+
+
+class TestDirectMode:
+    def test_index_served_from_canister(self, deployment):
+        browser, _ = deployment.make_user("bn-u1", "10.2.1.1")
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+        assert result.response.body == INDEX_HTML
+
+    def test_attestation_passes(self, deployment):
+        browser, extension = deployment.make_user("bn-u2", "10.2.1.2")
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+        assert any(e.kind == "validated" for e in extension.events)
+
+
+class TestServiceWorkerMode:
+    def _install_worker(self, deployment, browser):
+        response, _ = browser.client.get(f"https://{deployment.domain}/sw.js")
+        assert response.status == 200
+        return ServiceWorker.decode(response.body)
+
+    def test_worker_served_from_measured_rootfs(self, deployment, subnet):
+        browser, _ = deployment.make_user("bn-u3", "10.2.1.3")
+        browser.navigate(f"https://{deployment.domain}/")
+        worker = self._install_worker(deployment, browser)
+        assert worker.verify_signatures
+        assert worker.subnet_public_key == subnet.public_key
+
+    def test_worker_round_trip(self, deployment):
+        browser, _ = deployment.make_user("bn-u4", "10.2.1.4")
+        browser.navigate(f"https://{deployment.domain}/")
+        worker = self._install_worker(deployment, browser)
+        base = f"https://{deployment.domain}"
+        worker.call(
+            browser.client, base, "app", "put",
+            encoding.encode({"key": "greeting", "value": b"hello ic"}),
+            kind="update",
+        )
+        raw = worker.call(browser.client, base, "app", "get", b"greeting")
+        assert encoding.decode(raw)["value"] == b"hello ic"
+
+    def test_forged_responses_detected_by_worker(
+        self, registry_and_pins, subnet
+    ):
+        registry, pins = registry_and_pins
+        worker_blob = build_service_worker(subnet.public_key)
+        build = build_revelio_image(
+            make_spec(registry, pins,
+                      extra_files={SERVICE_WORKER_PATH: worker_blob})
+        )
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"bn-forge"
+        )
+        evil_app = BoundaryNodeApp(subnet, forge_responses=True)
+        deployment.launch_fleet(app_factory=evil_app.install)
+        deployment.create_sp_node()
+        deployment.provision_certificates()
+        browser, _ = deployment.make_user("bn-u5", "10.2.1.5")
+        browser.navigate(f"https://{deployment.domain}/")
+        worker = self._install_worker(deployment, browser)
+        with pytest.raises(BoundaryNodeError, match="forged"):
+            worker.call(
+                browser.client, f"https://{deployment.domain}", "app", "keys", b""
+            )
+
+    def test_malicious_worker_image_fails_attestation(
+        self, registry_and_pins, subnet, deployment
+    ):
+        # A BN image shipping a verification-skipping worker has a
+        # different measurement; an extension pinning the honest golden
+        # value blocks the site.
+        registry, pins = registry_and_pins
+        evil_worker = build_service_worker(subnet.public_key,
+                                           verify_signatures=False)
+        evil_build = build_revelio_image(
+            make_spec(registry, pins,
+                      extra_files={SERVICE_WORKER_PATH: evil_worker})
+        )
+        honest_build = deployment.build
+        assert (
+            evil_build.expected_measurement != honest_build.expected_measurement
+        )
+        evil_deployment = RevelioDeployment(
+            evil_build, num_nodes=1, latency=ZERO_LATENCY, seed=b"bn-evil"
+        )
+        evil_app = BoundaryNodeApp(subnet)
+        evil_deployment.launch_fleet(app_factory=evil_app.install)
+        evil_deployment.create_sp_node()
+        evil_deployment.provision_certificates()
+        browser, extension = evil_deployment.make_user(
+            "bn-u6", "10.2.1.6", register_service=False
+        )
+        # The user pins the *honest* golden measurement.
+        extension.register_site(
+            evil_deployment.domain, [honest_build.expected_measurement]
+        )
+        result = browser.navigate(f"https://{evil_deployment.domain}/")
+        assert result.blocked
+        assert "measurement" in result.block_reason
+
+    def test_malformed_worker_blob_rejected(self):
+        with pytest.raises(BoundaryNodeError):
+            ServiceWorker.decode(b"not a worker")

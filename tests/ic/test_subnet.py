@@ -1,0 +1,173 @@
+"""IC substrate tests: threshold signing, canisters, BFT subnet."""
+
+import pytest
+
+from repro.crypto import encoding
+from repro.crypto.drbg import HmacDrbg
+from repro.ic.canister import AssetCanister, CanisterError, KvCanister
+from repro.ic.subnet import CertifiedResponse, Subnet, SubnetError
+from repro.ic.threshold import (
+    SigningSession,
+    ThresholdError,
+    ThresholdKey,
+    threshold_sign,
+)
+
+
+class TestThresholdKey:
+    def test_sign_with_threshold_shares(self):
+        key = ThresholdKey(threshold=3, num_replicas=5, rng=HmacDrbg(b"tk"))
+        shares = [key.share_for(i) for i in (0, 2, 4)]
+        signature = threshold_sign(key, b"message", shares)
+        assert key.public_key.verify(b"message", signature)
+
+    def test_insufficient_shares_fail(self):
+        key = ThresholdKey(threshold=3, num_replicas=5, rng=HmacDrbg(b"tk2"))
+        session = SigningSession(key, b"m")
+        session.contribute(key.share_for(0))
+        session.contribute(key.share_for(1))
+        assert not session.ready
+        with pytest.raises(ThresholdError):
+            session.sign()
+
+    def test_any_threshold_subset_works(self):
+        import itertools
+
+        key = ThresholdKey(threshold=2, num_replicas=4, rng=HmacDrbg(b"tk3"))
+        for subset in itertools.combinations(range(4), 2):
+            shares = [key.share_for(i) for i in subset]
+            assert key.public_key.verify(b"m", threshold_sign(key, b"m", shares))
+
+    def test_corrupted_share_detected(self):
+        from repro.crypto.shamir import Share
+        from repro.ic.threshold import KeyShare
+
+        key = ThresholdKey(threshold=2, num_replicas=4, rng=HmacDrbg(b"tk4"))
+        good = key.share_for(0)
+        bad = KeyShare(
+            replica_index=1,
+            share=Share(index=2, value=(key.share_for(1).share.value + 1)),
+        )
+        with pytest.raises(ThresholdError):
+            threshold_sign(key, b"m", [good, bad])
+
+    def test_bad_parameters(self):
+        with pytest.raises(ThresholdError):
+            ThresholdKey(threshold=0, num_replicas=3, rng=HmacDrbg(b"x"))
+        with pytest.raises(ThresholdError):
+            ThresholdKey(threshold=5, num_replicas=3, rng=HmacDrbg(b"x"))
+
+
+class TestCanisters:
+    def test_kv_put_get(self):
+        canister = KvCanister()
+        canister.update("put", encoding.encode({"key": "k", "value": b"v"}))
+        result = encoding.decode(canister.query("get", b"k"))
+        assert result == {"found": True, "value": b"v"}
+
+    def test_kv_missing(self):
+        result = encoding.decode(KvCanister().query("get", b"nope"))
+        assert result["found"] is False
+
+    def test_kv_delete(self):
+        canister = KvCanister({"k": b"v"})
+        canister.update("delete", b"k")
+        assert encoding.decode(canister.query("get", b"k"))["found"] is False
+
+    def test_unknown_methods(self):
+        with pytest.raises(CanisterError):
+            KvCanister().query("nope", b"")
+        with pytest.raises(CanisterError):
+            KvCanister().update("get", b"")  # query method not callable as update
+
+    def test_asset_canister(self):
+        canister = AssetCanister({"/index.html": b"<html>app</html>"})
+        result = encoding.decode(canister.query("http_request", b"/index.html"))
+        assert result == {"status": 200, "body": b"<html>app</html>"}
+        missing = encoding.decode(canister.query("http_request", b"/nope"))
+        assert missing["status"] == 404
+
+    def test_state_digest_tracks_state(self):
+        canister = KvCanister()
+        before = canister.state_digest()
+        canister.update("put", encoding.encode({"key": "k", "value": b"v"}))
+        assert canister.state_digest() != before
+
+    def test_clone_is_independent(self):
+        canister = KvCanister({"k": b"v"})
+        clone = canister.clone()
+        clone.update("delete", b"k")
+        assert encoding.decode(canister.query("get", b"k"))["found"] is True
+
+
+class TestSubnet:
+    @pytest.fixture
+    def subnet(self):
+        subnet = Subnet(num_replicas=4, seed=b"subnet-tests")
+        subnet.install_canister("kv", KvCanister())
+        return subnet
+
+    def test_fault_tolerance_bound(self, subnet):
+        assert subnet.fault_tolerance == 1
+        assert subnet.agreement_threshold == 3
+
+    def test_update_then_query_certified(self, subnet):
+        update = subnet.update(
+            "kv", "put", encoding.encode({"key": "k", "value": b"v"})
+        )
+        assert update.verify(subnet.public_key)
+        query = subnet.query("kv", "get", b"k")
+        assert query.verify(subnet.public_key)
+        assert encoding.decode(query.response)["value"] == b"v"
+
+    def test_certified_response_codec(self, subnet):
+        response = subnet.query("kv", "keys", b"")
+        assert CertifiedResponse.decode(response.encode()) == response
+
+    def test_forged_response_fails_verification(self, subnet):
+        from dataclasses import replace
+
+        response = subnet.query("kv", "keys", b"")
+        forged = replace(response, response=b"forged")
+        assert not forged.verify(subnet.public_key)
+
+    def test_one_byzantine_replica_tolerated(self, subnet):
+        subnet.replicas[2].corrupt_execution = True
+        update = subnet.update(
+            "kv", "put", encoding.encode({"key": "a", "value": b"1"})
+        )
+        assert update.verify(subnet.public_key)
+        query = subnet.query("kv", "get", b"a")
+        assert encoding.decode(query.response)["value"] == b"1"
+
+    def test_one_offline_replica_tolerated(self, subnet):
+        subnet.replicas[0].offline = True
+        query = subnet.query("kv", "keys", b"")
+        assert query.verify(subnet.public_key)
+
+    def test_too_many_faults_halt_subnet(self, subnet):
+        subnet.replicas[0].corrupt_execution = True
+        subnet.replicas[1].corrupt_execution = True
+        with pytest.raises(SubnetError):
+            subnet.query("kv", "keys", b"")
+
+    def test_byzantine_cannot_forge_certification(self, subnet):
+        # A single corrupted replica's answer never gathers a threshold
+        # signature: its forged response is simply outvoted, and the
+        # certified answer is the honest one.
+        subnet.replicas[3].corrupt_execution = True
+        query = subnet.query("kv", "keys", b"")
+        assert not query.response.startswith(b"forged")
+
+    def test_minimum_subnet_size(self):
+        with pytest.raises(SubnetError):
+            Subnet(num_replicas=3)
+
+    def test_larger_subnet(self):
+        subnet = Subnet(num_replicas=13, seed=b"big")
+        subnet.install_canister("kv", KvCanister())
+        assert subnet.fault_tolerance == 4
+        for index in range(4):
+            subnet.replicas[index].corrupt_execution = True
+        query = subnet.query("kv", "keys", b"")
+        assert query.verify(subnet.public_key)

@@ -1,0 +1,16 @@
+"""Integration fixtures: a fully deployed Revelio world."""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins):
+    """Three Revelio nodes, provisioned, certificates installed."""
+    registry, pins = registry_and_pins
+    build = build_revelio_image(make_spec(registry, pins))
+    return RevelioDeployment(build, num_nodes=3, latency=ZERO_LATENCY).deploy()

@@ -1,0 +1,277 @@
+"""End-to-end happy-path integration tests across every subsystem."""
+
+import pytest
+
+from repro.core import (
+    BOOTSTRAP_PORT,
+    WELL_KNOWN_ATTESTATION_PATH,
+    decode_attestation_payload,
+)
+from repro.core.key_sharing import report_data_for
+from repro.crypto.keys import PrivateKey
+from repro.net.firewall import ConnectionRefused
+from repro.net.http import HttpRequest
+
+
+class TestFleetProvisioning:
+    def test_all_nodes_attested(self, deployment):
+        assert len(deployment.provisioning.attested) == 3
+
+    def test_all_nodes_serving(self, deployment):
+        assert all(d.node.serving for d in deployment.nodes)
+
+    def test_shared_certificate(self, deployment):
+        chains = [d.node.certificate_chain for d in deployment.nodes]
+        assert all(chain[0] == chains[0][0] for chain in chains)
+
+    def test_shared_private_key(self, deployment):
+        keys = [d.node.tls_private_key for d in deployment.nodes]
+        assert all(key.d == keys[0].d for key in keys)
+
+    def test_leader_key_is_certified_key(self, deployment):
+        leader = deployment.leader
+        leaf = deployment.provisioning.certificate_chain[0]
+        assert leaf.public_key == leader.vm.identity.public_key
+
+    def test_certificate_covers_domain(self, deployment):
+        leaf = deployment.provisioning.certificate_chain[0]
+        assert leaf.matches_hostname(deployment.domain)
+
+    def test_private_key_persisted_encrypted(self, deployment):
+        # Non-leader nodes store the key on the sealed data volume.
+        for deployed in deployment.nodes:
+            if deployed.host.ip_address == deployment.provisioning.leader_ip:
+                continue
+            data = deployed.vm.storage["data"]
+            length = int.from_bytes(data.read_bytes(0, 4), "big")
+            from repro.crypto.ecdsa import EcdsaPrivateKey
+
+            stored = EcdsaPrivateKey.decode(data.read_bytes(4, length))
+            assert stored.d == deployed.node.tls_private_key.d
+
+    def test_timings_recorded(self, deployment):
+        timings = deployment.provisioning.timings
+        assert set(timings) == {
+            "evidence_retrieval",
+            "evidence_validation",
+            "certificate_generation",
+            "certificate_distribution",
+        }
+
+
+class TestGuestState:
+    def test_vms_booted_with_all_services(self, deployment):
+        for deployed in deployment.nodes:
+            steps = [t.step for t in deployed.vm.boot_timings]
+            assert steps == [
+                "verity-rootfs",
+                "network-lockdown",
+                "dm-crypt-data",
+                "identity-creation",
+                "start-services",
+            ]
+
+    def test_measurement_matches_golden(self, deployment):
+        for deployed in deployment.nodes:
+            assert deployed.vm.measurement == deployment.build.expected_measurement
+
+    def test_rootfs_mounted_and_verified(self, deployment):
+        for deployed in deployment.nodes:
+            assert deployed.vm.rootfs.exists("/usr/sbin/nginx")
+
+    def test_data_volume_usable(self, deployment):
+        volume = deployment.nodes[0].vm.storage["data"]
+        volume.write_block(3, b"\x42" * 4096)
+        assert volume.read_block(3) == b"\x42" * 4096
+
+    def test_identities_are_unique(self, deployment):
+        scalars = {d.vm.identity.private_key.d for d in deployment.nodes}
+        assert len(scalars) == 3
+
+    def test_firewall_blocks_ssh(self, deployment):
+        attacker = deployment.network.add_host("ssh-attacker", "10.9.9.1")
+        with pytest.raises(ConnectionRefused):
+            attacker.request(deployment.nodes[0].host.ip_address, 22, b"ssh")
+        deployment.network.remove_host("10.9.9.1")
+
+
+class TestEndUserAttestation:
+    def test_navigation_validated(self, deployment):
+        browser, extension = deployment.make_user("u1", "10.2.0.11")
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert not result.blocked
+        assert result.response.status == 200
+        assert [e.kind for e in extension.events] == ["validated"]
+
+    def test_pinned_key_matches_tls(self, deployment):
+        browser, extension = deployment.make_user("u2", "10.2.0.12")
+        browser.navigate(f"https://{deployment.domain}/")
+        pinned = extension.pinned_key_fingerprint(deployment.domain)
+        assert pinned == browser.connection_public_key_fingerprint(deployment.domain)
+
+    def test_monitoring_accepts_stable_connection(self, deployment):
+        browser, extension = deployment.make_user("u3", "10.2.0.13")
+        for _ in range(5):
+            result = browser.navigate(f"https://{deployment.domain}/")
+            assert not result.blocked
+        assert sum(1 for e in extension.events if e.kind == "validated") == 1
+
+    def test_new_session_revalidates(self, deployment):
+        browser, extension = deployment.make_user("u4", "10.2.0.14")
+        browser.navigate(f"https://{deployment.domain}/")
+        browser.new_session()
+        browser.navigate(f"https://{deployment.domain}/")
+        assert sum(1 for e in extension.events if e.kind == "validated") == 2
+
+    def test_vcek_cache_survives_sessions(self, deployment):
+        # Pin one platform via the per-node name (the service domain
+        # round-robins across chips, each with its own VCEK).
+        domain = f"node1.{deployment.domain}"
+        browser, extension = deployment.make_user("u5", "10.2.0.15",
+                                                  register_service=False)
+        extension.register_site(domain, [deployment.build.expected_measurement])
+        browser.navigate(f"https://{domain}/")
+        fetches_before = extension.kds.fetches
+        browser.new_session()
+        browser.navigate(f"https://{domain}/")
+        assert extension.kds.fetches == fetches_before  # served from cache
+
+    def test_user_without_extension_still_browses(self, deployment):
+        browser, _ = deployment.make_user("u6", "10.2.0.16", with_extension=False)
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert result.response.status == 200
+
+    def test_any_node_serves_attested_sessions(self, deployment):
+        # Per-node domains: every fleet member passes validation.
+        for index in range(3):
+            browser, extension = deployment.make_user(
+                f"u7-{index}", f"10.2.0.{17 + index}"
+            )
+            domain = f"node{index}.{deployment.domain}"
+            extension.register_site(
+                domain, [deployment.build.expected_measurement]
+            )
+            result = browser.navigate(f"https://{domain}/")
+            assert not result.blocked, result.block_reason
+
+    def test_sessions_roam_across_fleet_nodes(self, deployment):
+        # DNS round-robins the fleet; reconnections may land on another
+        # node — harmless precisely because the TLS identity is shared
+        # (the design rationale of section 3.4.6).
+        browser, extension = deployment.make_user("u10", "10.2.0.22")
+        url = f"https://{deployment.domain}/"
+        assert not browser.navigate(url).blocked
+        seen_ips = set()
+        for _ in range(6):
+            browser.client.close_all()  # force a reconnect + re-resolve
+            result = browser.navigate(url)
+            assert not result.blocked, result.block_reason
+            seen_ips.add(result.connection.destination_ip)
+        assert len(seen_ips) > 1  # genuinely roamed
+        # ...and validation happened only once (pin stayed valid).
+        assert sum(1 for e in extension.events if e.kind == "validated") == 1
+
+    def test_opportunistic_discovery(self, deployment):
+        browser, extension = deployment.make_user(
+            "u8", "10.2.0.20", register_service=False
+        )
+        browser.navigate(f"https://{deployment.domain}/")
+        assert any(e.kind == "discovered" for e in extension.events)
+
+
+class TestWellKnownEndpoint:
+    def test_report_binds_tls_key(self, deployment):
+        browser, _ = deployment.make_user("u9", "10.2.0.21", with_extension=False)
+        response, info = browser.client.get(
+            f"https://{deployment.domain}{WELL_KNOWN_ATTESTATION_PATH}"
+        )
+        report = decode_attestation_payload(response.body)
+        assert report.report_data == report_data_for(
+            info.peer_public_key.fingerprint()
+        )
+        assert report.measurement == deployment.build.expected_measurement
+
+    def test_bootstrap_endpoint_still_reachable(self, deployment):
+        # The bootstrap port serves only self-authenticating bundles.
+        probe = deployment.network.add_host("probe", "10.9.9.2")
+        raw = probe.request(
+            deployment.nodes[0].host.ip_address,
+            BOOTSTRAP_PORT,
+            HttpRequest("GET", "/revelio/csr-bundle").encode(),
+        )
+        from repro.core.key_sharing import ReportBundle
+        from repro.net.http import HttpResponse
+
+        bundle = ReportBundle.decode(HttpResponse.decode(raw).body)
+        assert bundle.binding_ok()
+        deployment.network.remove_host("10.9.9.2")
+
+
+class TestPersistentState:
+    def test_reboot_reopens_sealed_volume(self, registry_and_pins):
+        from repro.build import build_revelio_image
+        from repro.core import RevelioDeployment
+        from repro.net.latency import ZERO_LATENCY
+        from tests.conftest import make_spec
+
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"reboot-test"
+        )
+        deployment.launch_fleet()
+        deployed = deployment.nodes[0]
+        deployed.vm.storage["data"].write_block(5, b"\x77" * 4096)
+        deployed.vm.shutdown()
+
+        # Relaunch on the same host with the persisted disk.
+        vm2 = deployed.hypervisor.launch(
+            build.image, name=deployed.vm.name, reuse_disk=True
+        )
+        vm2.boot()
+        assert not vm2.first_boot
+        assert vm2.storage["data"].read_block(5) == b"\x77" * 4096
+
+    def test_different_image_cannot_unseal(self, registry_and_pins):
+        from repro.build import build_revelio_image
+        from repro.core import RevelioDeployment
+        from repro.net.latency import ZERO_LATENCY
+        from repro.virt.vm import BootFailure
+        from tests.conftest import make_spec
+
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        evil_build = build_revelio_image(
+            make_spec(registry, pins,
+                      extra_files={"/opt/backdoor": b"evil"})
+        )
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"unseal-test"
+        )
+        deployment.launch_fleet()
+        deployed = deployment.nodes[0]
+        deployed.vm.shutdown()
+
+        # A *different* (backdoored) image relaunched over the same disk
+        # derives a different sealing key and cannot open the volume.
+        # (The verity rootfs also fails first: the disk carries the
+        # honest rootfs but the evil cmdline's root hash differs...
+        # so tamper the disk to match the evil image except the data
+        # partition, i.e. just launch evil image with fresh disk but
+        # restore the old data partition.)
+        old_disk = deployed.hypervisor.disk_store[deployed.vm.name]
+        evil_vm = deployed.hypervisor.launch(evil_build.image, name="evil-vm")
+
+        # Copy the sealed data partition from the old disk into the
+        # evil VM's disk (offline attack on persistent state).
+        from repro.storage.partition import PartitionTable
+
+        old_table = PartitionTable.read_from(old_disk)
+        old_data = old_table.open(old_disk, "data")
+        new_table = PartitionTable.read_from(evil_vm.disk)
+        new_data = new_table.open(evil_vm.disk, "data")
+        for block in range(min(old_data.num_blocks, new_data.num_blocks)):
+            new_data.write_block(block, old_data.read_block(block))
+
+        with pytest.raises(BootFailure, match="master key|LUKS"):
+            evil_vm.boot()

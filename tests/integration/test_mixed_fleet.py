@@ -1,0 +1,167 @@
+"""Mixed-version fleets: the extra-golden-measurements mechanism.
+
+During a rolling upgrade both image versions serve simultaneously; the
+paper's design plants golden values at build time (section 5.3), so an
+image that should trust its successor lists the successor's measurement
+in its baked-in golden set (and vice versa).
+"""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.core.guest import RevelioNode, golden_measurements_for
+from repro.crypto.drbg import HmacDrbg
+from repro.net.latency import ZERO_LATENCY
+from repro.virt.hypervisor import Hypervisor
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def builds(registry_and_pins):
+    """v1 and v2 builds that each list the other as golden.
+
+    The fixpoint is resolved the practical way: compute both plain
+    measurements first, then rebuild each image with the *other*'s
+    final measurement embedded.  (v2 embeds plain-v1's measurement is
+    not enough — so we do one extra round: v1' embeds v2', where v2'
+    embeds v1'.  A two-pass handshake: v2' embeds v1-with-v2-plain.)
+    Simpler and fully deterministic: build v2 first, then v1 embedding
+    v2's measurement, then REBUILD v2 embedding v1's measurement; v1
+    then accepts v2-final via a one-directional link and v2-final
+    accepts v1 — sufficient for the upgrade direction that matters
+    (new leader attests old nodes and vice versa via own+extras).
+    """
+    registry, pins = registry_and_pins
+    v2_plain = build_revelio_image(make_spec(registry, pins, version="2.0.0"))
+    v1 = build_revelio_image(
+        make_spec(
+            registry, pins, version="1.0.0",
+            extra_golden_measurements=(v2_plain.expected_measurement,),
+        )
+    )
+    v2 = build_revelio_image(
+        make_spec(
+            registry, pins, version="2.0.0",
+            extra_golden_measurements=(v1.expected_measurement,),
+        )
+    )
+    return v1, v2, v2_plain
+
+
+class TestGoldenConf:
+    def test_extras_are_baked_and_measured(self, builds):
+        v1, v2, v2_plain = builds
+        assert v1.expected_measurement != v2.expected_measurement
+        # Embedding goldens changes the measurement (it's in the rootfs).
+        assert v2.expected_measurement != v2_plain.expected_measurement
+
+    def test_node_golden_set_includes_extras(self, builds):
+        v1, v2, v2_plain = builds
+        deployment = RevelioDeployment(
+            v1, num_nodes=1, latency=ZERO_LATENCY, seed=b"mixed-1"
+        )
+        deployment.launch_fleet()
+        goldens = golden_measurements_for(deployment.nodes[0].vm)
+        assert bytes(v1.expected_measurement) in [bytes(m) for m in goldens]
+        assert bytes(v2_plain.expected_measurement) in [bytes(m) for m in goldens]
+
+
+class TestMixedFleetProvisioning:
+    def test_v1_leader_shares_key_with_v2_plain_node(self, builds):
+        """A v1 fleet admits a v2-plain node.
+
+        The v1 leader accepts v2-plain via its *baked* golden extras;
+        the v2-plain node (whose baked set only holds itself) accepts
+        the v1 leader via a *trusted registry* — the paper's runtime
+        alternative to hard-coded values (section 5.3).
+        """
+        from repro.core.trusted_registry import StaticRegistry
+
+        v1, _, v2_plain = builds
+        deployment = RevelioDeployment(
+            v1, num_nodes=2, latency=ZERO_LATENCY, seed=b"mixed-2"
+        )
+        deployment.launch_fleet()
+
+        # Hand-launch a v2-plain node into the same world, configured
+        # with a registry that endorses both versions.
+        registry = StaticRegistry(
+            golden={
+                deployment.domain: [
+                    v1.expected_measurement,
+                    v2_plain.expected_measurement,
+                ]
+            }
+        )
+        chip = deployment.amd.provision_chip("mixed-chip")
+        hypervisor = Hypervisor(chip, HmacDrbg(b"mixed-hv"))
+        vm = hypervisor.launch(v2_plain.image, ip_address="10.0.0.50")
+        vm.boot()
+        host = deployment.network.add_host("v2-node", "10.0.0.50",
+                                           firewall=vm.firewall)
+        RevelioNode(vm, host, deployment._new_kds_client(), deployment.latency,
+                    trusted_registry=registry)
+
+        deployment.create_sp_node(
+            extra_measurements=[v2_plain.expected_measurement]
+        )
+        deployment.sp.approved_chip_ids.append(chip.chip_id)
+        deployment.sp.approved_ips.add("10.0.0.50")
+
+        result = deployment.sp.provision_fleet(
+            [deployment.node_ip(0), deployment.node_ip(1), "10.0.0.50"]
+        )
+        assert len(result.attested) == 3
+        # All three serve the same shared certificate.
+        deployment.provisioning = result
+        deployment.network.dns.register(deployment.domain,
+                                        [deployment.node_ip(0)])
+        browser, extension = deployment.make_user(
+            "mixed-user", "10.2.7.1", register_service=False
+        )
+        extension.register_site(
+            deployment.domain,
+            [v1.expected_measurement, v2_plain.expected_measurement],
+        )
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+
+    def test_unrelated_image_still_rejected_by_leader(self, builds,
+                                                      registry_and_pins):
+        """The golden-extras mechanism is an allow-list, not a bypass:
+        an image absent from it cannot obtain the key."""
+        v1, _, _ = builds
+        registry, pins = registry_and_pins
+        rogue_build = build_revelio_image(
+            make_spec(registry, pins, version="6.6.6",
+                      extra_files={"/opt/rogue": b"x"})
+        )
+        deployment = RevelioDeployment(
+            v1, num_nodes=1, latency=ZERO_LATENCY, seed=b"mixed-3"
+        )
+        deployment.launch_fleet()
+        deployment.create_sp_node()
+        deployment.provision_certificates()
+
+        chip = deployment.amd.provision_chip("rogue-chip")
+        hypervisor = Hypervisor(chip, HmacDrbg(b"rogue-hv"))
+        vm = hypervisor.launch(rogue_build.image, ip_address="10.0.0.66")
+        vm.boot()
+        host = deployment.network.add_host("rogue", "10.0.0.66",
+                                           firewall=vm.firewall)
+        rogue_node = RevelioNode(vm, host, deployment._new_kds_client(),
+                                 deployment.latency)
+        # The rogue asks the leader for the key directly.
+        from repro.core import BOOTSTRAP_PORT
+        from repro.net.http import HttpRequest, HttpResponse
+
+        raw = host.request(
+            deployment.provisioning.leader_ip,
+            BOOTSTRAP_PORT,
+            HttpRequest(
+                "POST", "/revelio/key-request",
+                body=vm.identity.key_bundle().encode(),
+            ).encode(),
+        )
+        assert HttpResponse.decode(raw).status == 403
+        assert not rogue_node.serving

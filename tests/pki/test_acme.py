@@ -1,0 +1,154 @@
+"""ACME CA tests: DNS-01 validation, issuance, and rate limits."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+from repro.crypto.x509 import CertificateSigningRequest, Name, validate_chain
+from repro.net.dns import DnsRegistry
+from repro.net.latency import LatencyModel, SimClock
+from repro.pki.acme import AcmeError, AcmeServer, RateLimitError
+from repro.pki.ca import WebPki
+from repro.pki.certbot import CertbotClient
+
+DOMAIN = "service.example"
+
+
+@pytest.fixture
+def setup():
+    rng = HmacDrbg(b"acme-tests")
+    clock = SimClock()
+    dns = DnsRegistry()
+    pki = WebPki.create(rng.fork(b"pki"))
+    acme = AcmeServer(
+        pki, dns, clock, rng.fork(b"acme"),
+        latency=LatencyModel(acme_issuance=2.95),
+        rate_limit=3, rate_window=100.0,
+    )
+    key = PrivateKey.generate_ecdsa(rng.fork(b"svc"))
+    csr = CertificateSigningRequest.create(Name(DOMAIN), key, san=(DOMAIN,))
+    return {
+        "rng": rng, "clock": clock, "dns": dns, "pki": pki, "acme": acme,
+        "key": key, "csr": csr,
+    }
+
+
+class TestHappyPath:
+    def test_certbot_flow(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        chain = certbot.obtain_certificate(DOMAIN, setup["csr"])
+        validate_chain(
+            chain, [setup["pki"].trust_anchor],
+            now=setup["clock"].epoch_seconds(), hostname=DOMAIN,
+        )
+        assert chain[0].public_key == setup["key"].public_key()
+
+    def test_issuance_charges_latency(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        before = setup["clock"].now
+        certbot.obtain_certificate(DOMAIN, setup["csr"])
+        assert setup["clock"].now - before == pytest.approx(2.95)
+
+    def test_challenge_record_cleaned_up(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        certbot.obtain_certificate(DOMAIN, setup["csr"])
+        assert setup["dns"].get_txt(f"_acme-challenge.{DOMAIN}") == []
+
+    def test_cert_lifetime_90_days(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        leaf = certbot.obtain_certificate(DOMAIN, setup["csr"])[0]
+        assert leaf.not_after - leaf.not_before == 90 * 24 * 3600
+
+
+class TestValidation:
+    def test_unpublished_challenge_fails(self, setup):
+        acme = setup["acme"]
+        order = acme.new_order(DOMAIN)
+        with pytest.raises(AcmeError, match="DNS-01"):
+            acme.validate_challenge(order.order_id)
+
+    def test_wrong_token_fails(self, setup):
+        acme = setup["acme"]
+        order = acme.new_order(DOMAIN)
+        setup["dns"].set_txt(order.txt_record_name, ["wrong-value"])
+        with pytest.raises(AcmeError, match="DNS-01"):
+            acme.validate_challenge(order.order_id)
+
+    def test_finalize_requires_validation(self, setup):
+        acme = setup["acme"]
+        order = acme.new_order(DOMAIN)
+        with pytest.raises(AcmeError, match="validation"):
+            acme.finalize(order.order_id, setup["csr"])
+
+    def test_csr_domain_mismatch(self, setup):
+        acme, dns = setup["acme"], setup["dns"]
+        wrong_csr = CertificateSigningRequest.create(
+            Name("other.example"), setup["key"], san=("other.example",)
+        )
+        order = acme.new_order(DOMAIN)
+        dns.set_txt(order.txt_record_name, [order.key_authorization()])
+        acme.validate_challenge(order.order_id)
+        with pytest.raises(AcmeError, match="does not cover"):
+            acme.finalize(order.order_id, wrong_csr)
+
+    def test_bad_csr_signature(self, setup):
+        from dataclasses import replace
+
+        acme, dns = setup["acme"], setup["dns"]
+        bad_csr = replace(setup["csr"], signature=b"\x00" * 64)
+        order = acme.new_order(DOMAIN)
+        dns.set_txt(order.txt_record_name, [order.key_authorization()])
+        acme.validate_challenge(order.order_id)
+        with pytest.raises(AcmeError, match="proof-of-possession"):
+            acme.finalize(order.order_id, bad_csr)
+
+    def test_order_not_reusable(self, setup):
+        certbot_like = setup["acme"]
+        order = certbot_like.new_order(DOMAIN)
+        setup["dns"].set_txt(order.txt_record_name, [order.key_authorization()])
+        certbot_like.validate_challenge(order.order_id)
+        certbot_like.finalize(order.order_id, setup["csr"])
+        with pytest.raises(AcmeError, match="already fulfilled"):
+            certbot_like.finalize(order.order_id, setup["csr"])
+
+    def test_unknown_order(self, setup):
+        with pytest.raises(AcmeError, match="unknown order"):
+            setup["acme"].validate_challenge("nope")
+
+    def test_invalid_domain(self, setup):
+        with pytest.raises(AcmeError):
+            setup["acme"].new_order("bad/domain")
+
+
+class TestRateLimiting:
+    """The constraint that motivates Revelio's TLS-key sharing (3.4.6)."""
+
+    def test_limit_enforced(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        for _ in range(3):
+            certbot.obtain_certificate(DOMAIN, setup["csr"])
+        with pytest.raises(RateLimitError):
+            certbot.obtain_certificate(DOMAIN, setup["csr"])
+
+    def test_limit_is_per_domain(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        for _ in range(3):
+            certbot.obtain_certificate(DOMAIN, setup["csr"])
+        other_csr = CertificateSigningRequest.create(
+            Name("other.example"), setup["key"], san=("other.example",)
+        )
+        certbot.obtain_certificate("other.example", other_csr)  # fine
+
+    def test_window_slides(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        for _ in range(3):
+            certbot.obtain_certificate(DOMAIN, setup["csr"])
+        setup["clock"].advance(200.0)  # beyond the 100 s test window
+        certbot.obtain_certificate(DOMAIN, setup["csr"])
+
+    def test_new_order_also_rate_limited(self, setup):
+        certbot = CertbotClient(setup["acme"], setup["dns"])
+        for _ in range(3):
+            certbot.obtain_certificate(DOMAIN, setup["csr"])
+        with pytest.raises(RateLimitError):
+            setup["acme"].new_order(DOMAIN)

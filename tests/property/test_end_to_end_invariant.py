@@ -1,0 +1,140 @@
+"""Randomised end-to-end invariant: *no user with a correct golden value
+ever reaches a page served by a wrong-measurement endpoint*.
+
+Hypothesis drives random scenario mixes — honest deployments, tampered
+images, DNS redirects, key rotations — and the test asserts the single
+property the whole system exists to provide: an extension-equipped user
+whose golden set contains exactly the honest measurement either reaches
+an honest endpoint or is blocked.  Never a third outcome.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from repro.virt.hypervisor import LaunchAttack
+from repro.virt.vm import BootFailure
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def builds(registry_and_pins):
+    registry, pins = registry_and_pins
+    honest = build_revelio_image(make_spec(registry, pins))
+    evil = build_revelio_image(
+        make_spec(registry, pins, extra_files={"/opt/backdoor": b"evil"})
+    )
+    return honest, evil
+
+
+_scenarios = st.fixed_dictionaries(
+    {
+        "serve_evil_image": st.booleans(),
+        "redirect_to_impostor": st.booleans(),
+        "rotate_leader": st.booleans(),
+        "navigations": st.integers(min_value=1, max_value=4),
+        "seed": st.binary(min_size=4, max_size=8),
+    }
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(scenario=_scenarios)
+def test_honest_golden_never_reaches_wrong_endpoint(builds, scenario):
+    honest, evil = builds
+    build = evil if scenario["serve_evil_image"] else honest
+    deployment = RevelioDeployment(
+        build, num_nodes=2, latency=ZERO_LATENCY,
+        seed=b"inv-" + scenario["seed"],
+    )
+    deployment.deploy()
+
+    impostor_body = b"<html>impostor</html>"
+    if scenario["redirect_to_impostor"]:
+        from repro.crypto.drbg import HmacDrbg
+        from repro.crypto.keys import PrivateKey
+        from repro.crypto.x509 import CertificateSigningRequest, Name
+        from repro.net.http import HttpResponse, HttpServer
+        from repro.pki.certbot import CertbotClient
+
+        rng = HmacDrbg(b"impostor" + scenario["seed"])
+        key = PrivateKey.generate_ecdsa(rng)
+        csr = CertificateSigningRequest.create(
+            Name(deployment.domain), key, san=(deployment.domain,)
+        )
+        chain = CertbotClient(
+            deployment.acme, deployment.network.dns
+        ).obtain_certificate(deployment.domain, csr)
+        host = deployment.network.add_host("impostor", "10.6.6.6")
+        server = HttpServer("impostor")
+        server.add_route("GET", "/", lambda r, c: HttpResponse.ok(impostor_body))
+        server.serve_tls(host, chain, key, rng.fork(b"tls"))
+        deployment.network.dns.redirect(deployment.domain, "10.6.6.6")
+
+    browser, extension = deployment.make_user(
+        "inv-user", "10.2.0.77", register_service=False
+    )
+    # The user's golden set holds exactly the HONEST measurement.
+    extension.register_site(deployment.domain, [honest.expected_measurement])
+
+    for step in range(scenario["navigations"]):
+        if scenario["rotate_leader"] and step == 1 and not scenario[
+            "redirect_to_impostor"
+        ]:
+            deployment.provisioning = deployment.sp.provision_fleet(
+                [d.host.ip_address for d in deployment.nodes], leader_index=1
+            )
+            browser.client.close_all()
+        result = browser.navigate(f"https://{deployment.domain}/")
+
+        served_honestly = (
+            not scenario["serve_evil_image"]
+            and not scenario["redirect_to_impostor"]
+        )
+        if result.blocked:
+            continue  # blocking is always a safe outcome
+        # THE invariant: an unblocked access implies an honest endpoint.
+        assert served_honestly, (
+            f"user reached a dishonest endpoint at step {step}: {scenario}"
+        )
+        assert result.response.body != impostor_body
+        # And the serving VM really measures the honest golden value.
+        assert (
+            deployment.nodes[0].vm.measurement == honest.expected_measurement
+        )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    corrupt_offset=st.integers(min_value=4096, max_value=4096 * 40),
+    seed=st.binary(min_size=4, max_size=8),
+)
+def test_any_disk_corruption_never_yields_running_service(
+    builds, corrupt_offset, seed
+):
+    """Random offline disk corruption: the VM either fails to boot or
+    (if the flip landed outside verified regions, e.g. the empty data
+    partition) boots with its measurement intact."""
+    honest, _ = builds
+    deployment = RevelioDeployment(
+        honest, num_nodes=1, latency=ZERO_LATENCY, seed=b"corr-" + seed
+    )
+    try:
+        deployment.launch_fleet(
+            attack_for=lambda i: LaunchAttack(
+                tamper_disk=lambda disk: disk.corrupt(
+                    corrupt_offset % disk.size_bytes
+                )
+            )
+        )
+    except BootFailure:
+        return  # detected: the safe outcome
+    # Booted: the corruption must have been outside the measured rootfs
+    # (e.g. the not-yet-encrypted data partition), and the measurement
+    # still matches the golden value.
+    vm = deployment.nodes[0].vm
+    assert vm.measurement == honest.expected_measurement
+    vm.storage["verity"].verify_all()  # rootfs is still fully intact

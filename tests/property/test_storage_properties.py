@@ -1,0 +1,139 @@
+"""Property-based tests over the storage stack invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.blockdev import RamBlockDevice
+from repro.storage.dm_crypt import luks_format, luks_open
+from repro.storage.dm_verity import VerityError, verity_format, verity_open
+from repro.storage.filesystem import FileSystem, build_image, image_to_device
+
+import pytest
+
+
+# -- dm-verity: ANY corruption is detected ------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_blocks=st.integers(min_value=1, max_value=40),
+    corrupt_offset_frac=st.floats(min_value=0.0, max_value=0.999),
+    mask=st.integers(min_value=1, max_value=255),
+    seed=st.binary(min_size=4, max_size=8),
+)
+def test_verity_detects_any_data_corruption(num_blocks, corrupt_offset_frac,
+                                            mask, seed):
+    block_size = 512
+    data = RamBlockDevice(
+        num_blocks, block_size,
+        initial=HmacDrbg(seed).generate(num_blocks * block_size),
+    )
+    result = verity_format(data, salt=b"prop")
+    device = verity_open(data, result.hash_device, result.root_hash)
+    offset = int(corrupt_offset_frac * num_blocks * block_size)
+    data.corrupt(offset, xor_mask=mask)
+    with pytest.raises(VerityError):
+        device.read_block(offset // block_size)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_blocks=st.integers(min_value=1, max_value=30),
+    seed=st.binary(min_size=4, max_size=8),
+)
+def test_verity_clean_device_fully_readable(num_blocks, seed):
+    block_size = 512
+    data = RamBlockDevice(
+        num_blocks, block_size,
+        initial=HmacDrbg(seed).generate(num_blocks * block_size),
+    )
+    result = verity_format(data, salt=b"prop2")
+    device = verity_open(data, result.hash_device, result.root_hash)
+    device.verify_all()
+
+
+# -- dm-crypt: round trips and key isolation -----------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_blocks=st.integers(min_value=1, max_value=8),
+    first=st.integers(min_value=0, max_value=4),
+    seed=st.binary(min_size=4, max_size=8),
+)
+def test_dmcrypt_round_trip(num_blocks, first, seed):
+    rng = HmacDrbg(seed)
+    device = RamBlockDevice(16, 512)
+    volume = luks_format(device, rng, master_key=rng.generate(64))
+    data = rng.generate(num_blocks * 512)
+    if first + num_blocks > volume.num_blocks:
+        first = 0
+        num_blocks = min(num_blocks, volume.num_blocks)
+        data = data[: num_blocks * 512]
+    volume.write_blocks(first, data)
+    assert volume.read_blocks(first, num_blocks) == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.binary(min_size=4, max_size=8))
+def test_dmcrypt_different_keys_cannot_open(seed):
+    from repro.storage.dm_crypt import DmCryptError
+
+    rng = HmacDrbg(seed)
+    device = RamBlockDevice(8, 512)
+    key = rng.generate(64)
+    luks_format(device, rng, master_key=key)
+    other = bytearray(key)
+    other[0] ^= 1
+    with pytest.raises(DmCryptError):
+        luks_open(device, master_key=bytes(other))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=2000),
+    seed=st.binary(min_size=4, max_size=8),
+)
+def test_dmcrypt_ciphertext_hides_plaintext(payload, seed):
+    # No plaintext run of >= 8 bytes survives into the ciphertext.
+    rng = HmacDrbg(seed)
+    device = RamBlockDevice(8, 512)
+    volume = luks_format(device, rng, master_key=rng.generate(64))
+    block = payload.ljust(512, b"\x00")[:512]
+    volume.write_block(0, block)
+    raw = b"".join(device.read_block(i) for i in range(device.num_blocks))
+    for start in range(0, len(payload) - 8):
+        window = payload[start : start + 8]
+        if window != b"\x00" * 8:
+            assert window not in raw
+
+
+# -- filesystem: determinism and faithfulness ---------------------------------
+
+
+_paths = st.from_regex(r"/[a-z]{1,8}(/[a-z0-9._-]{1,10}){0,3}", fullmatch=True)
+_file_maps = st.dictionaries(_paths, st.binary(max_size=3000), max_size=10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(files=_file_maps)
+def test_filesystem_build_deterministic(files):
+    assert build_image(files) == build_image(dict(reversed(list(files.items()))))
+
+
+@settings(max_examples=25, deadline=None)
+@given(files=_file_maps)
+def test_filesystem_reads_back_exactly(files):
+    fs = FileSystem(image_to_device(build_image(files)))
+    assert fs.list_files() == sorted(files)
+    for path, content in files.items():
+        assert fs.read_file(path) == content
+
+
+@settings(max_examples=20, deadline=None)
+@given(files=_file_maps, extra=st.binary(min_size=1, max_size=50))
+def test_filesystem_any_change_changes_image(files, extra):
+    changed = dict(files)
+    changed["/mutation-marker"] = extra
+    assert build_image(files) != build_image(changed)

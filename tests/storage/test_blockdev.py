@@ -1,0 +1,129 @@
+"""Block device layer tests."""
+
+import pytest
+
+from repro.storage.blockdev import (
+    BlockDeviceError,
+    RamBlockDevice,
+    ReadOnlyDeviceError,
+    ReadOnlyView,
+    SliceView,
+)
+
+
+class TestRamBlockDevice:
+    def test_starts_zeroed(self):
+        device = RamBlockDevice(4, block_size=16)
+        assert device.read_block(0) == b"\x00" * 16
+
+    def test_write_read(self):
+        device = RamBlockDevice(4, block_size=16)
+        device.write_block(2, b"x" * 16)
+        assert device.read_block(2) == b"x" * 16
+        assert device.read_block(1) == b"\x00" * 16
+
+    def test_initial_contents(self):
+        device = RamBlockDevice(2, block_size=4, initial=b"abcdefgh")
+        assert device.read_block(0) == b"abcd"
+        assert device.read_block(1) == b"efgh"
+
+    def test_initial_too_large(self):
+        with pytest.raises(BlockDeviceError):
+            RamBlockDevice(1, block_size=4, initial=b"toolong")
+
+    def test_out_of_range(self):
+        device = RamBlockDevice(2, block_size=16)
+        with pytest.raises(BlockDeviceError):
+            device.read_block(2)
+        with pytest.raises(BlockDeviceError):
+            device.read_block(-1)
+        with pytest.raises(BlockDeviceError):
+            device.write_block(5, b"\x00" * 16)
+
+    def test_partial_block_write_rejected(self):
+        device = RamBlockDevice(2, block_size=16)
+        with pytest.raises(BlockDeviceError):
+            device.write_block(0, b"short")
+
+    def test_io_counters(self):
+        device = RamBlockDevice(4, block_size=16)
+        device.write_block(0, b"a" * 16)
+        device.read_block(0)
+        device.read_block(0)
+        assert device.writes == 1
+        assert device.reads == 2
+
+    def test_corrupt(self):
+        device = RamBlockDevice(1, block_size=16)
+        device.write_block(0, b"\x00" * 16)
+        device.corrupt(5, xor_mask=0xFF)
+        assert device.read_block(0)[5] == 0xFF
+
+    def test_snapshot_restore(self):
+        device = RamBlockDevice(1, block_size=16)
+        device.write_block(0, b"v1-state-v1-stat")
+        old = device.snapshot()
+        device.write_block(0, b"v2-state-v2-stat")
+        device.restore(old)
+        assert device.read_block(0) == b"v1-state-v1-stat"
+
+    def test_restore_size_mismatch(self):
+        device = RamBlockDevice(1, block_size=16)
+        with pytest.raises(BlockDeviceError):
+            device.restore(b"wrong-size")
+
+
+class TestByteGranularIo:
+    def test_read_write_spanning_blocks(self):
+        device = RamBlockDevice(4, block_size=8)
+        device.write_bytes(5, b"hello world")
+        assert device.read_bytes(5, 11) == b"hello world"
+        # Neighbouring bytes untouched.
+        assert device.read_bytes(0, 5) == b"\x00" * 5
+
+    def test_zero_length(self):
+        device = RamBlockDevice(1, block_size=8)
+        assert device.read_bytes(3, 0) == b""
+        device.write_bytes(3, b"")  # no-op
+
+    def test_out_of_bounds(self):
+        device = RamBlockDevice(2, block_size=8)
+        with pytest.raises(BlockDeviceError):
+            device.read_bytes(10, 10)
+        with pytest.raises(BlockDeviceError):
+            device.write_bytes(15, b"ab")
+
+    def test_read_all(self):
+        device = RamBlockDevice(2, block_size=4, initial=b"abcdefgh")
+        assert device.read_all() == b"abcdefgh"
+
+
+class TestViews:
+    def test_read_only_view(self):
+        backing = RamBlockDevice(2, block_size=8)
+        backing.write_block(0, b"writable" )
+        view = ReadOnlyView(backing)
+        assert view.read_block(0) == b"writable"
+        with pytest.raises(ReadOnlyDeviceError):
+            view.write_block(0, b"nope-no!" )
+
+    def test_slice_view_isolation(self):
+        backing = RamBlockDevice(10, block_size=8)
+        part = SliceView(backing, first_block=3, num_blocks=4)
+        part.write_block(0, b"pp-data!")
+        assert backing.read_block(3) == b"pp-data!"
+        assert part.num_blocks == 4
+        with pytest.raises(BlockDeviceError):
+            part.read_block(4)
+
+    def test_slice_out_of_bounds(self):
+        backing = RamBlockDevice(4, block_size=8)
+        with pytest.raises(BlockDeviceError):
+            SliceView(backing, first_block=2, num_blocks=3)
+
+    def test_nested_slices(self):
+        backing = RamBlockDevice(10, block_size=8)
+        outer = SliceView(backing, 2, 6)
+        inner = SliceView(outer, 1, 2)
+        inner.write_block(0, b"nested!!")
+        assert backing.read_block(3) == b"nested!!"

@@ -1,0 +1,145 @@
+"""dm-crypt / LUKS tests."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.blockdev import RamBlockDevice
+from repro.storage.dm_crypt import (
+    DmCryptError,
+    is_luks,
+    luks_add_key,
+    luks_format,
+    luks_open,
+    read_header,
+)
+
+
+@pytest.fixture
+def rng():
+    return HmacDrbg(b"dm-crypt-tests")
+
+
+@pytest.fixture
+def device():
+    return RamBlockDevice(18, block_size=4096)
+
+
+class TestPassphraseFlow:
+    def test_format_open_round_trip(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"hunter2")
+        volume.write_block(0, b"\x42" * 4096)
+        reopened = luks_open(device, passphrase=b"hunter2")
+        assert reopened.read_block(0) == b"\x42" * 4096
+
+    def test_wrong_passphrase_rejected(self, device, rng):
+        luks_format(device, rng, passphrase=b"correct")
+        with pytest.raises(DmCryptError):
+            luks_open(device, passphrase=b"wrong")
+
+    def test_ciphertext_differs_from_plaintext(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"p")
+        plaintext = b"\x42" * 4096
+        volume.write_block(0, plaintext)
+        # Logical block 0 lives at physical block 2 (after the header).
+        assert device.read_block(2) != plaintext
+
+    def test_add_second_passphrase(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"first")
+        volume.write_block(1, b"\x11" * 4096)
+        luks_add_key(device, rng, existing_passphrase=b"first", new_passphrase=b"second")
+        assert luks_open(device, passphrase=b"second").read_block(1) == b"\x11" * 4096
+        assert luks_open(device, passphrase=b"first").read_block(1) == b"\x11" * 4096
+
+    def test_add_key_requires_valid_credential(self, device, rng):
+        luks_format(device, rng, passphrase=b"first")
+        with pytest.raises(DmCryptError):
+            luks_add_key(device, rng, existing_passphrase=b"bad", new_passphrase=b"x")
+
+
+class TestDirectKeyFlow:
+    """The Revelio path: the master key is the AMD-SP sealing key."""
+
+    def test_format_open_with_key(self, device, rng):
+        sealing_key = rng.generate(64)
+        volume = luks_format(device, rng, master_key=sealing_key)
+        volume.write_block(0, b"\x55" * 4096)
+        reopened = luks_open(device, master_key=sealing_key)
+        assert reopened.read_block(0) == b"\x55" * 4096
+
+    def test_wrong_key_rejected(self, device, rng):
+        luks_format(device, rng, master_key=rng.generate(64))
+        with pytest.raises(DmCryptError):
+            luks_open(device, master_key=b"\x00" * 64)
+
+    def test_no_slot_stored_for_direct_key(self, device, rng):
+        luks_format(device, rng, master_key=rng.generate(64))
+        assert read_header(device).slots == []
+
+    def test_key_size_enforced(self, device, rng):
+        with pytest.raises(DmCryptError):
+            luks_format(device, rng, master_key=b"short")
+
+    def test_exactly_one_credential(self, device, rng):
+        with pytest.raises(DmCryptError):
+            luks_format(device, rng)
+        with pytest.raises(DmCryptError):
+            luks_format(device, rng, passphrase=b"p", master_key=b"\x00" * 64)
+        luks_format(device, rng, passphrase=b"p")
+        with pytest.raises(DmCryptError):
+            luks_open(device)
+
+
+class TestDeviceSemantics:
+    def test_sector_tweaks_differ(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"p")
+        block = b"\x77" * 4096
+        volume.write_block(0, block)
+        volume.write_block(1, block)
+        assert device.read_block(2) != device.read_block(3)
+
+    def test_batched_io_matches_blockwise(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"p")
+        data = HmacDrbg(b"payload").generate(4096 * 4)
+        volume.write_blocks(2, data)
+        assert volume.read_blocks(2, 4) == data
+        blockwise = b"".join(volume.read_block(2 + i) for i in range(4))
+        assert blockwise == data
+
+    def test_logical_size_excludes_header(self, device, rng):
+        volume = luks_format(device, rng, passphrase=b"p")
+        assert volume.num_blocks == device.num_blocks - 2
+
+    def test_offline_tamper_garbles_plaintext(self, device, rng):
+        # dm-crypt alone provides confidentiality, not integrity: a flipped
+        # ciphertext bit decrypts to garbage (that's why Revelio pairs it
+        # with dm-verity for the rootfs).
+        volume = luks_format(device, rng, passphrase=b"p")
+        volume.write_block(0, b"\x00" * 4096)
+        device.corrupt(2 * 4096 + 10)
+        plaintext = luks_open(device, passphrase=b"p").read_block(0)
+        assert plaintext != b"\x00" * 4096
+
+    def test_too_small_device(self, rng):
+        with pytest.raises(DmCryptError):
+            luks_format(RamBlockDevice(2, 4096), rng, passphrase=b"p")
+
+
+class TestHeader:
+    def test_is_luks_probe(self, device, rng):
+        assert not is_luks(device)
+        luks_format(device, rng, passphrase=b"p")
+        assert is_luks(device)
+
+    def test_header_round_trip(self, device, rng):
+        luks_format(device, rng, passphrase=b"p", uuid="fixed-uuid-0001")
+        header = read_header(device)
+        assert header.cipher == "aes-xts-plain64"
+        assert header.uuid == "fixed-uuid-0001"
+        assert header.sector_size == 4096
+        assert len(header.slots) == 1
+        assert header.slots[0].iterations == 1000
+
+    def test_garbage_header_rejected(self, device):
+        device.write_block(0, b"\xde\xad\xbe\xef" * 1024)
+        with pytest.raises(DmCryptError):
+            read_header(device)

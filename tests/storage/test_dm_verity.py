@@ -1,0 +1,166 @@
+"""dm-verity tests: the invariant is that ANY corruption is caught."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.blockdev import RamBlockDevice, ReadOnlyDeviceError
+from repro.storage.dm_verity import (
+    VerityError,
+    VeritySuperblock,
+    verity_format,
+    verity_open,
+)
+
+
+def _make_data_device(num_blocks=10, block_size=4096, seed=b"verity-data"):
+    rng = HmacDrbg(seed)
+    return RamBlockDevice(
+        num_blocks, block_size, initial=rng.generate(num_blocks * block_size)
+    )
+
+
+@pytest.fixture
+def formatted():
+    data = _make_data_device()
+    result = verity_format(data, salt=b"salty")
+    return data, result
+
+
+class TestFormat:
+    def test_deterministic_root_hash(self):
+        first = verity_format(_make_data_device(), salt=b"s").root_hash
+        second = verity_format(_make_data_device(), salt=b"s").root_hash
+        assert first == second
+
+    def test_salt_changes_root(self):
+        assert (
+            verity_format(_make_data_device(), salt=b"a").root_hash
+            != verity_format(_make_data_device(), salt=b"b").root_hash
+        )
+
+    def test_data_changes_root(self):
+        other = _make_data_device(seed=b"other-data")
+        assert (
+            verity_format(_make_data_device(), salt=b"s").root_hash
+            != verity_format(other, salt=b"s").root_hash
+        )
+
+    def test_empty_device_rejected(self):
+        with pytest.raises(VerityError):
+            verity_format(RamBlockDevice(0))
+
+    def test_single_block_device(self):
+        data = _make_data_device(num_blocks=1)
+        result = verity_format(data)
+        device = verity_open(data, result.hash_device, result.root_hash)
+        assert device.read_block(0) == data.read_block(0)
+
+    @pytest.mark.parametrize("num_blocks", [1, 2, 127, 128, 129, 300])
+    def test_various_sizes(self, num_blocks):
+        data = _make_data_device(num_blocks=num_blocks, block_size=512)
+        result = verity_format(data)
+        device = verity_open(data, result.hash_device, result.root_hash)
+        device.verify_all()
+
+
+class TestReadVerification:
+    def test_clean_reads_succeed(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        for index in range(data.num_blocks):
+            assert device.read_block(index) == data.read_block(index)
+
+    def test_single_bit_flip_in_data_detected(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        data.corrupt(3 * 4096 + 100)  # one bit in block 3
+        with pytest.raises(VerityError):
+            device.read_block(3)
+        # Other blocks remain readable.
+        device.read_block(2)
+
+    def test_flip_in_every_block_detected(self):
+        data = _make_data_device(num_blocks=6)
+        result = verity_format(data, salt=b"x")
+        device = verity_open(data, result.hash_device, result.root_hash)
+        for index in range(6):
+            snapshot = data.snapshot()
+            data.corrupt(index * 4096 + (index * 37) % 4096)
+            with pytest.raises(VerityError):
+                device.read_block(index)
+            data.restore(snapshot)
+
+    def test_hash_device_tamper_detected(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        # Corrupt a leaf digest on the hash device (block 1 = first level).
+        result.hash_device.corrupt(1 * 4096 + 5)
+        with pytest.raises(VerityError):
+            device.read_block(0)
+
+    def test_wrong_root_hash_rejected(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, b"\x00" * 32)
+        with pytest.raises(VerityError):
+            device.read_block(0)
+
+    def test_swapped_blocks_detected(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        block0 = data.read_block(0)
+        block1 = data.read_block(1)
+        data.write_block(0, block1)
+        data.write_block(1, block0)
+        # Even though both blocks carry valid *content*, position matters.
+        with pytest.raises(VerityError):
+            device.read_block(0)
+
+    def test_writes_rejected(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        with pytest.raises(ReadOnlyDeviceError):
+            device.write_block(0, b"\x00" * 4096)
+
+    def test_verify_all_clean_and_tampered(self, formatted):
+        data, result = formatted
+        device = verity_open(data, result.hash_device, result.root_hash)
+        device.verify_all()
+        data.corrupt(7 * 4096)
+        with pytest.raises(VerityError):
+            device.verify_all()
+
+
+class TestOpenValidation:
+    def test_size_mismatch_rejected(self, formatted):
+        _, result = formatted
+        wrong_size = _make_data_device(num_blocks=11)
+        with pytest.raises(VerityError):
+            verity_open(wrong_size, result.hash_device, result.root_hash)
+
+    def test_garbage_superblock_rejected(self, formatted):
+        data, _ = formatted
+        garbage = RamBlockDevice(5, 4096, initial=b"\xde\xad" * 100)
+        with pytest.raises(VerityError):
+            verity_open(data, garbage, b"\x00" * 32)
+
+    def test_block_size_mismatch_rejected(self, formatted):
+        _, result = formatted
+        small_blocks = _make_data_device(num_blocks=10, block_size=512)
+        with pytest.raises(VerityError):
+            verity_open(small_blocks, result.hash_device, result.root_hash)
+
+
+class TestSuperblock:
+    def test_level_geometry(self):
+        superblock = VeritySuperblock(
+            hash_name="sha256", data_blocks=129, block_size=4096, salt=b""
+        )
+        # 129 leaves / 128 per block -> 2 blocks -> 1 block.
+        assert superblock.level_block_counts() == [2, 1]
+        assert superblock.level_offsets() == [1, 3]
+        assert superblock.hash_device_blocks() == 4
+
+    def test_round_trip(self):
+        superblock = VeritySuperblock("sha256", 10, 4096, b"salt")
+        encoded = superblock.encode().ljust(4096, b"\x00")
+        assert VeritySuperblock.decode(encoded) == superblock

@@ -1,0 +1,181 @@
+"""Deterministic filesystem image tests."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.dm_verity import VerityError, verity_format, verity_open
+from repro.storage.filesystem import (
+    FileSystem,
+    FileSystemError,
+    build_image,
+    image_to_device,
+)
+
+_FILES = {
+    "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+    "/usr/bin/service": b"\x7fELF" + b"\x00" * 500,
+    "/var/www/index.html": b"<html>hello</html>",
+    "/empty": b"",
+}
+
+
+class TestBuildDeterminism:
+    def test_identical_inputs_identical_images(self):
+        assert build_image(_FILES) == build_image(_FILES)
+
+    def test_insertion_order_irrelevant(self):
+        reordered = dict(reversed(list(_FILES.items())))
+        assert build_image(_FILES) == build_image(reordered)
+
+    def test_content_change_changes_image(self):
+        changed = dict(_FILES)
+        changed["/etc/nginx/nginx.conf"] = b"server { listen 80; }"
+        assert build_image(_FILES) != build_image(changed)
+
+    def test_added_file_changes_image(self):
+        extended = dict(_FILES)
+        extended["/backdoor"] = b"evil"
+        assert build_image(_FILES) != build_image(extended)
+
+    def test_label_changes_image(self):
+        assert build_image(_FILES, label="a") != build_image(_FILES, label="b")
+
+    def test_mtime_is_squashed(self):
+        fs = FileSystem(image_to_device(build_image(_FILES)))
+        assert all(fs.stat(path).mtime == 0 for path in fs.list_files())
+
+
+class TestMountAndRead:
+    @pytest.fixture
+    def fs(self):
+        return FileSystem(image_to_device(build_image(_FILES, label="test-rootfs")))
+
+    def test_label(self, fs):
+        assert fs.label == "test-rootfs"
+
+    def test_list_files(self, fs):
+        assert fs.list_files() == sorted(_FILES)
+
+    def test_read_files(self, fs):
+        for path, content in _FILES.items():
+            assert fs.read_file(path) == content
+
+    def test_file_size(self, fs):
+        assert fs.file_size("/var/www/index.html") == len(_FILES["/var/www/index.html"])
+
+    def test_empty_file(self, fs):
+        assert fs.read_file("/empty") == b""
+
+    def test_exists(self, fs):
+        assert fs.exists("/empty")
+        assert not fs.exists("/missing")
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("/missing")
+
+    def test_multi_block_file(self):
+        big = {"/big": HmacDrbg(b"big").generate(4096 * 3 + 17)}
+        fs = FileSystem(image_to_device(build_image(big)))
+        assert fs.read_file("/big") == big["/big"]
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(FileSystemError):
+            build_image({"relative/path": b"x"})
+
+    def test_garbage_device_rejected(self):
+        device = image_to_device(b"\xff" * 4096)
+        with pytest.raises(FileSystemError):
+            FileSystem(device)
+
+    def test_misaligned_image_rejected(self):
+        with pytest.raises(FileSystemError):
+            image_to_device(b"\x00" * 100)
+
+
+class TestOnVerity:
+    """The composition Revelio actually deploys: fs on dm-verity."""
+
+    def test_reads_verified(self):
+        data_device = image_to_device(build_image(_FILES))
+        result = verity_format(data_device, salt=b"rootfs")
+        verity = verity_open(data_device, result.hash_device, result.root_hash)
+        fs = FileSystem(verity)
+        assert fs.read_file("/var/www/index.html") == _FILES["/var/www/index.html"]
+
+    def test_tampered_file_fails_on_read(self):
+        data_device = image_to_device(build_image(_FILES))
+        result = verity_format(data_device, salt=b"rootfs")
+        verity = verity_open(data_device, result.hash_device, result.root_hash)
+        fs = FileSystem(verity)
+        entry = fs.stat("/usr/bin/service")
+        data_device.corrupt(entry.first_block * 4096 + 3)
+        with pytest.raises(VerityError):
+            fs.read_file("/usr/bin/service")
+
+    def test_lots_of_files(self):
+        files = {f"/data/file-{i:04d}": bytes([i % 256]) * (i * 13 % 9000)
+                 for i in range(120)}
+        data_device = image_to_device(build_image(files))
+        result = verity_format(data_device)
+        fs = FileSystem(verity_open(data_device, result.hash_device, result.root_hash))
+        for path, content in files.items():
+            assert fs.read_file(path) == content
+
+
+class TestPartitions:
+    def test_partitioned_disk(self):
+        from repro.storage.blockdev import RamBlockDevice
+        from repro.storage.partition import PartitionEntry, PartitionTable
+
+        disk = RamBlockDevice(30, 4096)
+        table = PartitionTable(
+            [
+                PartitionEntry("rootfs", 1, 10, "uuid-root"),
+                PartitionEntry("verity", 11, 5, "uuid-verity"),
+                PartitionEntry("data", 16, 14, "uuid-data"),
+            ]
+        )
+        table.write_to(disk)
+        loaded = PartitionTable.read_from(disk)
+        assert loaded.names() == ["rootfs", "verity", "data"]
+        part = loaded.open(disk, "data")
+        part.write_block(0, b"\xaa" * 4096)
+        assert disk.read_block(16) == b"\xaa" * 4096
+
+    def test_overlap_rejected(self):
+        from repro.storage.partition import PartitionEntry, PartitionError, PartitionTable
+
+        with pytest.raises(PartitionError):
+            PartitionTable(
+                [
+                    PartitionEntry("a", 1, 10, "u1"),
+                    PartitionEntry("b", 5, 10, "u2"),
+                ]
+            )
+
+    def test_duplicate_names_rejected(self):
+        from repro.storage.partition import PartitionEntry, PartitionError, PartitionTable
+
+        with pytest.raises(PartitionError):
+            PartitionTable(
+                [
+                    PartitionEntry("a", 1, 2, "u1"),
+                    PartitionEntry("a", 3, 2, "u2"),
+                ]
+            )
+
+    def test_block_zero_reserved(self):
+        from repro.storage.partition import PartitionEntry, PartitionError, PartitionTable
+
+        with pytest.raises(PartitionError):
+            PartitionTable([PartitionEntry("a", 0, 2, "u1")])
+
+    def test_unknown_partition(self):
+        from repro.storage.blockdev import RamBlockDevice
+        from repro.storage.partition import PartitionEntry, PartitionError, PartitionTable
+
+        disk = RamBlockDevice(10, 4096)
+        table = PartitionTable([PartitionEntry("a", 1, 2, "u1")])
+        with pytest.raises(PartitionError):
+            table.open(disk, "missing")

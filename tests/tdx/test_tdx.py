@@ -1,0 +1,206 @@
+"""Intel TDX substrate tests + the hardware-agnostic TEE layer."""
+
+import pytest
+
+from repro.amd.policy import REVELIO_POLICY
+from repro.amd.secure_processor import AmdKeyInfrastructure
+from repro.amd.kds import KeyDistributionServer
+from repro.core.kds_client import KdsClient
+from repro.crypto.drbg import HmacDrbg
+from repro.net.latency import ZERO_LATENCY, SimClock
+from repro.tdx import (
+    IntelInfrastructure,
+    ProvisioningCertificationService,
+    TdQuote,
+    TdxError,
+    verify_td_quote,
+)
+from repro.tee import (
+    KIND_SEV_SNP,
+    KIND_TDX,
+    TeeError,
+    TeeEvidence,
+    TeeVerifier,
+    snp_evidence,
+    tdx_evidence,
+)
+
+
+@pytest.fixture(scope="module")
+def intel():
+    return IntelInfrastructure(HmacDrbg(b"tdx-tests"))
+
+
+@pytest.fixture(scope="module")
+def pcs(intel):
+    return ProvisioningCertificationService(intel)
+
+
+@pytest.fixture(scope="module")
+def platform(intel):
+    return intel.provision_platform("tdx-host-1")
+
+
+@pytest.fixture
+def td(platform):
+    return platform.launch_td(b"revelio-td-image")
+
+
+class TestTdLifecycle:
+    def test_mrtd_deterministic(self, platform):
+        first = platform.launch_td(b"image").mrtd
+        second = platform.launch_td(b"image").mrtd
+        assert first == second
+        assert platform.launch_td(b"other").mrtd != first
+
+    def test_mrtd_portable_across_platforms(self, intel):
+        a = intel.provision_platform("host-a").launch_td(b"image").mrtd
+        b = intel.provision_platform("host-b").launch_td(b"image").mrtd
+        assert a == b
+
+    def test_rtmr_extension(self, td):
+        import hashlib
+
+        zero = td.rtmr(0)
+        digest = hashlib.sha384(b"runtime event").digest()
+        td.extend_rtmr(0, digest)
+        assert td.rtmr(0) == hashlib.sha384(zero + digest).digest()
+        assert td.rtmr(1) == b"\x00" * 48
+
+    def test_rtmr_validation(self, td):
+        with pytest.raises(TdxError):
+            td.extend_rtmr(4, b"\x00" * 48)
+        with pytest.raises(TdxError):
+            td.extend_rtmr(0, b"short")
+
+    def test_sealing_bound_to_mrtd(self, platform):
+        a = platform.launch_td(b"image")
+        b = platform.launch_td(b"image")
+        c = platform.launch_td(b"tampered")
+        assert a.derive_sealing_key() == b.derive_sealing_key()
+        assert a.derive_sealing_key() != c.derive_sealing_key()
+
+
+class TestQuotes:
+    def test_quote_verifies(self, pcs, td):
+        quote = td.get_quote(b"\x11" * 64)
+        pck = pcs.get_pck_certificate(quote.platform_id, quote.tee_tcb_svn)
+        verify_td_quote(
+            quote, pck, pcs.cert_chain(), [pcs.root_certificate], now=0,
+            expected_mrtd=td.mrtd, expected_report_data=b"\x11" * 64,
+        )
+
+    def test_quote_codec(self, td):
+        quote = td.get_quote(b"\x22" * 64)
+        assert TdQuote.decode(quote.encode()) == quote
+
+    def test_bad_report_data_size(self, td):
+        with pytest.raises(TdxError):
+            td.get_quote(b"short")
+
+    def test_tampered_mrtd_rejected(self, pcs, td):
+        from dataclasses import replace
+
+        quote = replace(td.get_quote(b"\x00" * 64), mrtd=b"\xff" * 48)
+        pck = pcs.get_pck_certificate(quote.platform_id, quote.tee_tcb_svn)
+        with pytest.raises(TdxError, match="signature"):
+            verify_td_quote(quote, pck, pcs.cert_chain(), [pcs.root_certificate], 0)
+
+    def test_wrong_platform_pck_rejected(self, intel, pcs, td):
+        other = intel.provision_platform("tdx-host-2")
+        quote = td.get_quote(b"\x00" * 64)
+        wrong_pck = pcs.get_pck_certificate(other.platform_id, other.tcb_svn)
+        with pytest.raises(TdxError, match="different platform"):
+            verify_td_quote(
+                quote, wrong_pck, pcs.cert_chain(), [pcs.root_certificate], 0
+            )
+
+    def test_foreign_intel_rejected(self, td, pcs):
+        fake = IntelInfrastructure(HmacDrbg(b"fake-intel"))
+        fake_pcs = ProvisioningCertificationService(fake)
+        fake_platform = fake.provision_platform("fake-host")
+        fake_td = fake_platform.launch_td(b"revelio-td-image")
+        quote = fake_td.get_quote(b"\x00" * 64)
+        pck = fake_pcs.get_pck_certificate(quote.platform_id, quote.tee_tcb_svn)
+        with pytest.raises(TdxError, match="chain"):
+            verify_td_quote(
+                quote, pck, fake_pcs.cert_chain(),
+                [pcs.root_certificate],  # genuine Intel anchor
+                now=0,
+            )
+
+    def test_unknown_platform(self, intel):
+        with pytest.raises(TdxError):
+            intel.pck_public_key(b"\x00" * 32, 1)
+
+
+class TestTeeAbstraction:
+    @pytest.fixture(scope="class")
+    def verifier(self, pcs):
+        amd = AmdKeyInfrastructure(HmacDrbg(b"tee-amd"))
+        kds = KeyDistributionServer(amd)
+        self_chip = amd.provision_chip("tee-chip")
+        kds_client = KdsClient(kds, SimClock(), ZERO_LATENCY)
+        verifier = TeeVerifier({KIND_SEV_SNP: kds_client, KIND_TDX: pcs})
+        return verifier, self_chip
+
+    def test_supported_kinds(self, verifier):
+        tee_verifier, _ = verifier
+        assert list(tee_verifier.supported_kinds()) == [KIND_SEV_SNP, KIND_TDX]
+
+    def test_verify_snp_evidence(self, verifier):
+        tee_verifier, chip = verifier
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        evidence = snp_evidence(guest.get_report(b"\x33" * 64))
+        verified = tee_verifier.verify(
+            evidence, now=0, expected_measurements=[guest.measurement],
+            expected_report_data=b"\x33" * 64,
+        )
+        assert verified.kind == KIND_SEV_SNP
+        assert verified.measurement == guest.measurement
+
+    def test_verify_tdx_evidence(self, verifier, td):
+        tee_verifier, _ = verifier
+        evidence = tdx_evidence(td.get_quote(b"\x44" * 64))
+        verified = tee_verifier.verify(
+            evidence, now=0, expected_measurements=[td.mrtd]
+        )
+        assert verified.kind == KIND_TDX
+        assert verified.measurement == td.mrtd
+
+    def test_envelope_round_trip(self, td):
+        evidence = tdx_evidence(td.get_quote(b"\x00" * 64))
+        assert TeeEvidence.decode(evidence.encode()) == evidence
+
+    def test_wrong_golden_rejected_uniformly(self, verifier, td):
+        tee_verifier, chip = verifier
+        guest = chip.launch_vm(b"fw", REVELIO_POLICY)
+        for evidence in (
+            snp_evidence(guest.get_report(b"\x00" * 64)),
+            tdx_evidence(td.get_quote(b"\x00" * 64)),
+        ):
+            with pytest.raises(TeeError, match="golden"):
+                tee_verifier.verify(
+                    evidence, now=0, expected_measurements=[b"\x99" * 48]
+                )
+
+    def test_unknown_kind_rejected(self, verifier):
+        tee_verifier, _ = verifier
+        with pytest.raises(TeeError, match="no verifier"):
+            tee_verifier.verify(
+                TeeEvidence(kind="arm-cca", body=b""), now=0,
+                expected_measurements=[],
+            )
+
+    def test_cross_technology_report_data_check(self, verifier, td):
+        tee_verifier, _ = verifier
+        evidence = tdx_evidence(td.get_quote(b"\x55" * 64))
+        with pytest.raises(TeeError, match="REPORT_DATA"):
+            tee_verifier.verify(
+                evidence, now=0, expected_measurements=[td.mrtd],
+                expected_report_data=b"\x66" * 64,
+            )
+
+    def test_malformed_envelope(self):
+        with pytest.raises(TeeError):
+            TeeEvidence.decode(b"junk")

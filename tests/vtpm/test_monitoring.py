@@ -1,0 +1,138 @@
+"""Runtime monitoring integration: vTPM in a Revelio VM."""
+
+import hashlib
+
+import pytest
+
+from repro.amd.verify import AttestationError
+from repro.build import DEFAULT_INIT_STEPS, build_revelio_image
+from repro.core import RevelioDeployment
+from repro.net.latency import ZERO_LATENCY
+from repro.vtpm import (
+    MonitoringEvidence,
+    RuntimeMonitor,
+    VtpmError,
+    measure_service_start,
+    produce_evidence,
+    vm_vtpm,
+)
+from tests.conftest import make_spec
+
+NGINX_BINARY = b"\x7fELF-nginx-binary"
+BACKDOOR_BINARY = b"\x7fELF-backdoor"
+
+
+@pytest.fixture(scope="module")
+def deployment(registry_and_pins):
+    registry, pins = registry_and_pins
+    build = build_revelio_image(
+        make_spec(
+            registry, pins,
+            init_steps=DEFAULT_INIT_STEPS + ("vtpm-init",),
+        )
+    )
+    deployment = RevelioDeployment(
+        build, num_nodes=1, latency=ZERO_LATENCY, seed=b"vtpm-mon"
+    )
+    deployment.launch_fleet()
+    return deployment
+
+
+@pytest.fixture
+def monitor(deployment):
+    return RuntimeMonitor(
+        deployment._new_kds_client(),
+        deployment.build.expected_measurement,
+        allowed_service_digests=[hashlib.sha256(NGINX_BINARY).digest()],
+    )
+
+
+class TestHappyPath:
+    def test_vtpm_attached_by_init_step(self, deployment):
+        vm = deployment.nodes[0].vm
+        assert vm_vtpm(vm) is not None
+        assert "vtpm_ak_endorsement" in vm.services
+
+    def test_clean_vm_passes_monitoring(self, deployment, monitor):
+        vm = deployment.nodes[0].vm
+        measure_service_start(vm, "nginx", NGINX_BINARY)
+        nonce = b"challenge-0001"
+        evidence = produce_evidence(vm, nonce)
+        monitor.verify(evidence, nonce, now=0)
+
+    def test_evidence_codec(self, deployment):
+        vm = deployment.nodes[0].vm
+        evidence = produce_evidence(vm, b"codec-nonce")
+        assert MonitoringEvidence.decode(evidence.encode()) == evidence
+
+    def test_vtpm_init_changes_measurement(self, registry_and_pins):
+        registry, pins = registry_and_pins
+        with_vtpm = build_revelio_image(
+            make_spec(registry, pins,
+                      init_steps=DEFAULT_INIT_STEPS + ("vtpm-init",))
+        )
+        without = build_revelio_image(make_spec(registry, pins))
+        # Enabling monitoring is itself attested configuration.
+        assert with_vtpm.expected_measurement != without.expected_measurement
+
+
+class TestDetections:
+    def test_unapproved_service_detected(self, deployment, monitor):
+        vm = deployment.nodes[0].vm
+        measure_service_start(vm, "backdoor", BACKDOOR_BINARY)
+        nonce = b"challenge-0002"
+        evidence = produce_evidence(vm, nonce)
+        with pytest.raises(VtpmError, match="unapproved"):
+            monitor.verify(evidence, nonce, now=0)
+
+    def test_hidden_event_detected(self, deployment, monitor):
+        # The VM tries to hide the backdoor start by omitting it from
+        # the served log — but the quoted PCR no longer replays.
+        vm = deployment.nodes[0].vm
+        nonce = b"challenge-0003"
+        evidence = produce_evidence(vm, nonce)
+        sanitised = MonitoringEvidence(
+            quote=evidence.quote,
+            event_log=[
+                entry for entry in evidence.event_log
+                if "backdoor" not in entry.description
+            ],
+            ak_public=evidence.ak_public,
+            ak_endorsement=evidence.ak_endorsement,
+        )
+        with pytest.raises(VtpmError):
+            monitor.verify(sanitised, nonce, now=0)
+
+    def test_replayed_quote_detected(self, deployment, monitor):
+        vm = deployment.nodes[0].vm
+        old = produce_evidence(vm, b"old-nonce")
+        with pytest.raises(VtpmError, match="nonce"):
+            monitor.verify(old, b"fresh-nonce", now=0)
+
+    def test_foreign_ak_detected(self, deployment, monitor):
+        # Evidence signed by an AK that was never endorsed by the
+        # hardware RoT for the golden measurement.
+        from repro.vtpm import Vtpm
+        from repro.crypto.drbg import HmacDrbg
+
+        vm = deployment.nodes[0].vm
+        rogue = Vtpm(HmacDrbg(b"rogue"))
+        nonce = b"challenge-0004"
+        evidence = MonitoringEvidence(
+            quote=rogue.quote(nonce, [8]),
+            event_log=list(rogue.event_log),
+            ak_public=rogue.ak_public,
+            ak_endorsement=vm.services["vtpm_ak_endorsement"],
+        )
+        with pytest.raises(AttestationError):
+            monitor.verify(evidence, nonce, now=0)
+
+    def test_vm_without_vtpm_raises(self, registry_and_pins):
+        registry, pins = registry_and_pins
+        build = build_revelio_image(make_spec(registry, pins))
+        deployment = RevelioDeployment(
+            build, num_nodes=1, latency=ZERO_LATENCY, seed=b"no-vtpm"
+        )
+        deployment.launch_fleet()
+        with pytest.raises(VtpmError, match="no vTPM"):
+            produce_evidence(deployment.nodes[0].vm, b"n")

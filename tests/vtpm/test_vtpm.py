@@ -1,0 +1,134 @@
+"""vTPM core tests: PCRs, quotes, event-log replay."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.vtpm import (
+    NUM_PCRS,
+    PCR_SERVICES,
+    EventLogEntry,
+    Quote,
+    Vtpm,
+    VtpmError,
+    decode_event_log,
+    replay_event_log,
+    verify_quote_against_log,
+)
+
+
+@pytest.fixture
+def vtpm():
+    return Vtpm(HmacDrbg(b"vtpm-tests"))
+
+
+class TestPcrs:
+    def test_pcrs_start_zeroed(self, vtpm):
+        for index in range(NUM_PCRS):
+            assert vtpm.read_pcr(index) == b"\x00" * 32
+
+    def test_extend_changes_pcr(self, vtpm):
+        digest = hashlib.sha256(b"event").digest()
+        vtpm.extend(8, digest)
+        assert vtpm.read_pcr(8) == hashlib.sha256(b"\x00" * 32 + digest).digest()
+
+    def test_extend_is_order_sensitive(self):
+        a, b = Vtpm(HmacDrbg(b"a")), Vtpm(HmacDrbg(b"b"))
+        d1, d2 = hashlib.sha256(b"1").digest(), hashlib.sha256(b"2").digest()
+        a.extend(0, d1)
+        a.extend(0, d2)
+        b.extend(0, d2)
+        b.extend(0, d1)
+        assert a.read_pcr(0) != b.read_pcr(0)
+
+    def test_other_pcrs_unaffected(self, vtpm):
+        vtpm.extend(8, hashlib.sha256(b"x").digest())
+        assert vtpm.read_pcr(9) == b"\x00" * 32
+
+    def test_bad_index(self, vtpm):
+        with pytest.raises(VtpmError):
+            vtpm.extend(NUM_PCRS, b"\x00" * 32)
+        with pytest.raises(VtpmError):
+            vtpm.read_pcr(-1)
+
+    def test_bad_digest_size(self, vtpm):
+        with pytest.raises(VtpmError):
+            vtpm.extend(0, b"short")
+
+    def test_event_log_records(self, vtpm):
+        vtpm.measure_event(PCR_SERVICES, b"nginx binary", "service-start:nginx")
+        assert len(vtpm.event_log) == 1
+        assert vtpm.event_log[0].description == "service-start:nginx"
+
+
+class TestQuotes:
+    def test_quote_verifies(self, vtpm):
+        vtpm.measure_event(8, b"svc", "start")
+        quote = vtpm.quote(b"nonce-123", [8])
+        assert quote.verify(vtpm.ak_public)
+
+    def test_quote_codec(self, vtpm):
+        quote = vtpm.quote(b"n", [0, 8])
+        assert Quote.decode(quote.encode()) == quote
+
+    def test_tampered_quote_rejected(self, vtpm):
+        from dataclasses import replace
+
+        quote = vtpm.quote(b"n", [8])
+        forged = replace(quote, pcr_values=((8, b"\x01" * 32),))
+        assert not forged.verify(vtpm.ak_public)
+
+    def test_wrong_ak_rejected(self, vtpm):
+        other = Vtpm(HmacDrbg(b"other"))
+        quote = vtpm.quote(b"n", [8])
+        assert not quote.verify(other.ak_public)
+
+    def test_quote_pcr_selection_sorted_unique(self, vtpm):
+        quote = vtpm.quote(b"n", [9, 8, 8])
+        assert [index for index, _ in quote.pcr_values] == [8, 9]
+
+
+class TestReplay:
+    def test_replay_matches_live_pcrs(self, vtpm):
+        for index in range(5):
+            vtpm.measure_event(8, b"event-%d" % index, f"e{index}")
+        replayed = replay_event_log(vtpm.event_log)
+        assert replayed[8] == vtpm.read_pcr(8)
+
+    def test_log_codec(self, vtpm):
+        vtpm.measure_event(8, b"x", "e")
+        decoded = decode_event_log(vtpm.encoded_event_log())
+        assert decoded == vtpm.event_log
+
+    def test_verify_quote_against_log(self, vtpm):
+        vtpm.measure_event(8, b"svc", "start")
+        quote = vtpm.quote(b"nonce", [8])
+        verify_quote_against_log(quote, vtpm.event_log, vtpm.ak_public, b"nonce")
+
+    def test_nonce_mismatch_rejected(self, vtpm):
+        quote = vtpm.quote(b"nonce", [8])
+        with pytest.raises(VtpmError, match="nonce"):
+            verify_quote_against_log(quote, vtpm.event_log, vtpm.ak_public, b"other")
+
+    def test_truncated_log_detected(self, vtpm):
+        vtpm.measure_event(8, b"first", "e1")
+        vtpm.measure_event(8, b"second", "e2")
+        quote = vtpm.quote(b"n", [8])
+        with pytest.raises(VtpmError, match="unlogged|does not match"):
+            verify_quote_against_log(
+                quote, vtpm.event_log[:1], vtpm.ak_public, b"n"
+            )
+
+    def test_forged_log_entry_detected(self, vtpm):
+        vtpm.measure_event(8, b"real", "e1")
+        quote = vtpm.quote(b"n", [8])
+        forged_log = [
+            EventLogEntry(8, hashlib.sha256(b"fake").digest(), "looks-legit")
+        ]
+        with pytest.raises(VtpmError):
+            verify_quote_against_log(quote, forged_log, vtpm.ak_public, b"n")
+
+    def test_invalid_pcr_in_log(self):
+        with pytest.raises(VtpmError):
+            replay_event_log([EventLogEntry(99, b"\x00" * 32, "bad")])
