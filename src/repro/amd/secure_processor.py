@@ -47,16 +47,15 @@ def launch_digest(initial_state: bytes, policy: GuestPolicy) -> bytes:
     """The SHA-384 launch measurement over a guest's initial memory
     contents and launch policy.
 
-    Exposed at module level because the *builder* precomputes the very
-    same digest to publish golden measurements (requirement F5), and it
-    must match the AMD-SP's bit for bit.
+    The accumulation itself lives in :mod:`repro.build.measurement` —
+    the single measurement path shared with the builder, which
+    precomputes the very same digest to publish golden measurements
+    (requirement F5).  Delegating (lazily, to keep ``repro.amd``
+    importable on its own) guarantees the two match bit for bit.
     """
-    digest = hashlib.sha384()
-    digest.update(b"snp-launch-digest")
-    digest.update(policy.encode_qword().to_bytes(8, "little"))
-    digest.update(len(initial_state).to_bytes(8, "little"))
-    digest.update(initial_state)
-    return digest.digest()
+    from ..build.measurement import launch_digest as _launch_digest
+
+    return _launch_digest(initial_state, policy)
 
 
 def _derive_vcek_scalar(chip_secret: bytes, tcb: TcbVersion) -> int:

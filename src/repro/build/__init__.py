@@ -1,0 +1,48 @@
+"""Reproducible image builds and golden measurements (paper §5.1).
+
+The build subsystem is where Revelio's trust story starts: a fully
+pinned :class:`ImageSpec` deterministically becomes a VM image plus the
+*golden* launch measurement end-users later compare attestation reports
+against.  :mod:`repro.build.measurement` is the single measurement path
+shared by the builder, the software AMD-SP, the firmware, and the
+hypervisor — honest builds match by construction, tampered ones cannot.
+"""
+
+from . import measurement
+from .image_builder import (
+    BLOCK_SIZE,
+    DEFAULT_INIT_STEPS,
+    GOLDEN_CONF_PATH,
+    MANIFEST_PATH,
+    NETWORK_CONF_PATH,
+    SERVICE_CONF_PATH,
+    BuildError,
+    BuildResult,
+    ImageSpec,
+    NetworkPolicy,
+    RevelioBuild,
+    build_revelio_image,
+)
+from .measurement import expected_measurement_for_image
+from .packages import Package, PackageError, PackagePin, PackageRegistry
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DEFAULT_INIT_STEPS",
+    "GOLDEN_CONF_PATH",
+    "MANIFEST_PATH",
+    "NETWORK_CONF_PATH",
+    "SERVICE_CONF_PATH",
+    "BuildError",
+    "BuildResult",
+    "ImageSpec",
+    "NetworkPolicy",
+    "Package",
+    "PackageError",
+    "PackagePin",
+    "PackageRegistry",
+    "RevelioBuild",
+    "build_revelio_image",
+    "expected_measurement_for_image",
+    "measurement",
+]

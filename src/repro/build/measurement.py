@@ -1,0 +1,103 @@
+"""The single measurement path: build → firmware injection → launch digest.
+
+This module is the *only* place in the reproduction that knows how a
+Revelio VM's SEV-SNP launch measurement is accumulated (paper §5.1):
+
+1. :func:`direct_boot_hashes` — the SHA-256 hashes of the kernel,
+   initrd, and command line that QEMU injects into the firmware's
+   reserved hash table (Murik & Franke's measured direct boot, §2.1.2),
+2. :func:`measured_firmware` — the firmware volume *after* injection,
+   i.e. the exact initial guest state the AMD-SP measures,
+3. :func:`launch_digest` — the AMD-SP's SHA-384 accumulation over that
+   initial state and the launch policy,
+4. :func:`expected_measurement_for_image` — the builder/auditor-side
+   replay of 1-3, producing the golden value end-users register.
+
+Every other layer routes through here: the software AMD-SP
+(``repro.amd.secure_processor``) delegates its ``launch_digest``, the
+firmware's boot-time re-hashing (``repro.virt.firmware``) delegates its
+``HashTable.for_blobs``, the hypervisor builds its measured firmware
+via :func:`measured_firmware`, and the deployment layer verifies builds
+with :func:`expected_measurement_for_image`.  That is what makes the
+reproducible build's golden value and the launched VM's measurement
+equal by construction for honest builds — and *only* for honest builds,
+since any byte flip in a package, the initrd, the init-step order, the
+command line, or the firmware changes the accumulated state.
+
+Kept free of module-level intra-package imports so it is a leaf of the
+import graph; the few cross-layer touch points are resolved lazily.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+#: Domain-separation prefix of the SNP launch-digest accumulation.
+LAUNCH_DIGEST_DOMAIN = b"snp-launch-digest"
+
+
+def hash_boot_blob(blob: bytes) -> bytes:
+    """SHA-256 of one direct-boot blob, as QEMU hashes it for the
+    firmware hash table."""
+    return hashlib.sha256(blob).digest()
+
+
+def direct_boot_hashes(
+    kernel: bytes, initrd: bytes, cmdline: str
+) -> Tuple[bytes, bytes, bytes]:
+    """The (kernel, initrd, cmdline) digest triple for the hash table.
+
+    The command line is hashed over its UTF-8 encoding — the same bytes
+    the guest later receives over fw_cfg.
+    """
+    return (
+        hash_boot_blob(kernel),
+        hash_boot_blob(initrd),
+        hash_boot_blob(cmdline.encode("utf-8")),
+    )
+
+
+def launch_digest(initial_state: bytes, policy) -> bytes:
+    """The SHA-384 launch measurement over a guest's initial memory
+    contents and launch policy.
+
+    This is the AMD-SP's accumulation, bit for bit: the builder calls it
+    to publish golden measurements (requirement F5) and the software
+    AMD-SP calls it at ``launch_vm`` time, so the two cannot drift.
+    """
+    digest = hashlib.sha384()
+    digest.update(LAUNCH_DIGEST_DOMAIN)
+    digest.update(policy.encode_qword().to_bytes(8, "little"))
+    digest.update(len(initial_state).to_bytes(8, "little"))
+    digest.update(initial_state)
+    return digest.digest()
+
+
+def measured_firmware(
+    firmware_template: bytes, kernel: bytes, initrd: bytes, cmdline: str
+) -> bytes:
+    """The firmware volume with the direct-boot hash table injected —
+    the exact initial state the AMD-SP measures at launch."""
+    from ..virt.firmware import HashTable, inject_hash_table
+
+    kernel_hash, initrd_hash, cmdline_hash = direct_boot_hashes(
+        kernel, initrd, cmdline
+    )
+    table = HashTable(kernel=kernel_hash, initrd=initrd_hash, cmdline=cmdline_hash)
+    return inject_hash_table(firmware_template, table)
+
+
+def expected_measurement_for_image(image, policy=None) -> bytes:
+    """Replay the launch accumulation for a built image (the golden
+    value): inject the image's own blob hashes into its firmware
+    template, then run the AMD-SP digest under *policy* (defaults to
+    the standard Revelio launch policy)."""
+    if policy is None:
+        from ..amd.policy import REVELIO_POLICY
+
+        policy = REVELIO_POLICY
+    firmware_image = measured_firmware(
+        image.firmware_template, image.kernel, image.initrd, image.cmdline
+    )
+    return launch_digest(firmware_image, policy)

@@ -1,0 +1,171 @@
+"""Content-addressed software packages and the pinned registry.
+
+The reproducible build (paper §5.1.1, Fig. 3) starts from *pinned
+sources*: every package the image installs is referenced by name,
+version, **and** a content digest, so a registry compromise between
+audit and build is caught before a single byte reaches the rootfs.
+
+A :class:`Package` is an immutable set of files; its digest is the
+SHA-256 of the canonical TLV encoding of its full contents (including
+build-time-only files, which influence the digest but are not installed
+into the rootfs).  A :class:`PackagePin` binds name + version + digest;
+:meth:`PackageRegistry.resolve` re-derives the digest of the stored
+package at resolution time and refuses on any mismatch.
+
+``PackageRegistry.tamper`` is the supply-chain attack hook used by the
+security tests: it swaps file contents under an already-published
+name/version, exactly what digest pinning exists to catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..crypto import encoding
+
+
+class PackageError(ValueError):
+    """Raised on malformed packages, unknown pins, or digest mismatches."""
+
+
+def _canonical_files(files: Mapping[str, bytes], kind: str) -> Tuple[Tuple[str, bytes], ...]:
+    """Validate and canonicalise a path → content mapping."""
+    items = []
+    for path, content in sorted(files.items()):
+        if not isinstance(path, str) or not path.startswith("/"):
+            raise PackageError(f"{kind} paths must be absolute, got {path!r}")
+        if not isinstance(content, (bytes, bytearray)):
+            raise PackageError(f"{kind} contents must be bytes ({path})")
+        items.append((path, bytes(content)))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class Package:
+    """One immutable software package: runtime files + build-only files."""
+
+    name: str
+    version: str
+    #: Files installed into the image rootfs, path-sorted.
+    file_items: Tuple[Tuple[str, bytes], ...]
+    #: Build-time-only files (headers, build scripts).  They never reach
+    #: the rootfs but *are* part of the content digest: a tampered build
+    #: input is as fatal as a tampered binary.
+    build_file_items: Tuple[Tuple[str, bytes], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        version: str,
+        files: Mapping[str, bytes],
+        build_files: Optional[Mapping[str, bytes]] = None,
+    ) -> "Package":
+        """Validate and construct a package from path → content maps."""
+        if not name or not version:
+            raise PackageError("package name and version are required")
+        if not files:
+            raise PackageError(f"package {name} has no files")
+        return cls(
+            name=name,
+            version=version,
+            file_items=_canonical_files(files, "file"),
+            build_file_items=_canonical_files(build_files or {}, "build file"),
+        )
+
+    @property
+    def files(self) -> Dict[str, bytes]:
+        """The runtime files as a mapping."""
+        return dict(self.file_items)
+
+    @property
+    def build_files(self) -> Dict[str, bytes]:
+        """The build-only files as a mapping."""
+        return dict(self.build_file_items)
+
+    def digest(self) -> bytes:
+        """The content address: SHA-256 over the canonical encoding of
+        everything that defines this package."""
+        return hashlib.sha256(
+            encoding.encode(
+                {
+                    "magic": "repro-package",
+                    "name": self.name,
+                    "version": self.version,
+                    "files": {path: content for path, content in self.file_items},
+                    "build_files": {
+                        path: content for path, content in self.build_file_items
+                    },
+                }
+            )
+        ).digest()
+
+
+@dataclass(frozen=True)
+class PackagePin:
+    """A name + version + digest triple, the unit of source pinning."""
+
+    name: str
+    version: str
+    digest: bytes
+
+
+class PackageRegistry:
+    """An (untrusted) package store, keyed by name + version.
+
+    Publishing returns the content digest the publisher should pin.
+    Resolution *re-derives* the digest from the stored bytes, so any
+    post-publication tamper — see :meth:`tamper` — fails the pin check.
+    """
+
+    def __init__(self) -> None:
+        self._packages: Dict[Tuple[str, str], Package] = {}
+
+    def publish(self, package: Package) -> bytes:
+        """Store *package* and return its content digest for pinning."""
+        key = (package.name, package.version)
+        existing = self._packages.get(key)
+        if existing is not None and existing.digest() != package.digest():
+            raise PackageError(
+                f"{package.name}-{package.version} already published "
+                "with different contents"
+            )
+        self._packages[key] = package
+        return package.digest()
+
+    def resolve(self, pin: PackagePin) -> Package:
+        """Fetch the pinned package, verifying its content digest.
+
+        Raises :class:`PackageError` if the package is absent or its
+        recomputed digest no longer matches the pin (supply-chain
+        tamper between audit and build).
+        """
+        package = self._packages.get((pin.name, pin.version))
+        if package is None:
+            raise PackageError(f"no such package: {pin.name}-{pin.version}")
+        if package.digest() != pin.digest:
+            raise PackageError(
+                f"digest mismatch for {pin.name}-{pin.version}: the "
+                "registry contents do not match the pinned digest "
+                "(supply-chain tamper?)"
+            )
+        return package
+
+    def tamper(self, name: str, version: str, files: Mapping[str, bytes]) -> None:
+        """Attack hook: silently replace file contents of a published
+        package, as a compromised registry would."""
+        key = (name, version)
+        if key not in self._packages:
+            raise PackageError(f"no such package: {name}-{version}")
+        package = self._packages[key]
+        merged = package.files
+        merged.update(files)
+        self._packages[key] = replace(
+            package, file_items=_canonical_files(merged, "file")
+        )
+
+    def catalogue(self) -> Tuple[Tuple[str, str], ...]:
+        """All published (name, version) pairs, sorted."""
+        return tuple(sorted(self._packages))

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional
 from ..amd.kds import KeyDistributionServer
 from ..amd.secure_processor import AmdKeyInfrastructure
 from ..build.image_builder import SERVICE_CONF_PATH, BuildResult
+from ..build.measurement import expected_measurement_for_image
 from ..crypto import encoding
 from ..crypto.drbg import HmacDrbg
 from ..net.http import HttpResponse
@@ -66,6 +67,15 @@ class RevelioDeployment:
         latency: Optional[LatencyModel] = None,
         seed: bytes = b"revelio-deployment",
     ):
+        # The deployment never computes its own digest: it re-derives
+        # the golden value through the one measurement path and refuses
+        # a build whose recorded golden does not match its image.
+        if bytes(build.expected_measurement) != expected_measurement_for_image(
+            build.image
+        ):
+            raise ValueError(
+                "build's expected_measurement does not match its image"
+            )
         self.build = build
         self.num_nodes = num_nodes
         self.rng = HmacDrbg(seed)

@@ -46,7 +46,22 @@ class Firewall:
 
     @classmethod
     def from_network_policy(cls, policy) -> "Firewall":
-        """Build from a :class:`repro.build.NetworkPolicy`."""
+        """Build from a :class:`repro.build.image_builder.NetworkPolicy`
+        (the measured policy baked into the rootfs at
+        ``/etc/revelio/network.conf``).
+
+        Raises :class:`TypeError` for anything else — a guest must not
+        silently accept a look-alike policy object from an unmeasured
+        source.  The import is lazy because ``repro.net`` is otherwise
+        independent of the build layer.
+        """
+        from ..build.image_builder import NetworkPolicy
+
+        if not isinstance(policy, NetworkPolicy):
+            raise TypeError(
+                "from_network_policy expects a repro.build.NetworkPolicy, "
+                f"got {type(policy).__name__}"
+            )
         return cls(
             allowed_inbound_ports=tuple(policy.allowed_inbound_ports),
             ssh_enabled=policy.ssh_enabled,

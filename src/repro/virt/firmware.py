@@ -16,7 +16,6 @@ the defence the paper describes in section 6.1.1.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -56,12 +55,18 @@ class HashTable:
 
     @classmethod
     def for_blobs(cls, kernel: bytes, initrd: bytes, cmdline: str) -> "HashTable":
-        """Hash the direct-boot blobs the way QEMU does before injection."""
-        return cls(
-            kernel=hashlib.sha256(kernel).digest(),
-            initrd=hashlib.sha256(initrd).digest(),
-            cmdline=hashlib.sha256(cmdline.encode("utf-8")).digest(),
+        """Hash the direct-boot blobs the way QEMU does before injection.
+
+        Delegates to :mod:`repro.build.measurement`, the single place
+        that defines the blob-hashing scheme (lazy import: this module
+        loads before ``repro.build`` during package initialisation).
+        """
+        from ..build.measurement import direct_boot_hashes
+
+        kernel_hash, initrd_hash, cmdline_hash = direct_boot_hashes(
+            kernel, initrd, cmdline
         )
+        return cls(kernel=kernel_hash, initrd=initrd_hash, cmdline=cmdline_hash)
 
 
 def build_firmware(

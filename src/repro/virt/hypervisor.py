@@ -21,9 +21,9 @@ from typing import Callable, Dict, List, Optional
 
 from ..amd.policy import REVELIO_POLICY, GuestPolicy
 from ..amd.secure_processor import SecureProcessor
+from ..build import measurement
 from ..crypto.drbg import HmacDrbg
 from ..storage.blockdev import RamBlockDevice
-from .firmware import HashTable, inject_hash_table
 from .image import VmImage
 from .vm import VirtualMachine
 
@@ -99,10 +99,13 @@ class Hypervisor:
 
         if attack.inject_expected_hashes:
             # Lie to the firmware: advertise the honest image's hashes.
-            table = HashTable.for_blobs(image.kernel, image.initrd, image.cmdline)
+            firmware_image = measurement.measured_firmware(
+                firmware_template, image.kernel, image.initrd, image.cmdline
+            )
         else:
-            table = HashTable.for_blobs(kernel, initrd, cmdline)
-        firmware_image = inject_hash_table(firmware_template, table)
+            firmware_image = measurement.measured_firmware(
+                firmware_template, kernel, initrd, cmdline
+            )
 
         guest_context = self.processor.launch_vm(firmware_image, policy)
 

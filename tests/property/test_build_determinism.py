@@ -1,0 +1,121 @@
+"""Property tests over the reproducible build (requirement F5).
+
+Determinism: equal specs — even built from independently constructed
+registries — yield byte-identical images and equal golden measurements.
+Sensitivity: any single-byte change to a package file, and any
+reordering of the init-step sequence, shifts the measurement.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.build import (
+    DEFAULT_INIT_STEPS,
+    ImageSpec,
+    Package,
+    PackagePin,
+    PackageRegistry,
+    build_revelio_image,
+)
+from repro.build.measurement import expected_measurement_for_image
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _spec(app_blob: bytes, init_steps=DEFAULT_INIT_STEPS) -> ImageSpec:
+    """A minimal spec whose only free variables are the app package's
+    contents and the init-step order."""
+    registry = PackageRegistry()
+    pins = []
+    for package in (
+        Package.create("app", "1.0.0", files={"/opt/app/bin": app_blob}),
+        Package.create(
+            "agent", "1.0.0", files={"/usr/bin/agent": b"\x7fELF-agent"}
+        ),
+    ):
+        digest = registry.publish(package)
+        pins.append(PackagePin(package.name, package.version, digest))
+    return ImageSpec(
+        name="prop-node",
+        version="1.0.0",
+        registry=registry,
+        package_pins=pins,
+        service_domain="prop.example",
+        services=("https",),
+        data_volume_blocks=8,
+        init_steps=tuple(init_steps),
+    )
+
+
+@_SETTINGS
+@given(app_blob=st.binary(min_size=1, max_size=512))
+def test_same_spec_builds_byte_identical_images(app_blob):
+    first = build_revelio_image(_spec(app_blob))
+    second = build_revelio_image(_spec(app_blob))
+    assert first.image.encode() == second.image.encode()
+    assert first.root_hash == second.root_hash
+    assert first.expected_measurement == second.expected_measurement
+
+
+@_SETTINGS
+@given(app_blob=st.binary(min_size=1, max_size=512))
+def test_golden_equals_replayed_measurement(app_blob):
+    build = build_revelio_image(_spec(app_blob))
+    assert build.expected_measurement == expected_measurement_for_image(build.image)
+
+
+@_SETTINGS
+@given(
+    app_blob=st.binary(min_size=1, max_size=512),
+    data=st.data(),
+)
+def test_single_byte_package_mutation_changes_measurement(app_blob, data):
+    index = data.draw(st.integers(0, len(app_blob) - 1), label="byte index")
+    mask = data.draw(st.integers(1, 255), label="xor mask")
+    mutated = bytearray(app_blob)
+    mutated[index] ^= mask
+    honest = build_revelio_image(_spec(app_blob))
+    tampered = build_revelio_image(_spec(bytes(mutated)))
+    assert honest.root_hash != tampered.root_hash
+    assert honest.expected_measurement != tampered.expected_measurement
+
+
+@_SETTINGS
+@given(steps=st.permutations(DEFAULT_INIT_STEPS))
+def test_init_step_reorder_changes_measurement(steps):
+    assume(tuple(steps) != DEFAULT_INIT_STEPS)
+    baseline = build_revelio_image(_spec(b"app"))
+    reordered = build_revelio_image(_spec(b"app", init_steps=tuple(steps)))
+    assert baseline.expected_measurement != reordered.expected_measurement
+
+
+def test_different_registries_same_content_agree():
+    """The examples' two-independent-parties scenario, as a unit test."""
+    first = build_revelio_image(_spec(b"release-blob"))
+    second = build_revelio_image(_spec(b"release-blob"))
+    assert first.image.encode() == second.image.encode()
+
+
+def test_extra_golden_measurements_shift_measurement():
+    base = build_revelio_image(_spec(b"app"))
+    spec = _spec(b"app")
+    spec.extra_golden_measurements = (b"\x42" * 48,)
+    with_goldens = build_revelio_image(spec)
+    assert base.expected_measurement != with_goldens.expected_measurement
+
+
+def test_min_data_volume_enforced():
+    from repro.build import BuildError
+
+    registry = PackageRegistry()
+    digest = registry.publish(Package.create("a", "1", files={"/a": b"x"}))
+    with pytest.raises(BuildError, match="data volume"):
+        ImageSpec(
+            name="n",
+            version="1",
+            registry=registry,
+            package_pins=[PackagePin("a", "1", digest)],
+            service_domain="n.example",
+            data_volume_blocks=2,
+        )
