@@ -1,8 +1,8 @@
 """Attestation report verification — the verifier side of SEV-SNP.
 
-This is the logic every Revelio verifier (the web extension, the SP
-node, and peer VMs during mutual attestation) runs on a received
-report.  It performs, in order:
+This module holds the *low-level* cryptographic checks every Revelio
+verifier runs on a received report, each exposed as a primitive with a
+stable machine-readable failure ``reason``:
 
 1. certificate-chain validation of VCEK -> ASK -> ARK against pinned
    trust anchors,
@@ -12,6 +12,12 @@ report.  It performs, in order:
 4. policy sanity (no debug-enabled guests),
 5. optional caller expectations: measurement, REPORT_DATA, chip-id
    allow-list, minimum TCB.
+
+:func:`verify_attestation_report` composes the primitives in that order
+and raises on the first failure.  Higher-level callers should not use
+it directly: :class:`repro.attest.AttestationVerifier` drives the same
+primitives as an observable step pipeline, and a CI gate keeps every
+other module behind that seam.
 
 Failures raise :class:`AttestationError` with a machine-readable
 ``reason`` so callers (and tests) can distinguish failure modes.
@@ -47,6 +53,111 @@ class VerifiedReport:
     checked_chip_id: bool
 
 
+# -- check primitives ----------------------------------------------------------
+
+
+def check_certificate_chain(
+    vcek_certificate: Certificate,
+    cert_chain: Sequence[Certificate],
+    trust_anchors: Sequence[Certificate],
+    now: int,
+) -> None:
+    """VCEK -> ASK -> ARK must chain to a pinned trust anchor."""
+    try:
+        validate_chain(
+            [vcek_certificate, *cert_chain], trust_anchors, now=now
+        )
+    except CertificateError as exc:
+        raise AttestationError("bad_cert_chain", str(exc)) from exc
+
+
+def check_chip_id_binding(
+    report: AttestationReport, vcek_certificate: Certificate
+) -> None:
+    """The VCEK certificate must be issued for the reporting chip."""
+    cert_chip_id = vcek_certificate.extension("amd.chip_id")
+    if cert_chip_id is None or cert_chip_id != report.chip_id:
+        raise AttestationError(
+            "chip_id_mismatch",
+            "VCEK certificate chip id does not match the report",
+        )
+
+
+def check_tcb_binding(
+    report: AttestationReport, vcek_certificate: Certificate
+) -> None:
+    """The VCEK certificate must be derived for the reported TCB."""
+    cert_tcb = vcek_certificate.extension("amd.tcb")
+    if cert_tcb is None or TcbVersion.decode(cert_tcb) != report.reported_tcb:
+        raise AttestationError(
+            "tcb_mismatch", "VCEK certificate TCB does not match the report"
+        )
+
+
+def check_signature(
+    report: AttestationReport, vcek_certificate: Certificate
+) -> None:
+    """The report signature must verify under the VCEK public key."""
+    vcek_key = vcek_certificate.public_key
+    if vcek_key.algorithm != "ecdsa" or not report.verify_signature(vcek_key.inner):
+        raise AttestationError(
+            "bad_signature", "report signature does not verify under the VCEK"
+        )
+
+
+def check_debug_policy(report: AttestationReport, allow_debug: bool = False) -> None:
+    """Debug-enabled guests are rejected unless explicitly allowed."""
+    if report.policy.debug_allowed and not allow_debug:
+        raise AttestationError(
+            "debug_policy", "guest was launched with debugging enabled"
+        )
+
+
+def check_measurement(
+    report: AttestationReport, golden_measurements: Iterable[bytes]
+) -> None:
+    """The launch measurement must be in the golden set."""
+    golden = {bytes(m) for m in golden_measurements}
+    if bytes(report.measurement) not in golden:
+        raise AttestationError(
+            "measurement_mismatch",
+            f"measurement {report.measurement.hex()[:16]}... is not in the "
+            f"golden set ({len(golden)} value(s))",
+        )
+
+
+def check_report_data(
+    report: AttestationReport, expected_report_data: bytes
+) -> None:
+    """REPORT_DATA must match the caller's expected binding."""
+    if report.report_data != expected_report_data:
+        raise AttestationError(
+            "report_data_mismatch", "REPORT_DATA does not match expectation"
+        )
+
+
+def check_chip_id_allowed(
+    report: AttestationReport, allowed_chip_ids: Iterable[bytes]
+) -> None:
+    """The reporting platform must be on the approved list."""
+    allowed = {bytes(chip_id) for chip_id in allowed_chip_ids}
+    if bytes(report.chip_id) not in allowed:
+        raise AttestationError(
+            "chip_id_not_allowed", "platform is not on the approved list"
+        )
+
+
+def check_minimum_tcb(report: AttestationReport, minimum_tcb: TcbVersion) -> None:
+    """The platform TCB must meet the required floor."""
+    if not report.reported_tcb.at_least(minimum_tcb):
+        raise AttestationError(
+            "tcb_too_old", "platform TCB below the required minimum"
+        )
+
+
+# -- composed verification -----------------------------------------------------
+
+
 def verify_attestation_report(
     report: AttestationReport,
     vcek_certificate: Certificate,
@@ -61,59 +172,19 @@ def verify_attestation_report(
 ) -> VerifiedReport:
     """Verify *report* end to end; raise :class:`AttestationError` on
     the first failed check, return a :class:`VerifiedReport` otherwise."""
-    try:
-        validate_chain(
-            [vcek_certificate, *cert_chain], trust_anchors, now=now
-        )
-    except CertificateError as exc:
-        raise AttestationError("bad_cert_chain", str(exc)) from exc
-
-    cert_chip_id = vcek_certificate.extension("amd.chip_id")
-    if cert_chip_id is None or cert_chip_id != report.chip_id:
-        raise AttestationError(
-            "chip_id_mismatch",
-            "VCEK certificate chip id does not match the report",
-        )
-    cert_tcb = vcek_certificate.extension("amd.tcb")
-    if cert_tcb is None or TcbVersion.decode(cert_tcb) != report.reported_tcb:
-        raise AttestationError(
-            "tcb_mismatch", "VCEK certificate TCB does not match the report"
-        )
-
-    vcek_key = vcek_certificate.public_key
-    if vcek_key.algorithm != "ecdsa" or not report.verify_signature(vcek_key.inner):
-        raise AttestationError(
-            "bad_signature", "report signature does not verify under the VCEK"
-        )
-
-    if report.policy.debug_allowed and not allow_debug:
-        raise AttestationError(
-            "debug_policy", "guest was launched with debugging enabled"
-        )
-
-    if expected_measurement is not None and report.measurement != expected_measurement:
-        raise AttestationError(
-            "measurement_mismatch",
-            f"expected {expected_measurement.hex()[:16]}..., "
-            f"got {report.measurement.hex()[:16]}...",
-        )
-
-    if expected_report_data is not None and report.report_data != expected_report_data:
-        raise AttestationError(
-            "report_data_mismatch", "REPORT_DATA does not match expectation"
-        )
-
+    check_certificate_chain(vcek_certificate, cert_chain, trust_anchors, now)
+    check_chip_id_binding(report, vcek_certificate)
+    check_tcb_binding(report, vcek_certificate)
+    check_signature(report, vcek_certificate)
+    check_debug_policy(report, allow_debug)
+    if expected_measurement is not None:
+        check_measurement(report, [expected_measurement])
+    if expected_report_data is not None:
+        check_report_data(report, expected_report_data)
     if allowed_chip_ids is not None:
-        allowed = {bytes(chip_id) for chip_id in allowed_chip_ids}
-        if bytes(report.chip_id) not in allowed:
-            raise AttestationError(
-                "chip_id_not_allowed", "platform is not on the approved list"
-            )
-
-    if minimum_tcb is not None and not report.reported_tcb.at_least(minimum_tcb):
-        raise AttestationError(
-            "tcb_too_old", "platform TCB below the required minimum"
-        )
+        check_chip_id_allowed(report, allowed_chip_ids)
+    if minimum_tcb is not None:
+        check_minimum_tcb(report, minimum_tcb)
 
     return VerifiedReport(
         report=report,

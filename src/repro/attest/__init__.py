@@ -1,0 +1,73 @@
+"""The unified attestation verification pipeline (SNPGuard-style).
+
+Every Revelio verifier — the web extension, RA-TLS peers, the SP node,
+the vTPM monitor, key-sharing recipients, the hardware-agnostic TEE
+dispatch — runs the *same* procedure with different expectations.  This
+package makes that one observable pipeline:
+
+* :class:`VerificationPolicy` — the expectations, declaratively,
+* :class:`AttestationVerifier` — the engine: owns the KDS interaction
+  and runs the :mod:`repro.amd.verify` primitives as an ordered step
+  list,
+* :class:`VerificationOutcome` — per-step results with stable reason
+  codes and simulated-clock costs,
+* :mod:`repro.attest.trace` — pluggable sinks, ring buffer, counters.
+"""
+
+from .engine import (
+    STEP_CERT_CHAIN,
+    STEP_CHIP_ID_ALLOWLIST,
+    STEP_CHIP_ID_BINDING,
+    STEP_DEBUG_POLICY,
+    STEP_MEASUREMENT,
+    STEP_ORDER,
+    STEP_REPORT_DATA,
+    STEP_REVOCATION,
+    STEP_SIGNATURE,
+    STEP_TCB_BINDING,
+    STEP_TCB_FLOOR,
+    STEP_VCEK_FETCH,
+    AttestationVerifier,
+    StepRecord,
+    VerificationOutcome,
+)
+from .policy import VerificationPolicy
+from .trace import (
+    AttestationTracer,
+    CounterRegistry,
+    Histogram,
+    RingBufferSink,
+    TraceEvent,
+    TraceSink,
+    get_tracer,
+    reset_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "AttestationTracer",
+    "AttestationVerifier",
+    "CounterRegistry",
+    "Histogram",
+    "RingBufferSink",
+    "STEP_CERT_CHAIN",
+    "STEP_CHIP_ID_ALLOWLIST",
+    "STEP_CHIP_ID_BINDING",
+    "STEP_DEBUG_POLICY",
+    "STEP_MEASUREMENT",
+    "STEP_ORDER",
+    "STEP_REPORT_DATA",
+    "STEP_REVOCATION",
+    "STEP_SIGNATURE",
+    "STEP_TCB_BINDING",
+    "STEP_TCB_FLOOR",
+    "STEP_VCEK_FETCH",
+    "StepRecord",
+    "TraceEvent",
+    "TraceSink",
+    "VerificationOutcome",
+    "VerificationPolicy",
+    "get_tracer",
+    "reset_tracer",
+    "set_tracer",
+]

@@ -1,0 +1,300 @@
+"""The unified attestation verification engine.
+
+One :class:`AttestationVerifier` replaces the hand-rolled
+fetch-VCEK/verify/map-error blocks that used to live in every verifier
+(web extension, RA-TLS, key sharing, SP node, vTPM monitor, TEE
+dispatch).  It owns the KDS interaction and runs the checks of
+:mod:`repro.amd.verify` as an explicit ordered step list, producing a
+:class:`VerificationOutcome` that records *per-step* results — name,
+pass/fail, stable reason code, simulated-clock cost — instead of
+raising opaquely on the first failure.  Every run is reported to the
+tracing layer (:mod:`repro.attest.trace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..amd.report import AttestationReport
+from ..amd.verify import (
+    AttestationError,
+    VerifiedReport,
+    check_certificate_chain,
+    check_chip_id_allowed,
+    check_chip_id_binding,
+    check_debug_policy,
+    check_measurement,
+    check_minimum_tcb,
+    check_report_data,
+    check_signature,
+    check_tcb_binding,
+)
+from ..crypto.x509 import Certificate
+from .policy import VerificationPolicy
+from .trace import AttestationTracer, TraceEvent, get_tracer
+
+STEP_REVOCATION = "revocation"
+STEP_VCEK_FETCH = "vcek_fetch"
+STEP_CERT_CHAIN = "cert_chain"
+STEP_CHIP_ID_BINDING = "chip_id_binding"
+STEP_TCB_BINDING = "tcb_binding"
+STEP_SIGNATURE = "signature"
+STEP_DEBUG_POLICY = "debug_policy"
+STEP_MEASUREMENT = "measurement"
+STEP_REPORT_DATA = "report_data"
+STEP_CHIP_ID_ALLOWLIST = "chip_id_allowlist"
+STEP_TCB_FLOOR = "tcb_floor"
+
+#: The full pipeline in execution order; optional steps are skipped
+#: (not recorded) when the policy does not configure them.
+STEP_ORDER: Tuple[str, ...] = (
+    STEP_REVOCATION,
+    STEP_VCEK_FETCH,
+    STEP_CERT_CHAIN,
+    STEP_CHIP_ID_BINDING,
+    STEP_TCB_BINDING,
+    STEP_SIGNATURE,
+    STEP_DEBUG_POLICY,
+    STEP_MEASUREMENT,
+    STEP_REPORT_DATA,
+    STEP_CHIP_ID_ALLOWLIST,
+    STEP_TCB_FLOOR,
+)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One executed pipeline step."""
+
+    name: str
+    passed: bool
+    reason: Optional[str] = None  # stable failure code, None on pass
+    detail: str = ""
+    sim_cost: float = 0.0  # simulated seconds spent in this step
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """A full verification result, step by step.
+
+    The pipeline stops at the first failing step (later checks would be
+    meaningless without, e.g., a validated VCEK), so ``steps`` lists
+    every executed step and, on failure, ends with the failing one.
+    """
+
+    site: str
+    verdict: str  # "pass" | "fail"
+    steps: Tuple[StepRecord, ...]
+    report: AttestationReport
+    policy: VerificationPolicy
+    vcek_certificate: Optional[Certificate] = None
+    sim_cost: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Did every step pass?"""
+        return self.verdict == "pass"
+
+    @property
+    def failure(self) -> Optional[StepRecord]:
+        """The failing step record (None on success)."""
+        if self.steps and not self.steps[-1].passed:
+            return self.steps[-1]
+        return None
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The stable failure code (None on success)."""
+        failure = self.failure
+        return failure.reason if failure is not None else None
+
+    @property
+    def detail(self) -> str:
+        """Human-readable failure detail ("" on success)."""
+        failure = self.failure
+        return failure.detail if failure is not None else ""
+
+    def step(self, name: str) -> Optional[StepRecord]:
+        """The record for a named step, if it executed."""
+        for record in self.steps:
+            if record.name == name:
+                return record
+        return None
+
+    def raise_for_failure(self) -> None:
+        """Re-raise a failed outcome as an :class:`AttestationError`
+        carrying the failing step's stable reason code."""
+        failure = self.failure
+        if failure is not None:
+            raise AttestationError(failure.reason, failure.detail)
+
+    def verified_report(self) -> VerifiedReport:
+        """The legacy success value (raises if the outcome failed)."""
+        self.raise_for_failure()
+        assert self.vcek_certificate is not None
+        return VerifiedReport(
+            report=self.report,
+            vcek_certificate=self.vcek_certificate,
+            checked_measurement=self.policy.golden_measurements is not None,
+            checked_report_data=self.policy.expected_report_data is not None,
+            checked_chip_id=self.policy.allowed_chip_ids is not None,
+        )
+
+
+class AttestationVerifier:
+    """Runs the verification pipeline against one KDS client.
+
+    ``kds`` must provide ``get_vcek``/``cert_chain``/``trust_anchor``
+    and the ``fetches``/``cache_hits`` counters (i.e. a
+    :class:`~repro.core.kds_client.KdsClient`); its simulated clock, if
+    exposed as ``clock``, prices the per-step cost records.
+    """
+
+    def __init__(
+        self,
+        kds,
+        policy: Optional[VerificationPolicy] = None,
+        tracer: Optional[AttestationTracer] = None,
+        site: str = "verifier",
+    ):
+        self.kds = kds
+        self.policy = policy if policy is not None else VerificationPolicy()
+        self.site = site
+        #: None means "whatever the process-wide tracer is at run time".
+        self.tracer = tracer
+
+    def verify(
+        self,
+        report: AttestationReport,
+        now: int,
+        policy: Optional[VerificationPolicy] = None,
+        site: Optional[str] = None,
+    ) -> VerificationOutcome:
+        """Run the pipeline; never raises on a failed check."""
+        policy = policy if policy is not None else self.policy
+        site = site if site is not None else self.site
+        clock = getattr(self.kds, "clock", None)
+        fetches_before = self.kds.fetches
+        hits_before = self.kds.cache_hits
+
+        state = {"vcek": None, "chain": None}
+        records = []
+        failed = False
+        for name, run_check in self._steps(report, now, policy, state):
+            started = clock.now if clock is not None else 0.0
+            reason: Optional[str] = None
+            detail = ""
+            passed = True
+            try:
+                run_check()
+            except AttestationError as exc:
+                passed = False
+                reason, detail = exc.reason, exc.detail
+            cost = (clock.now - started) if clock is not None else 0.0
+            records.append(StepRecord(name, passed, reason, detail, cost))
+            if not passed:
+                failed = True
+                break
+
+        outcome = VerificationOutcome(
+            site=site,
+            verdict="fail" if failed else "pass",
+            steps=tuple(records),
+            report=report,
+            policy=policy,
+            vcek_certificate=state["vcek"],
+            sim_cost=sum(record.sim_cost for record in records),
+        )
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        tracer.emit(
+            TraceEvent(
+                site=site,
+                verdict=outcome.verdict,
+                reason=outcome.reason,
+                steps=outcome.steps,
+                sim_cost=outcome.sim_cost,
+                kds_fetches=self.kds.fetches - fetches_before,
+                kds_cache_hits=self.kds.cache_hits - hits_before,
+            )
+        )
+        return outcome
+
+    def verify_or_raise(
+        self,
+        report: AttestationReport,
+        now: int,
+        policy: Optional[VerificationPolicy] = None,
+        site: Optional[str] = None,
+    ) -> VerifiedReport:
+        """Run the pipeline; raise :class:`AttestationError` with the
+        failing step's stable reason code, return the legacy
+        :class:`VerifiedReport` on success."""
+        return self.verify(report, now, policy=policy, site=site).verified_report()
+
+    # -- the ordered step list -------------------------------------------------
+
+    def _steps(
+        self,
+        report: AttestationReport,
+        now: int,
+        policy: VerificationPolicy,
+        state: dict,
+    ) -> Iterator[Tuple[str, object]]:
+        revoked = {bytes(m) for m in policy.revoked_measurements}
+
+        def revocation():
+            if bytes(report.measurement) in revoked:
+                raise AttestationError(
+                    "measurement_revoked",
+                    "measurement has been revoked (rollback?)",
+                )
+
+        if revoked:
+            yield STEP_REVOCATION, revocation
+
+        def vcek_fetch():
+            try:
+                state["vcek"] = self.kds.get_vcek(
+                    report.chip_id, report.reported_tcb
+                )
+                state["chain"] = self.kds.cert_chain()
+            except LookupError as exc:
+                raise AttestationError(
+                    "unknown_platform", f"KDS has no VCEK for this chip: {exc}"
+                ) from exc
+
+        yield STEP_VCEK_FETCH, vcek_fetch
+
+        anchors = (
+            list(policy.trust_anchors)
+            if policy.trust_anchors is not None
+            else [self.kds.trust_anchor]
+        )
+        yield STEP_CERT_CHAIN, lambda: check_certificate_chain(
+            state["vcek"], state["chain"], anchors, now
+        )
+        yield STEP_CHIP_ID_BINDING, lambda: check_chip_id_binding(
+            report, state["vcek"]
+        )
+        yield STEP_TCB_BINDING, lambda: check_tcb_binding(report, state["vcek"])
+        yield STEP_SIGNATURE, lambda: check_signature(report, state["vcek"])
+        yield STEP_DEBUG_POLICY, lambda: check_debug_policy(
+            report, policy.allow_debug
+        )
+
+        golden = policy.effective_golden()
+        if golden is not None:
+            yield STEP_MEASUREMENT, lambda: check_measurement(report, golden)
+        if policy.expected_report_data is not None:
+            yield STEP_REPORT_DATA, lambda: check_report_data(
+                report, policy.expected_report_data
+            )
+        if policy.allowed_chip_ids is not None:
+            yield STEP_CHIP_ID_ALLOWLIST, lambda: check_chip_id_allowed(
+                report, policy.allowed_chip_ids
+            )
+        if policy.minimum_tcb is not None:
+            yield STEP_TCB_FLOOR, lambda: check_minimum_tcb(
+                report, policy.minimum_tcb
+            )

@@ -1,0 +1,80 @@
+"""Declarative verification expectations for the attestation pipeline.
+
+Revelio's security argument rests on one verification procedure run by
+many parties (the web extension, RA-TLS peers, the SP node, the vTPM
+monitor, key-sharing recipients).  What differs between them is not the
+*procedure* but the *expectations*: which measurements are golden,
+which are revoked, what REPORT_DATA must bind, which platforms are
+approved, and how old the TCB may be.  :class:`VerificationPolicy`
+captures those expectations as one immutable value that call sites
+construct declaratively instead of threading positional arguments into
+the low-level verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..amd.tcb import TcbVersion
+from ..crypto.x509 import Certificate
+
+
+def _frozen_bytes(items: Optional[Iterable[bytes]]) -> Optional[Tuple[bytes, ...]]:
+    if items is None:
+        return None
+    return tuple(bytes(item) for item in items)
+
+
+@dataclass(frozen=True)
+class VerificationPolicy:
+    """Everything a verifier expects of a report, in one value.
+
+    ``None`` for an optional expectation means "do not check it"; the
+    corresponding pipeline step is skipped entirely (and therefore does
+    not appear in the outcome's step records).
+    """
+
+    #: Acceptable launch measurements; ``None`` skips the check.
+    golden_measurements: Optional[Tuple[bytes, ...]] = None
+    #: Measurements revoked after rollouts (section 6.1.4); always
+    #: checked first, so a revoked value loses even if also golden.
+    revoked_measurements: Tuple[bytes, ...] = ()
+    #: Exact REPORT_DATA binding (64 bytes); ``None`` skips the check.
+    expected_report_data: Optional[bytes] = None
+    #: Chip-id allow-list; ``None`` skips the check.
+    allowed_chip_ids: Optional[Tuple[bytes, ...]] = None
+    #: Component-wise TCB floor; ``None`` skips the check.
+    minimum_tcb: Optional[TcbVersion] = None
+    #: Accept debug-enabled guests (never set in production).
+    allow_debug: bool = False
+    #: Override the pinned trust anchors (defaults to the KDS client's
+    #: shipped ARK); used by tests to cross-examine hierarchies.
+    trust_anchors: Optional[Tuple[Certificate, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "golden_measurements", _frozen_bytes(self.golden_measurements)
+        )
+        object.__setattr__(
+            self,
+            "revoked_measurements",
+            _frozen_bytes(self.revoked_measurements) or (),
+        )
+        object.__setattr__(
+            self, "allowed_chip_ids", _frozen_bytes(self.allowed_chip_ids)
+        )
+        if self.expected_report_data is not None:
+            object.__setattr__(
+                self, "expected_report_data", bytes(self.expected_report_data)
+            )
+        if self.trust_anchors is not None:
+            object.__setattr__(self, "trust_anchors", tuple(self.trust_anchors))
+
+    def effective_golden(self) -> Optional[FrozenSet[bytes]]:
+        """The golden set minus revocations (``None`` if unchecked)."""
+        if self.golden_measurements is None:
+            return None
+        return frozenset(self.golden_measurements) - frozenset(
+            self.revoked_measurements
+        )

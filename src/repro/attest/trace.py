@@ -1,0 +1,172 @@
+"""Observability for the attestation pipeline: sinks, counters, traces.
+
+Every :class:`~repro.attest.engine.AttestationVerifier` run emits one
+:class:`TraceEvent` to a tracer with pluggable sinks.  The default
+tracer keeps an in-memory ring buffer of recent events plus a
+:class:`CounterRegistry` — verifications by verdict, failures by stable
+reason code, KDS cache hit rate, and per-step simulated-latency
+histograms — that the bench harness, the CLI, and tests read.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+#: Upper bucket edges (simulated seconds) for per-step latency
+#: histograms; the last bucket is unbounded.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, float("inf"),
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed verification, as seen by the observability layer."""
+
+    site: str
+    verdict: str  # "pass" | "fail"
+    reason: Optional[str]  # stable failure code, None on pass
+    steps: Tuple  # the outcome's StepRecord tuple
+    sim_cost: float  # total simulated seconds across steps
+    kds_fetches: int  # KDS round trips charged by this verification
+    kds_cache_hits: int  # KDS cache hits served to this verification
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (simulated seconds)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        """Count *value* into its bucket."""
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[min(index, len(self.buckets) - 1)] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> float:
+        """Average recorded value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TraceSink:
+    """A consumer of trace events; subclass and register on a tracer."""
+
+    def record(self, event: TraceEvent) -> None:
+        """Consume one event."""
+        raise NotImplementedError
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the last *capacity* events for inspection."""
+
+    def __init__(self, capacity: int = 256):
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class CounterRegistry(TraceSink):
+    """Aggregated counters over every verification seen."""
+
+    def __init__(self):
+        self.verifications_by_verdict: Counter = Counter()
+        self.failures_by_reason: Counter = Counter()
+        self.step_latency: Dict[str, Histogram] = {}
+        self.kds_fetches = 0
+        self.kds_cache_hits = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self.verifications_by_verdict[event.verdict] += 1
+        if event.reason is not None:
+            self.failures_by_reason[event.reason] += 1
+        self.kds_fetches += event.kds_fetches
+        self.kds_cache_hits += event.kds_cache_hits
+        for step in event.steps:
+            histogram = self.step_latency.get(step.name)
+            if histogram is None:
+                histogram = self.step_latency[step.name] = Histogram()
+            histogram.record(step.sim_cost)
+
+    def kds_cache_hit_rate(self) -> float:
+        """Fraction of KDS lookups served from cache (0.0 when idle)."""
+        lookups = self.kds_fetches + self.kds_cache_hits
+        return self.kds_cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-data view for reports and JSON persistence."""
+        return {
+            "verifications_by_verdict": dict(self.verifications_by_verdict),
+            "failures_by_reason": dict(self.failures_by_reason),
+            "kds_fetches": self.kds_fetches,
+            "kds_cache_hits": self.kds_cache_hits,
+            "kds_cache_hit_rate": self.kds_cache_hit_rate(),
+            "step_latency_ms_mean": {
+                name: histogram.mean() * 1000.0
+                for name, histogram in sorted(self.step_latency.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+
+class AttestationTracer:
+    """Fans events out to its sinks.
+
+    The default construction wires a ring buffer and a counter registry
+    (exposed as :attr:`ring` and :attr:`counters`); additional sinks can
+    be attached with :meth:`add_sink`.
+    """
+
+    def __init__(self, ring_capacity: int = 256):
+        self.ring = RingBufferSink(ring_capacity)
+        self.counters = CounterRegistry()
+        self._sinks: List[TraceSink] = [self.ring, self.counters]
+
+    def add_sink(self, sink: TraceSink) -> None:
+        """Register an extra consumer of trace events."""
+        self._sinks.append(sink)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Deliver *event* to every sink."""
+        for sink in self._sinks:
+            sink.record(event)
+
+
+_default_tracer = AttestationTracer()
+
+
+def get_tracer() -> AttestationTracer:
+    """The process-wide tracer engines emit to by default."""
+    return _default_tracer
+
+
+def set_tracer(tracer: AttestationTracer) -> None:
+    """Replace the process-wide tracer."""
+    global _default_tracer
+    _default_tracer = tracer
+
+
+def reset_tracer() -> AttestationTracer:
+    """Install (and return) a fresh process-wide tracer."""
+    tracer = AttestationTracer()
+    set_tracer(tracer)
+    return tracer

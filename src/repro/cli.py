@@ -119,10 +119,26 @@ def cmd_verify_image(args) -> int:
     return 1
 
 
+def _print_trace_summary(show_failures: bool = False) -> None:
+    """Print the unified verification pipeline's counters."""
+    from .attest import get_tracer
+
+    snapshot = get_tracer().counters.snapshot()
+    verdicts = snapshot["verifications_by_verdict"]
+    print("pipeline:")
+    print(f"  verifications: {dict(sorted(verdicts.items()))}")
+    print(f"  kds cache hit rate: {snapshot['kds_cache_hit_rate']:.2f}")
+    if show_failures and snapshot["failures_by_reason"]:
+        failures = dict(sorted(snapshot["failures_by_reason"].items()))
+        print(f"  failures by reason: {failures}")
+
+
 def cmd_demo(args) -> int:
     """CLI: run the end-to-end demo."""
+    from .attest import reset_tracer
     from .core import RevelioDeployment
 
+    reset_tracer()
     result = build_revelio_image(_spec_for(args.use_case, "1.0.0"))
     deployment = RevelioDeployment(result, num_nodes=args.nodes).deploy()
     print(f"fleet:       {args.nodes} node(s) at https://{deployment.domain}/")
@@ -134,18 +150,21 @@ def cmd_demo(args) -> int:
     print(f"attested access: {status}")
     for event in extension.events:
         print(f"  extension: [{event.kind}] {event.detail or event.domain}")
+    _print_trace_summary()
     return 0 if not page.blocked else 1
 
 
 def cmd_attack_demo(args) -> int:
     """CLI: mount the section 6.1 attacks."""
     from .amd.verify import AttestationError
+    from .attest import reset_tracer
     from .core import RevelioDeployment
     from .net.latency import ZERO_LATENCY
     from .virt.hypervisor import LaunchAttack
     from .virt.image import KernelBlob
     from .virt.vm import BootFailure
 
+    reset_tracer()
     result = build_revelio_image(_spec_for("boundary-node", "1.0.0"))
     detected = 0
 
@@ -194,6 +213,7 @@ def cmd_attack_demo(args) -> int:
         detected += 1
         print(f"      DETECTED by dm-verity: {error}")
 
+    _print_trace_summary(show_failures=True)
     print(f"\n{detected}/3 attacks detected")
     return 0 if detected == 3 else 1
 

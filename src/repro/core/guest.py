@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from ..amd.report import AttestationReport
 from ..amd.verify import AttestationError
+from ..attest import AttestationVerifier
 from ..build.image_builder import (
     GOLDEN_CONF_PATH,
     NETWORK_CONF_PATH,
@@ -224,6 +225,9 @@ class RevelioNode:
         #: addition to the values baked into the measured rootfs.
         self.trusted_registry = trusted_registry
         self.golden_measurements = golden_measurements_for(vm)
+        #: Peer attestations (key sharing) run through the unified
+        #: pipeline, labelled with this node's name in traces.
+        self.verifier = AttestationVerifier(kds, site=f"{vm.name}:key-sharing")
 
         self.certificate_chain: Optional[List[Certificate]] = None
         self.leader_ip: Optional[str] = None
@@ -312,6 +316,7 @@ class RevelioNode:
                 self.kds,
                 now=self.host.network.clock.epoch_seconds(),
                 expected_measurements=self._effective_golden_measurements(),
+                verifier=self.verifier,
             )
         except (AttestationError, KeySharingError) as exc:
             return HttpResponse.forbidden(f"peer attestation failed: {exc}")
@@ -354,6 +359,7 @@ class RevelioNode:
             self.kds,
             now=self.host.network.clock.epoch_seconds(),
             expected_measurements=self._effective_golden_measurements(),
+            verifier=self.verifier,
         )
         private_key = EcdsaPrivateKey.decode(
             decrypt_with_private_key(

@@ -34,8 +34,19 @@ class KdsClient:
         self.cache_enabled = cache_enabled
         self._vcek_cache: Dict[Tuple[bytes, TcbVersion], Certificate] = {}
         self._chain_cache: Optional[List[Certificate]] = None
+        #: The ASK/ARK chain that rode along with the last VCEK
+        #: response.  Unlike the cache, this exists even with caching
+        #: disabled: the KDS bundles the chain with every VCEK response,
+        #: so one round trip covers both (the paper's single 427.3 ms
+        #: "contacting the AMD key server" figure implies exactly that).
+        self._bundled_chain: Optional[List[Certificate]] = None
         self.fetches = 0
         self.cache_hits = 0
+
+    @property
+    def clock(self) -> SimClock:
+        """The simulated clock fetches are charged against."""
+        return self._clock
 
     def _charge_round_trip(self) -> None:
         self._clock.advance(self._latency.kds_rtt + self._latency.kds_processing)
@@ -49,20 +60,21 @@ class KdsClient:
             return self._vcek_cache[key]
         self._charge_round_trip()
         certificate = self._kds.get_vcek_certificate(chip_id, tcb)
+        self._bundled_chain = self._kds.cert_chain()
         if self.cache_enabled:
             self._vcek_cache[key] = certificate
-            # The KDS bundles the ASK/ARK chain with the VCEK response,
-            # so one round trip covers both (as the paper's single
-            # 427.3 ms "contacting the AMD key server" figure implies).
             if self._chain_cache is None:
-                self._chain_cache = self._kds.cert_chain()
+                self._chain_cache = self._bundled_chain
         return certificate
 
     def cert_chain(self) -> List[Certificate]:
-        """Fetch the ASK -> ARK chain (cached after the first trip)."""
+        """The ASK -> ARK chain: cached, or served from the bundle of
+        the last VCEK response, or (only if neither exists) fetched."""
         if self.cache_enabled and self._chain_cache is not None:
             self.cache_hits += 1
             return self._chain_cache
+        if self._bundled_chain is not None:
+            return self._bundled_chain
         self._charge_round_trip()
         chain = self._kds.cert_chain()
         if self.cache_enabled:
@@ -78,3 +90,4 @@ class KdsClient:
         """Drop all cached certificates."""
         self._vcek_cache.clear()
         self._chain_cache = None
+        self._bundled_chain = None

@@ -21,7 +21,8 @@ from typing import Iterable, Optional
 
 from ..amd.report import AttestationReport
 from ..amd.tcb import TcbVersion
-from ..amd.verify import AttestationError, VerifiedReport, verify_attestation_report
+from ..amd.verify import VerifiedReport
+from ..attest import AttestationVerifier, VerificationPolicy
 from ..crypto import encoding
 from ..crypto.drbg import HmacDrbg
 from ..crypto.ec import P256
@@ -81,6 +82,22 @@ class ReportBundle:
         return self.report.report_data == report_data_for(self.payload_digest())
 
 
+def bundle_policy(
+    bundle: ReportBundle,
+    expected_measurements: Iterable[bytes],
+    allowed_chip_ids: Optional[Iterable[bytes]] = None,
+    minimum_tcb: Optional[TcbVersion] = None,
+) -> VerificationPolicy:
+    """The pipeline policy a bundle must satisfy: golden set, the
+    REPORT_DATA = H(payload) binding, and any platform constraints."""
+    return VerificationPolicy(
+        golden_measurements=expected_measurements,
+        expected_report_data=report_data_for(bundle.payload_digest()),
+        allowed_chip_ids=allowed_chip_ids,
+        minimum_tcb=minimum_tcb,
+    )
+
+
 def verify_report_bundle(
     bundle: ReportBundle,
     kds: KdsClient,
@@ -88,38 +105,23 @@ def verify_report_bundle(
     expected_measurements: Iterable[bytes],
     allowed_chip_ids: Optional[Iterable[bytes]] = None,
     minimum_tcb: Optional[TcbVersion] = None,
+    verifier: Optional[AttestationVerifier] = None,
 ) -> VerifiedReport:
-    """Full bundle verification: KDS chain + signature + measurement
-    against the golden set + REPORT_DATA/payload binding.
+    """Full bundle verification through the unified pipeline: KDS chain
+    + signature + measurement against the golden set + REPORT_DATA/
+    payload binding.
 
-    Raises :class:`~repro.amd.verify.AttestationError` on failure.
+    Callers that hold their own :class:`AttestationVerifier` (for a
+    per-site trace label) pass it as *verifier*; otherwise one is built
+    over *kds*.  Raises :class:`~repro.amd.verify.AttestationError`
+    with the failing step's stable reason code.
     """
-    golden = {bytes(m) for m in expected_measurements}
-    if bytes(bundle.report.measurement) not in golden:
-        raise AttestationError(
-            "measurement_mismatch",
-            "peer measurement is not in the golden set",
-        )
-    if not bundle.binding_ok():
-        raise AttestationError(
-            "report_data_mismatch",
-            f"REPORT_DATA does not endorse the attached {bundle.kind}",
-        )
-    try:
-        vcek = kds.get_vcek(bundle.report.chip_id, bundle.report.reported_tcb)
-    except LookupError as exc:
-        raise AttestationError(
-            "unknown_platform", f"KDS has no VCEK for this chip: {exc}"
-        ) from exc
-    return verify_attestation_report(
-        bundle.report,
-        vcek,
-        kds.cert_chain(),
-        [kds.trust_anchor],
-        now=now,
-        allowed_chip_ids=allowed_chip_ids,
-        minimum_tcb=minimum_tcb,
+    if verifier is None:
+        verifier = AttestationVerifier(kds, site="key_sharing")
+    policy = bundle_policy(
+        bundle, expected_measurements, allowed_chip_ids, minimum_tcb
     )
+    return verifier.verify_or_raise(bundle.report, now, policy=policy)
 
 
 # -- ECIES-style hybrid encryption -------------------------------------------

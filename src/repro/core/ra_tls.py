@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..amd.report import AttestationReport
-from ..amd.verify import AttestationError, verify_attestation_report
+from ..amd.tcb import TcbVersion
+from ..attest import AttestationVerifier, VerificationPolicy
 from ..crypto.drbg import HmacDrbg
 from ..crypto.keys import PrivateKey
 from ..crypto.x509 import Certificate, Name
@@ -43,7 +44,16 @@ _NOT_AFTER = 2**62
 
 
 class RaTlsError(ConnectionError):
-    """RA-TLS validation failures."""
+    """RA-TLS validation failures.
+
+    Carries the unified pipeline's stable *reason* code when the
+    failure came out of a verification step (``ra_tls_error`` for
+    transport-local problems such as a malformed extension).
+    """
+
+    def __init__(self, message: str, reason: str = "ra_tls_error"):
+        super().__init__(message)
+        self.reason = reason
 
 
 def issue_ra_tls_certificate(
@@ -93,6 +103,8 @@ def validate_ra_tls_certificate(
     now: int,
     expected_measurements: Iterable[bytes],
     allowed_chip_ids: Optional[Iterable[bytes]] = None,
+    minimum_tcb: Optional[TcbVersion] = None,
+    verifier: Optional[AttestationVerifier] = None,
 ) -> AttestationReport:
     """The client-side RA-TLS check.
 
@@ -100,29 +112,39 @@ def validate_ra_tls_certificate(
     2. the embedded report must verify against the AMD hierarchy,
     3. the report's REPORT_DATA must bind the certificate key,
     4. the measurement must be in the golden set.
+
+    Steps 2-4 run through the unified :mod:`repro.attest` pipeline; a
+    failing step surfaces as :class:`RaTlsError` carrying the step's
+    stable reason code.
     """
     if not certificate.verify_signature(certificate.public_key):
-        raise RaTlsError("RA-TLS certificate is not self-signed by its key")
-    report = extract_report(certificate)
-    if report.report_data != report_data_for(certificate.public_key.fingerprint()):
         raise RaTlsError(
-            "embedded report does not endorse the certificate key"
+            "RA-TLS certificate is not self-signed by its key",
+            reason="not_self_signed",
         )
-    golden = {bytes(m) for m in expected_measurements}
-    if bytes(report.measurement) not in golden:
-        raise RaTlsError("measurement is not in the golden set")
-    try:
-        vcek = kds.get_vcek(report.chip_id, report.reported_tcb)
-        verify_attestation_report(
-            report,
-            vcek,
-            kds.cert_chain(),
-            [kds.trust_anchor],
-            now=now,
-            allowed_chip_ids=allowed_chip_ids,
+    report = extract_report(certificate)
+    if verifier is None:
+        verifier = AttestationVerifier(kds, site="ra_tls")
+    policy = VerificationPolicy(
+        golden_measurements=expected_measurements,
+        expected_report_data=report_data_for(
+            certificate.public_key.fingerprint()
+        ),
+        allowed_chip_ids=allowed_chip_ids,
+        minimum_tcb=minimum_tcb,
+    )
+    outcome = verifier.verify(report, now=now, policy=policy)
+    if not outcome.ok:
+        if outcome.reason == "report_data_mismatch":
+            raise RaTlsError(
+                "embedded report does not endorse the certificate key",
+                reason=outcome.reason,
+            )
+        raise RaTlsError(
+            "embedded report failed verification: "
+            f"{outcome.reason}: {outcome.detail}",
+            reason=outcome.reason,
         )
-    except (AttestationError, LookupError) as exc:
-        raise RaTlsError(f"embedded report failed verification: {exc}") from exc
     return report
 
 
@@ -159,6 +181,7 @@ def ra_tls_connect(
     expected_measurements: Iterable[bytes],
     rng: HmacDrbg,
     allowed_chip_ids: Optional[Iterable[bytes]] = None,
+    minimum_tcb: Optional[TcbVersion] = None,
 ) -> TlsConnection:
     """Connect with attestation-based (CA-less) authentication.
 
@@ -184,6 +207,7 @@ def ra_tls_connect(
             now=client_host.network.clock.epoch_seconds(),
             expected_measurements=expected_measurements,
             allowed_chip_ids=allowed_chip_ids,
+            minimum_tcb=minimum_tcb,
         )
     except RaTlsError:
         connection.close()

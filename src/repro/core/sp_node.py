@@ -20,10 +20,11 @@ paper does.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..amd.verify import AttestationError
+from ..attest import AttestationVerifier
 from ..crypto import encoding
 from ..crypto.x509 import Certificate, CertificateSigningRequest
 from ..net.http import HttpRequest, HttpResponse
@@ -31,7 +32,7 @@ from ..net.simnet import Host
 from ..pki.certbot import CertbotClient
 from .guest import BOOTSTRAP_PORT
 from .kds_client import KdsClient
-from .key_sharing import BUNDLE_KIND_CSR, ReportBundle, verify_report_bundle
+from .key_sharing import BUNDLE_KIND_CSR, ReportBundle, bundle_policy
 
 
 class ProvisioningError(RuntimeError):
@@ -91,6 +92,7 @@ class ServiceProviderNode:
         self.approved_ips = set(approved_ips) if approved_ips is not None else None
         #: Measurements revoked after image rollouts (section 6.1.4).
         self.revoked_measurements: set = set()
+        self.verifier = AttestationVerifier(kds, site="sp_node")
 
     # -- public API -----------------------------------------------------------
 
@@ -118,21 +120,22 @@ class ServiceProviderNode:
         binding, Chip-ID and IP allow-lists (section 5.3.1)."""
         if bundle.kind != BUNDLE_KIND_CSR:
             raise ProvisioningError(f"node {node_ip} sent a non-CSR bundle")
-        if bytes(bundle.report.measurement) in self.revoked_measurements:
-            raise AttestationError(
-                "measurement_revoked",
-                "node runs a revoked (rolled-back) image",
-            )
         if self.approved_ips is not None and node_ip not in self.approved_ips:
             raise AttestationError(
                 "ip_not_allowed", f"{node_ip} is not an approved node address"
             )
-        verify_report_bundle(
-            bundle,
-            self.kds,
+        policy = replace(
+            bundle_policy(
+                bundle,
+                self.expected_measurements,
+                allowed_chip_ids=self.approved_chip_ids,
+            ),
+            revoked_measurements=tuple(sorted(self.revoked_measurements)),
+        )
+        self.verifier.verify_or_raise(
+            bundle.report,
             now=self.host.network.clock.epoch_seconds(),
-            expected_measurements=self.expected_measurements,
-            allowed_chip_ids=self.approved_chip_ids,
+            policy=policy,
         )
         csr = CertificateSigningRequest.decode(bundle.payload)
         if not csr.verify():

@@ -25,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..amd.verify import AttestationError, verify_attestation_report
+from ..amd.tcb import TcbVersion
+from ..attest import AttestationVerifier, VerificationPolicy
 from ..net.http import HttpError
 from .guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_payload
 from .kds_client import KdsClient
@@ -38,6 +39,9 @@ class Verdict:
 
     blocked: bool = False
     reason: str = ""
+    #: Stable machine-readable code for the failed check ("" on pass);
+    #: pipeline failures carry the engine's step reason code.
+    reason_code: str = ""
     warnings: List[str] = field(default_factory=list)
 
 
@@ -50,6 +54,8 @@ class SiteRegistration:
     #: Use the trusted registry for golden values instead of (or in
     #: addition to) the user-supplied ones.
     use_registry: bool = False
+    #: Per-site TCB floor; overrides the extension-wide one.
+    minimum_tcb: Optional[TcbVersion] = None
 
 
 @dataclass
@@ -71,10 +77,16 @@ class RevelioExtension:
         opportunistic_discovery: bool = True,
         user_override=None,
         reattest_on_rekey: bool = False,
+        minimum_tcb: Optional[TcbVersion] = None,
     ):
         self.kds = kds
         self.trusted_registry = trusted_registry
         self.opportunistic_discovery = opportunistic_discovery
+        #: Extension-wide TCB floor enforced on every attested site
+        #: (per-site registrations can override it).
+        self.minimum_tcb = minimum_tcb
+        #: All site attestations run through the unified pipeline.
+        self.verifier = AttestationVerifier(kds, site="web_extension")
         #: Section 6.4's suggestion: instead of flagging a re-keyed
         #: connection outright, "a re-establishment of a connection
         #: could simply trigger a re-validation".  When enabled, a pin
@@ -112,6 +124,7 @@ class RevelioExtension:
         domain: str,
         expected_measurements=(),
         use_registry: bool = False,
+        minimum_tcb: Optional[TcbVersion] = None,
     ) -> None:
         """Manual registration with expected measurement(s); the secure
         path for security-sensitive sites."""
@@ -124,6 +137,8 @@ class RevelioExtension:
             bytes(m) for m in expected_measurements
         )
         registration.use_registry = registration.use_registry or use_registry
+        if minimum_tcb is not None:
+            registration.minimum_tcb = minimum_tcb
 
     def is_registered(self, domain: str) -> bool:
         """Whether the domain is registered with the extension."""
@@ -177,6 +192,7 @@ class RevelioExtension:
                 domain,
                 "TLS connection re-keyed to an unattested certificate "
                 "(possible redirect to a different endpoint)",
+                code="connection_rekeyed",
             )
         return None
 
@@ -190,7 +206,11 @@ class RevelioExtension:
             revoked = set(self.trusted_registry.revoked_measurements(domain))
         golden -= revoked
         if not golden:
-            return self._violation(domain, "no (unrevoked) golden measurement known")
+            return self._violation(
+                domain,
+                "no (unrevoked) golden measurement known",
+                code="no_golden_measurement",
+            )
 
         # 1. Fetch the attestation report from the well-known URL.  This
         #    also establishes the TLS connection whose key we then check.
@@ -199,48 +219,49 @@ class RevelioExtension:
                 f"https://{domain}{WELL_KNOWN_ATTESTATION_PATH}"
             )
         except (ConnectionError, HttpError) as exc:
-            return self._violation(domain, f"cannot fetch attestation report: {exc}")
+            return self._violation(
+                domain,
+                f"cannot fetch attestation report: {exc}",
+                code="report_unavailable",
+            )
         if response.status != 200:
             return self._violation(
-                domain, f"attestation endpoint returned {response.status}"
+                domain,
+                f"attestation endpoint returned {response.status}",
+                code="report_unavailable",
             )
         try:
             report = decode_attestation_payload(response.body)
         except Exception as exc:  # malformed payloads are violations too
-            return self._violation(domain, f"malformed attestation payload: {exc}")
-
-        if bytes(report.measurement) in revoked:
-            return self._violation(domain, "measurement has been revoked (rollback?)")
-
-        # 2. Validate the report: VCEK from KDS, chain to the pinned ARK,
-        #    signature, measurement against the golden set.
-        try:
-            vcek = self.kds.get_vcek(report.chip_id, report.reported_tcb)
-            verify_attestation_report(
-                report,
-                vcek,
-                self.kds.cert_chain(),
-                [self.kds.trust_anchor],
-                now=browser.network.clock.epoch_seconds(),
-            )
-        except (AttestationError, LookupError) as exc:
-            return self._violation(domain, f"report validation failed: {exc}")
-        if bytes(report.measurement) not in golden:
             return self._violation(
                 domain,
-                "measurement does not match any expected golden value",
+                f"malformed attestation payload: {exc}",
+                code="malformed_report",
             )
-
-        # 3. The TLS binding: the key authenticating the very connection
-        #    we fetched the report over must be the key in REPORT_DATA.
         if info.peer_public_key is None:
-            return self._violation(domain, "no TLS connection context")
+            return self._violation(
+                domain, "no TLS connection context", code="no_tls_context"
+            )
         fingerprint = info.peer_public_key.fingerprint()
-        if report.report_data != report_data_for(fingerprint):
+
+        # 2. One pipeline run covers revocation, the VCEK chain to the
+        #    pinned ARK, the signature, the golden set, the TLS-key
+        #    REPORT_DATA binding (the key authenticating the very
+        #    connection we fetched the report over), and the TCB floor.
+        policy = VerificationPolicy(
+            golden_measurements=sorted(golden),
+            revoked_measurements=sorted(revoked),
+            expected_report_data=report_data_for(fingerprint),
+            minimum_tcb=registration.minimum_tcb or self.minimum_tcb,
+        )
+        outcome = self.verifier.verify(
+            report, now=browser.network.clock.epoch_seconds(), policy=policy
+        )
+        if not outcome.ok:
             return self._violation(
                 domain,
-                "TLS public key is not endorsed by the attestation report "
-                "(connection does not terminate inside the attested VM)",
+                f"report validation failed: {outcome.reason}: {outcome.detail}",
+                code=outcome.reason,
             )
 
         # Charge the client-side validation work (browser JS crypto).
@@ -266,13 +287,13 @@ class RevelioExtension:
                 )
             )
 
-    def _violation(self, domain: str, reason: str) -> Verdict:
+    def _violation(self, domain: str, reason: str, code: str = "") -> Verdict:
         self.events.append(AttestationEvent(domain, "violation", reason))
         if self.user_override(domain, reason):
             self.events.append(
                 AttestationEvent(domain, "validated",
                                  "user chose to proceed despite a failed check")
             )
-            return Verdict(blocked=False, warnings=[reason])
+            return Verdict(blocked=False, reason_code=code, warnings=[reason])
         self.events.append(AttestationEvent(domain, "blocked", reason))
-        return Verdict(blocked=True, reason=reason)
+        return Verdict(blocked=True, reason=reason, reason_code=code)

@@ -112,21 +112,19 @@ class TeeVerifier:
 @register_verifier(KIND_SEV_SNP)
 def _verify_snp(body: bytes, kds, now: int, golden) -> VerifiedEvidence:
     from .amd.report import AttestationReport, ReportError
-    from .amd.verify import AttestationError, verify_attestation_report
+    from .attest import AttestationVerifier, VerificationPolicy
 
     try:
         report = AttestationReport.decode(body)
     except ReportError as exc:
         raise TeeError(f"malformed SNP report: {exc}") from exc
-    if bytes(report.measurement) not in golden:
-        raise TeeError("SNP measurement not in golden set")
-    try:
-        vcek = kds.get_vcek(report.chip_id, report.reported_tcb)
-        verify_attestation_report(
-            report, vcek, kds.cert_chain(), [kds.trust_anchor], now=now
+    outcome = AttestationVerifier(kds, site="tee:sev-snp").verify(
+        report, now=now, policy=VerificationPolicy(golden_measurements=golden)
+    )
+    if not outcome.ok:
+        raise TeeError(
+            f"SNP verification failed: {outcome.reason}: {outcome.detail}"
         )
-    except (AttestationError, LookupError) as exc:
-        raise TeeError(f"SNP verification failed: {exc}") from exc
     return VerifiedEvidence(
         kind=KIND_SEV_SNP,
         measurement=report.measurement,

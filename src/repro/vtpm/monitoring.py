@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..amd.report import AttestationReport
-from ..amd.verify import verify_attestation_report
+from ..attest import AttestationVerifier, VerificationPolicy
 from ..crypto import encoding
 from ..crypto.ecdsa import EcdsaPublicKey
 from ..virt.image import register_init_step
@@ -125,6 +125,8 @@ class RuntimeMonitor:
             if allowed_service_digests is not None
             else None
         )
+        #: AK endorsements are validated through the unified pipeline.
+        self.verifier = AttestationVerifier(kds, site="vtpm_monitor")
 
     def verify(self, evidence: MonitoringEvidence, nonce: bytes, now: int) -> None:
         """Validate evidence end to end; raises :class:`VtpmError` or
@@ -132,19 +134,13 @@ class RuntimeMonitor:
         # 1. The AK must be endorsed by the hardware RoT for a VM whose
         #    launch measurement matches the golden value.
         endorsement = evidence.ak_endorsement
-        expected_report_data = report_data_for(
-            hashlib.sha256(evidence.ak_public.encode()).digest()
+        policy = VerificationPolicy(
+            golden_measurements=[self.expected_measurement],
+            expected_report_data=report_data_for(
+                hashlib.sha256(evidence.ak_public.encode()).digest()
+            ),
         )
-        vcek = self.kds.get_vcek(endorsement.chip_id, endorsement.reported_tcb)
-        verify_attestation_report(
-            endorsement,
-            vcek,
-            self.kds.cert_chain(),
-            [self.kds.trust_anchor],
-            now=now,
-            expected_measurement=self.expected_measurement,
-            expected_report_data=expected_report_data,
-        )
+        self.verifier.verify_or_raise(endorsement, now=now, policy=policy)
         # 2. Quote signature, nonce, and log consistency.
         verify_quote_against_log(
             evidence.quote, evidence.event_log, evidence.ak_public, nonce

@@ -74,3 +74,53 @@ class TestCaching:
         client = KdsClient(kds, clock, model)
         assert client.trust_anchor == kds.ark_certificate
         assert clock.now == 0.0  # pinned, never fetched
+
+
+class TestBundledChain:
+    """The KDS bundles the ASK/ARK chain with every VCEK response, so a
+    full VCEK+chain verification costs exactly one round trip — with or
+    without caching."""
+
+    def test_chain_rides_along_with_vcek(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        client.cert_chain()
+        assert client.fetches == 1
+        assert clock.now == pytest.approx(0.4273)
+
+    def test_chain_free_even_with_cache_disabled(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        after_vcek = clock.now
+        chain = client.cert_chain()
+        assert chain  # served from the bundled response
+        assert client.fetches == 1
+        assert clock.now == after_vcek
+        # The bundle is not a cache hit: the counters stay honest.
+        assert client.cache_hits == 0
+
+    def test_uncached_session_charges_one_trip_per_vcek(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        for _ in range(3):  # three fresh attestations of the same chip
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+            client.cert_chain()
+        assert client.fetches == 3
+        assert clock.now == pytest.approx(3 * 0.4273)
+
+    def test_standalone_chain_fetch_still_charged(self, setup):
+        _, kds, _, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        client.cert_chain()  # no prior VCEK response to ride along with
+        assert client.fetches == 1
+        assert clock.now == pytest.approx(0.4273)
+
+    def test_clear_cache_drops_bundled_chain(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        client.clear_cache()
+        client.cert_chain()
+        assert client.fetches == 2

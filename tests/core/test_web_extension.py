@@ -166,3 +166,61 @@ class TestEventLog:
         assert result.warnings
         kinds = [e.kind for e in extension.events]
         assert "violation" in kinds and "blocked" not in kinds
+
+
+class TestTcbFloor:
+    """minimum_tcb threading: extension-wide and per-registration."""
+
+    def test_registration_floor_satisfied(self, deployment):
+        from repro.amd.tcb import TcbVersion
+
+        browser, extension = deployment.make_user("ext-t1", "10.3.2.1")
+        extension.register_site(
+            deployment.domain, minimum_tcb=TcbVersion(1, 0, 0, 0)
+        )
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+
+    def test_registration_floor_blocks_old_tcb(self, deployment):
+        from repro.amd.tcb import TcbVersion
+
+        browser, extension = deployment.make_user("ext-t2", "10.3.2.2")
+        extension.register_site(
+            deployment.domain, minimum_tcb=TcbVersion(255, 255, 255, 255)
+        )
+        verdict = extension.before_request(
+            browser, deployment.domain, f"https://{deployment.domain}/"
+        )
+        assert verdict.blocked
+        assert verdict.reason_code == "tcb_too_old"
+        assert "tcb_too_old" in verdict.reason
+
+    def test_extension_wide_floor(self, deployment):
+        from repro.amd.tcb import TcbVersion
+
+        browser, extension = deployment.make_user("ext-t3", "10.3.2.3")
+        extension.minimum_tcb = TcbVersion(255, 255, 255, 255)
+        verdict = extension.before_request(
+            browser, deployment.domain, f"https://{deployment.domain}/"
+        )
+        assert verdict.blocked and verdict.reason_code == "tcb_too_old"
+
+    def test_per_site_floor_overrides_extension_floor(self, deployment):
+        from repro.amd.tcb import TcbVersion
+
+        browser, extension = deployment.make_user("ext-t4", "10.3.2.4")
+        extension.minimum_tcb = TcbVersion(255, 255, 255, 255)
+        extension.register_site(
+            deployment.domain, minimum_tcb=TcbVersion(1, 0, 0, 0)
+        )
+        assert not browser.navigate(f"https://{deployment.domain}/").blocked
+
+    def test_measurement_violation_carries_stable_code(self, deployment):
+        browser, extension = deployment.make_user(
+            "ext-t5", "10.3.2.5", register_service=False
+        )
+        extension.register_site(deployment.domain, [b"\xff" * 48])
+        verdict = extension.before_request(
+            browser, deployment.domain, f"https://{deployment.domain}/"
+        )
+        assert verdict.blocked
+        assert verdict.reason_code == "measurement_mismatch"
