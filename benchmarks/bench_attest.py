@@ -20,6 +20,7 @@ from repro.amd.policy import REVELIO_POLICY
 from repro.amd.secure_processor import AmdKeyInfrastructure
 from repro.attest import AttestationTracer, AttestationVerifier, VerificationPolicy
 from repro.core.kds_client import KdsClient
+from repro.crypto import ec, sigcache
 from repro.crypto.drbg import HmacDrbg
 from repro.net.latency import LatencyModel, SimClock
 
@@ -37,6 +38,11 @@ def _world():
 
 
 def _measure(cache_enabled: bool) -> dict:
+    # Fresh crypto caches so cold/cached scenarios don't leak into each
+    # other; within a scenario the caches fill naturally, which is the
+    # effect being measured.
+    sigcache.reset_cache()
+    ec.reset_point_cache()
     kds_server, chip, guest = _world()
     clock = SimClock()
     client = KdsClient(
@@ -76,6 +82,7 @@ def _measure(cache_enabled: bool) -> dict:
         "wall_verifications_per_sec": ROUNDS / wall_seconds,
         "kds_fetches": counters.kds_fetches,
         "kds_cache_hit_rate": counters.kds_cache_hit_rate(),
+        "sig_cache_hit_rate": counters.sig_cache_hit_rate(),
         "step_latency_ms_mean": counters.snapshot()["step_latency_ms_mean"],
     }
 

@@ -1,0 +1,148 @@
+"""Naive vs fast-path ECDSA verification throughput.
+
+Measures four verification strategies per curve:
+
+``naive``
+    The retained pre-fast-path verifier (``verify_rs_reference``): two
+    independent double-and-add multiplications with per-op affine
+    round-trips.
+``fast_cold``
+    The engine's first contact with a key — Strauss–Shamir over freshly
+    built odd multiples (the point cache is reset before every round).
+``fast_hot``
+    The steady state for VCEK/ASK/ARK/site keys: fixed-base tables on
+    both halves of ``u1*G + u2*Q``.  Distinct messages per round, so the
+    signature cache never hits — this is pure EC speedup.
+``memoized``
+    Re-verifying an identical ``(key, message, signature)`` tuple — a
+    signature-cache hit (what the extension does on every page load).
+
+Writes ``BENCH_crypto.json`` next to this script and fails if the hot
+fast path is not measurably faster than the naive path.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_crypto.py``
+CI smoke mode: ``BENCH_CRYPTO_ROUNDS=6 PYTHONPATH=src python benchmarks/bench_crypto.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.crypto import ec, sigcache
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecdsa import EcdsaPrivateKey, verify_rs_reference
+
+ROUNDS = int(os.environ.get("BENCH_CRYPTO_ROUNDS", "40"))
+#: The hot fast path must beat naive by at least this factor for the
+#: benchmark to pass.  Kept deliberately conservative so the CI smoke
+#: run (few rounds, noisy shared runners) stays reliable; full runs on
+#: this implementation measure ~8x or better (recorded in the JSON).
+MIN_SPEEDUP = float(os.environ.get("BENCH_CRYPTO_MIN_SPEEDUP", "1.5"))
+
+CURVES = {"P-256": "sha256", "P-384": "sha384"}
+
+
+def _signatures(curve_name: str, hash_name: str):
+    curve = ec.get_curve(curve_name)
+    private = EcdsaPrivateKey.generate(curve, HmacDrbg(b"bench-" + curve_name.encode()))
+    public = private.public_key()
+    size = curve.coordinate_size
+    batch = []
+    for index in range(ROUNDS):
+        message = b"bench message %d" % index
+        signature = private.sign(message, hash_name)
+        r = int.from_bytes(signature[:size], "big")
+        s = int.from_bytes(signature[size:], "big")
+        batch.append((message, signature, r, s))
+    return public, batch
+
+
+def _throughput(worker, rounds: int) -> float:
+    started = time.perf_counter()
+    for index in range(rounds):
+        assert worker(index), "benchmark signature failed to verify"
+    return rounds / (time.perf_counter() - started)
+
+
+def _measure_curve(curve_name: str, hash_name: str) -> dict:
+    public, batch = _signatures(curve_name, hash_name)
+
+    naive = _throughput(
+        lambda i: verify_rs_reference(
+            public, batch[i][0], batch[i][2], batch[i][3], hash_name
+        ),
+        ROUNDS,
+    )
+
+    def cold(i):
+        ec.reset_point_cache()
+        return public.verify_rs(batch[i][0], batch[i][2], batch[i][3], hash_name)
+
+    fast_cold = _throughput(cold, ROUNDS)
+
+    ec.reset_point_cache()
+    sigcache.reset_cache()
+    for _ in range(2):  # cross hot_threshold: builds the fixed-base table
+        public.verify_rs(batch[0][0], batch[0][2], batch[0][3], hash_name)
+    fast_hot = _throughput(
+        lambda i: public.verify_rs(batch[i][0], batch[i][2], batch[i][3], hash_name),
+        ROUNDS,
+    )
+    point_stats = ec.get_point_cache().stats()
+
+    sigcache.reset_cache()
+    message, signature, _, _ = batch[0]
+    sigcache.cached_verify(public, message, signature, hash_name)  # prime
+    memoized = _throughput(
+        lambda i: sigcache.cached_verify(public, message, signature, hash_name),
+        ROUNDS,
+    )
+    sig_stats = sigcache.get_cache().stats()
+
+    return {
+        "hash": hash_name,
+        "naive_verifications_per_sec": naive,
+        "fast_cold_verifications_per_sec": fast_cold,
+        "fast_hot_verifications_per_sec": fast_hot,
+        "memoized_verifications_per_sec": memoized,
+        "hot_speedup_vs_naive": fast_hot / naive,
+        "memoized_speedup_vs_naive": memoized / naive,
+        "point_cache": point_stats,
+        "signature_cache": sig_stats,
+    }
+
+
+def main() -> dict:
+    results = {
+        "benchmark": "ECDSA verification: naive vs fast path",
+        "rounds": ROUNDS,
+        "min_required_hot_speedup": MIN_SPEEDUP,
+        "curves": {},
+    }
+    for curve_name, hash_name in CURVES.items():
+        measured = _measure_curve(curve_name, hash_name)
+        results["curves"][curve_name] = measured
+        print(
+            f"{curve_name}: naive {measured['naive_verifications_per_sec']:7.1f}/s"
+            f"  cold {measured['fast_cold_verifications_per_sec']:7.1f}/s"
+            f"  hot {measured['fast_hot_verifications_per_sec']:7.1f}/s"
+            f"  memoized {measured['memoized_verifications_per_sec']:9.0f}/s"
+            f"  (hot speedup {measured['hot_speedup_vs_naive']:.1f}x)"
+        )
+        assert measured["hot_speedup_vs_naive"] >= MIN_SPEEDUP, (
+            f"{curve_name} hot fast path is only "
+            f"{measured['hot_speedup_vs_naive']:.2f}x naive "
+            f"(required >= {MIN_SPEEDUP}x)"
+        )
+
+    output = Path(__file__).resolve().parent / "BENCH_crypto.json"
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

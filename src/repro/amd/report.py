@@ -13,6 +13,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, replace
 
+from ..crypto import sigcache
 from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
 from .policy import GuestPolicy
 from .tcb import TcbVersion
@@ -164,10 +165,16 @@ class AttestationReport:
         return replace(self, signature=signature)
 
     def verify_signature(self, vcek_public: EcdsaPublicKey) -> bool:
-        """Check the VCEK signature over the signed region."""
+        """Check the VCEK signature over the signed region.
+
+        Memoized: the extension re-verifies the same report on every
+        page load, so repeats are served from the verification cache.
+        """
         if len(self.signature) != SIGNATURE_SIZE:
             return False
-        return vcek_public.verify(self.signed_bytes(), self.signature, "sha384")
+        return sigcache.cached_verify(
+            vcek_public, self.signed_bytes(), self.signature, "sha384"
+        )
 
 
 def _require_size(name: str, value: bytes, size: int) -> None:

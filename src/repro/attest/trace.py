@@ -33,6 +33,8 @@ class TraceEvent:
     sim_cost: float  # total simulated seconds across steps
     kds_fetches: int  # KDS round trips charged by this verification
     kds_cache_hits: int  # KDS cache hits served to this verification
+    sig_cache_hits: int = 0  # signature-cache hits during this verification
+    sig_cache_misses: int = 0  # signature-cache misses (fresh EC math)
 
 
 class Histogram:
@@ -91,6 +93,8 @@ class CounterRegistry(TraceSink):
         self.step_latency: Dict[str, Histogram] = {}
         self.kds_fetches = 0
         self.kds_cache_hits = 0
+        self.sig_cache_hits = 0
+        self.sig_cache_misses = 0
 
     def record(self, event: TraceEvent) -> None:
         self.verifications_by_verdict[event.verdict] += 1
@@ -98,6 +102,8 @@ class CounterRegistry(TraceSink):
             self.failures_by_reason[event.reason] += 1
         self.kds_fetches += event.kds_fetches
         self.kds_cache_hits += event.kds_cache_hits
+        self.sig_cache_hits += event.sig_cache_hits
+        self.sig_cache_misses += event.sig_cache_misses
         for step in event.steps:
             histogram = self.step_latency.get(step.name)
             if histogram is None:
@@ -109,6 +115,12 @@ class CounterRegistry(TraceSink):
         lookups = self.kds_fetches + self.kds_cache_hits
         return self.kds_cache_hits / lookups if lookups else 0.0
 
+    def sig_cache_hit_rate(self) -> float:
+        """Fraction of signature verifications served from the
+        memoization cache (0.0 when idle)."""
+        lookups = self.sig_cache_hits + self.sig_cache_misses
+        return self.sig_cache_hits / lookups if lookups else 0.0
+
     def snapshot(self) -> dict:
         """A plain-data view for reports and JSON persistence."""
         return {
@@ -117,6 +129,9 @@ class CounterRegistry(TraceSink):
             "kds_fetches": self.kds_fetches,
             "kds_cache_hits": self.kds_cache_hits,
             "kds_cache_hit_rate": self.kds_cache_hit_rate(),
+            "signature_cache_hits": self.sig_cache_hits,
+            "signature_cache_misses": self.sig_cache_misses,
+            "signature_cache_hit_rate": self.sig_cache_hit_rate(),
             "step_latency_ms_mean": {
                 name: histogram.mean() * 1000.0
                 for name, histogram in sorted(self.step_latency.items())

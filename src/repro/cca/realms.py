@@ -24,7 +24,7 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
-from ..crypto import encoding
+from ..crypto import encoding, sigcache
 from ..crypto.drbg import HmacDrbg
 from ..crypto.ec import P384
 from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
@@ -301,7 +301,9 @@ def verify_cca_token(
     if hashlib.sha256(realm.rak_public).digest() != platform.rak_hash:
         raise CcaError("platform token does not endorse this realm's RAK")
     rak = EcdsaPublicKey.decode(realm.rak_public)
-    if not rak.verify(realm.signed_payload(), realm.signature, "sha384"):
+    if not sigcache.cached_verify(
+        rak, realm.signed_payload(), realm.signature, "sha384"
+    ):
         raise CcaError("realm token signature invalid")
 
     if expected_rim is not None and realm.rim != expected_rim:

@@ -128,6 +128,11 @@ def _print_trace_summary(show_failures: bool = False) -> None:
     print("pipeline:")
     print(f"  verifications: {dict(sorted(verdicts.items()))}")
     print(f"  kds cache hit rate: {snapshot['kds_cache_hit_rate']:.2f}")
+    print(
+        f"  signature cache hit rate: {snapshot['signature_cache_hit_rate']:.2f}"
+        f" ({snapshot['signature_cache_hits']} hits /"
+        f" {snapshot['signature_cache_misses']} misses)"
+    )
     if show_failures and snapshot["failures_by_reason"]:
         failures = dict(sorted(snapshot["failures_by_reason"].items()))
         print(f"  failures by reason: {failures}")

@@ -48,6 +48,12 @@ class KdsClient:
         """The simulated clock fetches are charged against."""
         return self._clock
 
+    @property
+    def latency(self) -> LatencyModel:
+        """The latency model; the attestation engine prices its crypto
+        steps (signature, chain, measurement) from the same model."""
+        return self._latency
+
     def _charge_round_trip(self) -> None:
         self._clock.advance(self._latency.kds_rtt + self._latency.kds_processing)
         self.fetches += 1

@@ -21,6 +21,8 @@ x509
     Certificates, CSRs, chains, and validation.
 keys
     Algorithm-agnostic key handles.
+sigcache
+    Bounded LRU memoization of signature verifications.
 shamir
     Shamir secret sharing (threshold signing substrate for repro.ic).
 """
@@ -28,7 +30,12 @@ shamir
 from .aes import AES, AesError
 from .drbg import HmacDrbg, system_drbg
 from .ec import P256, P384, Curve, Point, get_curve
-from .ecdsa import EcdsaPrivateKey, EcdsaPublicKey, generate_keypair
+from .ecdsa import (
+    CurveHashMismatchWarning,
+    EcdsaPrivateKey,
+    EcdsaPublicKey,
+    generate_keypair,
+)
 from .encoding import DecodingError, EncodingError, decode, encode
 from .hashes import sha256, sha384, sha512
 from .kdf import hkdf, hkdf_expand, hkdf_extract, pbkdf2
@@ -37,6 +44,7 @@ from .merkle import MerkleError, MerkleProof, MerkleTree
 from .modes import AeadCipher, AeadError, CtrCipher, XtsCipher
 from .rsa import RsaPrivateKey, RsaPublicKey
 from .shamir import Share, reconstruct_secret, split_secret
+from .sigcache import SignatureVerificationCache, cached_verify
 from .x509 import (
     Certificate,
     CertificateError,
@@ -57,6 +65,7 @@ __all__ = [
     "CertificateSigningRequest",
     "CtrCipher",
     "Curve",
+    "CurveHashMismatchWarning",
     "DecodingError",
     "EcdsaPrivateKey",
     "EcdsaPublicKey",
@@ -74,7 +83,9 @@ __all__ = [
     "RsaPrivateKey",
     "RsaPublicKey",
     "Share",
+    "SignatureVerificationCache",
     "XtsCipher",
+    "cached_verify",
     "decode",
     "encode",
     "generate_keypair",

@@ -8,12 +8,41 @@ suffice.
 Internally points are manipulated in Jacobian projective coordinates so a
 scalar multiplication costs no field inversions until the final
 normalisation.
+
+Beyond the textbook double-and-add (retained as :func:`_jac_multiply`, the
+reference the property tests and benchmarks compare against), the module
+carries a fast-path engine — every trust decision in Revelio bottoms out
+here, so scalar multiplication is the system-wide throughput ceiling:
+
+* **wNAF multiplication** (:func:`multiply_wnaf`) — width-5 windowed
+  non-adjacent form over precomputed odd multiples, for arbitrary points.
+* **Fixed-base tables** (:class:`FixedBaseTable`) — per-curve windowed
+  tables for the generators, built lazily and cached, turning ``k * G``
+  into ~n/width mixed additions with *no* doublings.  Table entries are
+  batch-normalised to affine (one modular inversion for the whole table,
+  Montgomery's trick) so every table addition is a cheap mixed add.
+* **A per-public-key precompute cache** (:class:`PointPrecomputeCache`)
+  — keyed by point, bounded LRU.  The first use of a key precomputes its
+  wNAF odd multiples; from the second use on, the key is considered hot
+  and gets its own fixed-base table, so the keys Revelio verifies
+  constantly (VCEK, ASK, ARK, site certificates, subnet keys) run at
+  fixed-base speed.
+* **Strauss–Shamir joint multiplication** (:func:`verification_multiply`)
+  — ``u1*G + u2*Q`` in one interleaved pass for ECDSA verification,
+  sharing the doubling chain between both scalars; hot keys skip the
+  doubling chain entirely (both halves table-backed).
+
+Intermediate results stay in Jacobian form throughout the engine and are
+normalised exactly once at the boundary; points produced internally are
+constructed through :meth:`Point._trusted` and skip the on-curve
+revalidation (they are on the curve by construction).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class InvalidPointError(ValueError):
@@ -93,7 +122,17 @@ def get_curve(name: str) -> Curve:
 
 # Jacobian coordinates: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
 _Jacobian = Tuple[int, int, int]
+_Affine = Tuple[int, int]
 _INFINITY: _Jacobian = (1, 1, 0)
+
+#: wNAF window width for arbitrary-point multiplication (2^(w-2) = 8
+#: precomputed odd multiples per point).
+WNAF_WIDTH = 5
+#: Window width of the per-generator fixed-base tables.
+GENERATOR_TABLE_WIDTH = 7
+#: Window width of per-public-key fixed-base tables (smaller: these are
+#: built at runtime for every hot key, so build cost matters).
+POINT_TABLE_WIDTH = 5
 
 
 def _jac_double(point: _Jacobian, curve: Curve) -> _Jacobian:
@@ -140,7 +179,46 @@ def _jac_add(left: _Jacobian, right: _Jacobian, curve: Curve) -> _Jacobian:
     return x3, y3, z3
 
 
+def _jac_add_affine(left: _Jacobian, ax: int, ay: int, curve: Curve) -> _Jacobian:
+    """Mixed addition: *left* (Jacobian) + an affine point (Z = 1).
+
+    Saves ~6 field multiplications over the general formula; table
+    entries are stored affine exactly so additions take this path.
+    """
+    x1, y1, z1 = left
+    p = curve.p
+    if z1 == 0:
+        return (ax, ay, 1)
+    z1sq = (z1 * z1) % p
+    u2 = (ax * z1sq) % p
+    s2 = (ay * z1sq * z1) % p
+    if x1 == u2:
+        if y1 != s2:
+            return _INFINITY
+        return _jac_double(left, curve)
+    h = (u2 - x1) % p
+    r = (s2 - y1) % p
+    hsq = (h * h) % p
+    hcu = (h * hsq) % p
+    u1hsq = (x1 * hsq) % p
+    x3 = (r * r - hcu - 2 * u1hsq) % p
+    y3 = (r * (u1hsq - x3) - y1 * hcu) % p
+    z3 = (h * z1) % p
+    return x3, y3, z3
+
+
+def _jac_neg(point: _Jacobian, curve: Curve) -> _Jacobian:
+    x, y, z = point
+    return (x, (-y) % curve.p, z)
+
+
 def _jac_multiply(point: _Jacobian, scalar: int, curve: Curve) -> _Jacobian:
+    """Reference binary double-and-add (the pre-fast-path implementation).
+
+    Kept as the independent oracle the Hypothesis suite and
+    ``benchmarks/bench_crypto.py`` compare the wNAF/table/Strauss–Shamir
+    paths against.
+    """
     if scalar % curve.n == 0 or point[2] == 0:
         return _INFINITY
     scalar = scalar % curve.n
@@ -154,14 +232,348 @@ def _jac_multiply(point: _Jacobian, scalar: int, curve: Curve) -> _Jacobian:
     return result
 
 
-def _jac_to_affine(point: _Jacobian, curve: Curve) -> Optional[Tuple[int, int]]:
+def _jac_to_affine(point: _Jacobian, curve: Curve) -> Optional[_Affine]:
     x, y, z = point
     if z == 0:
         return None
     p = curve.p
-    z_inv = pow(z, p - 2, p)
+    z_inv = pow(z, -1, p)
     z_inv_sq = (z_inv * z_inv) % p
     return (x * z_inv_sq) % p, (y * z_inv_sq * z_inv) % p
+
+
+def _jac_x_affine(point: _Jacobian, curve: Curve) -> Optional[int]:
+    """Affine x-coordinate only (ECDSA verification needs nothing else)."""
+    x, _, z = point
+    if z == 0:
+        return None
+    p = curve.p
+    z_inv = pow(z, -1, p)
+    return (x * z_inv * z_inv) % p
+
+
+def _batch_to_affine(points: Sequence[_Jacobian], curve: Curve) -> List[_Affine]:
+    """Normalise many Jacobian points with one inversion (Montgomery's
+    trick).  Callers guarantee no point at infinity is in the batch."""
+    p = curve.p
+    prefix: List[int] = []
+    acc = 1
+    for _, _, z in points:
+        prefix.append(acc)
+        acc = (acc * z) % p
+    inv = pow(acc, -1, p)
+    affine: List[Optional[_Affine]] = [None] * len(points)
+    for index in range(len(points) - 1, -1, -1):
+        x, y, z = points[index]
+        z_inv = (inv * prefix[index]) % p
+        inv = (inv * z) % p
+        z_inv_sq = (z_inv * z_inv) % p
+        affine[index] = ((x * z_inv_sq) % p, (y * z_inv_sq * z_inv) % p)
+    return affine  # type: ignore[return-value]
+
+
+# -- wNAF ----------------------------------------------------------------------
+
+
+def _wnaf(scalar: int, width: int) -> List[int]:
+    """Width-*w* non-adjacent form of a non-negative scalar, LSB first.
+
+    Every digit is zero or odd with |digit| < 2^(w-1); at most one in
+    any *w* consecutive digits is non-zero.
+    """
+    digits: List[int] = []
+    full = 1 << width
+    half = 1 << (width - 1)
+    mask = full - 1
+    while scalar > 0:
+        if scalar & 1:
+            digit = scalar & mask
+            if digit >= half:
+                digit -= full
+            digits.append(digit)
+            scalar -= digit
+        else:
+            digits.append(0)
+        scalar >>= 1
+    return digits
+
+
+def _odd_multiples_affine(
+    point: _Jacobian, curve: Curve, width: int = WNAF_WIDTH
+) -> List[_Affine]:
+    """[1P, 3P, 5P, ... (2^(w-1)-1)P] normalised to affine in one batch."""
+    count = 1 << (width - 2)
+    twice = _jac_double(point, curve)
+    table = [point]
+    for _ in range(count - 1):
+        table.append(_jac_add(table[-1], twice, curve))
+    return _batch_to_affine(table, curve)
+
+
+def multiply_wnaf(
+    point: _Jacobian,
+    scalar: int,
+    curve: Curve,
+    odd_multiples: Optional[Sequence[_Affine]] = None,
+    width: int = WNAF_WIDTH,
+) -> _Jacobian:
+    """wNAF scalar multiplication; the generic (cold-key) fast path."""
+    scalar = scalar % curve.n
+    if scalar == 0 or point[2] == 0:
+        return _INFINITY
+    if odd_multiples is None:
+        odd_multiples = _odd_multiples_affine(point, curve, width)
+    p = curve.p
+    result = _INFINITY
+    for digit in reversed(_wnaf(scalar, width)):
+        result = _jac_double(result, curve)
+        if digit > 0:
+            ax, ay = odd_multiples[digit >> 1]
+            result = _jac_add_affine(result, ax, ay, curve)
+        elif digit < 0:
+            ax, ay = odd_multiples[(-digit) >> 1]
+            result = _jac_add_affine(result, ax, (-ay) % p, curve)
+    return result
+
+
+# -- fixed-base tables ---------------------------------------------------------
+
+
+class FixedBaseTable:
+    """Windowed fixed-base multiplication: radix-2^w digit decomposition
+    over a precomputed table ``table[j][d-1] = d * 2^(j*w) * B``.
+
+    A multiplication is then one mixed addition per non-zero digit — no
+    doublings at all.  Entries are batch-normalised to affine so every
+    addition is the cheap :func:`_jac_add_affine`.
+    """
+
+    __slots__ = ("curve", "width", "windows", "_rows")
+
+    def __init__(self, curve: Curve, x: int, y: int, width: int):
+        self.curve = curve
+        self.width = width
+        self.windows = (curve.n.bit_length() + width - 1) // width
+        per_row = (1 << width) - 1
+        flat: List[_Jacobian] = []
+        base: _Jacobian = (x, y, 1)
+        for _ in range(self.windows):
+            entry = base
+            flat.append(entry)
+            for _ in range(per_row - 1):
+                entry = _jac_add(entry, base, curve)
+                flat.append(entry)
+            for _ in range(width):
+                base = _jac_double(base, curve)
+        affine = _batch_to_affine(flat, curve)
+        self._rows: List[List[_Affine]] = [
+            affine[row * per_row : (row + 1) * per_row]
+            for row in range(self.windows)
+        ]
+
+    def multiply(self, scalar: int) -> _Jacobian:
+        """``scalar * B`` (scalar reduced mod n), in Jacobian form."""
+        scalar = scalar % self.curve.n
+        result = _INFINITY
+        mask = (1 << self.width) - 1
+        curve = self.curve
+        window = 0
+        while scalar:
+            digit = scalar & mask
+            if digit:
+                ax, ay = self._rows[window][digit - 1]
+                result = _jac_add_affine(result, ax, ay, curve)
+            scalar >>= self.width
+            window += 1
+        return result
+
+
+_generator_tables: Dict[str, FixedBaseTable] = {}
+_generator_odd_multiples: Dict[str, List[_Affine]] = {}
+#: wNAF width for the generator inside Strauss–Shamir: the odd-multiple
+#: table is per-curve and built once, so a wider window is free.
+GENERATOR_WNAF_WIDTH = 7
+
+
+def generator_table(curve: Curve) -> FixedBaseTable:
+    """The curve's fixed-base generator table (built lazily, cached)."""
+    table = _generator_tables.get(curve.name)
+    if table is None:
+        table = FixedBaseTable(curve, curve.gx, curve.gy, GENERATOR_TABLE_WIDTH)
+        _generator_tables[curve.name] = table
+    return table
+
+
+def generator_odd_multiples(curve: Curve) -> List[_Affine]:
+    """Cached wNAF odd multiples of the generator (for Strauss–Shamir)."""
+    table = _generator_odd_multiples.get(curve.name)
+    if table is None:
+        table = _odd_multiples_affine(
+            (curve.gx, curve.gy, 1), curve, GENERATOR_WNAF_WIDTH
+        )
+        _generator_odd_multiples[curve.name] = table
+    return table
+
+
+def multiply_base(curve: Curve, scalar: int) -> _Jacobian:
+    """``scalar * G`` through the fixed-base table."""
+    return generator_table(curve).multiply(scalar)
+
+
+# -- per-public-key precompute cache -------------------------------------------
+
+
+class _PointEntry:
+    __slots__ = ("odd_multiples", "fixed", "uses")
+
+    def __init__(self, odd_multiples: List[_Affine]):
+        self.odd_multiples = odd_multiples
+        self.fixed: Optional[FixedBaseTable] = None
+        self.uses = 0
+
+
+class PointPrecomputeCache:
+    """Bounded LRU of per-point precomputations, keyed by the point.
+
+    First use of a point builds its wNAF odd multiples (cheap — eight
+    additions); from :attr:`hot_threshold` uses on, the point earns a
+    private fixed-base table and multiplications stop doubling entirely.
+    This is what makes the hot verification keys (VCEK, ASK, ARK, site
+    certificates) effectively table-backed after first contact.
+    """
+
+    def __init__(self, capacity: int = 48, hot_threshold: int = 2):
+        self.capacity = capacity
+        self.hot_threshold = hot_threshold
+        self._entries: "OrderedDict[Tuple[str, int, int], _PointEntry]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.fixed_builds = 0
+
+    def lookup(self, curve: Curve, x: int, y: int) -> _PointEntry:
+        """The precompute entry for an affine point, building on miss."""
+        key = (curve.name, x, y)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = _PointEntry(_odd_multiples_affine((x, y, 1), curve))
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        entry.uses += 1
+        if entry.fixed is None and entry.uses >= self.hot_threshold:
+            entry.fixed = FixedBaseTable(curve, x, y, POINT_TABLE_WIDTH)
+            self.fixed_builds += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Plain-data counters for benchmarks and the trace layer."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "fixed_tables_built": self.fixed_builds,
+        }
+
+
+_point_cache = PointPrecomputeCache()
+
+
+def get_point_cache() -> PointPrecomputeCache:
+    """The process-wide per-public-key precompute cache."""
+    return _point_cache
+
+
+def reset_point_cache(
+    capacity: int = 48, hot_threshold: int = 2
+) -> PointPrecomputeCache:
+    """Install (and return) a fresh process-wide point cache."""
+    global _point_cache
+    _point_cache = PointPrecomputeCache(capacity, hot_threshold)
+    return _point_cache
+
+
+# -- joint multiplication (ECDSA verification) ---------------------------------
+
+
+def shamir_multiply_jac(
+    curve: Curve,
+    u1: int,
+    qx: int,
+    qy: int,
+    u2: int,
+    q_odd_multiples: Optional[Sequence[_Affine]] = None,
+) -> _Jacobian:
+    """Strauss–Shamir joint multiplication ``u1*G + u2*Q``.
+
+    Both wNAF expansions are interleaved over one shared doubling chain,
+    so the combination costs barely more than a single multiplication.
+    """
+    u1 %= curve.n
+    u2 %= curve.n
+    g_table = generator_odd_multiples(curve)
+    if q_odd_multiples is None:
+        q_odd_multiples = _odd_multiples_affine((qx, qy, 1), curve)
+    d1 = _wnaf(u1, GENERATOR_WNAF_WIDTH)
+    d2 = _wnaf(u2, WNAF_WIDTH)
+    p = curve.p
+    result = _INFINITY
+    for index in range(max(len(d1), len(d2)) - 1, -1, -1):
+        result = _jac_double(result, curve)
+        if index < len(d1):
+            digit = d1[index]
+            if digit > 0:
+                ax, ay = g_table[digit >> 1]
+                result = _jac_add_affine(result, ax, ay, curve)
+            elif digit < 0:
+                ax, ay = g_table[(-digit) >> 1]
+                result = _jac_add_affine(result, ax, (-ay) % p, curve)
+        if index < len(d2):
+            digit = d2[index]
+            if digit > 0:
+                ax, ay = q_odd_multiples[digit >> 1]
+                result = _jac_add_affine(result, ax, ay, curve)
+            elif digit < 0:
+                ax, ay = q_odd_multiples[(-digit) >> 1]
+                result = _jac_add_affine(result, ax, (-ay) % p, curve)
+    return result
+
+
+def verification_multiply_jac(
+    curve: Curve, u1: int, qx: int, qy: int, u2: int
+) -> _Jacobian:
+    """``u1*G + u2*Q`` choosing the fastest available strategy for Q.
+
+    Hot Q (fixed-base table cached): both halves are table-backed mixed
+    additions with no doubling chain at all.  Cold Q: one Strauss–Shamir
+    pass over its freshly cached odd multiples.
+    """
+    entry = _point_cache.lookup(curve, qx, qy)
+    if entry.fixed is not None:
+        return _jac_add(
+            generator_table(curve).multiply(u1),
+            entry.fixed.multiply(u2),
+            curve,
+        )
+    return shamir_multiply_jac(
+        curve, u1, qx, qy, u2, q_odd_multiples=entry.odd_multiples
+    )
+
+
+def verification_multiply(
+    curve: Curve, u1: int, qx: int, qy: int, u2: int
+) -> Optional[int]:
+    """Affine x-coordinate of ``u1*G + u2*Q`` (None for infinity) — the
+    single normalisation at the engine boundary."""
+    return _jac_x_affine(verification_multiply_jac(curve, u1, qx, qy, u2), curve)
 
 
 class Point:
@@ -184,6 +596,16 @@ class Point:
         """The point at infinity."""
         return cls(curve, None, None)
 
+    @classmethod
+    def _trusted(cls, curve: Curve, x: int, y: int) -> "Point":
+        """Internal constructor for points produced by the engine itself:
+        on the curve by construction, so the revalidation is skipped."""
+        point = object.__new__(cls)
+        point.curve = curve
+        point.x = x
+        point.y = y
+        return point
+
     @property
     def is_infinity(self) -> bool:
         """Whether this is the point at infinity."""
@@ -205,7 +627,12 @@ class Point:
         affine = _jac_to_affine(jac, curve)
         if affine is None:
             return cls.infinity(curve)
-        return cls(curve, affine[0], affine[1])
+        return cls._trusted(curve, affine[0], affine[1])
+
+    @property
+    def is_generator(self) -> bool:
+        """Whether this is the curve's base point."""
+        return self.x == self.curve.gx and self.y == self.curve.gy
 
     def __add__(self, other: "Point") -> "Point":
         if self.curve is not other.curve and self.curve != other.curve:
@@ -216,7 +643,12 @@ class Point:
     def __mul__(self, scalar: int) -> "Point":
         if not isinstance(scalar, int):
             return NotImplemented
-        jac = _jac_multiply(self._jacobian(), scalar, self.curve)
+        if self.is_infinity:
+            return self
+        if self.is_generator:
+            jac = multiply_base(self.curve, scalar)
+        else:
+            jac = multiply_wnaf(self._jacobian(), scalar, self.curve)
         return Point._from_jacobian(jac, self.curve)
 
     __rmul__ = __mul__
@@ -224,7 +656,7 @@ class Point:
     def __neg__(self) -> "Point":
         if self.is_infinity:
             return self
-        return Point(self.curve, self.x, (-self.y) % self.curve.p)
+        return Point._trusted(self.curve, self.x, (-self.y) % self.curve.p)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Point):

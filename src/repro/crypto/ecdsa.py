@@ -4,23 +4,56 @@ Deterministic nonces make the whole reproduction bit-reproducible and
 remove the classic nonce-reuse foot-gun.  Signatures are encoded as the
 fixed-width concatenation ``r || s`` (each ``curve.coordinate_size``
 bytes), which is what the SEV-SNP attestation report format uses as well.
+
+Verification runs on the fast-path engine in :mod:`repro.crypto.ec`:
+``u1*G + u2*Q`` is a single Strauss–Shamir joint multiplication (or two
+fixed-base table lookups once the public key is hot in the per-key
+precompute cache) instead of two independent double-and-add walks.  The
+old two-multiplication path survives as :func:`verify_rs_reference`, the
+oracle the property tests and ``benchmarks/bench_crypto.py`` compare
+against.
 """
 
 from __future__ import annotations
 
 import hashlib
 import hmac
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 from .drbg import HmacDrbg
+from . import ec
 from .ec import Curve, Point, get_curve
-from .hashes import get_hash
+from .hashes import digest_size, get_hash
 
 
 class SignatureError(ValueError):
     """Raised when signature bytes are malformed (verification returns
     False for well-formed-but-wrong signatures instead)."""
+
+
+class CurveHashMismatchWarning(UserWarning):
+    """A hash narrower than the curve order was used to sign or verify.
+
+    AMD signs SEV-SNP reports on P-384 with SHA-384; pairing a P-384 key
+    with the default ``sha256`` silently truncates the security level
+    and — when the signer used the matching hash — makes verification
+    return False with no diagnostic.  The mismatch is legal (both sides
+    using the same short hash still round-trips), so it warns instead of
+    raising.
+    """
+
+
+def _warn_on_hash_mismatch(curve: Curve, hash_name: str, operation: str) -> None:
+    if digest_size(hash_name) * 8 < curve.n.bit_length():
+        warnings.warn(
+            f"{operation} on {curve.name} with {hash_name} truncates the "
+            f"digest below the curve order; use a >= {curve.n.bit_length()}"
+            f"-bit hash (AMD uses sha384 for P-384)",
+            CurveHashMismatchWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)
@@ -62,19 +95,26 @@ class EcdsaPublicKey:
         return self.verify_rs(message, r, s, hash_name)
 
     def verify_rs(self, message: bytes, r: int, s: int, hash_name: str = "sha256") -> bool:
-        """Verify a signature given as (r, s) integers."""
+        """Verify a signature given as (r, s) integers.
+
+        ``u1*G + u2*Q`` runs as one Strauss–Shamir joint multiplication
+        through the engine in :mod:`repro.crypto.ec`; the result stays
+        in Jacobian form and only its affine x-coordinate is ever
+        normalised.
+        """
         n = self.curve.n
         if not (1 <= r < n and 1 <= s < n):
             return False
+        _warn_on_hash_mismatch(self.curve, hash_name, "ECDSA verification")
         digest = get_hash(hash_name)(message)
         e = _bits2int(digest, n)
-        w = pow(s, n - 2, n)
+        w = pow(s, -1, n)
         u1 = (e * w) % n
         u2 = (r * w) % n
-        point = u1 * self.curve.generator + u2 * self.point
-        if point.is_infinity:
+        x = ec.verification_multiply(self.curve, u1, self.point.x, self.point.y, u2)
+        if x is None:
             return False
-        return point.x % n == r
+        return x % n == r
 
 
 @dataclass(frozen=True)
@@ -101,14 +141,16 @@ class EcdsaPrivateKey:
     def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
         """Sign H(message), returning fixed-width ``r || s``."""
         n = self.curve.n
+        _warn_on_hash_mismatch(self.curve, hash_name, "ECDSA signing")
         digest = get_hash(hash_name)(message)
         e = _bits2int(digest, n)
         k = _rfc6979_nonce(self.d, digest, self.curve, hash_name)
-        point = k * self.curve.generator
-        r = point.x % n
+        point = ec._jac_to_affine(ec.multiply_base(self.curve, k), self.curve)
+        assert point is not None  # 1 <= k < n, so k*G is never infinity
+        r = point[0] % n
         if r == 0:
             raise SignatureError("degenerate nonce (r == 0)")
-        k_inv = pow(k, n - 2, n)
+        k_inv = pow(k, -1, n)
         s = (k_inv * (e + r * self.d)) % n
         if s == 0:
             raise SignatureError("degenerate nonce (s == 0)")
@@ -181,6 +223,55 @@ def _rfc6979_nonce(d: int, digest: bytes, curve: Curve, hash_name: str) -> int:
             return candidate
         k = hmac.new(k, v + b"\x00", hash_ctor).digest()
         v = hmac.new(k, v, hash_ctor).digest()
+
+
+def _jac_to_affine_legacy(jac, curve: Curve):
+    """Affine normalisation exactly as PR 2 shipped it: Fermat inversion
+    (a full modular exponentiation) instead of extended-GCD."""
+    x, y, z = jac
+    if z == 0:
+        return None
+    p = curve.p
+    z_inv = pow(z, p - 2, p)
+    z_inv_sq = (z_inv * z_inv) % p
+    return (x * z_inv_sq) % p, (y * z_inv_sq * z_inv) % p
+
+
+def verify_rs_reference(
+    public_key: EcdsaPublicKey, message: bytes, r: int, s: int,
+    hash_name: str = "sha256",
+) -> bool:
+    """The pre-fast-path verification, replicated faithfully: two
+    independent naive double-and-add multiplications, each normalised
+    back to a validated affine :class:`Point` before the final addition
+    (``u1 * G + u2 * Q`` over `Point.__mul__`/`__add__` round-tripped
+    through affine on every operation).  Retained as the correctness
+    oracle for property tests and the baseline for ``bench_crypto``."""
+    curve = public_key.curve
+    n = curve.n
+    if not (1 <= r < n and 1 <= s < n):
+        return False
+    digest = get_hash(hash_name)(message)
+    e = _bits2int(digest, n)
+    w = pow(s, n - 2, n)
+    u1 = (e * w) % n
+    u2 = (r * w) % n
+    terms = []
+    for scalar, jac in (
+        (u1, (curve.gx, curve.gy, 1)),
+        (u2, public_key.point._jacobian()),
+    ):
+        affine = _jac_to_affine_legacy(ec._jac_multiply(jac, scalar, curve), curve)
+        terms.append(
+            Point.infinity(curve) if affine is None
+            else Point(curve, affine[0], affine[1])  # revalidates, as PR 2 did
+        )
+    total = _jac_to_affine_legacy(
+        ec._jac_add(terms[0]._jacobian(), terms[1]._jacobian(), curve), curve
+    )
+    if total is None:
+        return False
+    return total[0] % n == r
 
 
 def generate_keypair(

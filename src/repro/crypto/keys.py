@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from . import encoding
+from . import encoding, sigcache
 from .drbg import HmacDrbg
 from .ec import get_curve
 from .ecdsa import EcdsaPrivateKey, EcdsaPublicKey
@@ -32,8 +32,16 @@ class PublicKey:
     inner: _PublicInner
 
     def verify(self, message: bytes, signature: bytes, hash_name: str = "sha256") -> bool:
-        """Check the signature; True if it verifies."""
-        return self.inner.verify(message, signature, hash_name)
+        """Check the signature; True if it verifies.
+
+        Runs through the process-wide verification cache: x509 chain
+        links, TLS handshake transcripts, and ACME proofs re-verify the
+        same ``(key, message, signature)`` tuples constantly, and a hit
+        binds all three so it is never weaker than a fresh check.
+        """
+        return sigcache.cached_verify(
+            self, message, signature, hash_name, verifier=self.inner.verify
+        )
 
     def encode(self) -> bytes:
         """Serialise to canonical TLV bytes."""
@@ -75,6 +83,14 @@ class PrivateKey:
     def generate_rsa(cls, rng: HmacDrbg, bits: int = 1024) -> "PrivateKey":
         """Generate an RSA key of the given modulus size."""
         return cls("rsa", RsaPrivateKey.generate(bits, rng))
+
+    @property
+    def preferred_hash(self) -> str:
+        """The hash matching this key's strength: sha384 for ECDSA keys
+        whose curve order exceeds 256 bits (P-384), sha256 otherwise."""
+        if self.algorithm == "ecdsa" and self.inner.curve.coordinate_size >= 48:
+            return "sha384"
+        return "sha256"
 
     def sign(self, message: bytes, hash_name: str = "sha256") -> bytes:
         """Sign a message; returns the signature bytes."""

@@ -1,0 +1,143 @@
+"""Memoized signature verification — the cross-layer fast path.
+
+Revelio re-verifies the same signatures constantly: every page load
+re-walks the VCEK -> ASK -> ARK chain, every TLS connection re-validates
+the same site certificate, every boundary-node response carries the same
+subnet key.  A verification is a pure function of the key, the message
+digest, and the signature bytes, so the result can be memoized — a
+bounded LRU keyed by the full ``(key fingerprint, hash, digest,
+signature)`` tuple.
+
+Because the key binds *all* inputs, a cache hit is exactly as strong as
+a fresh verification: any change to the key, the message, the hash
+algorithm, or the signature bytes forms a different key and misses.
+Only the mathematical check is cached — expiry, revocation, hostname,
+and policy checks are context-dependent and always run fresh (DESIGN.md
+invariant 10).
+
+Hit/miss counters are exported through :mod:`repro.attest.trace`
+snapshots, the CLI pipeline summary, and ``bench_crypto``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from functools import lru_cache
+from typing import Callable, Optional, Tuple
+
+from .hashes import get_hash
+
+_MISSING = object()
+
+
+@lru_cache(maxsize=1024)
+def _key_fingerprint(key) -> bytes:
+    """The key's own fingerprint, memoized per key object (fingerprints
+    hash the canonical encoding, which is not free to recompute)."""
+    return key.fingerprint()
+
+
+class SignatureVerificationCache:
+    """A bounded LRU of verification outcomes.
+
+    Both True and False results are cached: the outcome is deterministic
+    in the cache key, so replaying a known-bad signature is a (cheap)
+    hit that still fails.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[bytes, str, bytes, bytes], bool]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def verify(
+        self,
+        key,
+        message: bytes,
+        signature: bytes,
+        hash_name: str = "sha256",
+        verifier: Optional[Callable[[bytes, bytes, str], bool]] = None,
+    ) -> bool:
+        """Verify through the cache.
+
+        *key* must expose ``fingerprint()`` and (unless *verifier* is
+        given) ``verify(message, signature, hash_name)``; *verifier*
+        lets wrapper keys delegate the fresh check without recursing
+        into the cache.  A wrapper :class:`~repro.crypto.keys.PublicKey`
+        passed without *verifier* is unwrapped to its ``inner`` key for
+        the fresh check, for the same reason — its own ``verify``
+        already goes through this cache.
+        """
+        cache_key = (
+            _key_fingerprint(key),
+            hash_name,
+            get_hash(hash_name)(message),
+            bytes(signature),
+        )
+        cached = self._entries.get(cache_key, _MISSING)
+        if cached is not _MISSING:
+            self.hits += 1
+            self._entries.move_to_end(cache_key)
+            return cached
+        self.misses += 1
+        if verifier is None:
+            verifier = getattr(key, "inner", key).verify
+        fresh = bool(verifier(message, signature, hash_name))
+        self._entries[cache_key] = fresh
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Plain-data counters for trace snapshots and benchmarks."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+        }
+
+
+_default_cache = SignatureVerificationCache()
+
+
+def get_cache() -> SignatureVerificationCache:
+    """The process-wide verification cache."""
+    return _default_cache
+
+
+def reset_cache(capacity: int = 4096) -> SignatureVerificationCache:
+    """Install (and return) a fresh process-wide cache."""
+    global _default_cache
+    _default_cache = SignatureVerificationCache(capacity)
+    return _default_cache
+
+
+def counters() -> Tuple[int, int]:
+    """(hits, misses) of the process-wide cache — cheap to sample
+    before/after an operation to attribute cache traffic to it."""
+    return _default_cache.hits, _default_cache.misses
+
+
+def cached_verify(
+    key,
+    message: bytes,
+    signature: bytes,
+    hash_name: str = "sha256",
+    verifier: Optional[Callable[[bytes, bytes, str], bool]] = None,
+) -> bool:
+    """Module-level convenience over :func:`get_cache`'s ``verify``."""
+    return _default_cache.verify(key, message, signature, hash_name, verifier)

@@ -251,6 +251,7 @@ class CertificateIssuer:
         """Issue and sign a child certificate."""
         if not self.certificate.is_ca:
             raise CertificateError("issuer certificate is not a CA")
+        hash_name = self.private_key.preferred_hash
         unsigned = Certificate(
             subject=subject,
             issuer=self.certificate.subject,
@@ -263,9 +264,10 @@ class CertificateIssuer:
             san=tuple(san),
             key_usage=tuple(key_usage),
             extensions=tuple(extensions),
+            signature_hash=hash_name,
         )
         self._next_serial += 1
-        signature = self.private_key.sign(unsigned.tbs_bytes())
+        signature = self.private_key.sign(unsigned.tbs_bytes(), hash_name)
         return replace(unsigned, signature=signature)
 
     @classmethod
@@ -278,6 +280,7 @@ class CertificateIssuer:
         path_length: Optional[int] = None,
     ) -> "CertificateIssuer":
         """Create a self-signed root CA."""
+        hash_name = private_key.preferred_hash
         unsigned = Certificate(
             subject=subject,
             issuer=subject,
@@ -288,8 +291,9 @@ class CertificateIssuer:
             is_ca=True,
             path_length=path_length,
             key_usage=("cert_sign",),
+            signature_hash=hash_name,
         )
-        signature = private_key.sign(unsigned.tbs_bytes())
+        signature = private_key.sign(unsigned.tbs_bytes(), hash_name)
         return cls(replace(unsigned, signature=signature), private_key)
 
 

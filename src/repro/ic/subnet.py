@@ -17,7 +17,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from ..crypto import encoding
+from ..crypto import encoding, sigcache
 from ..crypto.drbg import HmacDrbg
 from ..crypto.ecdsa import EcdsaPublicKey
 from .canister import Canister, CanisterError
@@ -90,7 +90,9 @@ class CertifiedResponse:
 
     def verify(self, subnet_public_key: EcdsaPublicKey) -> bool:
         """Client-side authenticity check (what the service worker does)."""
-        return subnet_public_key.verify(self.signed_payload(), self.signature)
+        return sigcache.cached_verify(
+            subnet_public_key, self.signed_payload(), self.signature
+        )
 
     def encode(self) -> bytes:
         """Serialise to canonical TLV bytes."""

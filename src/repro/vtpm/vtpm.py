@@ -21,7 +21,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-from ..crypto import encoding
+from ..crypto import encoding, sigcache
 from ..crypto.drbg import HmacDrbg
 from ..crypto.ec import P256
 from ..crypto.ecdsa import EcdsaPrivateKey, EcdsaPublicKey
@@ -83,7 +83,9 @@ class Quote:
         """Check the signature; True if it verifies."""
         if not self.signature:
             return False
-        return attestation_key.verify(self.signed_payload(), self.signature)
+        return sigcache.cached_verify(
+            attestation_key, self.signed_payload(), self.signature
+        )
 
     def pcr_map(self) -> Dict[int, bytes]:
         """The quoted PCRs as a dict."""

@@ -3,7 +3,20 @@
 import pytest
 
 from repro.build import ImageSpec, Package, PackagePin, PackageRegistry, build_revelio_image
+from repro.crypto import sigcache
 from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture(autouse=True)
+def _fresh_signature_cache():
+    """Isolate the process-wide verification cache per test: fixtures
+    reuse DRBG seeds, so identical signatures recur across tests and
+    would otherwise leak cache hits between them.  (The EC point
+    precompute cache is deliberately left alone — it only affects
+    speed, never observable state.)"""
+    sigcache.reset_cache()
+    yield
+    sigcache.reset_cache()
 
 
 def make_registry():

@@ -176,3 +176,48 @@ class TestCurveArithmetic:
     def test_unknown_curve(self):
         with pytest.raises(ValueError):
             get_curve("P-521")
+
+
+class TestCurveHashMismatchWarning:
+    """P-384 with the default sha256 truncates the digest below the
+    curve order; sign and verify both warn (AMD uses SHA-384)."""
+
+    @pytest.fixture
+    def p384_key(self):
+        return EcdsaPrivateKey.generate(P384, HmacDrbg(b"mismatch"))
+
+    def test_sign_warns_on_short_hash(self, p384_key):
+        from repro.crypto.ecdsa import CurveHashMismatchWarning
+
+        with pytest.warns(CurveHashMismatchWarning, match="P-384 with sha256"):
+            p384_key.sign(b"report", "sha256")
+
+    def test_verify_warns_on_short_hash(self, p384_key):
+        import warnings
+
+        from repro.crypto.ecdsa import CurveHashMismatchWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CurveHashMismatchWarning)
+            signature = p384_key.sign(b"report", "sha256")
+        public = p384_key.public_key()
+        with pytest.warns(CurveHashMismatchWarning, match="ECDSA verification"):
+            assert public.verify(b"report", signature, "sha256")
+
+    def test_matching_hash_is_silent(self, p384_key):
+        import warnings
+
+        public = p384_key.public_key()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            signature = p384_key.sign(b"report", "sha384")
+            assert public.verify(b"report", signature, "sha384")
+
+    def test_p256_with_sha256_is_silent(self):
+        import warnings
+
+        key = EcdsaPrivateKey.generate(P256, HmacDrbg(b"mismatch-256"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            signature = key.sign(b"report")
+            assert key.public_key().verify(b"report", signature)

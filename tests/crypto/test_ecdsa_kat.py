@@ -1,0 +1,160 @@
+"""ECDSA known-answer tests against an independent implementation.
+
+The static vectors below were produced by OpenSSL (via the
+``cryptography`` package): fixed private scalars, fixed messages, and
+the (r, s) OpenSSL emitted.  They pin our verifier — fast path and
+retained reference path alike — to an implementation that shares no
+code with this repo.  When ``cryptography`` is importable, a live
+cross-check also signs with our RFC 6979 signer and verifies with
+OpenSSL, and vice versa.
+"""
+
+import pytest
+
+from repro.crypto.ec import Point, get_curve
+from repro.crypto.ecdsa import (
+    EcdsaPrivateKey,
+    EcdsaPublicKey,
+    verify_rs_reference,
+)
+
+# (curve, hash, private scalar d, public x, public y, message, r, s)
+OPENSSL_VECTORS = [
+    ("P-256", "sha256",
+     0xC9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721,
+     0x60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6,
+     0x7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299,
+     b"sample",
+     0xD90CDC7E18B490ACBE0C87B4B901604A2129C86F37CAF05E6C25AA3133AD0F3C,
+     0x1E2A42346C432864DFEB7D3821C80F715DC23DD1EC9CA518D2F3ADC04A48EDD8),
+    ("P-256", "sha256",
+     0x1,
+     0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296,
+     0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5,
+     b"revelio attestation report",
+     0x9C4D87C76752B1D7B3E7BB1FC1B1C171167070191972D3FBAA06D2B15059927E,
+     0xB30794884C01C8BE4C5A161616B791B089C5FB0C3B9E6AC174C0C5196BA0CA44),
+    ("P-384", "sha384",
+     0x6B9D3DAD2E1B8C1C05B19875B6659F4DE23C3B667BF297BA9AA47740787137D896D5724E4C70A825F872C9EA60D2EDF5,
+     0xEC3A4E415B4E19A4568618029F427FA5DA9A8BC4AE92E02E06AAE5286B300C64DEF8F0EA9055866064A254515480BC13,
+     0x8015D9B72D7D57244EA8EF9AC0C621896708A59367F9DFB9F54CA84B3F1C9DB1288B231C3AE0D4FE7344FD2533264720,
+     b"sample",
+     0x4C150517B80993C60022AC8901D328FF272DE76C693A1FD64394D2A55BF455021C08C6475D89DF9523EE81DEA55E278B,
+     0x534525ADB4690ABF7663EC89E74C5C91AA43A101BB8A0FED7E363974E9746C68B99CFFE52DFEB622EE8D159E7D005742),
+    ("P-384", "sha384",
+     0x2,
+     0x08D999057BA3D2D969260045C55B97F089025959A6F434D651D207D19FB96E9E4FE0E86EBE0E64F85B96A9C75295DF61,
+     0x8E80F1FA5B1B3CEDB7BFE8DFFD6DBA74B275D875BC6CC43E904E505F256AB4255FFD43E94D39E22D61501E700A940E80,
+     b"vcek chain",
+     0x0851EF41C092A8CC119F8AC1298FF2D43AE53501B4A51AE1169A377CB401C40DC352F3198E1A0237E8D5EA5EA0E86366,
+     0x685C7450F67A90A073A152AEC59DCDB80CB61FEA639694D92ABBEC669CE0F01068427E1458BC07BFEA5FA32BA6245704),
+]
+
+VECTOR_IDS = [f"{c}-{m[:12].decode()}" for c, _, _, _, _, m, _, _ in OPENSSL_VECTORS]
+
+
+def _public_key(curve_name, x, y):
+    curve = get_curve(curve_name)
+    return EcdsaPublicKey(Point(curve, x, y))
+
+
+class TestOpenSslVectors:
+    @pytest.mark.parametrize(
+        "curve_name,hash_name,d,x,y,message,r,s", OPENSSL_VECTORS, ids=VECTOR_IDS
+    )
+    def test_fast_path_accepts(self, curve_name, hash_name, d, x, y, message, r, s):
+        public = _public_key(curve_name, x, y)
+        assert public.verify_rs(message, r, s, hash_name)
+
+    @pytest.mark.parametrize(
+        "curve_name,hash_name,d,x,y,message,r,s", OPENSSL_VECTORS, ids=VECTOR_IDS
+    )
+    def test_reference_path_accepts(
+        self, curve_name, hash_name, d, x, y, message, r, s
+    ):
+        public = _public_key(curve_name, x, y)
+        assert verify_rs_reference(public, message, r, s, hash_name)
+
+    @pytest.mark.parametrize(
+        "curve_name,hash_name,d,x,y,message,r,s", OPENSSL_VECTORS, ids=VECTOR_IDS
+    )
+    def test_perturbed_signature_rejected(
+        self, curve_name, hash_name, d, x, y, message, r, s
+    ):
+        public = _public_key(curve_name, x, y)
+        n = public.curve.n
+        assert not public.verify_rs(message, (r + 1) % n or 1, s, hash_name)
+        assert not public.verify_rs(message, r, (s + 1) % n or 1, hash_name)
+        assert not public.verify_rs(message + b"x", r, s, hash_name)
+
+    @pytest.mark.parametrize(
+        "curve_name,hash_name,d,x,y,message,r,s", OPENSSL_VECTORS, ids=VECTOR_IDS
+    )
+    def test_scalar_matches_recorded_public_key(
+        self, curve_name, hash_name, d, x, y, message, r, s
+    ):
+        """The vector's d really is the discrete log of (x, y) — guards
+        against transcription errors in the table itself."""
+        private = EcdsaPrivateKey(get_curve(curve_name), d)
+        assert private.public_key().point == Point(get_curve(curve_name), x, y)
+
+
+class TestLiveCrossCheck:
+    """Sign here / verify with OpenSSL and the reverse (skipped when the
+    ``cryptography`` package is unavailable)."""
+
+    CURVES = {"P-256": "sha256", "P-384": "sha384"}
+
+    @pytest.fixture(autouse=True)
+    def _openssl(self):
+        self.cec = pytest.importorskip(
+            "cryptography.hazmat.primitives.asymmetric.ec"
+        )
+        from cryptography.exceptions import InvalidSignature
+        from cryptography.hazmat.primitives import hashes as chashes
+        from cryptography.hazmat.primitives.asymmetric import utils as cutils
+
+        self.chashes = chashes
+        self.cutils = cutils
+        self.InvalidSignature = InvalidSignature
+
+    def _openssl_curve(self, name):
+        return {"P-256": self.cec.SECP256R1, "P-384": self.cec.SECP384R1}[name]()
+
+    def _openssl_hash(self, name):
+        return {"sha256": self.chashes.SHA256, "sha384": self.chashes.SHA384}[name]()
+
+    @pytest.mark.parametrize("curve_name", sorted(CURVES))
+    def test_our_signature_verifies_under_openssl(self, curve_name):
+        hash_name = self.CURVES[curve_name]
+        curve = get_curve(curve_name)
+        private = EcdsaPrivateKey(curve, 0xDEADBEEF % curve.n)
+        message = b"cross-check " + curve_name.encode()
+        signature = private.sign(message, hash_name)
+        size = curve.coordinate_size
+        r = int.from_bytes(signature[:size], "big")
+        s = int.from_bytes(signature[size:], "big")
+        point = private.public_key().point
+        peer = self.cec.EllipticCurvePublicNumbers(
+            point.x, point.y, self._openssl_curve(curve_name)
+        ).public_key()
+        peer.verify(
+            self.cutils.encode_dss_signature(r, s),
+            message,
+            self.cec.ECDSA(self._openssl_hash(hash_name)),
+        )  # raises InvalidSignature on failure
+
+    @pytest.mark.parametrize("curve_name", sorted(CURVES))
+    def test_openssl_signature_verifies_here(self, curve_name):
+        hash_name = self.CURVES[curve_name]
+        curve = get_curve(curve_name)
+        key = self.cec.derive_private_key(
+            0xFEEDFACE % curve.n, self._openssl_curve(curve_name)
+        )
+        message = b"reverse cross-check " + curve_name.encode()
+        der = key.sign(message, self.cec.ECDSA(self._openssl_hash(hash_name)))
+        r, s = self.cutils.decode_dss_signature(der)
+        numbers = key.public_key().public_numbers()
+        public = _public_key(curve_name, numbers.x, numbers.y)
+        assert public.verify_rs(message, r, s, hash_name)
+        assert verify_rs_reference(public, message, r, s, hash_name)

@@ -1,0 +1,99 @@
+"""Signature-verification cache: hits, misses, key binding, eviction."""
+
+import pytest
+
+from repro.crypto import sigcache
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+from repro.crypto.sigcache import SignatureVerificationCache, cached_verify
+
+
+@pytest.fixture
+def keypair():
+    private = PrivateKey.generate_ecdsa(HmacDrbg(b"sigcache-tests"))
+    return private, private.public_key()
+
+
+class TestCacheBehaviour:
+    def test_second_verification_is_a_hit(self, keypair):
+        private, public = keypair
+        cache = SignatureVerificationCache()
+        signature = private.sign(b"msg")
+        assert cache.verify(public, b"msg", signature)
+        assert cache.verify(public, b"msg", signature)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == 0.5
+
+    def test_false_results_are_cached_too(self, keypair):
+        _, public = keypair
+        cache = SignatureVerificationCache()
+        bogus = b"\x01" * 64
+        assert not cache.verify(public, b"msg", bogus)
+        assert not cache.verify(public, b"msg", bogus)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_key_binds_all_inputs(self, keypair):
+        """Changing the key, message, hash, or signature must miss."""
+        private, public = keypair
+        other_public = PrivateKey.generate_ecdsa(HmacDrbg(b"other")).public_key()
+        cache = SignatureVerificationCache()
+        signature = private.sign(b"msg")
+        cache.verify(public, b"msg", signature)
+        cache.verify(other_public, b"msg", signature)  # different key
+        cache.verify(public, b"msg2", signature)  # different message
+        cache.verify(public, b"msg", signature, "sha384")  # different hash
+        cache.verify(public, b"msg", signature[:-1] + b"\x00")  # different sig
+        assert (cache.hits, cache.misses) == (0, 5)
+
+    def test_tampered_signature_fails_even_after_good_hit(self, keypair):
+        private, public = keypair
+        cache = SignatureVerificationCache()
+        signature = private.sign(b"msg")
+        assert cache.verify(public, b"msg", signature)
+        tampered = bytes([signature[0] ^ 1]) + signature[1:]
+        assert not cache.verify(public, b"msg", tampered)
+
+    def test_lru_eviction_is_bounded(self, keypair):
+        private, public = keypair
+        cache = SignatureVerificationCache(capacity=4)
+        signatures = [private.sign(b"m%d" % i) for i in range(6)]
+        for i, signature in enumerate(signatures):
+            cache.verify(public, b"m%d" % i, signature)
+        assert len(cache) == 4
+        # oldest two were evicted: re-verifying them misses again
+        cache.verify(public, b"m0", signatures[0])
+        assert cache.misses == 7 and cache.hits == 0
+
+    def test_stats_shape(self):
+        cache = SignatureVerificationCache()
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "hit_rate": 0.0,
+        }
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SignatureVerificationCache(capacity=0)
+
+
+class TestProcessWideCache:
+    def test_public_key_verify_routes_through_cache(self, keypair):
+        private, public = keypair
+        signature = private.sign(b"routed")
+        assert public.verify(b"routed", signature)
+        assert public.verify(b"routed", signature)
+        assert sigcache.get_cache().stats()["hits"] == 1
+
+    def test_cached_verify_uses_current_default(self, keypair):
+        private, public = keypair
+        signature = private.sign(b"default")
+        cached_verify(public, b"default", signature)
+        fresh = sigcache.reset_cache()
+        cached_verify(public, b"default", signature)
+        assert (fresh.hits, fresh.misses) == (0, 1)
+
+    def test_counters_sample(self, keypair):
+        private, public = keypair
+        before = sigcache.counters()
+        cached_verify(public, b"sampled", private.sign(b"sampled"))
+        hits, misses = sigcache.counters()
+        assert (hits - before[0], misses - before[1]) == (0, 1)
