@@ -1,0 +1,347 @@
+"""Gateway throughput, tail latency, and rollout disruption under load.
+
+Drives the :mod:`repro.fleet` gateway with the :mod:`repro.sim` event
+kernel through two phases:
+
+* **Phase A — signature-cache ablation.**  The same seeded open-loop
+  session storm twice, with the PR-3 signature-verification cache
+  enabled and disabled.  Every first visit runs the full attestation
+  pipeline client-side, so the cache's discounted verify price shows up
+  directly in the first-visit tail (p95/p99).
+* **Phase B — storm through a rolling rollout.**  A large open-loop
+  storm (default 10 000 sessions over 8 backends) with the health
+  monitor running; mid-storm the whole fleet is replaced one node at a
+  time (drain -> replace -> key hand-over -> re-admit).  The acceptance
+  bar: zero failed requests, zero blocked requests, and zero requests
+  routed to a retired backend.
+
+Everything recorded in ``BENCH_fleet.json`` is derived from simulated
+time and deterministic counters — two runs with the same ``--seed`` are
+byte-identical (wall-clock timings go to stdout only).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_fleet.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.build import (
+    ImageSpec,
+    Package,
+    PackagePin,
+    PackageRegistry,
+    build_revelio_image,
+)
+from repro.core import RevelioDeployment
+from repro.crypto import ec, sigcache
+from repro.fleet import FleetGateway, FleetWorkload, HealthMonitor, UserPool
+from repro.fleet.drain import rolling_rollout
+from repro.sim import EventKernel, SimRng
+from repro.sim.kernel import sleep
+
+
+def _registry():
+    registry = PackageRegistry()
+    pins = {}
+    for package in [
+        Package.create(
+            "nginx",
+            "1.24.0",
+            files={
+                "/usr/sbin/nginx": b"\x7fELF-nginx" + b"n" * 2000,
+                "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+            },
+        ),
+        Package.create(
+            "ic-boundary-node",
+            "0.9.0",
+            files={"/opt/ic/boundary-node": b"\x7fELF-bn" + b"b" * 4000},
+        ),
+        Package.create(
+            "revelio-agent",
+            "1.0.0",
+            files={"/usr/bin/revelio-agent": b"\x7fELF-agent" + b"r" * 1000},
+        ),
+    ]:
+        digest = registry.publish(package)
+        pins[package.name] = PackagePin(package.name, package.version, digest)
+    return registry, pins
+
+
+def _build(version: str = "1.0.0"):
+    registry, pins = _registry()
+    return build_revelio_image(
+        ImageSpec(
+            name="boundary-node",
+            version=version,
+            registry=registry,
+            package_pins=[
+                pins[p] for p in ("nginx", "ic-boundary-node", "revelio-agent")
+            ],
+            service_domain="bench-fleet.example",
+            services=("https",),
+            data_volume_blocks=16,
+        )
+    )
+
+
+def _world(build, backends: int, seed: int, balancer: str):
+    """A gateway-fronted fleet on a fresh event kernel."""
+    deployment = RevelioDeployment(
+        build, num_nodes=backends, seed=f"bench-fleet-{seed}".encode()
+    ).deploy()
+    kernel = EventKernel(deployment.network.clock, SimRng(seed))
+    deployment.network.enable_event_mode(kernel)
+    gateway = FleetGateway.for_deployment(
+        deployment, kernel=kernel, balancer=balancer
+    )
+    verdicts = gateway.admit_all()
+    assert all(v.ok for v in verdicts), [v.reason for v in verdicts if not v.ok]
+    return deployment, gateway, kernel
+
+
+def _run_storm(
+    deployment,
+    gateway,
+    kernel,
+    seed: int,
+    sessions: int,
+    users: int,
+    arrival_rate: float,
+    expected_measurements,
+    rollout=None,
+    monitor: bool = True,
+):
+    """Open-loop storm; optionally a concurrent process (the rollout)."""
+    pool = UserPool(
+        deployment, kernel, size=users,
+        expected_measurements=expected_measurements,
+    )
+    workload = FleetWorkload(kernel, gateway, pool, rng=SimRng(seed))
+    health = None
+    health_process = None
+    if monitor:
+        health = HealthMonitor(
+            gateway, interval=10.0, timeout=2.0, reattest_every=120.0
+        )
+        health_process = kernel.spawn(health.process(), name="health-monitor")
+    storm = kernel.spawn(
+        workload.open_loop(sessions=sessions, arrival_rate=arrival_rate),
+        name="storm",
+    )
+    rollout_process = None
+    if rollout is not None:
+        rollout_process = kernel.spawn(rollout, name="rollout")
+    while not storm.finished or (
+        rollout_process is not None and not rollout_process.finished
+    ):
+        kernel.run(until=kernel.clock.now + 10.0)
+    if health_process is not None:
+        health_process.interrupt("storm over")
+    kernel.run()
+    if storm.error is not None:
+        raise storm.error
+    if rollout_process is not None and rollout_process.error is not None:
+        raise rollout_process.error
+    return workload, health, rollout_process
+
+
+def phase_sig_cache_ablation(args, build) -> dict:
+    """Same seeded storm with the signature cache on vs off."""
+
+    def measure(cache_on: bool) -> dict:
+        sigcache.reset_cache()
+        ec.reset_point_cache()
+        sigcache.set_enabled(cache_on)
+        deployment, gateway, kernel = _world(
+            build, args.backends, args.seed, args.balancer
+        )
+        workload, _, _ = _run_storm(
+            deployment, gateway, kernel,
+            seed=args.seed,
+            sessions=args.ablation_sessions,
+            users=max(8, args.ablation_sessions // 4),
+            arrival_rate=args.arrival_rate,
+            expected_measurements=None,  # default registration (v1 golden)
+            monitor=False,
+        )
+        snapshot = workload.snapshot()
+        return {
+            "sessions": args.ablation_sessions,
+            "first_visit_ms": {
+                key: snapshot[f"latency.first_visit.{key}"]
+                for key in ("p50", "p95", "p99", "max")
+            },
+            "all_requests_ms": {
+                key: snapshot[f"latency.all.{key}"]
+                for key in ("p50", "p95", "p99")
+            },
+            "requests_ok": snapshot["requests_ok"],
+            "requests_failed": snapshot.get("requests_failed", 0),
+        }
+
+    try:
+        cache_off = measure(cache_on=False)
+        cache_on = measure(cache_on=True)
+    finally:
+        sigcache.set_enabled(True)
+        sigcache.reset_cache()
+    delta = {
+        key: cache_off["first_visit_ms"][key] - cache_on["first_visit_ms"][key]
+        for key in ("p50", "p95", "p99")
+    }
+    return {
+        "cache_on": cache_on,
+        "cache_off": cache_off,
+        "first_visit_tail_saved_ms": delta,
+    }
+
+
+def phase_storm_with_rollout(args, build_v1, build_v2) -> dict:
+    sigcache.reset_cache()
+    ec.reset_point_cache()
+    deployment, gateway, kernel = _world(
+        build_v1, args.backends, args.seed, args.balancer
+    )
+
+    def delayed_rollout():
+        yield sleep(args.rollout_at)
+        report = yield from rolling_rollout(
+            gateway, deployment, build_v2, drain_poll=0.1, concurrency=4
+        )
+        return report
+
+    workload, health, rollout_process = _run_storm(
+        deployment, gateway, kernel,
+        seed=args.seed,
+        sessions=args.sessions,
+        users=args.users,
+        arrival_rate=args.arrival_rate,
+        # Riding through the rollout needs both goldens client-side.
+        expected_measurements=[
+            build_v1.expected_measurement, build_v2.expected_measurement
+        ],
+        rollout=delayed_rollout(),
+    )
+    snapshot = workload.snapshot()
+    report = rollout_process.value
+
+    failed = snapshot.get("requests_failed", 0)
+    blocked = snapshot.get("requests_blocked", 0)
+    after_retired = {
+        ip: backend.requests_after_retired
+        for ip, backend in sorted(gateway.backends.items())
+        if backend.requests_after_retired
+    }
+    assert failed == 0, f"{failed} failed requests during the rollout storm"
+    assert blocked == 0, f"{blocked} blocked requests during the rollout storm"
+    assert not after_retired, f"requests hit retired backends: {after_retired}"
+
+    return {
+        "sessions": args.sessions,
+        "backends": args.backends,
+        "balancer": args.balancer,
+        "arrival_rate_per_sec": args.arrival_rate,
+        "sim_seconds": round(kernel.clock.now, 6),
+        "requests_total": snapshot["requests_total"],
+        "requests_ok": snapshot["requests_ok"],
+        "requests_failed": failed,
+        "requests_blocked": blocked,
+        "latency_ms": {
+            "all": {
+                key: snapshot[f"latency.all.{key}"]
+                for key in ("p50", "p95", "p99", "max")
+            },
+            "first_visit": {
+                key: snapshot[f"latency.first_visit.{key}"]
+                for key in ("p50", "p95", "p99")
+            },
+            "revisit": {
+                key: snapshot[f"latency.revisit.{key}"]
+                for key in ("p50", "p95", "p99")
+            },
+        },
+        "throughput_per_sec": {
+            "mean": snapshot["throughput.mean_per_sec"],
+            "peak_window": snapshot["throughput.peak_window_per_sec"],
+        },
+        "health": {
+            "probes_ok": health.probes_ok,
+            "probes_failed": health.probes_failed,
+            "reattestations": health.reattestations,
+        },
+        "rollout": {
+            "started_at_sim_s": args.rollout_at,
+            "sim_seconds": round(report.sim_seconds, 6),
+            "replacements": len(report.replacements),
+            "sessions_severed": gateway.counters.get("sessions_severed", 0),
+            "records_severed": gateway.counters.get("records_severed", 0),
+            "requests_after_retired": 0,
+        },
+        "gateway": {
+            "requests_routed": gateway.counters.get("requests_routed", 0),
+            "sessions_opened": gateway.counters.get("sessions_opened", 0),
+            "retries": gateway.counters.get("retries", 0),
+        },
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--sessions", type=int, default=10_000)
+    parser.add_argument("--backends", type=int, default=8)
+    parser.add_argument("--users", type=int, default=400)
+    parser.add_argument("--arrival-rate", type=float, default=40.0,
+                        help="open-loop session arrivals per sim second")
+    parser.add_argument("--ablation-sessions", type=int, default=600)
+    parser.add_argument("--rollout-at", type=float, default=30.0,
+                        help="sim seconds into the storm to start the rollout")
+    parser.add_argument("--balancer", default="round_robin")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent / "BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    build_v1 = _build("1.0.0")
+    build_v2 = _build("2.0.0")
+
+    ablation = phase_sig_cache_ablation(args, build_v1)
+    print("phase A (sig-cache ablation, first-visit tail, sim ms):")
+    for scenario in ("cache_off", "cache_on"):
+        tail = ablation[scenario]["first_visit_ms"]
+        print(f"  {scenario:<10} p50 {tail['p50']:8.1f}   "
+              f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
+    saved = ablation["first_visit_tail_saved_ms"]
+    print(f"  cache saves p99 {saved['p99']:.1f} sim ms")
+
+    storm = phase_storm_with_rollout(args, build_v1, build_v2)
+    print(f"phase B ({storm['sessions']} sessions, {storm['backends']} backends, "
+          f"rollout mid-storm):")
+    print(f"  {storm['requests_ok']}/{storm['requests_total']} requests ok, "
+          f"0 failed, 0 to retired backends")
+    print(f"  p99 all {storm['latency_ms']['all']['p99']:.1f} sim ms, "
+          f"revisit p50 {storm['latency_ms']['revisit']['p50']:.1f} sim ms")
+    print(f"  rollout replaced {storm['rollout']['replacements']} nodes in "
+          f"{storm['rollout']['sim_seconds']:.1f} sim s under load")
+
+    results = {
+        "benchmark": "fleet gateway storm + rolling rollout",
+        "seed": args.seed,
+        "sig_cache_ablation": ablation,
+        "storm_with_rollout": storm,
+    }
+    args.output.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output} "
+          f"(wall {time.perf_counter() - started:.1f}s)")
+    return results
+
+
+if __name__ == "__main__":
+    main()

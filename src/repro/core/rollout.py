@@ -28,7 +28,7 @@ attests as the endorsed new image, mutual-attestation style.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..build.image_builder import BuildResult
 from ..storage.blockdev import RamBlockDevice
@@ -53,6 +53,66 @@ class RolloutResult:
     retired_disks: Dict[str, RamBlockDevice]
 
 
+def replace_node(
+    deployment: RevelioDeployment,
+    index: int,
+    new_build: BuildResult,
+    app_factory: AppFactory = default_app,
+    node_registry=None,
+) -> RamBlockDevice:
+    """Replace one fleet VM with *new_build* on the same host address.
+
+    Shuts down the old VM, launches the new image on the same
+    host/chip with a fresh disk, rebinds the host firewall and app, and
+    swaps ``deployment.nodes[index]`` in place.  Returns the retired
+    disk (sealed state the new image cannot open).  The new node is
+    *not* provisioned — callers follow up with fleet-wide
+    ``provision_certificates`` (cold rollout) or per-node
+    ``ServiceProviderNode.admit_node`` (rolling rollout under load).
+    """
+    deployed = deployment.nodes[index]
+    old_vm = deployed.vm
+    if old_vm.state == "running":
+        old_vm.shutdown()
+    retired_disk = deployed.hypervisor.disk_store[old_vm.name]
+    new_vm = deployed.hypervisor.launch(
+        new_build.image,
+        name=f"{new_build.image.name}-{index}-v{new_build.image.version}",
+        ip_address=deployed.host.ip_address,
+    )
+    new_vm.boot()
+    deployed.host.close_port(443)
+    deployed.host.close_port(8080)
+    deployed.host.firewall = _firewall_of(new_vm)
+    node = RevelioNode(
+        new_vm, deployed.host, deployment._new_kds_client(), deployment.latency
+    )
+    if node_registry is not None:
+        node.trusted_registry = node_registry
+    app_factory(node)
+    deployment.nodes[index] = DeployedNode(
+        vm=new_vm,
+        host=deployed.host,
+        node=node,
+        hypervisor=deployed.hypervisor,
+    )
+    return retired_disk
+
+
+def update_golden_set(
+    deployment: RevelioDeployment,
+    old_measurement: bytes,
+    new_measurement: bytes,
+) -> None:
+    """Accept the new image at the SP and revoke the old one
+    (section 6.1.4's rollback-attack prevention)."""
+    deployment.sp.expected_measurements = [
+        m for m in deployment.sp.expected_measurements if m != old_measurement
+    ]
+    deployment.sp.expected_measurements.append(new_measurement)
+    deployment.sp.revoke_measurement(old_measurement)
+
+
 def roll_out_image(
     deployment: RevelioDeployment,
     new_build: BuildResult,
@@ -63,7 +123,10 @@ def roll_out_image(
 
     The deployment object is updated in place: ``deployment.build``,
     the per-node VMs/apps, the SP's golden set, and DNS all reflect the
-    new image afterwards.
+    new image afterwards.  This is the *cold* rollout (no traffic in
+    flight); :func:`repro.fleet.drain.rolling_rollout` wraps
+    :func:`replace_node` + ``admit_node`` to do the same thing
+    zero-downtime under load.
     """
     if deployment.sp is None or not deployment.nodes:
         raise RolloutError("deployment has no provisioned fleet to roll out")
@@ -74,44 +137,14 @@ def roll_out_image(
         raise RolloutError("new image has the identical measurement; nothing to do")
 
     retired_disks: Dict[str, RamBlockDevice] = {}
-    new_nodes: List[DeployedNode] = []
     for index, deployed in enumerate(deployment.nodes):
-        old_vm = deployed.vm
-        if old_vm.state == "running":
-            old_vm.shutdown()
-        retired_disks[old_vm.name] = deployed.hypervisor.disk_store[old_vm.name]
-        # Launch the new image on the same host/chip with a fresh disk.
-        new_vm = deployed.hypervisor.launch(
-            new_build.image,
-            name=f"{new_build.image.name}-{index}-v{new_build.image.version}",
-            ip_address=deployed.host.ip_address,
-        )
-        new_vm.boot()
-        deployed.host.close_port(443)
-        deployed.host.close_port(8080)
-        deployed.host.firewall = _firewall_of(new_vm)
-        node = RevelioNode(
-            new_vm, deployed.host, deployment._new_kds_client(), deployment.latency
-        )
-        app_factory(node)
-        new_nodes.append(
-            DeployedNode(
-                vm=new_vm,
-                host=deployed.host,
-                node=node,
-                hypervisor=deployed.hypervisor,
-            )
+        old_name = deployed.vm.name
+        retired_disks[old_name] = replace_node(
+            deployment, index, new_build, app_factory
         )
 
-    deployment.nodes = new_nodes
     deployment.build = new_build
-
-    # Golden-set update: accept the new image, revoke the old one.
-    deployment.sp.expected_measurements = [
-        m for m in deployment.sp.expected_measurements if m != old_measurement
-    ]
-    deployment.sp.expected_measurements.append(new_measurement)
-    deployment.sp.revoke_measurement(old_measurement)
+    update_golden_set(deployment, old_measurement, new_measurement)
 
     provisioning = deployment.provision_certificates(leader_index)
     return RolloutResult(

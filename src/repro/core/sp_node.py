@@ -208,6 +208,43 @@ class ServiceProviderNode:
             timings=timings,
         )
 
+    def admit_node(
+        self,
+        node_ip: str,
+        key_holder_ip: str,
+        certificate_chain: List[Certificate],
+    ) -> AttestedNode:
+        """Attest a *single* node into an already-provisioned fleet.
+
+        The rolling-rollout path: a replacement VM comes up on a node's
+        address while the rest of the fleet keeps serving.  The SP
+        re-runs the same Fig. 4 evidence retrieval + validation for just
+        that node, then delivers the fleet's *existing* certificate
+        chain along with the address of any node still holding the TLS
+        private key — the newcomer fetches the key over the mutually
+        attested bootstrap channel, so the fleet key pair (and every
+        end-user's pinned key) is unchanged.
+        """
+        bundle = self.retrieve_csr_bundle(node_ip)
+        attested = self.attest_node(node_ip, bundle)
+        payload = encoding.encode(
+            {
+                "chain": [cert.encode() for cert in certificate_chain],
+                "leader_ip": key_holder_ip,
+            }
+        )
+        raw = self.host.request(
+            node_ip,
+            BOOTSTRAP_PORT,
+            HttpRequest("POST", "/revelio/certificate", body=payload).encode(),
+        )
+        response = HttpResponse.decode(raw)
+        if response.status != 200:
+            raise ProvisioningError(
+                f"node {node_ip} failed installation: {response.body!r}"
+            )
+        return attested
+
 
 class _phase:
     """Context manager recording simulated + real time of a phase."""

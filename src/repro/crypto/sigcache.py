@@ -54,6 +54,10 @@ class SignatureVerificationCache:
         )
         self.hits = 0
         self.misses = 0
+        #: When False every lookup computes fresh (counted as a miss)
+        #: and nothing is stored — used by benchmarks to ablate the
+        #: cache without swapping call sites.
+        self.enabled = True
 
     def verify(
         self,
@@ -73,6 +77,11 @@ class SignatureVerificationCache:
         the fresh check, for the same reason — its own ``verify``
         already goes through this cache.
         """
+        if not self.enabled:
+            self.misses += 1
+            if verifier is None:
+                verifier = getattr(key, "inner", key).verify
+            return bool(verifier(message, signature, hash_name))
         cache_key = (
             _key_fingerprint(key),
             hash_name,
@@ -124,6 +133,11 @@ def reset_cache(capacity: int = 4096) -> SignatureVerificationCache:
     global _default_cache
     _default_cache = SignatureVerificationCache(capacity)
     return _default_cache
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable or disable the process-wide cache (benchmark ablation)."""
+    _default_cache.enabled = bool(enabled)
 
 
 def counters() -> Tuple[int, int]:

@@ -1,0 +1,44 @@
+"""Attestation-aware fleet serving: gateway, health, drains, workloads.
+
+The paper's deployments (CryptPad, IC boundary nodes — sections
+6.2-6.3) are *fleets* behind a load balancer, serving end-users at
+scale.  This package puts a gateway in front of N
+:class:`~repro.core.guest.RevelioNode` VMs that admits a backend only
+while its :mod:`repro.attest` verdict is fresh and passing (DESIGN.md
+invariant 11), probes liveness and re-attests periodically, drains
+connections for zero-downtime rollouts under load, and generates open-
+and closed-loop end-user traffic on the :mod:`repro.sim` event kernel.
+"""
+
+from repro.fleet.drain import RollingRolloutReport, drain_backend, rolling_rollout
+from repro.fleet.faults import (
+    KdsBlackhole,
+    blackhole_kds,
+    kill_backend,
+    raise_tcb_floor,
+)
+from repro.fleet.gateway import (
+    AdmissionVerdict,
+    BackendState,
+    FleetGateway,
+    GatewayError,
+)
+from repro.fleet.health import HealthMonitor
+from repro.fleet.workload import FleetWorkload, UserPool
+
+__all__ = [
+    "AdmissionVerdict",
+    "BackendState",
+    "FleetGateway",
+    "FleetWorkload",
+    "GatewayError",
+    "HealthMonitor",
+    "KdsBlackhole",
+    "RollingRolloutReport",
+    "UserPool",
+    "blackhole_kds",
+    "drain_backend",
+    "kill_backend",
+    "raise_tcb_floor",
+    "rolling_rollout",
+]

@@ -1,0 +1,96 @@
+"""Fault injection for the gateway path.
+
+Three failures from the operational threat model, each surfacing a
+stable reason code:
+
+* :func:`kill_backend` — the VM's host vanishes mid-flight (hardware
+  failure / hypervisor kill); in-flight forwards raise, the gateway
+  evicts with ``backend_unreachable`` and retries on a healthy peer.
+* :class:`KdsBlackhole` — AMD's KDS becomes unreachable during
+  re-attestation; the gateway cannot confirm verdict freshness and
+  evicts with ``kds_unreachable``.
+* :func:`raise_tcb_floor` — the platform operator mandates a newer TCB
+  than a backend reports (stale firmware); the next re-attestation
+  fails with the pipeline's ``tcb_too_old``.
+"""
+
+from __future__ import annotations
+
+from ..attest import AttestationVerifier
+from ..net.simnet import NetworkError
+from .gateway import FleetGateway
+
+
+def kill_backend(gateway: FleetGateway, ip_address: str) -> None:
+    """Detach a backend's host from the network without telling anyone."""
+    gateway.network.remove_host(ip_address)
+
+
+class KdsBlackhole:
+    """A :class:`~repro.core.kds_client.KdsClient` stand-in whose
+    fetches fail while ``active`` — the WAN path to AMD is down.
+    Cache-served lookups still work (the point of the VCEK cache)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.active = True
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def latency(self):
+        return self.inner.latency
+
+    @property
+    def fetches(self):
+        return self.inner.fetches
+
+    @property
+    def cache_hits(self):
+        return self.inner.cache_hits
+
+    @property
+    def trust_anchor(self):
+        return self.inner.trust_anchor
+
+    def get_vcek(self, chip_id, tcb):
+        if self.active:
+            key = (bytes(chip_id), tcb)
+            if self.inner.cache_enabled and key in self.inner._vcek_cache:
+                self.inner.cache_hits += 1
+                return self.inner._vcek_cache[key]
+            raise NetworkError("KDS black-holed (no route to kdsintf.amd.com)")
+        return self.inner.get_vcek(chip_id, tcb)
+
+    def cert_chain(self):
+        if self.active:
+            if self.inner.cache_enabled and self.inner._chain_cache is not None:
+                self.inner.cache_hits += 1
+                return self.inner._chain_cache
+            if self.inner._bundled_chain is not None:
+                return self.inner._bundled_chain
+            raise NetworkError("KDS black-holed (no route to kdsintf.amd.com)")
+        return self.inner.cert_chain()
+
+
+def blackhole_kds(gateway: FleetGateway,
+                  clear_cache: bool = False) -> KdsBlackhole:
+    """Swap the gateway's verifier onto a black-holed KDS client; the
+    returned handle's ``active`` flag restores service when cleared.
+    With ``clear_cache`` the cached VCEKs are dropped too (e.g. the
+    backend's TCB changed, so the cache can't answer) — only then does
+    re-attestation actually fail with ``kds_unreachable``."""
+    blackhole = KdsBlackhole(gateway.kds)
+    if clear_cache:
+        gateway.kds.clear_cache()
+    gateway.kds = blackhole
+    gateway.verifier = AttestationVerifier(blackhole, site="fleet-gateway")
+    return blackhole
+
+
+def raise_tcb_floor(gateway: FleetGateway, minimum_tcb) -> None:
+    """Mandate a TCB floor for admission; backends reporting an older
+    TCB fail their next re-attestation with ``tcb_too_old``."""
+    gateway.minimum_tcb = minimum_tcb

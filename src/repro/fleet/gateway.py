@@ -1,0 +1,445 @@
+"""The attestation-aware L7 gateway.
+
+An opaque-forwarding load balancer: TLS terminates on the *backends*
+(every fleet node serves the shared attested identity), so the gateway
+routes on the cleartext envelope fields only — ``client_hello`` starts
+a session on a backend chosen by the balancing policy, ``record``
+messages follow their session's affinity.  End-to-end the client still
+pins the fleet TLS key through the attested well-known flow; the
+gateway cannot read or forge traffic.
+
+Admission is attestation-gated: a backend serves *new* sessions only
+while its latest :mod:`repro.attest` verdict is passing and fresh
+(``verdict_ttl``).  On verification failure, health-check timeout, or a
+dead peer the backend is evicted with a stable reason code from the
+PR-2 taxonomy (extended with the gateway-level codes
+``backend_unreachable``, ``health_timeout``, ``kds_unreachable``,
+``no_healthy_backend``), its sessions are severed, and clients
+transparently re-handshake onto a healthy peer (the fleet key is
+shared, so their pinned key stays valid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..attest import AttestationVerifier, VerificationPolicy
+from ..core.guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_payload
+from ..core.key_sharing import report_data_for
+from ..crypto import encoding
+from ..net.http import HTTPS_PORT, HttpRequest, HttpResponse
+from ..net.simnet import Network, NetworkError
+from ..net.tls import tls_connect
+from ..sim.resources import Server
+
+#: Balancing policies (pluggable via the ``balancer`` argument).
+BALANCERS = ("round_robin", "least_outstanding", "weighted_latency")
+
+
+class GatewayError(NetworkError):
+    """A routing failure with a stable machine-readable reason code."""
+
+    def __init__(self, reason: str, detail: str = ""):
+        message = f"gateway: {reason}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass
+class AdmissionVerdict:
+    """Outcome of one backend attestation probe."""
+
+    ip_address: str
+    ok: bool
+    reason: str = ""
+    detail: str = ""
+
+
+@dataclass
+class BackendState:
+    """What the gateway knows about one fleet VM."""
+
+    ip_address: str
+    #: pending -> admitted -> draining -> retired, or -> evicted/rejected
+    state: str = "pending"
+    #: Kernel service station replaying this backend's share of each
+    #: request (models its concurrency limit); None in synchronous mode.
+    server: Optional[Server] = None
+    verdict_ok: bool = False
+    verdict_reason: str = ""
+    verdict_time: Optional[float] = None
+    #: EWMA of recent forward latency (the weighted_latency signal).
+    ewma_latency: Optional[float] = None
+    consecutive_failures: int = 0
+    requests_forwarded: int = 0
+    #: Forwards attempted after retirement — the rollout acceptance
+    #: criterion requires this to stay 0 for every drained backend.
+    requests_after_retired: int = 0
+
+    def admittable(self, now: float, verdict_ttl: float) -> bool:
+        """Eligible for *new* sessions: admitted + fresh passing verdict."""
+        return (
+            self.state == "admitted"
+            and self.verdict_ok
+            and self.verdict_time is not None
+            and now - self.verdict_time <= verdict_ttl
+        )
+
+    def active(self) -> bool:
+        """Still allowed to serve existing sessions."""
+        return self.state in ("admitted", "draining")
+
+
+class FleetGateway:
+    """The gateway host plus its admission and routing state."""
+
+    def __init__(
+        self,
+        network: Network,
+        ip_address: str,
+        domain: str,
+        kds,
+        trust_anchors,
+        golden_measurements,
+        revoked_measurements=(),
+        minimum_tcb=None,
+        rng=None,
+        balancer: str = "round_robin",
+        verdict_ttl: float = 300.0,
+        max_retries: int = 3,
+        kernel=None,
+        name: str = "fleet-gateway",
+    ):
+        if balancer not in BALANCERS:
+            raise ValueError(f"unknown balancer {balancer!r}; pick from {BALANCERS}")
+        self.network = network
+        self.domain = domain
+        self.kds = kds
+        self.trust_anchors = list(trust_anchors)
+        self.golden_measurements = sorted(bytes(m) for m in golden_measurements)
+        self.revoked_measurements = sorted(bytes(m) for m in revoked_measurements)
+        self.minimum_tcb = minimum_tcb
+        self._rng = rng
+        self.balancer = balancer
+        self.verdict_ttl = verdict_ttl
+        self.max_retries = max_retries
+        self.kernel = kernel
+        self.verifier = AttestationVerifier(kds, site=name)
+
+        self.host = network.add_host(name, ip_address)
+        self.host.listen(HTTPS_PORT, self._handle)
+
+        self._backends: Dict[str, BackendState] = {}
+        self._affinity: Dict[bytes, str] = {}
+        self._rr_cursor = 0
+        self._route_log: List[Tuple[str, float]] = []
+        self.counters: Dict[str, int] = {}
+
+    # -- construction -----------------------------------------------
+
+    @classmethod
+    def for_deployment(
+        cls,
+        deployment,
+        kernel=None,
+        ip_address: str = "10.9.0.1",
+        concurrency: int = 4,
+        register_dns: bool = True,
+        **kwargs,
+    ) -> "FleetGateway":
+        """Front an existing :class:`RevelioDeployment`: one backend per
+        fleet node, the service domain pointed at the gateway."""
+        gateway = cls(
+            network=deployment.network,
+            ip_address=ip_address,
+            domain=deployment.domain,
+            kds=deployment._new_kds_client(),
+            trust_anchors=[deployment.web_pki.trust_anchor],
+            golden_measurements=[deployment.build.expected_measurement],
+            rng=deployment.rng.fork(b"fleet-gateway"),
+            kernel=kernel,
+            **kwargs,
+        )
+        for deployed in deployment.nodes:
+            gateway.add_backend(deployed.host.ip_address, concurrency=concurrency)
+        if register_dns:
+            deployment.network.dns.register(deployment.domain, ip_address)
+        return gateway
+
+    # -- backend lifecycle ------------------------------------------
+
+    @property
+    def backends(self) -> Dict[str, BackendState]:
+        return self._backends
+
+    def add_backend(self, ip_address: str, concurrency: int = 4) -> BackendState:
+        """Register (or re-register, after a replacement) a backend in
+        the ``pending`` state; it serves nothing until admitted."""
+        server = None
+        if self.kernel is not None:
+            server = Server(
+                self.kernel, concurrency, name=f"backend-{ip_address}"
+            )
+        backend = BackendState(ip_address=ip_address, server=server)
+        self._backends[ip_address] = backend
+        return backend
+
+    def attest_backend(self, ip_address: str) -> AdmissionVerdict:
+        """Probe one backend through the full end-user flow: fresh TLS
+        handshake, well-known report fetch, pipeline verification with
+        the REPORT_DATA bound to the *probed connection's* key."""
+        clock = self.network.clock
+        try:
+            connection = tls_connect(
+                self.host,
+                ip_address,
+                HTTPS_PORT,
+                self.domain,
+                self.trust_anchors,
+                self._rng,
+                now=clock.epoch_seconds(),
+            )
+            raw = connection.request(
+                HttpRequest("GET", WELL_KNOWN_ATTESTATION_PATH).encode()
+            )
+            response = HttpResponse.decode(raw)
+        except ConnectionError as exc:
+            return self._verdict(ip_address, False, "backend_unreachable", str(exc))
+        if response.status != 200:
+            return self._verdict(
+                ip_address, False, "report_unavailable",
+                f"well-known endpoint returned {response.status}",
+            )
+        try:
+            report = decode_attestation_payload(response.body)
+        except Exception as exc:
+            return self._verdict(ip_address, False, "malformed_report", str(exc))
+        policy = VerificationPolicy(
+            golden_measurements=tuple(self.golden_measurements),
+            revoked_measurements=tuple(self.revoked_measurements),
+            expected_report_data=report_data_for(
+                connection.peer_public_key.fingerprint()
+            ),
+            minimum_tcb=self.minimum_tcb,
+        )
+        try:
+            outcome = self.verifier.verify(
+                report, now=clock.epoch_seconds(), policy=policy
+            )
+        except ConnectionError as exc:
+            return self._verdict(ip_address, False, "kds_unreachable", str(exc))
+        if not outcome.ok:
+            return self._verdict(
+                ip_address, False, outcome.reason, outcome.detail
+            )
+        return self._verdict(ip_address, True, "", "")
+
+    def _verdict(self, ip_address: str, ok: bool, reason: str,
+                 detail: str) -> AdmissionVerdict:
+        backend = self._backends.get(ip_address)
+        if backend is not None:
+            backend.verdict_ok = ok
+            backend.verdict_reason = reason
+            backend.verdict_time = self.network.clock.now
+        self._count("attestations_ok" if ok else f"attestations_failed.{reason}")
+        return AdmissionVerdict(ip_address, ok, reason, detail)
+
+    def attest_and_admit(self, ip_address: str) -> AdmissionVerdict:
+        """Attest; admit on pass, evict/reject (with the verdict's
+        reason code) on fail."""
+        backend = self._backends.get(ip_address)
+        if backend is None:
+            raise GatewayError("unknown_backend", ip_address)
+        verdict = self.attest_backend(ip_address)
+        if verdict.ok:
+            if backend.state in ("pending", "admitted"):
+                backend.state = "admitted"
+                backend.consecutive_failures = 0
+        elif backend.state in ("admitted", "draining"):
+            self.evict(ip_address, verdict.reason, verdict.detail)
+        elif backend.state == "pending":
+            backend.state = "rejected"
+            self._count(f"admissions_rejected.{verdict.reason}")
+        return verdict
+
+    def admit_all(self) -> List[AdmissionVerdict]:
+        """Attest every pending backend (initial fleet bring-up)."""
+        return [
+            self.attest_and_admit(ip)
+            for ip in sorted(self._backends)
+            if self._backends[ip].state == "pending"
+        ]
+
+    def evict(self, ip_address: str, reason: str, detail: str = "") -> None:
+        """Stop routing to a backend and sever its sessions."""
+        backend = self._backends.get(ip_address)
+        if backend is None or backend.state in ("evicted", "retired"):
+            return
+        backend.state = "evicted"
+        backend.verdict_ok = False
+        backend.verdict_reason = reason
+        self._count(f"evictions.{reason}")
+        self._sever_sessions(ip_address)
+
+    def mark_draining(self, ip_address: str) -> None:
+        """No new sessions; existing sessions keep being served."""
+        backend = self._backends.get(ip_address)
+        if backend is not None and backend.state == "admitted":
+            backend.state = "draining"
+            self._count("drains_started")
+
+    def retire(self, ip_address: str) -> None:
+        """Final removal after a drain: sever whatever sessions remain."""
+        backend = self._backends.get(ip_address)
+        if backend is None or backend.state == "retired":
+            return
+        backend.state = "retired"
+        backend.verdict_ok = False
+        self._count("retirements")
+        self._sever_sessions(ip_address)
+
+    def _sever_sessions(self, ip_address: str) -> None:
+        severed = [
+            sid for sid, ip in self._affinity.items() if ip == ip_address
+        ]
+        for sid in severed:
+            del self._affinity[sid]
+        if severed:
+            self._count("sessions_severed", len(severed))
+
+    # -- routing ----------------------------------------------------
+
+    def _handle(self, payload: bytes, context) -> bytes:
+        try:
+            message = encoding.decode(payload)
+        except ValueError:
+            self._count("requests_malformed")
+            raise GatewayError("malformed_request") from None
+        if not isinstance(message, dict):
+            self._count("requests_malformed")
+            raise GatewayError("malformed_request")
+        message_type = message.get("type")
+        if message_type == "client_hello":
+            return self._route_new_session(payload)
+        if message_type == "record":
+            return self._route_record(message, payload)
+        self._count("requests_malformed")
+        raise GatewayError("malformed_request", f"type={message_type!r}")
+
+    def _route_new_session(self, payload: bytes) -> bytes:
+        now = self.network.clock.now
+        candidates = [
+            self._backends[ip]
+            for ip in sorted(self._backends)
+            if self._backends[ip].admittable(now, self.verdict_ttl)
+        ]
+        if not candidates:
+            self._count("routing_failed.no_healthy_backend")
+            raise GatewayError("no_healthy_backend")
+        attempts = 0
+        for backend in self._preference_order(candidates):
+            if attempts >= self.max_retries:
+                break
+            if not backend.active():  # evicted by an earlier attempt
+                continue
+            attempts += 1
+            try:
+                raw, elapsed = self._forward(backend, payload)
+            except ConnectionError as exc:
+                self.evict(backend.ip_address, "backend_unreachable", str(exc))
+                self._count("retries")
+                continue
+            response = encoding.decode(raw)
+            session_id = (
+                response.get("session_id") if isinstance(response, dict) else None
+            )
+            if session_id is not None:
+                self._affinity[session_id] = backend.ip_address
+            self._count("sessions_opened")
+            return raw
+        self._count("routing_failed.no_healthy_backend")
+        raise GatewayError("no_healthy_backend", "all forward attempts failed")
+
+    def _route_record(self, message: dict, payload: bytes) -> bytes:
+        session_id = message.get("session_id")
+        backend_ip = self._affinity.get(session_id)
+        if backend_ip is None:
+            self._count("records_severed")
+            raise GatewayError("session_severed")
+        backend = self._backends.get(backend_ip)
+        if backend is None or not backend.active():
+            self._affinity.pop(session_id, None)
+            self._count("records_severed")
+            raise GatewayError("session_severed", backend_ip)
+        try:
+            raw, _elapsed = self._forward(backend, payload)
+        except ConnectionError as exc:
+            self.evict(backend_ip, "backend_unreachable", str(exc))
+            raise GatewayError("backend_unreachable", str(exc)) from exc
+        return raw
+
+    def _forward(self, backend: BackendState, payload: bytes) -> Tuple[bytes, float]:
+        if backend.state == "retired":  # accounting guard; never routed
+            backend.requests_after_retired += 1
+        with self.network.measure() as scope:
+            raw = self.host.request(backend.ip_address, HTTPS_PORT, payload)
+        elapsed = scope.elapsed
+        backend.requests_forwarded += 1
+        if backend.ewma_latency is None:
+            backend.ewma_latency = elapsed
+        else:
+            backend.ewma_latency = 0.8 * backend.ewma_latency + 0.2 * elapsed
+        self._route_log.append((backend.ip_address, elapsed))
+        self._count("requests_routed")
+        return raw, elapsed
+
+    def _preference_order(self, candidates: List[BackendState]) -> List[BackendState]:
+        if self.balancer == "round_robin":
+            self._rr_cursor += 1
+            pivot = self._rr_cursor % len(candidates)
+            return candidates[pivot:] + candidates[:pivot]
+        if self.balancer == "least_outstanding":
+            return sorted(
+                candidates,
+                key=lambda b: (
+                    b.server.outstanding if b.server is not None else 0,
+                    b.ip_address,
+                ),
+            )
+        # weighted_latency: prefer the lowest recent forward latency;
+        # unmeasured backends first so every backend gets sampled.
+        return sorted(
+            candidates,
+            key=lambda b: (
+                b.ewma_latency if b.ewma_latency is not None else -1.0,
+                b.ip_address,
+            ),
+        )
+
+    # -- instrumentation --------------------------------------------
+
+    def take_routes(self) -> List[Tuple[str, float]]:
+        """Drain the (backend_ip, elapsed) log of forwards since the
+        last call — the workload replays these against each backend's
+        kernel :class:`Server` to model contention."""
+        routes, self._route_log = self._route_log, []
+        return routes
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Sorted counters in the ``attest/trace`` style, including the
+        per-backend post-retirement forward counts (must stay 0)."""
+        out = dict(self.counters)
+        for ip in sorted(self._backends):
+            backend = self._backends[ip]
+            out[f"backend.{ip}.requests_forwarded"] = backend.requests_forwarded
+            out[f"backend.{ip}.requests_after_retired"] = (
+                backend.requests_after_retired
+            )
+        out["sessions_active"] = len(self._affinity)
+        return {key: out[key] for key in sorted(out)}

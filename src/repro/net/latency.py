@@ -11,30 +11,85 @@ numbers; benchmarks report simulated milliseconds whose *composition*
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Iterator, List, Tuple
+
+
+class ClockScope:
+    """Handle to one :meth:`SimClock.isolated` timeline segment.
+
+    ``elapsed`` holds the virtual seconds charged inside the scope; it
+    is finalised when the ``with`` block exits.
+    """
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
 
 
 class SimClock:
-    """A monotonically advancing virtual clock (seconds)."""
+    """A monotonically advancing virtual clock (seconds).
+
+    Besides plain :meth:`advance`, the clock supports *isolated scopes*
+    for event-driven simulations: inside ``with clock.isolated() as
+    scope:`` every advance is charged to the scope (and, transitively,
+    to any enclosing scope) instead of the shared timeline, while
+    ``now`` keeps reporting base-plus-scope time so timestamps taken
+    mid-scope stay consistent.  A discrete-event kernel measures an
+    in-flight exchange this way, then re-plays the elapsed time as a
+    kernel sleep — concurrent exchanges each advance only their own
+    timeline.
+    """
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._offsets: List[float] = []
 
     @property
     def now(self) -> float:
-        """Current virtual time in seconds."""
+        """Current virtual time in seconds (scope-local when isolated)."""
+        if self._offsets:
+            return self._now + sum(self._offsets)
         return self._now
 
     def advance(self, seconds: float) -> None:
         """Move the clock forward."""
         if seconds < 0:
             raise ValueError("time cannot move backwards")
-        self._now += seconds
+        if self._offsets:
+            self._offsets[-1] += seconds
+        else:
+            self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump to an absolute virtual time (event-kernel scheduling)."""
+        if self._offsets:
+            raise RuntimeError("cannot jump the clock inside an isolated scope")
+        if timestamp < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(timestamp)
+
+    @contextmanager
+    def isolated(self) -> Iterator[ClockScope]:
+        """Charge every advance in the block to a scope, not the shared
+        timeline.  Nested scopes roll their elapsed time up into the
+        enclosing scope; the outermost scope discards it (the caller
+        replays it, e.g. as an event-kernel sleep)."""
+        scope = ClockScope()
+        self._offsets.append(0.0)
+        try:
+            yield scope
+        finally:
+            elapsed = self._offsets.pop()
+            scope.elapsed = elapsed
+            if self._offsets:
+                self._offsets[-1] += elapsed
 
     def epoch_seconds(self) -> int:
         """Integer timestamp for certificate validity checks."""
-        return int(self._now)
+        return int(self.now)
 
 
 @dataclass

@@ -15,12 +15,13 @@ must come from TLS on top — exactly as on the real internet.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from .dns import DnsRegistry
 from .firewall import ConnectionRefused, Firewall
-from .latency import LatencyModel, SimClock
+from .latency import ClockScope, LatencyModel, SimClock
 
 
 class NetworkError(ConnectionError):
@@ -86,7 +87,18 @@ class Host:
 
 
 class Network:
-    """The shared medium + clock + DNS of one simulated internet."""
+    """The shared medium + clock + DNS of one simulated internet.
+
+    By default exchanges run *synchronously*: each one advances the
+    shared clock in place (a degenerate single-process simulation).  An
+    event-driven simulation opts in with :meth:`enable_event_mode` and
+    measures exchanges inside :meth:`measure` — the elapsed virtual time
+    is charged to an isolated clock scope instead of the shared
+    timeline, and the caller (a :class:`repro.sim.kernel.EventKernel`
+    process) replays it as a kernel sleep.  Concurrent in-flight
+    exchanges therefore each advance only their own timeline, while all
+    existing synchronous callers keep working unchanged.
+    """
 
     def __init__(self, latency: Optional[LatencyModel] = None):
         self.clock = SimClock()
@@ -94,6 +106,41 @@ class Network:
         self.dns = DnsRegistry()
         self._hosts_by_ip: Dict[str, Host] = {}
         self._interceptors: List[Interceptor] = []
+        self.event_mode = False
+        self.kernel = None
+
+    def enable_event_mode(self, kernel=None) -> None:
+        """Switch to event-driven timing (see class docstring)."""
+        self.event_mode = True
+        if kernel is not None:
+            self.kernel = kernel
+
+    @contextmanager
+    def measure(self) -> Iterator[ClockScope]:
+        """Measure virtual time spent in the block without (in event
+        mode) advancing the shared timeline.
+
+        In synchronous mode the block's advances land on the shared
+        clock as always and the scope merely reports their sum, so
+        instrumentation code works identically in both modes.
+        """
+        if self.event_mode:
+            with self.clock.isolated() as scope:
+                yield scope
+        else:
+            scope = ClockScope()
+            before = self.clock.now
+            try:
+                yield scope
+            finally:
+                scope.elapsed = self.clock.now - before
+
+    def timed_exchange(self, source: "Host", dst_ip: str, port: int,
+                       payload: bytes) -> Tuple[bytes, float]:
+        """:meth:`exchange` plus the virtual seconds it took."""
+        with self.measure() as scope:
+            response = self.exchange(source, dst_ip, port, payload)
+        return response, scope.elapsed
 
     def add_host(self, name: str, ip_address: str,
                  firewall: Optional[Firewall] = None) -> Host:

@@ -1,0 +1,53 @@
+"""Discrete-event simulation substrate.
+
+A small deterministic kernel (:mod:`repro.sim.kernel`) runs processes
+written as generators over the shared :class:`repro.net.latency.SimClock`,
+with resources (:mod:`repro.sim.resources`), streaming metrics
+(:mod:`repro.sim.metrics`) and a single seeded random stream per
+simulation (:mod:`repro.sim.rng`).  Everything here is pure Python and
+fully reproducible: same seed, same event order, same metric dump.
+"""
+
+from repro.sim.kernel import (
+    EventKernel,
+    Interrupt,
+    SimEvent,
+    SimProcess,
+    sleep,
+    spawn,
+    wait,
+)
+from repro.sim.metrics import (
+    Gauge,
+    LatencyReservoir,
+    MetricsRegistry,
+    ThroughputWindow,
+)
+from repro.sim.resources import (
+    FifoQueue,
+    PriorityResource,
+    Resource,
+    Server,
+    TokenBucket,
+)
+from repro.sim.rng import SimRng
+
+__all__ = [
+    "EventKernel",
+    "FifoQueue",
+    "Gauge",
+    "Interrupt",
+    "LatencyReservoir",
+    "MetricsRegistry",
+    "PriorityResource",
+    "Resource",
+    "Server",
+    "SimEvent",
+    "SimProcess",
+    "SimRng",
+    "ThroughputWindow",
+    "TokenBucket",
+    "sleep",
+    "spawn",
+    "wait",
+]

@@ -1,0 +1,204 @@
+"""Streaming metrics for simulations, in the ``attest/trace`` counter style.
+
+Reservoir quantiles follow ``statistics.quantiles(..., method="inclusive")``
+semantics (linear interpolation at rank ``(n-1)*q``), so property tests
+can pin the streaming estimate against the exact batch computation.
+Snapshots are plain sorted dicts of numbers — safe to ``json.dumps``
+byte-identically across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim.rng import SimRng
+
+
+class LatencyReservoir:
+    """Streaming latency sample with exact extremes and quantiles.
+
+    Stores every observation up to ``capacity``; beyond that it switches
+    to Algorithm-R reservoir sampling driven by a seeded ``rng`` so the
+    sample (and therefore the quantile estimate) is reproducible.
+    ``count``/``max``/``min``/``mean`` stay exact regardless.
+    """
+
+    def __init__(self, capacity: int = 4096, rng: Optional[SimRng] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = rng
+        self._sample: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self.count = 0
+        self.total = 0.0
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.max = value if self.max is None else max(self.max, value)
+        self.min = value if self.min is None else min(self.min, value)
+        self._sorted = None
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        if self._rng is None:
+            raise RuntimeError(
+                "reservoir overflow: pass a seeded SimRng to sample beyond "
+                f"capacity={self.capacity}"
+            )
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Inclusive-method quantile of the retained sample, ``0 <= q <= 1``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._sample:
+            raise ValueError("empty reservoir")
+        if self._sorted is None:
+            self._sorted = sorted(self._sample)
+        data = self._sorted
+        if len(data) == 1:
+            return data[0]
+        rank = (len(data) - 1) * q
+        low = math.floor(rank)
+        high = math.ceil(rank)
+        if low == high:
+            return data[low]
+        return data[low] + (data[high] - data[low]) * (rank - low)
+
+    def snapshot(self, unit_scale: float = 1.0) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean * unit_scale,
+            "p50": self.quantile(0.50) * unit_scale,
+            "p95": self.quantile(0.95) * unit_scale,
+            "p99": self.quantile(0.99) * unit_scale,
+            "max": self.max * unit_scale,
+            "min": self.min * unit_scale,
+        }
+
+
+class ThroughputWindow:
+    """Event counts bucketed into fixed windows of virtual time."""
+
+    def __init__(self, clock, window_seconds: float = 1.0):
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self._clock = clock
+        self.window_seconds = float(window_seconds)
+        self._buckets: Dict[int, int] = {}
+        self._started = clock.now
+        self.count = 0
+
+    def record(self, n: int = 1) -> None:
+        self.count += n
+        bucket = int(self._clock.now / self.window_seconds)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + n
+
+    def snapshot(self) -> Dict[str, float]:
+        elapsed = max(self._clock.now - self._started, self.window_seconds)
+        peak = max(self._buckets.values()) if self._buckets else 0
+        return {
+            "count": self.count,
+            "mean_per_sec": self.count / elapsed,
+            "peak_window_per_sec": peak / self.window_seconds,
+        }
+
+
+class Gauge:
+    """An instantaneous level (e.g. queue depth) with max and time-weighted mean."""
+
+    def __init__(self, clock, initial: float = 0.0):
+        self._clock = clock
+        self.value = float(initial)
+        self.max = float(initial)
+        self._area = 0.0
+        self._stamp = clock.now
+        self._started = clock.now
+
+    def _settle(self) -> None:
+        now = self._clock.now
+        self._area += self.value * (now - self._stamp)
+        self._stamp = now
+
+    def set(self, value: float) -> None:
+        self._settle()
+        self.value = float(value)
+        self.max = max(self.max, self.value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> Dict[str, float]:
+        self._settle()
+        elapsed = self._stamp - self._started
+        return {
+            "current": self.value,
+            "max": self.max,
+            "time_weighted_mean": self._area / elapsed if elapsed > 0 else self.value,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics flattened into one sorted snapshot dict.
+
+    Mirrors ``attest.trace.CounterRegistry.snapshot`` so fleet metrics
+    dump alongside pipeline counters; keys are ``<name>.<field>`` and
+    the dict is sorted for byte-identical JSON across same-seed runs.
+    """
+
+    def __init__(self, clock, rng: Optional[SimRng] = None):
+        self._clock = clock
+        self._rng = rng
+        self._reservoirs: Dict[str, LatencyReservoir] = {}
+        self._windows: Dict[str, ThroughputWindow] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._counters: Dict[str, int] = {}
+
+    def reservoir(self, name: str, capacity: int = 4096) -> LatencyReservoir:
+        if name not in self._reservoirs:
+            rng = self._rng.fork(f"reservoir/{name}") if self._rng else None
+            self._reservoirs[name] = LatencyReservoir(capacity=capacity, rng=rng)
+        return self._reservoirs[name]
+
+    def window(self, name: str, window_seconds: float = 1.0) -> ThroughputWindow:
+        if name not in self._windows:
+            self._windows[name] = ThroughputWindow(self._clock, window_seconds)
+        return self._windows[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(self._clock)
+        return self._gauges[name]
+
+    def increment(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def snapshot(self, latency_unit_scale: float = 1000.0) -> Dict[str, float]:
+        """Flatten everything; latencies scaled to ms by default."""
+        out: Dict[str, float] = {}
+        for name, value in self._counters.items():
+            out[name] = value
+        for name, reservoir in self._reservoirs.items():
+            for field, value in reservoir.snapshot(latency_unit_scale).items():
+                out[f"{name}.{field}"] = value
+        for name, window in self._windows.items():
+            for field, value in window.snapshot().items():
+                out[f"{name}.{field}"] = value
+        for name, gauge in self._gauges.items():
+            for field, value in gauge.snapshot().items():
+                out[f"{name}.{field}"] = value
+        return {key: out[key] for key in sorted(out)}

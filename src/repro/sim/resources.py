@@ -1,0 +1,206 @@
+"""Contention primitives for the event kernel.
+
+All acquisition paths are generators used with ``yield from`` inside a
+kernel process; they may yield zero times (uncontended fast path) or
+suspend the caller until capacity frees up.  Wake-up order is strictly
+FIFO (or priority order for :class:`PriorityResource`), which keeps
+every run deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.kernel import EventKernel, SimEvent, sleep, wait
+
+
+class Resource:
+    """A counted FIFO semaphore (e.g. worker slots on a backend)."""
+
+    def __init__(self, kernel: EventKernel, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._available = capacity
+        self._waiters: List[SimEvent] = []
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Generator:
+        """``yield from`` this to take a slot; FIFO under contention."""
+        if self._available > 0 and not self._waiters:
+            self._available -= 1
+            return
+        slot = self._kernel.event(f"{self.name}.acquire")
+        self._waiters.append(slot)
+        yield wait(slot)
+
+    def release(self) -> None:
+        """Free a slot, handing it directly to the oldest waiter."""
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            if self._available >= self.capacity:
+                raise RuntimeError(f"{self.name}: release without acquire")
+            self._available += 1
+
+
+class PriorityResource(Resource):
+    """A counted semaphore whose waiters wake lowest-priority-value first."""
+
+    def __init__(self, kernel: EventKernel, capacity: int, name: str = "priority"):
+        super().__init__(kernel, capacity, name)
+        self._pqueue: List[Tuple[float, int, SimEvent]] = []
+        self._tiebreak = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pqueue)
+
+    def acquire(self, priority: float = 0.0) -> Generator:
+        if self._available > 0 and not self._pqueue:
+            self._available -= 1
+            return
+        slot = self._kernel.event(f"{self.name}.acquire")
+        self._tiebreak += 1
+        heapq.heappush(self._pqueue, (priority, self._tiebreak, slot))
+        yield wait(slot)
+
+    def release(self) -> None:
+        if self._pqueue:
+            heapq.heappop(self._pqueue)[2].succeed()
+        else:
+            if self._available >= self.capacity:
+                raise RuntimeError(f"{self.name}: release without acquire")
+            self._available += 1
+
+
+class FifoQueue:
+    """An unbounded queue whose ``get`` suspends until an item arrives."""
+
+    def __init__(self, kernel: EventKernel, name: str = "queue"):
+        self._kernel = kernel
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[SimEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """``yield from`` this; returns the next item in arrival order."""
+        if self._items:
+            return self._items.pop(0)
+        slot = self._kernel.event(f"{self.name}.get")
+        self._getters.append(slot)
+        item = yield wait(slot)
+        return item
+
+
+class TokenBucket:
+    """A token-bucket rate limiter (GCRA-style, time-driven refill)."""
+
+    def __init__(self, kernel: EventKernel, rate: float, capacity: float,
+                 name: str = "bucket"):
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self._kernel = kernel
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.name = name
+        self._tokens = float(capacity)
+        self._stamp = kernel.clock.now
+        self.throttled = 0
+
+    def _refill(self) -> None:
+        now = self._kernel.clock.now
+        self._tokens = min(self.capacity, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return max(0.0, self._tokens)
+
+    def take(self, amount: float = 1.0) -> Generator:
+        """``yield from`` this; sleeps until ``amount`` tokens are paid for."""
+        self._refill()
+        self._tokens -= amount
+        if self._tokens < 0:
+            self.throttled += 1
+            delay = -self._tokens / self.rate
+            yield sleep(delay)
+            self._refill()
+
+
+class Server:
+    """Fixed-concurrency service station with a FIFO admission queue.
+
+    ``process(service_seconds)`` models one unit of work: queue for a
+    slot, hold it for the service time, release.  Omit the argument to
+    draw from the configured ``service_time`` distribution.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        concurrency: int,
+        service_time: Optional[Callable[[], float]] = None,
+        name: str = "server",
+    ):
+        self._kernel = kernel
+        self.name = name
+        self.slots = Resource(kernel, concurrency, name=f"{name}.slots")
+        self.service_time = service_time
+        self.served = 0
+        self.busy_seconds = 0.0
+        self.wait_seconds = 0.0
+        self.peak_queue_depth = 0
+
+    @property
+    def concurrency(self) -> int:
+        return self.slots.capacity
+
+    @property
+    def outstanding(self) -> int:
+        """Requests in service plus queued (drain waits for zero)."""
+        return self.slots.in_use + self.slots.queue_depth
+
+    @property
+    def queue_depth(self) -> int:
+        return self.slots.queue_depth
+
+    def process(self, service_seconds: Optional[float] = None) -> Generator:
+        if service_seconds is None:
+            if self.service_time is None:
+                raise ValueError(f"{self.name}: no service-time distribution set")
+            service_seconds = self.service_time()
+        queued_at = self._kernel.clock.now
+        if self.slots.in_use >= self.slots.capacity:
+            self.peak_queue_depth = max(
+                self.peak_queue_depth, self.slots.queue_depth + 1
+            )
+        yield from self.slots.acquire()
+        self.wait_seconds += self._kernel.clock.now - queued_at
+        try:
+            if service_seconds > 0:
+                yield sleep(service_seconds)
+            self.busy_seconds += service_seconds
+            self.served += 1
+        finally:
+            self.slots.release()

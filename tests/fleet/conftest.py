@@ -1,0 +1,54 @@
+"""Fleet fixtures: gateway-fronted deployments, with and without the
+event kernel."""
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.core import RevelioDeployment
+from repro.fleet import FleetGateway
+from repro.sim import EventKernel, SimRng
+from tests.conftest import make_spec
+
+
+@pytest.fixture(scope="module")
+def fleet_build(registry_and_pins):
+    registry, pins = registry_and_pins
+    return build_revelio_image(make_spec(registry, pins))
+
+
+@pytest.fixture(scope="module")
+def fleet_build_v2(registry_and_pins):
+    """Same service, bumped version: a different measurement."""
+    registry, pins = registry_and_pins
+    return build_revelio_image(make_spec(registry, pins, version="2.0.0"))
+
+
+def make_world(build, num_nodes=3, with_kernel=False, seed=0, **gateway_kwargs):
+    """A provisioned fleet fronted by an admitted gateway.
+
+    Returns (deployment, gateway, kernel); kernel is None in
+    synchronous mode.
+    """
+    deployment = RevelioDeployment(build, num_nodes=num_nodes).deploy()
+    kernel = None
+    if with_kernel:
+        kernel = EventKernel(deployment.network.clock, SimRng(seed))
+        deployment.network.enable_event_mode(kernel)
+    gateway = FleetGateway.for_deployment(deployment, kernel=kernel, **gateway_kwargs)
+    verdicts = gateway.admit_all()
+    assert all(v.ok for v in verdicts), [
+        (v.ip_address, v.reason) for v in verdicts if not v.ok
+    ]
+    return deployment, gateway, kernel
+
+
+@pytest.fixture
+def sync_world(fleet_build):
+    """Synchronous-mode world (no kernel) for routing/admission tests."""
+    return make_world(fleet_build)
+
+
+@pytest.fixture
+def event_world(fleet_build):
+    """Event-mode world for workload/drain/rollout tests."""
+    return make_world(fleet_build, with_kernel=True)

@@ -1,0 +1,96 @@
+"""The determinism gate: no ambient randomness or wall-clock in the
+simulation packages, and same-seed benchmark runs are byte-identical."""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SIM_PACKAGES = (REPO / "src" / "repro" / "sim", REPO / "src" / "repro" / "fleet")
+
+#: Bare module-level RNG (``random.random()`` etc.) — everything must
+#: flow from a seeded :class:`repro.sim.SimRng`.  ``from random import
+#: Random`` (which SimRng subclasses) is fine.
+BARE_RANDOM = re.compile(r"(^|[^.\w])random\.[a-z]")
+#: Wall-clock reads — virtual time comes from the SimClock only.
+WALL_CLOCK = re.compile(r"time\.(time|perf_counter|monotonic)\s*\(")
+
+
+class TestSourceScan:
+    def _violations(self, pattern):
+        found = []
+        for package in SIM_PACKAGES:
+            for path in sorted(package.rglob("*.py")):
+                for number, line in enumerate(
+                    path.read_text().splitlines(), start=1
+                ):
+                    if pattern.search(line):
+                        found.append(f"{path.relative_to(REPO)}:{number}: {line.strip()}")
+        return found
+
+    def test_no_bare_random_module_usage(self):
+        assert self._violations(BARE_RANDOM) == []
+
+    def test_no_wall_clock_reads(self):
+        assert self._violations(WALL_CLOCK) == []
+
+
+class TestByteIdenticalRuns:
+    def test_same_seed_bench_runs_are_byte_identical(self, tmp_path):
+        """Two reduced-scale ``bench_fleet.py --seed 42`` runs must dump
+        byte-for-byte identical JSON — even under different
+        PYTHONHASHSEED values (SimRng normalizes seeds via sha256, so
+        nothing depends on the interpreter's hash randomization)."""
+        outputs = []
+        for run, hash_seed in (("a", "1"), ("b", "2")):
+            output = tmp_path / f"bench-{run}.json"
+            subprocess.run(
+                [
+                    sys.executable,
+                    str(REPO / "benchmarks" / "bench_fleet.py"),
+                    "--seed", "42",
+                    "--sessions", "40",
+                    "--backends", "3",
+                    "--users", "12",
+                    "--arrival-rate", "8",
+                    "--ablation-sessions", "20",
+                    "--rollout-at", "3",
+                    "--output", str(output),
+                ],
+                check=True,
+                capture_output=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": str(REPO / "src"),
+                    "PYTHONHASHSEED": hash_seed,
+                },
+            )
+            outputs.append(output.read_bytes())
+        assert outputs[0] == outputs[1]
+
+    def test_different_seeds_differ(self, tmp_path):
+        """The seed actually reaches the traffic generators."""
+        dumps = []
+        for seed in ("42", "43"):
+            output = tmp_path / f"bench-seed-{seed}.json"
+            subprocess.run(
+                [
+                    sys.executable,
+                    str(REPO / "benchmarks" / "bench_fleet.py"),
+                    "--seed", seed,
+                    "--sessions", "20",
+                    "--backends", "3",
+                    "--users", "8",
+                    "--arrival-rate", "8",
+                    "--ablation-sessions", "10",
+                    "--rollout-at", "2",
+                    "--output", str(output),
+                ],
+                check=True,
+                capture_output=True,
+                env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            )
+            dumps.append(output.read_bytes())
+        assert dumps[0] != dumps[1]

@@ -1,0 +1,107 @@
+"""Fault injection: dead backends, a black-holed KDS, a raised TCB
+floor — each surfacing its stable reason code and zero end-user damage."""
+
+
+from repro.amd.tcb import TcbVersion
+from repro.core.deployment import MINIMAL_PAGE
+from repro.fleet import blackhole_kds, kill_backend, raise_tcb_floor
+
+
+def navigate_ok(browser, domain):
+    result = browser.navigate(f"https://{domain}/")
+    assert not result.blocked, result.block_reason
+    assert result.response.body == MINIMAL_PAGE
+    return result
+
+
+class TestBackendDeath:
+    def test_mid_session_kill_evicts_and_client_recovers(self, sync_world):
+        deployment, gateway, _ = sync_world
+        browser, _ = deployment.make_user(name="victim-user", ip_address="10.2.7.1")
+        navigate_ok(browser, deployment.domain)
+        (victim_ip,) = set(gateway._affinity.values())
+
+        kill_backend(gateway, victim_ip)
+
+        # The revisit's record forward dies on the wire; the gateway
+        # evicts with the stable code and the client's automatic
+        # re-handshake lands on a healthy peer: zero failed page loads.
+        navigate_ok(browser, deployment.domain)
+        victim = gateway.backends[victim_ip]
+        assert victim.state == "evicted"
+        assert victim.verdict_reason == "backend_unreachable"
+        assert gateway.counters["evictions.backend_unreachable"] == 1
+
+    def test_new_sessions_retry_past_a_dead_backend(self, sync_world):
+        deployment, gateway, _ = sync_world
+        dead_ip = sorted(gateway.backends)[0]
+        kill_backend(gateway, dead_ip)
+        # Three fresh sessions: round-robin guarantees the dead backend
+        # is attempted, evicted, and silently retried on a live one.
+        for index in range(3):
+            browser, _ = deployment.make_user(
+                name=f"retry-user-{index}", ip_address=f"10.2.7.{10 + index}"
+            )
+            navigate_ok(browser, deployment.domain)
+        assert gateway.backends[dead_ip].state == "evicted"
+        assert gateway.counters["retries"] >= 1
+        assert gateway.counters["evictions.backend_unreachable"] == 1
+
+    def test_whole_fleet_dead_is_a_stable_routing_failure(self, sync_world):
+        deployment, gateway, _ = sync_world
+        for ip in sorted(gateway.backends):
+            kill_backend(gateway, ip)
+        browser, _ = deployment.make_user(name="left-out", ip_address="10.2.7.20")
+        result = browser.navigate(f"https://{deployment.domain}/")
+        assert result.blocked
+        assert all(b.state == "evicted" for b in gateway.backends.values())
+        assert gateway.counters["routing_failed.no_healthy_backend"] >= 1
+
+
+class TestKdsBlackhole:
+    def test_warm_vcek_cache_rides_out_the_outage(self, sync_world):
+        """The PR-3 story: cached VCEKs keep re-attestation working
+        while AMD's KDS is unreachable."""
+        _, gateway, _ = sync_world
+        hole = blackhole_kds(gateway)  # cache intact
+        for ip in sorted(gateway.backends):
+            verdict = gateway.attest_and_admit(ip)
+            assert verdict.ok, verdict.reason
+        assert all(b.state == "admitted" for b in gateway.backends.values())
+        hole.active = False
+
+    def test_cold_cache_blackhole_evicts_with_kds_unreachable(self, sync_world):
+        _, gateway, _ = sync_world
+        hole = blackhole_kds(gateway, clear_cache=True)
+        ip = sorted(gateway.backends)[0]
+        verdict = gateway.attest_and_admit(ip)
+        assert not verdict.ok
+        assert verdict.reason == "kds_unreachable"
+        assert gateway.backends[ip].state == "evicted"
+        assert gateway.counters["evictions.kds_unreachable"] == 1
+
+        # Service restored: a replacement registration re-admits.
+        hole.active = False
+        gateway.add_backend(ip)
+        assert gateway.attest_and_admit(ip).ok
+        assert gateway.backends[ip].state == "admitted"
+
+
+class TestTcbFloor:
+    def test_raised_floor_evicts_with_tcb_too_old(self, sync_world):
+        _, gateway, _ = sync_world
+        # Fleet chips report TCB 3.0.8.115; mandate a newer bootloader.
+        raise_tcb_floor(gateway, TcbVersion(4, 0, 8, 115))
+        ip = sorted(gateway.backends)[0]
+        verdict = gateway.attest_and_admit(ip)
+        assert not verdict.ok
+        assert verdict.reason == "tcb_too_old"
+        assert gateway.backends[ip].state == "evicted"
+        assert gateway.counters["evictions.tcb_too_old"] == 1
+
+    def test_met_floor_keeps_the_backend_admitted(self, sync_world):
+        _, gateway, _ = sync_world
+        raise_tcb_floor(gateway, TcbVersion(3, 0, 8, 115))
+        ip = sorted(gateway.backends)[0]
+        assert gateway.attest_and_admit(ip).ok
+        assert gateway.backends[ip].state == "admitted"

@@ -1,0 +1,225 @@
+"""The discrete-event kernel: ordering, processes, events, clock scopes."""
+
+import pytest
+
+from repro.net.latency import SimClock
+from repro.sim import (
+    EventKernel,
+    Interrupt,
+    SimRng,
+    sleep,
+    spawn,
+    wait,
+)
+from repro.sim.kernel import run_until_complete
+
+
+@pytest.fixture
+def kernel():
+    return EventKernel(SimClock(), SimRng(0))
+
+
+class TestScheduling:
+    def test_sleep_advances_virtual_time(self, kernel):
+        timestamps = []
+
+        def proc():
+            yield sleep(1.5)
+            timestamps.append(kernel.clock.now)
+            yield sleep(0.5)
+            timestamps.append(kernel.clock.now)
+
+        kernel.spawn(proc())
+        kernel.run()
+        assert timestamps == [1.5, 2.0]
+
+    def test_events_fire_in_time_order_with_fifo_ties(self, kernel):
+        order = []
+
+        def proc(name, delay):
+            yield sleep(delay)
+            order.append(name)
+
+        kernel.spawn(proc("late", 2.0))
+        kernel.spawn(proc("tie-a", 1.0))
+        kernel.spawn(proc("tie-b", 1.0))
+        kernel.spawn(proc("early", 0.5))
+        kernel.run()
+        assert order == ["early", "tie-a", "tie-b", "late"]
+
+    def test_run_until_stops_at_horizon(self, kernel):
+        hits = []
+
+        def proc():
+            for _ in range(10):
+                yield sleep(1.0)
+                hits.append(kernel.clock.now)
+
+        kernel.spawn(proc())
+        kernel.run(until=3.5)
+        assert hits == [1.0, 2.0, 3.0]
+        assert kernel.clock.now == 3.5
+        kernel.run()
+        assert len(hits) == 10
+
+    def test_zero_sleep_keeps_relative_order(self, kernel):
+        order = []
+
+        def proc(name):
+            yield sleep(0.0)
+            order.append(name)
+
+        kernel.spawn(proc("a"))
+        kernel.spawn(proc("b"))
+        kernel.run()
+        assert order == ["a", "b"]
+
+    def test_yielding_garbage_raises(self, kernel):
+        def proc():
+            yield "not a command"
+
+        kernel.spawn(proc())
+        with pytest.raises(TypeError, match="expected"):
+            kernel.run()
+
+
+class TestProcesses:
+    def test_spawn_returns_handle_and_wait_gets_value(self, kernel):
+        def child():
+            yield sleep(1.0)
+            return 42
+
+        def parent():
+            handle = yield spawn(child())
+            value = yield wait(handle)
+            return value
+
+        assert run_until_complete(kernel, parent()) == 42
+
+    def test_wait_on_finished_process_resumes_immediately(self, kernel):
+        def child():
+            yield sleep(0.1)
+            return "done"
+
+        def parent():
+            handle = yield spawn(child())
+            yield sleep(5.0)  # child long finished
+            value = yield wait(handle)
+            return (value, kernel.clock.now)
+
+        assert run_until_complete(kernel, parent()) == ("done", 5.0)
+
+    def test_unhandled_exception_propagates_out_of_run(self, kernel):
+        def proc():
+            yield sleep(1.0)
+            raise ValueError("boom")
+
+        kernel.spawn(proc())
+        with pytest.raises(ValueError, match="boom"):
+            kernel.run()
+
+    def test_exception_reraises_in_waiter_not_run(self, kernel):
+        def child():
+            yield sleep(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            handle = yield spawn(child())
+            try:
+                yield wait(handle)
+            except ValueError:
+                return "caught"
+
+        assert run_until_complete(kernel, parent()) == "caught"
+
+    def test_interrupt_cancels_pending_sleep(self, kernel):
+        def sleeper():
+            try:
+                yield sleep(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, kernel.clock.now)
+
+        handle = kernel.spawn(sleeper())
+
+        def killer():
+            yield sleep(2.0)
+            handle.interrupt("shutdown")
+
+        kernel.spawn(killer())
+        kernel.run()
+        assert handle.value == ("interrupted", "shutdown", 2.0)
+        assert kernel.clock.now == 2.0  # the 100 s sleep never fired
+
+    def test_event_wakes_all_waiters_with_value(self, kernel):
+        results = []
+        gate = kernel.event("gate")
+
+        def waiter(name):
+            value = yield wait(gate)
+            results.append((name, value, kernel.clock.now))
+
+        def firer():
+            yield sleep(3.0)
+            gate.succeed("go")
+
+        kernel.spawn(waiter("a"))
+        kernel.spawn(waiter("b"))
+        kernel.spawn(firer())
+        kernel.run()
+        assert results == [("a", "go", 3.0), ("b", "go", 3.0)]
+
+
+class TestClockScopes:
+    def test_isolated_scope_does_not_advance_shared_time(self):
+        clock = SimClock()
+        with clock.isolated() as scope:
+            clock.advance(5.0)
+            assert clock.now == 5.0  # scope-local view
+        assert scope.elapsed == 5.0
+        assert clock.now == 0.0
+
+    def test_nested_scope_rolls_up_into_parent(self):
+        clock = SimClock()
+        with clock.isolated() as outer:
+            clock.advance(1.0)
+            with clock.isolated() as inner:
+                clock.advance(2.0)
+            assert inner.elapsed == 2.0
+            assert clock.now == 3.0
+        assert outer.elapsed == 3.0
+        assert clock.now == 0.0
+
+    def test_advance_to_refused_inside_scope(self):
+        clock = SimClock()
+        with clock.isolated():
+            with pytest.raises(RuntimeError):
+                clock.advance_to(10.0)
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(4.0)
+        assert clock.now == 4.0
+        with pytest.raises(ValueError):
+            clock.advance_to(3.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def one_run(seed):
+            clock = SimClock()
+            kernel = EventKernel(clock, SimRng(seed))
+            rng = kernel.rng.fork("jitter")
+            trace = []
+
+            def proc(name):
+                for _ in range(20):
+                    yield sleep(rng.expovariate(2.0))
+                    trace.append((name, clock.now))
+
+            for name in ("a", "b", "c"):
+                kernel.spawn(proc(name))
+            kernel.run()
+            return trace
+
+        assert one_run(42) == one_run(42)
+        assert one_run(42) != one_run(43)

@@ -1,0 +1,166 @@
+"""Streaming metrics, with the reservoir quantiles pinned against
+``statistics.quantiles`` on the full sample (Hypothesis property)."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.latency import SimClock
+from repro.sim import Gauge, LatencyReservoir, MetricsRegistry, SimRng, ThroughputWindow
+
+finite_latencies = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def exact_quantile(data, q):
+    """The inclusive-method batch quantile the streaming estimate must match."""
+    if len(data) == 1:
+        return data[0]
+    if q == 0.0:
+        return min(data)
+    if q == 1.0:
+        return max(data)
+    # quantiles(n=k, method="inclusive") cuts at i/k for i in 1..k-1,
+    # so q maps to cut index q*k - 1 for a k where q*k is integral.
+    n, index = {0.5: (2, 0), 0.95: (20, 18), 0.99: (100, 98)}[q]
+    return statistics.quantiles(data, n=n, method="inclusive")[index]
+
+
+class TestReservoirExact:
+    """Below capacity the reservoir holds every sample: quantiles must
+    agree with the exact batch computation."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(finite_latencies, min_size=1, max_size=300))
+    def test_p50_p95_p99_match_statistics_quantiles(self, data):
+        reservoir = LatencyReservoir(capacity=4096)
+        for value in data:
+            reservoir.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            assert math.isclose(
+                reservoir.quantile(q),
+                exact_quantile(data, q),
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )
+        assert reservoir.max == max(data)
+        assert reservoir.min == min(data)
+        assert math.isclose(reservoir.mean, statistics.fmean(data), rel_tol=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_single_sample_every_quantile_is_the_sample(self, value):
+        reservoir = LatencyReservoir()
+        reservoir.observe(value)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert reservoir.quantile(q) == value
+
+    @settings(deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=2, max_value=50),
+    )
+    def test_all_equal_samples_collapse_to_that_value(self, value, count):
+        reservoir = LatencyReservoir()
+        for _ in range(count):
+            reservoir.observe(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert reservoir.quantile(q) == value
+
+    def test_two_samples_interpolate(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(0.0)
+        reservoir.observe(10.0)
+        assert reservoir.quantile(0.5) == 5.0
+        assert math.isclose(
+            reservoir.quantile(0.99),
+            statistics.quantiles([0.0, 10.0], n=100, method="inclusive")[98],
+        )
+
+    def test_empty_reservoir_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LatencyReservoir().quantile(0.5)
+
+    def test_out_of_range_q_raises(self):
+        reservoir = LatencyReservoir()
+        reservoir.observe(1.0)
+        with pytest.raises(ValueError):
+            reservoir.quantile(1.5)
+
+
+class TestReservoirSampling:
+    def test_overflow_without_rng_refuses(self):
+        reservoir = LatencyReservoir(capacity=4)
+        for value in range(4):
+            reservoir.observe(value)
+        with pytest.raises(RuntimeError, match="overflow"):
+            reservoir.observe(5.0)
+
+    def test_overflow_with_rng_keeps_exact_extremes_and_count(self):
+        reservoir = LatencyReservoir(capacity=64, rng=SimRng(1))
+        for value in range(1000):
+            reservoir.observe(float(value))
+        assert reservoir.count == 1000
+        assert reservoir.max == 999.0
+        assert reservoir.min == 0.0
+        # The sampled median of 0..999 must land near the true median.
+        assert 300.0 < reservoir.quantile(0.5) < 700.0
+
+    def test_sampling_is_deterministic_per_seed(self):
+        def run(seed):
+            reservoir = LatencyReservoir(capacity=32, rng=SimRng(seed))
+            for value in range(500):
+                reservoir.observe(float(value))
+            return reservoir.quantile(0.5)
+
+        assert run(7) == run(7)
+
+
+class TestThroughputAndGauge:
+    def test_throughput_window_counts_and_peak(self):
+        clock = SimClock()
+        window = ThroughputWindow(clock, window_seconds=1.0)
+        for _ in range(3):
+            window.record()
+        clock.advance(1.0)
+        window.record()
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["peak_window_per_sec"] == 3.0
+
+    def test_gauge_tracks_max_and_time_weighted_mean(self):
+        clock = SimClock()
+        gauge = Gauge(clock)
+        gauge.set(10.0)
+        clock.advance(2.0)
+        gauge.set(0.0)
+        clock.advance(2.0)
+        snapshot = gauge.snapshot()
+        assert snapshot["max"] == 10.0
+        assert snapshot["time_weighted_mean"] == 5.0
+        assert snapshot["current"] == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_flat_sorted_and_json_safe(self):
+        import json
+
+        clock = SimClock()
+        registry = MetricsRegistry(clock, rng=SimRng(0))
+        registry.increment("requests_total", 3)
+        registry.reservoir("latency").observe(0.25)
+        registry.window("throughput").record()
+        registry.gauge("queue_depth").set(2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["requests_total"] == 3
+        assert snapshot["latency.p50"] == 250.0  # scaled to ms
+        json.dumps(snapshot)  # all values serialisable
+
+    def test_named_metrics_are_memoized(self):
+        registry = MetricsRegistry(SimClock())
+        assert registry.reservoir("a") is registry.reservoir("a")
+        assert registry.gauge("g") is registry.gauge("g")

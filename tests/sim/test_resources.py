@@ -1,0 +1,206 @@
+"""Contention primitives: semaphores, queues, token buckets, servers."""
+
+import pytest
+
+from repro.net.latency import SimClock
+from repro.sim import (
+    EventKernel,
+    FifoQueue,
+    PriorityResource,
+    Resource,
+    Server,
+    SimRng,
+    TokenBucket,
+    sleep,
+)
+
+
+@pytest.fixture
+def kernel():
+    return EventKernel(SimClock(), SimRng(0))
+
+
+class TestResource:
+    def test_uncontended_acquire_is_immediate(self, kernel):
+        resource = Resource(kernel, capacity=2)
+        log = []
+
+        def proc():
+            yield from resource.acquire()
+            log.append(kernel.clock.now)
+            resource.release()
+
+        kernel.spawn(proc())
+        kernel.run()
+        assert log == [0.0]
+
+    def test_fifo_wakeup_under_contention(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        order = []
+
+        def proc(name, hold):
+            yield from resource.acquire()
+            order.append((name, kernel.clock.now))
+            yield sleep(hold)
+            resource.release()
+
+        for name in ("a", "b", "c"):
+            kernel.spawn(proc(name, 1.0))
+        kernel.run()
+        assert order == [("a", 0.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_release_without_acquire_raises(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_counters(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        depths = []
+
+        def holder():
+            yield from resource.acquire()
+            yield sleep(1.0)
+            depths.append((resource.in_use, resource.queue_depth))
+            resource.release()
+
+        def waiter():
+            yield from resource.acquire()
+            resource.release()
+
+        kernel.spawn(holder())
+        kernel.spawn(waiter())
+        kernel.run()
+        assert depths == [(1, 1)]
+
+
+class TestPriorityResource:
+    def test_lowest_priority_value_wakes_first(self, kernel):
+        resource = PriorityResource(kernel, capacity=1)
+        order = []
+
+        def holder():
+            yield from resource.acquire(priority=0)
+            yield sleep(1.0)
+            resource.release()
+
+        def proc(name, priority):
+            yield sleep(0.1)  # queue behind the holder
+            yield from resource.acquire(priority)
+            order.append(name)
+            resource.release()
+
+        kernel.spawn(holder())
+        kernel.spawn(proc("low", 5))
+        kernel.spawn(proc("high", 1))
+        kernel.run()
+        assert order == ["high", "low"]
+
+
+class TestFifoQueue:
+    def test_get_waits_for_put(self, kernel):
+        queue = FifoQueue(kernel)
+        got = []
+
+        def getter():
+            item = yield from queue.get()
+            got.append((item, kernel.clock.now))
+
+        def putter():
+            yield sleep(2.0)
+            queue.put("x")
+
+        kernel.spawn(getter())
+        kernel.spawn(putter())
+        kernel.run()
+        assert got == [("x", 2.0)]
+
+    def test_items_and_getters_pair_in_fifo_order(self, kernel):
+        queue = FifoQueue(kernel)
+        queue.put(1)
+        queue.put(2)
+        got = []
+
+        def getter():
+            item = yield from queue.get()
+            got.append(item)
+
+        kernel.spawn(getter())
+        kernel.spawn(getter())
+        kernel.run()
+        assert got == [1, 2]
+        assert len(queue) == 0
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self, kernel):
+        bucket = TokenBucket(kernel, rate=2.0, capacity=2.0)
+        times = []
+
+        def taker():
+            for _ in range(5):
+                yield from bucket.take()
+                times.append(round(kernel.clock.now, 6))
+
+        kernel.spawn(taker())
+        kernel.run()
+        # burst of 2 at t=0, then one every 1/rate = 0.5 s
+        assert times == [0.0, 0.0, 0.5, 1.0, 1.5]
+        assert bucket.throttled == 3
+
+    def test_tokens_refill_up_to_capacity(self, kernel):
+        bucket = TokenBucket(kernel, rate=1.0, capacity=3.0)
+
+        def proc():
+            yield from bucket.take(3.0)
+            yield sleep(100.0)
+
+        kernel.spawn(proc())
+        kernel.run()
+        assert bucket.tokens == 3.0
+
+
+class TestServer:
+    def test_concurrency_limit_queues_work(self, kernel):
+        server = Server(kernel, concurrency=2, name="web")
+        finished = []
+
+        def job(name):
+            yield from server.process(1.0)
+            finished.append((name, kernel.clock.now))
+
+        for name in ("a", "b", "c", "d", "e"):
+            kernel.spawn(job(name))
+        kernel.run()
+        assert finished == [
+            ("a", 1.0), ("b", 1.0), ("c", 2.0), ("d", 2.0), ("e", 3.0),
+        ]
+        assert server.served == 5
+        assert server.busy_seconds == 5.0
+        assert server.wait_seconds == 4.0  # c,d wait 1s; e waits 2s
+        assert server.peak_queue_depth == 3
+        assert server.outstanding == 0
+
+    def test_service_time_distribution(self, kernel):
+        draws = iter([0.5, 1.5])
+        server = Server(kernel, concurrency=1, service_time=lambda: next(draws))
+        done = []
+
+        def job():
+            yield from server.process()
+            done.append(kernel.clock.now)
+
+        kernel.spawn(job())
+        kernel.spawn(job())
+        kernel.run()
+        assert done == [0.5, 2.0]
+
+    def test_no_distribution_and_no_argument_raises(self, kernel):
+        server = Server(kernel, concurrency=1)
+
+        def job():
+            yield from server.process()
+
+        kernel.spawn(job())
+        with pytest.raises(ValueError, match="no service-time distribution"):
+            kernel.run()
