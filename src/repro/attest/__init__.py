@@ -37,6 +37,7 @@ from .trace import (
     CounterRegistry,
     Histogram,
     RingBufferSink,
+    StorageCounters,
     TraceEvent,
     TraceSink,
     get_tracer,
@@ -58,6 +59,7 @@ __all__ = [
     "STEP_ORDER",
     "STEP_REPORT_DATA",
     "STEP_REVOCATION",
+    "StorageCounters",
     "STEP_SIGNATURE",
     "STEP_TCB_BINDING",
     "STEP_TCB_FLOOR",

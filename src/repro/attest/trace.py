@@ -143,17 +143,61 @@ class CounterRegistry(TraceSink):
         self.__init__()
 
 
+class StorageCounters:
+    """Aggregated device-mapper I/O counters (``repro.storage.dm``).
+
+    Storage targets report per-operation counts (reads, writes, verity
+    hits/misses, corruption rejections, cache hits, injected faults)
+    and simulated latency here, alongside their per-target stats, so
+    the CLI summary and the bench harness see boot-to-mount I/O cost in
+    the same place as verification cost.
+    """
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+        self.sim_seconds = 0.0
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Count *amount* operations under *name*."""
+        self.counts[name] += amount
+
+    def charge(self, seconds: float) -> None:
+        """Accumulate simulated storage latency."""
+        self.sim_seconds += seconds
+
+    def verify_hit_rate(self) -> float:
+        """Fraction of verity reads served without a full Merkle walk."""
+        hits = self.counts["verify_hits"]
+        lookups = hits + self.counts["verify_misses"]
+        return hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-data view for reports and JSON persistence."""
+        return {
+            "io": dict(sorted(self.counts.items())),
+            "verify_hit_rate": self.verify_hit_rate(),
+            "sim_ms": self.sim_seconds * 1000.0,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+
 class AttestationTracer:
     """Fans events out to its sinks.
 
     The default construction wires a ring buffer and a counter registry
     (exposed as :attr:`ring` and :attr:`counters`); additional sinks can
-    be attached with :meth:`add_sink`.
+    be attached with :meth:`add_sink`.  The tracer also owns the
+    process-wide :class:`StorageCounters` (:attr:`storage`) that the
+    device-mapper targets report into.
     """
 
     def __init__(self, ring_capacity: int = 256):
         self.ring = RingBufferSink(ring_capacity)
         self.counters = CounterRegistry()
+        self.storage = StorageCounters()
         self._sinks: List[TraceSink] = [self.ring, self.counters]
 
     def add_sink(self, sink: TraceSink) -> None:

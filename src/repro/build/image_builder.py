@@ -70,6 +70,16 @@ KERNEL_FEATURES: Tuple[str, ...] = ("sev-snp", "dm-verity", "dm-crypt")
 #: dm-crypt needs the LUKS header blocks plus at least one data block.
 MIN_DATA_VOLUME_BLOCKS = 4
 
+#: The device-mapper stacks a standard image boots from.  The tables
+#: travel in the (measured) initrd descriptor, so the exact storage
+#: topology — including the verity binding to the cmdline root hash and
+#: the sealing-key crypt target — is covered by the launch measurement.
+ROOTFS_DM_TABLE = (
+    "linear partition=rootfs ; cache blocks=128 ; "
+    "verity hash=partition:verity root=cmdline:verity_root_hash"
+)
+DATA_DM_TABLE = "linear partition=data ; crypt key=sealing format=auto fill=zero"
+
 
 class BuildError(ValueError):
     """Raised on invalid specs or unbuildable images."""
@@ -171,6 +181,9 @@ class RevelioBuild:
     root_hash: bytes
     expected_measurement: bytes
     rootfs_files: Dict[str, bytes]
+    #: The device-mapper table specs the image's initrd carries
+    #: (volume name → table text), part of the audit trail.
+    dm_tables: Mapping[str, str] = field(default_factory=dict)
 
 
 #: Historical alias used by the deployment and rollout layers.
@@ -291,12 +304,16 @@ def build_revelio_image(spec: ImageSpec) -> RevelioBuild:
     )
     disk_image = _assemble_disk(spec, rootfs_image, verity.hash_device.snapshot())
 
+    # The legacy per-partition parameters stay alongside the dm tables
+    # so images remain bootable by older init-step implementations.
     initrd = InitrdDescriptor(
         init_steps=spec.init_steps,
         parameters={
             "rootfs_partition": "rootfs",
             "verity_partition": "verity",
             "data_partition": "data",
+            "rootfs_table": ROOTFS_DM_TABLE,
+            "data_table": DATA_DM_TABLE,
         },
     ).encode()
     kernel = KernelBlob(KERNEL_NAME, KERNEL_VERSION, KERNEL_FEATURES).encode()
@@ -322,4 +339,5 @@ def build_revelio_image(spec: ImageSpec) -> RevelioBuild:
         root_hash=verity.root_hash,
         expected_measurement=expected_measurement_for_image(image),
         rootfs_files=rootfs_files,
+        dm_tables={"rootfs": ROOTFS_DM_TABLE, "data": DATA_DM_TABLE},
     )

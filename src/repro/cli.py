@@ -136,6 +136,12 @@ def _print_trace_summary(show_failures: bool = False) -> None:
     if show_failures and snapshot["failures_by_reason"]:
         failures = dict(sorted(snapshot["failures_by_reason"].items()))
         print(f"  failures by reason: {failures}")
+    storage = get_tracer().storage.snapshot()
+    if storage["io"]:
+        print("storage:")
+        print(f"  io: {storage['io']}")
+        print(f"  verity verify hit rate: {storage['verify_hit_rate']:.2f}")
+        print(f"  simulated io time: {storage['sim_ms']:.1f} ms")
 
 
 def cmd_demo(args) -> int:

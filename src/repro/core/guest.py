@@ -35,10 +35,8 @@ from ..net.firewall import Firewall
 from ..net.http import HttpRequest, HttpResponse, HttpServer
 from ..net.latency import LatencyModel
 from ..net.simnet import Host
-from ..storage.dm_crypt import is_luks, luks_format, luks_open
-from ..storage.dm_verity import verity_open
+from ..storage.dm import DmContext, DmTable
 from ..storage.filesystem import FileSystem
-from ..storage.partition import PartitionTable
 from ..virt.image import register_init_step
 from ..virt.vm import VirtualMachine
 from .kds_client import KdsClient
@@ -101,19 +99,53 @@ class VmIdentity:
 # -- init steps ---------------------------------------------------------------
 
 
+def _dm_context(vm: VirtualMachine, keys: Optional[Dict[str, bytes]] = None) -> DmContext:
+    """The device-mapper open context for this VM: its host-attached
+    disk, its (measured) kernel command line, and any key material."""
+    return DmContext(
+        disk=vm.disk,
+        cmdline_args=vm.cmdline_args,
+        keys=keys if keys is not None else {},
+        rng=vm.rng,
+        meter=vm.storage.meter,
+    )
+
+
+def _initrd_table(vm: VirtualMachine, param: str, name: str,
+                  legacy: str) -> DmTable:
+    """The named dm table from the initrd parameters, falling back to a
+    table synthesised from the pre-table per-partition parameters (older
+    images carry only those)."""
+    text = vm.initrd_params.get(param)
+    if text is None:
+        text = legacy
+    return DmTable.parse(name, text)
+
+
 @register_init_step("verity-rootfs")
 def _setup_verity_rootfs(vm: VirtualMachine) -> None:
-    """Open and fully verify the integrity-protected rootfs (5.2.1)."""
-    table = PartitionTable.read_from(vm.disk)
-    rootfs_part = table.open(vm.disk, vm.initrd_params["rootfs_partition"])
-    verity_part = table.open(vm.disk, vm.initrd_params["verity_partition"])
-    root_hash_hex = vm.cmdline_args.get("verity_root_hash", "")
-    if not root_hash_hex:
+    """Open and fully verify the integrity-protected rootfs (5.2.1).
+
+    The stack comes from the measured initrd's ``rootfs_table`` and ends
+    in a verity target whose root hash the (equally measured) kernel
+    command line pins — tampering with table, hash, or data all surface
+    as verification failures here."""
+    if not vm.cmdline_args.get("verity_root_hash", ""):
         raise GuestError("no verity root hash on the kernel command line")
-    device = verity_open(rootfs_part, verity_part, bytes.fromhex(root_hash_hex))
-    device.verify_all()  # Table 1's "dm-verity verify" service
-    vm.storage["verity"] = device
-    vm.rootfs = FileSystem(device)
+    table = _initrd_table(
+        vm,
+        "rootfs_table",
+        "rootfs",
+        legacy=(
+            f"linear partition={vm.initrd_params['rootfs_partition']} ; "
+            f"verity hash=partition:{vm.initrd_params['verity_partition']} "
+            "root=cmdline:verity_root_hash"
+        ),
+    )
+    volume = table.open(_dm_context(vm))
+    volume.verify_all()  # Table 1's "dm-verity verify" service
+    vm.storage.register("verity", volume)
+    vm.rootfs = FileSystem(volume)
 
 
 @register_init_step("network-lockdown")
@@ -130,23 +162,25 @@ def _setup_network_lockdown(vm: VirtualMachine) -> None:
 @register_init_step("dm-crypt-data")
 def _setup_encrypted_data(vm: VirtualMachine) -> None:
     """Encrypt (first boot) or re-open the data volume with the
-    measurement-derived sealing key (5.2.1, F6)."""
-    table = PartitionTable.read_from(vm.disk)
-    data_part = table.open(vm.disk, vm.initrd_params["data_partition"])
+    measurement-derived sealing key (5.2.1, F6).
+
+    ``format=auto`` probes for an existing LUKS header; ``fill=zero``
+    makes first boot encrypt the whole volume in place (what the
+    paper's size-dependent "encryption service" does to its 84 MB
+    volume)."""
     sealing_key = vm.guest.derive_sealing_key(b"disk-encryption")
     master_key = hkdf(sealing_key, info=b"luks-master-key", length=64)
-    if is_luks(data_part):
-        volume = luks_open(data_part, master_key=master_key)
-    else:
-        volume = luks_format(data_part, vm.rng, master_key=master_key)
-        # First boot: encrypt the whole volume in place (what the
-        # paper's size-dependent "encryption service" does to its 84 MB
-        # volume), in batches to keep the XTS passes vectorised.
-        batch_blocks = 256
-        for first in range(0, volume.num_blocks, batch_blocks):
-            count = min(batch_blocks, volume.num_blocks - first)
-            volume.write_blocks(first, bytes(count * volume.block_size))
-    vm.storage["data"] = volume
+    table = _initrd_table(
+        vm,
+        "data_table",
+        "data",
+        legacy=(
+            f"linear partition={vm.initrd_params['data_partition']} ; "
+            "crypt key=sealing format=auto fill=zero"
+        ),
+    )
+    volume = table.open(_dm_context(vm, keys={"sealing": master_key}))
+    vm.storage.register("data", volume)
 
 
 @register_init_step("identity-creation")

@@ -232,8 +232,7 @@ def import_sealed_state(
     and copy its contents into the new VM's own sealed volume.
 
     Returns the number of blocks migrated."""
-    from ..storage.dm_crypt import luks_open
-    from ..storage.partition import PartitionTable
+    from ..storage.dm import DmContext, DmTable
     from .key_sharing import decrypt_with_private_key, verify_report_bundle
 
     new_vm.require_running()
@@ -246,8 +245,9 @@ def import_sealed_state(
     master_key = decrypt_with_private_key(
         new_vm.identity.private_key, encrypted_master_key
     )
-    old_table = PartitionTable.read_from(old_disk)
-    old_volume = luks_open(old_table.open(old_disk, "data"), master_key=master_key)
+    old_volume = DmTable.parse(
+        "retired-data", "linear partition=data ; crypt key=master"
+    ).open(DmContext(disk=old_disk, keys={"master": master_key}))
     new_volume = new_vm.storage["data"]
     blocks = min(old_volume.num_blocks, new_volume.num_blocks)
     for index in range(blocks):

@@ -14,8 +14,10 @@ from repro.fleet.drain import RollingRolloutReport, drain_backend, rolling_rollo
 from repro.fleet.faults import (
     KdsBlackhole,
     blackhole_kds,
+    corrupt_disk,
     kill_backend,
     raise_tcb_floor,
+    slow_disk,
 )
 from repro.fleet.gateway import (
     AdmissionVerdict,
@@ -37,8 +39,10 @@ __all__ = [
     "RollingRolloutReport",
     "UserPool",
     "blackhole_kds",
+    "corrupt_disk",
     "drain_backend",
     "kill_backend",
     "raise_tcb_floor",
     "rolling_rollout",
+    "slow_disk",
 ]

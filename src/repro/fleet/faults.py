@@ -1,7 +1,7 @@
-"""Fault injection for the gateway path.
+"""Fault injection for the gateway path and backend storage.
 
-Three failures from the operational threat model, each surfacing a
-stable reason code:
+Failures from the operational threat model, each surfacing a stable
+reason code or a typed storage error:
 
 * :func:`kill_backend` — the VM's host vanishes mid-flight (hardware
   failure / hypervisor kill); in-flight forwards raise, the gateway
@@ -12,12 +12,20 @@ stable reason code:
 * :func:`raise_tcb_floor` — the platform operator mandates a newer TCB
   than a backend reports (stale firmware); the next re-attestation
   fails with the pipeline's ``tcb_too_old``.
+* :func:`slow_disk` — a degrading physical device: a ``delay`` target
+  is spliced over a VM volume, charging per-block latency to the sim
+  clock (the gateway sees the slow backend through its tail latency).
+* :func:`corrupt_disk` — offline tampering with the host-controlled
+  disk: a bit flip inside a named partition's extent; the next read
+  through a verity/crypt stack rejects it.
 """
 
 from __future__ import annotations
 
 from ..attest import AttestationVerifier
 from ..net.simnet import NetworkError
+from ..storage.dm import DelayTarget
+from ..storage.partition import PartitionTable
 from .gateway import FleetGateway
 
 
@@ -94,3 +102,43 @@ def raise_tcb_floor(gateway: FleetGateway, minimum_tcb) -> None:
     """Mandate a TCB floor for admission; backends reporting an older
     TCB fail their next re-attestation with ``tcb_too_old``."""
     gateway.minimum_tcb = minimum_tcb
+
+
+def slow_disk(vm, role: str, read_ms: float = 0.0,
+              write_ms: float = 0.0) -> DelayTarget:
+    """Degrade a VM volume: splice a ``delay`` target over the volume
+    registered under *role*, charging per-block latency to the VM's
+    storage meter (and so to the sim clock it is attached to).
+
+    Returns the injected target; swap it back out by passing its
+    backing device to ``vm.storage.replace`` again.
+    """
+    volume = vm.storage.open(role)
+    delayed = DelayTarget(
+        volume,
+        vm.storage.meter,
+        read_delay=read_ms / 1000.0,
+        write_delay=write_ms / 1000.0,
+    )
+    vm.storage.replace(role, delayed)
+    return delayed
+
+
+def corrupt_disk(vm, partition: str, block_index: int = 0,
+                 byte_offset: int = 0, xor_mask: int = 0x01) -> int:
+    """Flip bits on the *raw host disk* inside the named partition's
+    extent — the offline-tampering attack (paper §6.1.3), injected
+    below every device-mapper layer.  Returns the absolute byte offset
+    corrupted.  Reads through a verity- or crypt-backed volume covering
+    that extent subsequently fail (cold or warm: the mutation
+    invalidates every cache above it)."""
+    table = PartitionTable.read_from(vm.disk)
+    entry = table.find(partition)
+    if not (0 <= block_index < entry.num_blocks):
+        raise ValueError(
+            f"block {block_index} outside partition {partition!r} "
+            f"({entry.num_blocks} blocks)"
+        )
+    absolute = (entry.first_block + block_index) * vm.disk.block_size + byte_offset
+    vm.disk.corrupt(absolute, xor_mask)
+    return absolute

@@ -7,6 +7,8 @@ Simulates the Linux storage stack a Revelio VM relies on:
 * :mod:`partition` — a GPT-like table with pinned UUIDs,
 * :mod:`dm_verity` — verify-on-read integrity target (Merkle tree),
 * :mod:`dm_crypt` — AES-XTS-plain64 encryption with a LUKS-like header,
+* :mod:`dm` — declarative device-mapper tables stacking the targets
+  above (plus caches and fault injectors) into named volumes,
 * :mod:`filesystem` — a deterministic read-only filesystem image.
 """
 
@@ -18,6 +20,24 @@ from .blockdev import (
     ReadOnlyDeviceError,
     ReadOnlyView,
     SliceView,
+)
+from .dm import (
+    ZERO_STORAGE_LATENCY,
+    BlockCache,
+    CachedVerityDevice,
+    DelayTarget,
+    DmContext,
+    DmError,
+    DmTable,
+    DmVolume,
+    FaultTarget,
+    LinearTarget,
+    StorageLatencyModel,
+    StorageMeter,
+    TargetSpec,
+    TargetStats,
+    VolumeError,
+    VolumeRegistry,
 )
 from .dm_crypt import (
     CryptDevice,
@@ -48,10 +68,19 @@ from .partition import PartitionEntry, PartitionError, PartitionTable
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "BlockCache",
     "BlockDevice",
     "BlockDeviceError",
+    "CachedVerityDevice",
     "CryptDevice",
+    "DelayTarget",
+    "DmContext",
     "DmCryptError",
+    "DmError",
+    "DmTable",
+    "DmVolume",
+    "FaultTarget",
+    "LinearTarget",
     "FileEntry",
     "FileSystem",
     "FileSystemError",
@@ -63,10 +92,17 @@ __all__ = [
     "ReadOnlyDeviceError",
     "ReadOnlyView",
     "SliceView",
+    "StorageLatencyModel",
+    "StorageMeter",
+    "TargetSpec",
+    "TargetStats",
     "VerityDevice",
     "VerityError",
     "VerityFormatResult",
     "VeritySuperblock",
+    "VolumeError",
+    "VolumeRegistry",
+    "ZERO_STORAGE_LATENCY",
     "build_image",
     "image_to_device",
     "is_luks",

@@ -50,6 +50,19 @@ class BlockDevice:
         """Device capacity in bytes."""
         return self.num_blocks * self.block_size
 
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic count of content mutations visible at this device.
+
+        Caching layers (``repro.storage.dm``) record the value at fill
+        time and re-verify when it changes, so out-of-band writes —
+        including the corruption primitives attack simulations use —
+        can never be served from a stale (or poisoned) cache.  Wrappers
+        delegate to their backing device; only devices that own bytes
+        count.
+        """
+        return 0
+
     def _check_block(self, index: int) -> None:
         if not (0 <= index < self.num_blocks):
             raise BlockDeviceError(
@@ -64,34 +77,53 @@ class BlockDevice:
                 f"got {len(data)}"
             )
 
+    def read_blocks(self, first: int, count: int) -> bytes:
+        """Batched sequential read.  Targets with a vectorised fast path
+        (dm-crypt's single XTS pass) override this; the default loops."""
+        if count < 0 or first < 0 or first + count > self.num_blocks:
+            raise BlockDeviceError("block range out of bounds")
+        return b"".join(self.read_block(first + i) for i in range(count))
+
+    def write_blocks(self, first: int, data: bytes) -> None:
+        """Batched sequential write of whole blocks (see read_blocks)."""
+        if len(data) % self.block_size:
+            raise BlockDeviceError("write must be whole blocks")
+        count = len(data) // self.block_size
+        if first < 0 or first + count > self.num_blocks:
+            raise BlockDeviceError("block range out of bounds")
+        for i in range(count):
+            start = i * self.block_size
+            self.write_block(first + i, data[start : start + self.block_size])
+
     def read_bytes(self, offset: int, length: int) -> bytes:
-        """Byte-granular read spanning blocks (read-modify on the edges)."""
+        """Byte-granular read spanning blocks (read-modify on the edges).
+
+        Routed through :meth:`read_blocks` so devices with a multi-block
+        fast path (dm-crypt) decrypt the span in one pass instead of one
+        block at a time.
+        """
         if offset < 0 or length < 0 or offset + length > self.size_bytes:
             raise BlockDeviceError("byte range out of device bounds")
         if length == 0:
             return b""
         first = offset // self.block_size
         last = (offset + length - 1) // self.block_size
-        chunk = b"".join(self.read_block(i) for i in range(first, last + 1))
+        chunk = self.read_blocks(first, last - first + 1)
         start = offset - first * self.block_size
         return chunk[start : start + length]
 
     def write_bytes(self, offset: int, data: bytes) -> None:
-        """Byte-granular write spanning blocks."""
+        """Byte-granular write spanning blocks (see read_bytes)."""
         if offset < 0 or offset + len(data) > self.size_bytes:
             raise BlockDeviceError("byte range out of device bounds")
         if not data:
             return
         first = offset // self.block_size
         last = (offset + len(data) - 1) // self.block_size
-        buffer = bytearray(
-            b"".join(self.read_block(i) for i in range(first, last + 1))
-        )
+        buffer = bytearray(self.read_blocks(first, last - first + 1))
         start = offset - first * self.block_size
         buffer[start : start + len(data)] = data
-        for position, index in enumerate(range(first, last + 1)):
-            begin = position * self.block_size
-            self.write_block(index, bytes(buffer[begin : begin + self.block_size]))
+        self.write_blocks(first, bytes(buffer))
 
     def read_all(self) -> bytes:
         """Read the whole device (small devices / tests only)."""
@@ -111,6 +143,11 @@ class RamBlockDevice(BlockDevice):
             self._data[: len(initial)] = initial
         self.reads = 0
         self.writes = 0
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        return self._mutations
 
     def read_block(self, index: int) -> bytes:
         """Read one block by index."""
@@ -123,6 +160,7 @@ class RamBlockDevice(BlockDevice):
         """Write one full block at index."""
         self._check_write(index, data)
         self.writes += 1
+        self._mutations += 1
         start = index * self.block_size
         self._data[start : start + self.block_size] = data
 
@@ -132,6 +170,7 @@ class RamBlockDevice(BlockDevice):
         if not (0 <= byte_offset < len(self._data)):
             raise BlockDeviceError("corruption offset out of range")
         self._data[byte_offset] ^= xor_mask
+        self._mutations += 1
 
     def snapshot(self) -> bytes:
         """A copy of the raw contents (for rollback-attack simulations)."""
@@ -142,6 +181,7 @@ class RamBlockDevice(BlockDevice):
         if len(snapshot) != len(self._data):
             raise BlockDeviceError("snapshot size mismatch")
         self._data[:] = snapshot
+        self._mutations += 1
 
 
 class ReadOnlyView(BlockDevice):
@@ -150,6 +190,10 @@ class ReadOnlyView(BlockDevice):
     def __init__(self, backing: BlockDevice):
         super().__init__(backing.num_blocks, backing.block_size)
         self._backing = backing
+
+    @property
+    def mutation_count(self) -> int:
+        return self._backing.mutation_count
 
     def read_block(self, index: int) -> bytes:
         """Read one block by index."""
@@ -169,6 +213,10 @@ class SliceView(BlockDevice):
         super().__init__(num_blocks, backing.block_size)
         self._backing = backing
         self._first = first_block
+
+    @property
+    def mutation_count(self) -> int:
+        return self._backing.mutation_count
 
     def read_block(self, index: int) -> bytes:
         """Read one block by index."""

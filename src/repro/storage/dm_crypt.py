@@ -126,6 +126,10 @@ class CryptDevice(BlockDevice):
         self._backing = backing
         self._xts = XtsCipher(master_key, sector_size=backing.block_size)
 
+    @property
+    def mutation_count(self) -> int:
+        return self._backing.mutation_count
+
     def read_block(self, index: int) -> bytes:
         """Read one block by index."""
         self._check_block(index)
@@ -142,9 +146,7 @@ class CryptDevice(BlockDevice):
         """Batched sequential read (one vectorised XTS pass)."""
         if count < 0 or first < 0 or first + count > self.num_blocks:
             raise BlockDeviceError("block range out of bounds")
-        ciphertext = b"".join(
-            self._backing.read_block(first + _HEADER_BLOCKS + i) for i in range(count)
-        )
+        ciphertext = self._backing.read_blocks(first + _HEADER_BLOCKS, count)
         return self._xts.decrypt(ciphertext, first_sector=first)
 
     def write_blocks(self, first: int, data: bytes) -> None:
@@ -155,11 +157,7 @@ class CryptDevice(BlockDevice):
         if first < 0 or first + count > self.num_blocks:
             raise BlockDeviceError("block range out of bounds")
         ciphertext = self._xts.encrypt(data, first_sector=first)
-        for i in range(count):
-            start = i * self.block_size
-            self._backing.write_block(
-                first + _HEADER_BLOCKS + i, ciphertext[start : start + self.block_size]
-            )
+        self._backing.write_blocks(first + _HEADER_BLOCKS, ciphertext)
 
 
 def luks_format(

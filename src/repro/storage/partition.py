@@ -105,12 +105,16 @@ class PartitionTable:
         except (IndexError, ValueError) as exc:
             raise PartitionError("unreadable partition table") from exc
 
-    def open(self, device: BlockDevice, name: str) -> SliceView:
-        """Return a block-device view of the named partition."""
+    def find(self, name: str) -> PartitionEntry:
+        """The entry for the named partition."""
         try:
-            entry = self._by_name[name]
+            return self._by_name[name]
         except KeyError:
             raise PartitionError(f"no partition named {name!r}") from None
+
+    def open(self, device: BlockDevice, name: str) -> SliceView:
+        """Return a block-device view of the named partition."""
+        entry = self.find(name)
         if entry.first_block + entry.num_blocks > device.num_blocks:
             raise BlockDeviceError("partition extends past device end")
         return SliceView(device, entry.first_block, entry.num_blocks)

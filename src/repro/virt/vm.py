@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional
 from ..amd.secure_processor import GuestContext
 from ..crypto.drbg import HmacDrbg
 from ..storage.blockdev import RamBlockDevice
+from ..storage.dm import VolumeRegistry
 from .firmware import firmware_boot_check
 from .image import InitrdDescriptor, KernelBlob, get_init_step, parse_cmdline
 
@@ -80,7 +81,7 @@ class VirtualMachine:
         self.cmdline_args: Dict[str, str] = {}
         self.initrd_params: Dict[str, str] = {}
         self.rootfs = None  # FileSystem on the verity device
-        self.storage: Dict[str, Any] = {}  # opened devices by role
+        self.storage = VolumeRegistry()  # opened volumes by role
         self.services: Dict[str, Any] = {}  # app services by name
         self.identity: Optional[Any] = None  # VmIdentity from core.guest
         self.firewall = None  # core.guest installs the network lockdown

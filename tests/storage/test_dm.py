@@ -1,0 +1,389 @@
+"""Device-mapper stack tests: tables, targets, caches, and the registry."""
+
+import pytest
+
+from repro.attest import get_tracer, reset_tracer
+from repro.crypto.drbg import HmacDrbg
+from repro.storage.blockdev import BlockDeviceError, RamBlockDevice
+from repro.storage.dm import (
+    ZERO_STORAGE_LATENCY,
+    BlockCache,
+    DelayTarget,
+    DmContext,
+    DmError,
+    DmTable,
+    FaultTarget,
+    StorageMeter,
+    TargetSpec,
+    VolumeError,
+    VolumeRegistry,
+)
+from repro.storage.dm_crypt import DmCryptError, luks_format
+from repro.storage.dm_verity import VerityError, verity_format
+from repro.storage.partition import PartitionEntry, PartitionTable
+
+BLOCK = 4096
+
+
+def _filled_device(num_blocks=16, seed=b"dm-data"):
+    rng = HmacDrbg(seed)
+    return RamBlockDevice(num_blocks, BLOCK, initial=rng.generate(num_blocks * BLOCK))
+
+
+def _verity_context(num_blocks=16):
+    data = _filled_device(num_blocks)
+    fmt = verity_format(data, salt=b"dm-salt")
+    context = DmContext(
+        devices={"data": data, "hash": fmt.hash_device},
+        cmdline_args={"root_hash": fmt.root_hash.hex()},
+    )
+    return data, fmt, context
+
+
+VERITY_TABLE = "linear device=data ; verity hash=device:hash root=cmdline:root_hash"
+CACHED_VERITY_TABLE = (
+    "linear device=data ; cache blocks=8 ; "
+    "verity hash=device:hash root=cmdline:root_hash"
+)
+
+
+class TestTableParsing:
+    def test_roundtrip(self):
+        text = CACHED_VERITY_TABLE
+        table = DmTable.parse("root", text)
+        assert table.to_text() == text
+        assert DmTable.parse("root", table.to_text()) == table
+
+    def test_target_kinds_and_params(self):
+        table = DmTable.parse("v", VERITY_TABLE)
+        assert [t.kind for t in table.targets] == ["linear", "verity"]
+        assert table.targets[1].get("hash") == "device:hash"
+        assert table.targets[1].require("root") == "cmdline:root_hash"
+
+    def test_missing_param_reason(self):
+        spec = TargetSpec.parse("verity hash=device:hash")
+        with pytest.raises(DmError) as excinfo:
+            spec.require("root")
+        assert excinfo.value.reason == "missing_param"
+
+    def test_malformed_param_rejected(self):
+        with pytest.raises(DmError) as excinfo:
+            TargetSpec.parse("linear partition")
+        assert excinfo.value.reason == "bad_table"
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(DmError):
+            DmTable(name="x", targets=())
+
+    def test_unknown_target_kind(self):
+        _, _, context = _verity_context()
+        with pytest.raises(DmError) as excinfo:
+            DmTable.parse("x", "linear device=data ; mirror").open(context)
+        assert excinfo.value.reason == "unknown_target"
+
+
+class TestComposition:
+    def test_verity_stack_reads_verified_data(self):
+        data, _, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        assert volume.read_block(5) == data.read_block(5)
+        volume.verify_all()
+
+    def test_partition_references(self):
+        rootfs = _filled_device(8, seed=b"part-rootfs")
+        fmt = verity_format(rootfs, salt=b"s")
+        hash_blocks = fmt.hash_device.num_blocks
+        disk = RamBlockDevice(1 + 8 + hash_blocks, BLOCK)
+        PartitionTable(
+            [
+                PartitionEntry("rootfs", 1, 8, "11111111-1-1-1-111111111111"),
+                PartitionEntry("verity", 9, hash_blocks, "22222222-2-2-2-222222222222"),
+            ]
+        ).write_to(disk)
+        disk.write_blocks(1, rootfs.read_all())
+        disk.write_blocks(9, fmt.hash_device.read_all())
+        context = DmContext(
+            disk=disk, cmdline_args={"verity_root_hash": fmt.root_hash.hex()}
+        )
+        volume = DmTable.parse(
+            "rootfs",
+            "linear partition=rootfs ; "
+            "verity hash=partition:verity root=cmdline:verity_root_hash",
+        ).open(context)
+        volume.verify_all()
+        assert volume.read_block(0) == rootfs.read_block(0)
+
+    def test_crypt_auto_format_then_reopen(self):
+        disk = RamBlockDevice(16, BLOCK)
+        key = HmacDrbg(b"seal").generate(64)
+        context = DmContext(
+            devices={"d": disk}, keys={"sealing": key}, rng=HmacDrbg(b"rng")
+        )
+        table = DmTable.parse(
+            "data", "linear device=d ; crypt key=sealing format=auto fill=zero"
+        )
+        first = table.open(context)
+        first.write_bytes(100, b"sealed state")
+        # Ciphertext on the backing device, plaintext through the stack.
+        assert b"sealed state" not in disk.read_all()
+        reopened = table.open(context)
+        assert reopened.read_bytes(100, 12) == b"sealed state"
+
+    def test_crypt_wrong_key_rejected(self):
+        disk = RamBlockDevice(16, BLOCK)
+        luks_format(disk, HmacDrbg(b"r"), master_key=HmacDrbg(b"k1").generate(64))
+        context = DmContext(
+            devices={"d": disk}, keys={"sealing": HmacDrbg(b"k2").generate(64)}
+        )
+        with pytest.raises(DmCryptError):
+            DmTable.parse("data", "linear device=d ; crypt key=sealing").open(context)
+
+    def test_missing_key_reason(self):
+        disk = RamBlockDevice(16, BLOCK)
+        context = DmContext(devices={"d": disk})
+        with pytest.raises(DmError) as excinfo:
+            DmTable.parse("data", "linear device=d ; crypt key=absent").open(context)
+        assert excinfo.value.reason == "missing_key"
+
+    def test_missing_root_hash_reason(self):
+        _, _, context = _verity_context()
+        with pytest.raises(DmError) as excinfo:
+            DmTable.parse(
+                "v", "linear device=data ; verity hash=device:hash root=cmdline:nope"
+            ).open(context)
+        assert excinfo.value.reason == "missing_root_hash"
+
+    def test_layer_lookup(self):
+        _, _, context = _verity_context()
+        volume = DmTable.parse("root", CACHED_VERITY_TABLE).open(context)
+        assert volume.layer("cache").kind == "cache"
+        assert volume.has_layer("verity")
+        assert not volume.has_layer("crypt")
+        with pytest.raises(DmError):
+            volume.layer("crypt")
+
+
+class TestBlockCache:
+    def _cached(self, capacity=4):
+        backing = _filled_device(16, seed=b"cache")
+        meter = StorageMeter(ZERO_STORAGE_LATENCY)
+        return backing, BlockCache(backing, meter, capacity_blocks=capacity)
+
+    def test_hit_after_miss(self):
+        backing, cache = self._cached()
+        block = cache.read_block(3)
+        backing.reads = 0
+        assert cache.read_block(3) == block
+        assert backing.reads == 0  # served from memory
+        assert cache.stats.get("cache_hits") == 1
+        assert cache.stats.get("cache_misses") == 1
+
+    def test_lru_eviction(self):
+        _, cache = self._cached(capacity=2)
+        cache.read_block(0)
+        cache.read_block(1)
+        cache.read_block(2)  # evicts 0
+        assert cache.cached_indices == [1, 2]
+        assert cache.stats.get("evictions") == 1
+
+    def test_write_through_updates_cache(self):
+        backing, cache = self._cached()
+        cache.write_block(4, b"\xaa" * BLOCK)
+        assert backing.read_block(4) == b"\xaa" * BLOCK
+        backing.reads = 0
+        assert cache.read_block(4) == b"\xaa" * BLOCK
+        assert backing.reads == 0  # own write did not invalidate
+
+    def test_out_of_band_write_invalidates(self):
+        backing, cache = self._cached()
+        cache.read_block(5)
+        backing.write_block(5, b"\xbb" * BLOCK)  # behind the cache's back
+        assert cache.read_block(5) == b"\xbb" * BLOCK  # not the stale copy
+        assert cache.stats.get("invalidations") == 1
+
+    def test_corrupt_entry_bumps_mutation_count(self):
+        _, cache = self._cached()
+        cache.read_block(1)
+        before = cache.mutation_count
+        cache.corrupt_entry(1, xor_mask=0x80)
+        assert cache.mutation_count == before + 1
+
+
+class TestCachedVerity:
+    def test_warm_reads_skip_the_walk(self):
+        _, fmt, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        volume.read_block(2)
+        verity = volume.layer("verity")
+        assert verity.stats.get("verify_misses") == 1
+        fmt.hash_device.reads = 0
+        volume.read_block(2)
+        assert verity.stats.get("verify_hits") == 1
+        assert fmt.hash_device.reads == 0  # no Merkle walk on the hot path
+
+    def test_sibling_reads_share_authenticated_nodes(self):
+        _, fmt, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        volume.read_block(0)
+        walk_reads = fmt.hash_device.reads
+        fmt.hash_device.reads = 0
+        volume.read_block(1)  # sibling leaf: path nodes already authenticated
+        assert fmt.hash_device.reads < walk_reads
+
+    def test_data_corruption_detected_cold(self):
+        data, _, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        data.corrupt(6 * BLOCK + 17)
+        with pytest.raises(VerityError):
+            volume.read_block(6)
+        assert volume.layer("verity").stats.get("corruption_rejections") == 1
+
+    def test_data_corruption_detected_warm(self):
+        data, _, context = _verity_context()
+        volume = DmTable.parse("root", CACHED_VERITY_TABLE).open(context)
+        volume.read_block(6)
+        volume.read_block(6)  # warm
+        data.corrupt(6 * BLOCK)
+        with pytest.raises(VerityError):
+            volume.read_block(6)
+
+    def test_hash_corruption_detected_warm(self):
+        _, fmt, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        volume.read_block(3)
+        fmt.hash_device.corrupt(1 * BLOCK + 3 * 32)  # leaf digest of block 3
+        with pytest.raises(VerityError):
+            volume.read_block(3)
+
+    def test_failure_drops_caches(self):
+        data, _, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        volume.read_block(7)
+        verity = volume.layer("verity")
+        generation = verity.generation
+        data.corrupt(7 * BLOCK)
+        with pytest.raises(VerityError):
+            volume.read_block(7)
+        assert verity.generation > generation
+        data.corrupt(7 * BLOCK)  # heal (xor is an involution)
+        assert volume.read_block(7)  # fresh verified walk succeeds
+
+
+class TestFaultTargets:
+    def test_delay_charges_sim_clock(self):
+        from repro.net.latency import SimClock
+
+        clock = SimClock()
+        backing = _filled_device(8, seed=b"delay")
+        meter = StorageMeter(ZERO_STORAGE_LATENCY, clock=clock)
+        delayed = DelayTarget(backing, meter, read_delay=0.010)
+        delayed.read_block(0)
+        delayed.read_blocks(1, 3)
+        assert clock.now == pytest.approx(0.040)
+        assert delayed.stats.get("delayed_reads") == 4
+
+    def test_fault_fail_block(self):
+        backing = _filled_device(8, seed=b"fault")
+        target = FaultTarget(backing, StorageMeter(ZERO_STORAGE_LATENCY))
+        target.fail_block(2)
+        with pytest.raises(BlockDeviceError):
+            target.read_block(2)
+        assert target.read_block(3)  # other blocks unaffected
+        target.heal()
+        assert target.read_block(2) == backing.read_block(2)
+
+    def test_fault_corrupt_on_read_is_a_mutation(self):
+        backing = _filled_device(8, seed=b"flip")
+        target = FaultTarget(backing, StorageMeter(ZERO_STORAGE_LATENCY))
+        before = target.mutation_count
+        target.corrupt_block(1)
+        assert target.mutation_count > before
+        assert target.read_block(1) != backing.read_block(1)
+
+    def test_delay_table_target(self):
+        _, _, context = _verity_context()
+        volume = DmTable.parse(
+            "slow", "linear device=data ; delay read_ms=5"
+        ).open(context)
+        assert volume.layer("delay").read_delay == pytest.approx(0.005)
+
+
+class TestCryptByteFastPath:
+    def test_byte_io_uses_batched_blocks(self):
+        disk = RamBlockDevice(32, BLOCK)
+        volume = luks_format(disk, HmacDrbg(b"r"),
+                             master_key=HmacDrbg(b"mk").generate(64))
+        span = b"x" * (3 * BLOCK)
+        volume.write_bytes(BLOCK // 2, span)
+        disk.reads = 0
+        assert volume.read_bytes(BLOCK // 2, len(span)) == span
+        # 4 touched blocks, one vectorised backing read — not one per block.
+        assert disk.reads == 4
+
+
+class TestCounters:
+    def test_meter_mirrors_into_tracer(self):
+        reset_tracer()
+        _, _, context = _verity_context()
+        volume = DmTable.parse("root", VERITY_TABLE).open(context)
+        volume.read_block(0)
+        volume.read_block(0)
+        storage = get_tracer().storage
+        assert storage.counts["verify_misses"] == 1
+        assert storage.counts["verify_hits"] == 1
+        assert storage.counts["reads"] >= 1
+        assert storage.verify_hit_rate() == pytest.approx(0.5)
+        assert storage.sim_seconds > 0.0
+        snapshot = storage.snapshot()
+        assert snapshot["io"]["verify_hits"] == 1
+        reset_tracer()
+        assert get_tracer().storage.counts["verify_hits"] == 0
+
+    def test_volume_stats_are_per_target(self):
+        _, _, context = _verity_context()
+        volume = DmTable.parse("root", CACHED_VERITY_TABLE).open(context)
+        volume.read_block(0)
+        kinds = [stats["kind"] for stats in volume.stats()]
+        assert kinds == ["linear", "cache", "verity"]
+
+
+class TestVolumeRegistry:
+    def test_register_and_lookup(self):
+        registry = VolumeRegistry()
+        device = _filled_device(4)
+        registry.register("data", device)
+        assert registry["data"] is device
+        assert registry.open("data") is device
+        assert "data" in registry
+        assert registry.roles() == ["data"]
+        assert registry.get("absent") is None
+
+    def test_duplicate_role_reason(self):
+        registry = VolumeRegistry()
+        registry.register("data", _filled_device(4))
+        with pytest.raises(VolumeError) as excinfo:
+            registry.register("data", _filled_device(4))
+        assert excinfo.value.reason == "duplicate_role"
+
+    def test_missing_role_reason(self):
+        registry = VolumeRegistry()
+        with pytest.raises(VolumeError) as excinfo:
+            registry.open("data")
+        assert excinfo.value.reason == "missing_role"
+        with pytest.raises(VolumeError) as excinfo:
+            registry.replace("data", _filled_device(4))
+        assert excinfo.value.reason == "missing_role"
+
+    def test_replace_swaps_existing_role(self):
+        registry = VolumeRegistry()
+        first = _filled_device(4, seed=b"a")
+        second = _filled_device(4, seed=b"b")
+        registry.register("data", first)
+        registry.replace("data", second)
+        assert registry["data"] is second
+
+    def test_setitem_is_register(self):
+        registry = VolumeRegistry()
+        registry["data"] = _filled_device(4)
+        with pytest.raises(VolumeError):
+            registry["data"] = _filled_device(4)
