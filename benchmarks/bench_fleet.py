@@ -14,6 +14,12 @@ kernel through two phases:
   time (drain -> replace -> key hand-over -> re-admit).  The acceptance
   bar: zero failed requests, zero blocked requests, and zero requests
   routed to a retired backend.
+* **Phase C — mixed-fleet smoke.**  SNP nodes plus TDX, CCA, and
+  e-vTPM backends behind one tier-aware gateway; tiered traffic
+  (high-sensitivity sessions pinned to SNP/e-vTPM), one family revoked
+  mid-storm.  Emits per-family admission counts, family-scoped eviction
+  counters, and per-tier p99s; zero failed and zero blocked requests on
+  the surviving families.
 
 Everything recorded in ``BENCH_fleet.json`` is derived from simulated
 time and deterministic counters — two runs with the same ``--seed`` are
@@ -38,7 +44,14 @@ from repro.build import (
 )
 from repro.core import RevelioDeployment
 from repro.crypto import ec, sigcache
-from repro.fleet import FleetGateway, FleetWorkload, HealthMonitor, UserPool
+from repro.fleet import (
+    FleetGateway,
+    FleetWorkload,
+    HealthMonitor,
+    HeterogeneousFleet,
+    UserPool,
+    revoke_family,
+)
 from repro.fleet.drain import rolling_rollout
 from repro.sim import EventKernel, SimRng
 from repro.sim.kernel import sleep
@@ -115,13 +128,18 @@ def _run_storm(
     expected_measurements,
     rollout=None,
     monitor: bool = True,
+    extension_setup=None,
+    tier_weights=None,
 ):
     """Open-loop storm; optionally a concurrent process (the rollout)."""
     pool = UserPool(
         deployment, kernel, size=users,
         expected_measurements=expected_measurements,
+        extension_setup=extension_setup,
     )
-    workload = FleetWorkload(kernel, gateway, pool, rng=SimRng(seed))
+    workload = FleetWorkload(
+        kernel, gateway, pool, rng=SimRng(seed), tier_weights=tier_weights
+    )
     health = None
     health_process = None
     if monitor:
@@ -290,6 +308,101 @@ def phase_storm_with_rollout(args, build_v1, build_v2) -> dict:
     }
 
 
+def phase_mixed_fleet(args, build) -> dict:
+    """SNP + TDX + CCA + e-vTPM behind one tier-aware gateway; one
+    family revoked mid-storm; tiered traffic."""
+    sigcache.reset_cache()
+    ec.reset_point_cache()
+    snp_backends = max(2, args.backends // 2)
+    deployment, gateway, kernel = _world(
+        build, snp_backends, args.seed, args.balancer
+    )
+    fleet = HeterogeneousFleet(deployment)
+    for index in range(args.hetero_per_family):
+        fleet.add_tdx_backend(f"10.1.0.{10 + index}")
+        fleet.add_cca_backend(f"10.1.0.{40 + index}")
+        fleet.add_vtpm_backend(f"10.1.0.{70 + index}")
+    verdicts = fleet.attach_gateway(gateway)
+    assert all(v.ok for v in verdicts), [
+        (v.ip_address, v.reason) for v in verdicts if not v.ok
+    ]
+    family_goldens = {
+        family: policy.golden_measurements
+        for family, policy in fleet.family_policies().items()
+    }
+
+    def extension_setup(extension):
+        extension.verifier.contexts.update(fleet.contexts())
+        extension.register_site(
+            deployment.domain, family_measurements=family_goldens
+        )
+
+    def delayed_revocation():
+        yield sleep(args.revoke_at)
+        revoke_family(gateway, "tdx")
+
+    workload, _, _ = _run_storm(
+        deployment, gateway, kernel,
+        seed=args.seed,
+        sessions=args.hetero_sessions,
+        users=min(400, max(8, args.hetero_sessions // 5)),
+        arrival_rate=args.arrival_rate,
+        expected_measurements=[build.expected_measurement],
+        rollout=delayed_revocation(),
+        # The monitor keeps verdicts fresh (admission requires a verdict
+        # younger than verdict_ttl) — long storms stall without it.
+        monitor=True,
+        extension_setup=extension_setup,
+        tier_weights={"high": 0.3, "bulk": 0.7},
+    )
+    snapshot = workload.snapshot()
+
+    failed = snapshot.get("requests_failed", 0)
+    blocked = snapshot.get("requests_blocked", 0)
+    assert failed == 0, f"{failed} failed requests in the mixed-fleet storm"
+    assert blocked == 0, f"{blocked} blocked requests in the mixed-fleet storm"
+    evictions = gateway.counters.get(
+        "family.tdx.evictions.family_not_allowed", 0
+    )
+    assert evictions == args.hetero_per_family, (
+        f"expected {args.hetero_per_family} tdx evictions, saw {evictions}"
+    )
+
+    families = sorted(
+        {"sev-snp", *(backend.family for backend in fleet.backends)}
+    )
+    tiers = ("bulk", "high")
+    return {
+        "sessions": args.hetero_sessions,
+        "snp_backends": snp_backends,
+        "hetero_backends_per_family": args.hetero_per_family,
+        "revoked_family": "tdx",
+        "revoked_at_sim_s": args.revoke_at,
+        "requests_total": snapshot["requests_total"],
+        "requests_ok": snapshot["requests_ok"],
+        "requests_failed": failed,
+        "requests_blocked": blocked,
+        "admissions_by_family": {
+            family: gateway.counters.get(f"admissions.{family}", 0)
+            for family in families
+        },
+        "evictions_by_family": {
+            "tdx.family_not_allowed": evictions,
+        },
+        "sessions_by_tier": {
+            tier: gateway.counters.get(f"tier.{tier}.sessions_opened", 0)
+            for tier in tiers
+        },
+        "latency_ms_by_tier": {
+            tier: {
+                key: snapshot[f"latency.tier.{tier}.{key}"]
+                for key in ("p50", "p95", "p99")
+            }
+            for tier in tiers
+        },
+    }
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=42)
@@ -301,6 +414,11 @@ def main(argv=None) -> dict:
     parser.add_argument("--ablation-sessions", type=int, default=600)
     parser.add_argument("--rollout-at", type=float, default=30.0,
                         help="sim seconds into the storm to start the rollout")
+    parser.add_argument("--hetero-sessions", type=int, default=10_000)
+    parser.add_argument("--hetero-per-family", type=int, default=2,
+                        help="TDX/CCA/e-vTPM backends each in phase C")
+    parser.add_argument("--revoke-at", type=float, default=20.0,
+                        help="sim seconds into phase C to revoke the tdx family")
     parser.add_argument("--balancer", default="round_robin")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent / "BENCH_fleet.json")
@@ -329,11 +447,25 @@ def main(argv=None) -> dict:
     print(f"  rollout replaced {storm['rollout']['replacements']} nodes in "
           f"{storm['rollout']['sim_seconds']:.1f} sim s under load")
 
+    mixed = phase_mixed_fleet(args, build_v1)
+    print(f"phase C ({mixed['sessions']} sessions, mixed fleet, "
+          f"tdx revoked mid-storm):")
+    print(f"  admissions by family: {mixed['admissions_by_family']}")
+    print(f"  {mixed['requests_ok']}/{mixed['requests_total']} requests ok, "
+          f"0 failed, 0 blocked; "
+          f"{mixed['evictions_by_family']['tdx.family_not_allowed']} "
+          f"tdx backends evicted")
+    for tier in sorted(mixed["latency_ms_by_tier"]):
+        tail = mixed["latency_ms_by_tier"][tier]
+        print(f"  tier {tier:<5} p50 {tail['p50']:8.1f}   "
+              f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
+
     results = {
         "benchmark": "fleet gateway storm + rolling rollout",
         "seed": args.seed,
         "sig_cache_ablation": ablation,
         "storm_with_rollout": storm,
+        "mixed_fleet": mixed,
     }
     args.output.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n"

@@ -3,65 +3,61 @@
 One :class:`AttestationVerifier` replaces the hand-rolled
 fetch-VCEK/verify/map-error blocks that used to live in every verifier
 (web extension, RA-TLS, key sharing, SP node, vTPM monitor, TEE
-dispatch).  It owns the KDS interaction and runs the checks of
-:mod:`repro.amd.verify` as an explicit ordered step list, producing a
+dispatch).  It runs an explicit ordered step list, producing a
 :class:`VerificationOutcome` that records *per-step* results — name,
 pass/fail, stable reason code, simulated-clock cost — instead of
 raising opaquely on the first failure.  Every run is reported to the
 tracing layer (:mod:`repro.attest.trace`).
+
+The step list is family-dispatched: a bare SNP
+:class:`~repro.amd.report.AttestationReport` runs the historical SNP
+pipeline unchanged, while a tagged
+:class:`~repro.attest.evidence.Evidence` envelope is routed to the
+registered :mod:`~repro.attest.families` provider for its TEE family
+(SEV-SNP, TDX, CCA, e-vTPM), after family admissibility and decode
+steps.  One engine, one reason-code taxonomy, four backends.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..amd.report import AttestationReport
-from ..amd.verify import (
-    AttestationError,
-    VerifiedReport,
-    check_certificate_chain,
-    check_chip_id_allowed,
-    check_chip_id_binding,
-    check_debug_policy,
-    check_measurement,
-    check_minimum_tcb,
-    check_report_data,
-    check_signature,
-    check_tcb_binding,
-)
+from ..amd.verify import AttestationError, VerifiedReport
 from ..crypto import sigcache
 from ..crypto.x509 import Certificate
+from .evidence import Evidence, TeeFamily
+from .families import (
+    STEP_AK_ENDORSEMENT,
+    STEP_CERT_CHAIN,
+    STEP_CHIP_ID_ALLOWLIST,
+    STEP_CHIP_ID_BINDING,
+    STEP_DEBUG_POLICY,
+    STEP_ENDORSEMENT_FETCH,
+    STEP_EVIDENCE_DECODE,
+    STEP_FAMILY_ALLOWED,
+    STEP_FAMILY_TCB_FLOOR,
+    STEP_LIFECYCLE,
+    STEP_MEASUREMENT,
+    STEP_ORDER,
+    STEP_PLATFORM_SIGNATURE,
+    STEP_QUOTE_LOG,
+    STEP_QUOTE_SIGNATURE,
+    STEP_RAK_BINDING,
+    STEP_REPORT_DATA,
+    STEP_REVOCATION,
+    STEP_SERVICE_ALLOWLIST,
+    STEP_SIGNATURE,
+    STEP_TCB_BINDING,
+    STEP_TCB_FLOOR,
+    STEP_TRUST_CONTEXT,
+    STEP_VCEK_FETCH,
+    VtpmTrust,
+    provider_for,
+)
 from .policy import VerificationPolicy
 from .trace import AttestationTracer, TraceEvent, get_tracer
-
-STEP_REVOCATION = "revocation"
-STEP_VCEK_FETCH = "vcek_fetch"
-STEP_CERT_CHAIN = "cert_chain"
-STEP_CHIP_ID_BINDING = "chip_id_binding"
-STEP_TCB_BINDING = "tcb_binding"
-STEP_SIGNATURE = "signature"
-STEP_DEBUG_POLICY = "debug_policy"
-STEP_MEASUREMENT = "measurement"
-STEP_REPORT_DATA = "report_data"
-STEP_CHIP_ID_ALLOWLIST = "chip_id_allowlist"
-STEP_TCB_FLOOR = "tcb_floor"
-
-#: The full pipeline in execution order; optional steps are skipped
-#: (not recorded) when the policy does not configure them.
-STEP_ORDER: Tuple[str, ...] = (
-    STEP_REVOCATION,
-    STEP_VCEK_FETCH,
-    STEP_CERT_CHAIN,
-    STEP_CHIP_ID_BINDING,
-    STEP_TCB_BINDING,
-    STEP_SIGNATURE,
-    STEP_DEBUG_POLICY,
-    STEP_MEASUREMENT,
-    STEP_REPORT_DATA,
-    STEP_CHIP_ID_ALLOWLIST,
-    STEP_TCB_FLOOR,
-)
 
 #: Crypto steps priced on the simulated clock, mapped to the
 #: LatencyModel attribute carrying their calibrated cost.  Together the
@@ -70,6 +66,8 @@ STEP_ORDER: Tuple[str, ...] = (
 _CRYPTO_STEP_PRICES: dict = {
     STEP_CERT_CHAIN: "cert_chain_verify",
     STEP_SIGNATURE: "sig_verify",
+    STEP_PLATFORM_SIGNATURE: "sig_verify",
+    STEP_QUOTE_SIGNATURE: "sig_verify",
     STEP_MEASUREMENT: "measurement_check",
 }
 
@@ -103,10 +101,15 @@ class VerificationOutcome:
     site: str
     verdict: str  # "pass" | "fail"
     steps: Tuple[StepRecord, ...]
-    report: AttestationReport
+    #: The family-native evidence object (an SNP AttestationReport, a
+    #: TdQuote, a CcaToken, a MonitoringEvidence) — or ``None`` when the
+    #: run failed before/at decode.
+    report: object
     policy: VerificationPolicy
     vcek_certificate: Optional[Certificate] = None
     sim_cost: float = 0.0
+    #: The evidence's TEE family name (``"sev-snp"`` for bare reports).
+    family: str = str(TeeFamily.SEV_SNP)
 
     @property
     def ok(self) -> bool:
@@ -160,12 +163,18 @@ class VerificationOutcome:
 
 
 class AttestationVerifier:
-    """Runs the verification pipeline against one KDS client.
+    """Runs the verification pipeline for one or more TEE families.
 
     ``kds`` must provide ``get_vcek``/``cert_chain``/``trust_anchor``
     and the ``fetches``/``cache_hits`` counters (i.e. a
     :class:`~repro.core.kds_client.KdsClient`); its simulated clock, if
-    exposed as ``clock``, prices the per-step cost records.
+    exposed as ``clock``, prices the per-step cost records.  It doubles
+    as the SEV-SNP (and, wrapped in a
+    :class:`~repro.attest.families.VtpmTrust`, the e-vTPM) trust
+    context; ``contexts`` maps additional family names to their trust
+    material (:class:`~repro.attest.families.TdxTrust`,
+    :class:`~repro.attest.families.CcaTrust`, ...).  ``kds`` may be
+    ``None`` for a verifier that only handles non-SNP families.
     """
 
     def __init__(
@@ -174,33 +183,75 @@ class AttestationVerifier:
         policy: Optional[VerificationPolicy] = None,
         tracer: Optional[AttestationTracer] = None,
         site: str = "verifier",
+        contexts: Optional[dict] = None,
     ):
         self.kds = kds
         self.policy = policy if policy is not None else VerificationPolicy()
         self.site = site
         #: None means "whatever the process-wide tracer is at run time".
         self.tracer = tracer
+        #: family name -> trust context, consulted before the KDS
+        #: defaults; mutable so fault injectors and fleet wiring can
+        #: extend a live verifier.
+        self.contexts: dict = {
+            str(family): context for family, context in (contexts or {}).items()
+        }
+
+    def _context_for(self, family: TeeFamily):
+        """The trust material for *family* (None when unavailable)."""
+        context = self.contexts.get(str(family))
+        if context is not None:
+            return context
+        if family is TeeFamily.SEV_SNP:
+            return self.kds
+        if family is TeeFamily.VTPM and self.kds is not None:
+            return VtpmTrust(self.kds)
+        return None
 
     def verify(
         self,
-        report: AttestationReport,
+        report,
         now: int,
         policy: Optional[VerificationPolicy] = None,
         site: Optional[str] = None,
     ) -> VerificationOutcome:
-        """Run the pipeline; never raises on a failed check."""
+        """Run the pipeline; never raises on a failed check.
+
+        *report* is either a bare SNP
+        :class:`~repro.amd.report.AttestationReport` (the historical
+        call convention — runs the SNP pipeline with no dispatch steps)
+        or an :class:`~repro.attest.evidence.Evidence` envelope, which
+        prepends family admissibility and decode steps before the
+        family provider's own checks.
+        """
         policy = policy if policy is not None else self.policy
         site = site if site is not None else self.site
         clock = getattr(self.kds, "clock", None)
         latency = getattr(self.kds, "latency", None)
-        fetches_before = self.kds.fetches
-        hits_before = self.kds.cache_hits
+        fetches_before = getattr(self.kds, "fetches", 0)
+        hits_before = getattr(self.kds, "cache_hits", 0)
         sig_hits_before, sig_misses_before = sigcache.counters()
 
-        state = {"vcek": None, "chain": None}
+        if isinstance(report, Evidence):
+            family = report.family
+            state = {"vcek": None, "chain": None, "native": None}
+            step_iter = self._dispatched_steps(report, now, policy, state)
+        else:
+            family = TeeFamily.SEV_SNP
+            state = {"vcek": None, "chain": None, "native": report}
+            provider = provider_for(family)
+            step_iter = provider.steps(
+                report,
+                now,
+                policy,
+                policy.for_family(family),
+                self._context_for(family),
+                state,
+            )
+
         records = []
         failed = False
-        for name, run_check in self._steps(report, now, policy, state):
+        for name, run_check in step_iter:
             started = clock.now if clock is not None else 0.0
             step_hits, step_misses = sigcache.counters()
             reason: Optional[str] = None
@@ -223,10 +274,11 @@ class AttestationVerifier:
             site=site,
             verdict="fail" if failed else "pass",
             steps=tuple(records),
-            report=report,
+            report=state["native"],
             policy=policy,
             vcek_certificate=state["vcek"],
             sim_cost=sum(record.sim_cost for record in records),
+            family=str(family),
         )
         sig_hits_after, sig_misses_after = sigcache.counters()
         tracer = self.tracer if self.tracer is not None else get_tracer()
@@ -237,13 +289,59 @@ class AttestationVerifier:
                 reason=outcome.reason,
                 steps=outcome.steps,
                 sim_cost=outcome.sim_cost,
-                kds_fetches=self.kds.fetches - fetches_before,
-                kds_cache_hits=self.kds.cache_hits - hits_before,
+                kds_fetches=getattr(self.kds, "fetches", 0) - fetches_before,
+                kds_cache_hits=getattr(self.kds, "cache_hits", 0) - hits_before,
                 sig_cache_hits=sig_hits_after - sig_hits_before,
                 sig_cache_misses=sig_misses_after - sig_misses_before,
+                family=str(family),
             )
         )
         return outcome
+
+    def _dispatched_steps(
+        self,
+        evidence: Evidence,
+        now: int,
+        policy: VerificationPolicy,
+        state: dict,
+    ):
+        """Family dispatch for tagged evidence: admissibility, decode,
+        trust-context lookup, then the provider's own step list."""
+        family = evidence.family
+        provider = provider_for(family)
+
+        def family_allowed():
+            if not policy.family_allowed(family):
+                raise AttestationError(
+                    "family_not_allowed",
+                    f"TEE family {family} is not admissible under this policy",
+                )
+
+        if policy.allowed_families is not None:
+            yield STEP_FAMILY_ALLOWED, family_allowed
+
+        def evidence_decode():
+            state["native"] = provider.decode(evidence.body)
+
+        yield STEP_EVIDENCE_DECODE, evidence_decode
+
+        context = self._context_for(family)
+        if context is None:
+
+            def trust_context():
+                raise AttestationError(
+                    "no_trust_context",
+                    f"verifier has no trust material for family {family}",
+                )
+
+            yield STEP_TRUST_CONTEXT, trust_context
+            return
+
+        # state["native"] is populated by the time the engine pulls the
+        # first provider step (decode either ran or broke the loop).
+        yield from provider.steps(
+            state["native"], now, policy, policy.for_family(family), context, state
+        )
 
     @staticmethod
     def _charge_crypto_step(
@@ -278,70 +376,3 @@ class AttestationVerifier:
         failing step's stable reason code, return the legacy
         :class:`VerifiedReport` on success."""
         return self.verify(report, now, policy=policy, site=site).verified_report()
-
-    # -- the ordered step list -------------------------------------------------
-
-    def _steps(
-        self,
-        report: AttestationReport,
-        now: int,
-        policy: VerificationPolicy,
-        state: dict,
-    ) -> Iterator[Tuple[str, object]]:
-        revoked = {bytes(m) for m in policy.revoked_measurements}
-
-        def revocation():
-            if bytes(report.measurement) in revoked:
-                raise AttestationError(
-                    "measurement_revoked",
-                    "measurement has been revoked (rollback?)",
-                )
-
-        if revoked:
-            yield STEP_REVOCATION, revocation
-
-        def vcek_fetch():
-            try:
-                state["vcek"] = self.kds.get_vcek(
-                    report.chip_id, report.reported_tcb
-                )
-                state["chain"] = self.kds.cert_chain()
-            except LookupError as exc:
-                raise AttestationError(
-                    "unknown_platform", f"KDS has no VCEK for this chip: {exc}"
-                ) from exc
-
-        yield STEP_VCEK_FETCH, vcek_fetch
-
-        anchors = (
-            list(policy.trust_anchors)
-            if policy.trust_anchors is not None
-            else [self.kds.trust_anchor]
-        )
-        yield STEP_CERT_CHAIN, lambda: check_certificate_chain(
-            state["vcek"], state["chain"], anchors, now
-        )
-        yield STEP_CHIP_ID_BINDING, lambda: check_chip_id_binding(
-            report, state["vcek"]
-        )
-        yield STEP_TCB_BINDING, lambda: check_tcb_binding(report, state["vcek"])
-        yield STEP_SIGNATURE, lambda: check_signature(report, state["vcek"])
-        yield STEP_DEBUG_POLICY, lambda: check_debug_policy(
-            report, policy.allow_debug
-        )
-
-        golden = policy.effective_golden()
-        if golden is not None:
-            yield STEP_MEASUREMENT, lambda: check_measurement(report, golden)
-        if policy.expected_report_data is not None:
-            yield STEP_REPORT_DATA, lambda: check_report_data(
-                report, policy.expected_report_data
-            )
-        if policy.allowed_chip_ids is not None:
-            yield STEP_CHIP_ID_ALLOWLIST, lambda: check_chip_id_allowed(
-                report, policy.allowed_chip_ids
-            )
-        if policy.minimum_tcb is not None:
-            yield STEP_TCB_FLOOR, lambda: check_minimum_tcb(
-                report, policy.minimum_tcb
-            )

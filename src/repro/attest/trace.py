@@ -35,6 +35,7 @@ class TraceEvent:
     kds_cache_hits: int  # KDS cache hits served to this verification
     sig_cache_hits: int = 0  # signature-cache hits during this verification
     sig_cache_misses: int = 0  # signature-cache misses (fresh EC math)
+    family: str = "sev-snp"  # the evidence's TEE family
 
 
 class Histogram:
@@ -90,6 +91,8 @@ class CounterRegistry(TraceSink):
     def __init__(self):
         self.verifications_by_verdict: Counter = Counter()
         self.failures_by_reason: Counter = Counter()
+        self.verifications_by_family: Dict[str, Counter] = {}
+        self.failures_by_family: Dict[str, Counter] = {}
         self.step_latency: Dict[str, Histogram] = {}
         self.kds_fetches = 0
         self.kds_cache_hits = 0
@@ -98,8 +101,16 @@ class CounterRegistry(TraceSink):
 
     def record(self, event: TraceEvent) -> None:
         self.verifications_by_verdict[event.verdict] += 1
+        family_verdicts = self.verifications_by_family.get(event.family)
+        if family_verdicts is None:
+            family_verdicts = self.verifications_by_family[event.family] = Counter()
+        family_verdicts[event.verdict] += 1
         if event.reason is not None:
             self.failures_by_reason[event.reason] += 1
+            family_failures = self.failures_by_family.get(event.family)
+            if family_failures is None:
+                family_failures = self.failures_by_family[event.family] = Counter()
+            family_failures[event.reason] += 1
         self.kds_fetches += event.kds_fetches
         self.kds_cache_hits += event.kds_cache_hits
         self.sig_cache_hits += event.sig_cache_hits
@@ -126,6 +137,14 @@ class CounterRegistry(TraceSink):
         return {
             "verifications_by_verdict": dict(self.verifications_by_verdict),
             "failures_by_reason": dict(self.failures_by_reason),
+            "verifications_by_family": {
+                family: dict(counter)
+                for family, counter in sorted(self.verifications_by_family.items())
+            },
+            "failures_by_family": {
+                family: dict(counter)
+                for family, counter in sorted(self.failures_by_family.items())
+            },
             "kds_fetches": self.kds_fetches,
             "kds_cache_hits": self.kds_cache_hits,
             "kds_cache_hit_rate": self.kds_cache_hit_rate(),

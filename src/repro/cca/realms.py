@@ -74,6 +74,7 @@ class PlatformToken:
     lifecycle_state: str  # "secured" on honest platforms
     rak_hash: bytes  # sha256 over the realm token's RAK
     signature: bytes = b""
+    platform_svn: int = 1  # security version of the monitor/RMM firmware
 
     def signed_payload(self) -> bytes:
         """The canonical byte string covered by the signature."""
@@ -82,6 +83,7 @@ class PlatformToken:
                 "platform": self.platform_id,
                 "lifecycle": self.lifecycle_state,
                 "rak_hash": self.rak_hash,
+                "svn": self.platform_svn,
             }
         )
 
@@ -129,6 +131,7 @@ class CcaToken:
             lifecycle_state=platform_payload["lifecycle"],
             rak_hash=platform_payload["rak_hash"],
             signature=outer["platform"]["sig"],
+            platform_svn=platform_payload.get("svn", 1),
         )
         return cls(realm_token=realm, platform_token=platform)
 
@@ -212,6 +215,7 @@ class RealmContext:
             platform_id=self.platform.platform_id,
             lifecycle_state=self.platform.lifecycle_state,
             rak_hash=hashlib.sha256(rak_public).digest(),
+            platform_svn=self.platform.platform_svn,
         )
         platform = replace(
             platform_unsigned,
@@ -235,10 +239,11 @@ class CcaPlatform:
     """One CCA-capable device (monitor + RMM)."""
 
     def __init__(self, platform_id: bytes, platform_secret: bytes,
-                 lifecycle_state: str = "secured"):
+                 lifecycle_state: str = "secured", platform_svn: int = 1):
         self.platform_id = platform_id
         self._secret = platform_secret
         self.lifecycle_state = lifecycle_state
+        self.platform_svn = platform_svn
         self._realm_counter = 0
 
     def cpak_private(self) -> EcdsaPrivateKey:

@@ -127,6 +127,15 @@ def _print_trace_summary(show_failures: bool = False) -> None:
     verdicts = snapshot["verifications_by_verdict"]
     print("pipeline:")
     print(f"  verifications: {dict(sorted(verdicts.items()))}")
+    by_family = snapshot.get("verifications_by_family", {})
+    if len(by_family) > 1 or any(f != "sev-snp" for f in by_family):
+        failures_by_family = snapshot.get("failures_by_family", {})
+        for family, family_verdicts in sorted(by_family.items()):
+            line = f"  family {family}: {dict(sorted(family_verdicts.items()))}"
+            family_failures = failures_by_family.get(family)
+            if family_failures:
+                line += f" failures={dict(sorted(family_failures.items()))}"
+            print(line)
     print(f"  kds cache hit rate: {snapshot['kds_cache_hit_rate']:.2f}")
     print(
         f"  signature cache hit rate: {snapshot['signature_cache_hit_rate']:.2f}"

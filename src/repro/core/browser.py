@@ -50,6 +50,9 @@ class Browser:
         self._trust_anchors = list(trust_anchors)
         self._rng = rng
         self.extension = extension
+        #: Session-sensitivity tag advertised in the client hello (a
+        #: tier-aware gateway routes on it); ``None`` means untagged.
+        self.session_tier: Optional[str] = None
         self.client = HttpClient(host, trust_anchors, rng.fork(b"browser"))
         self.history: List[PageResult] = []
         if extension is not None:
@@ -62,6 +65,8 @@ class Browser:
         self.client = HttpClient(
             self._host, self._trust_anchors, self._rng.fork(b"browser-session")
         )
+        if self.session_tier is not None:
+            self.client.hello_metadata["tier"] = self.session_tier
         if self.extension is not None:
             self.extension.on_new_session()
 

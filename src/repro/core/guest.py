@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from ..amd.report import AttestationReport
 from ..amd.verify import AttestationError
-from ..attest import AttestationVerifier
+from ..attest import AttestationVerifier, Evidence, EvidenceError, TeeFamily
 from ..build.image_builder import (
     GOLDEN_CONF_PATH,
     NETWORK_CONF_PATH,
@@ -445,3 +445,23 @@ def decode_attestation_payload(body: bytes) -> AttestationReport:
     if not isinstance(decoded, dict) or "report" not in decoded:
         raise GuestError("malformed attestation payload")
     return AttestationReport.decode(decoded["report"])
+
+
+def decode_attestation_evidence(body: bytes) -> Evidence:
+    """Parse a well-known endpoint's response body into the engine's
+    tagged envelope.  Legacy SNP nodes serve ``{"report": ...}``; other
+    TEE families serve an encoded :class:`~repro.attest.Evidence`
+    (``{"family": ..., "body": ...}``)."""
+    try:
+        decoded = encoding.decode(body)
+    except ValueError as exc:
+        raise GuestError("malformed attestation payload") from exc
+    if isinstance(decoded, dict):
+        if "report" in decoded:
+            return Evidence(TeeFamily.SEV_SNP, decoded["report"])
+        if "family" in decoded and "body" in decoded:
+            try:
+                return Evidence(decoded["family"], decoded["body"])
+            except EvidenceError as exc:
+                raise GuestError(f"malformed attestation payload: {exc}") from exc
+    raise GuestError("malformed attestation payload")

@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..amd.tcb import TcbVersion
-from ..attest import AttestationVerifier, VerificationPolicy
+from ..attest import AttestationVerifier, FamilyPolicy, VerificationPolicy
 from ..net.http import HttpError
-from .guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_payload
+from .guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_evidence
 from .kds_client import KdsClient
 from .key_sharing import report_data_for
 
@@ -56,6 +56,14 @@ class SiteRegistration:
     use_registry: bool = False
     #: Per-site TCB floor; overrides the extension-wide one.
     minimum_tcb: Optional[TcbVersion] = None
+    #: Per-TEE-family golden sets for sites served by a heterogeneous
+    #: fleet (family name -> measurements); ``expected_measurements``
+    #: stays the SNP-and-fallback set.
+    family_measurements: Dict[str, Set[bytes]] = field(default_factory=dict)
+    #: Families the user accepts evidence from; None = any family the
+    #: extension can verify (with per-family goldens registered, the
+    #: default closes to exactly those families).
+    allowed_families: Optional[Set[str]] = None
 
 
 @dataclass
@@ -78,6 +86,7 @@ class RevelioExtension:
         user_override=None,
         reattest_on_rekey: bool = False,
         minimum_tcb: Optional[TcbVersion] = None,
+        tee_contexts=None,
     ):
         self.kds = kds
         self.trusted_registry = trusted_registry
@@ -85,8 +94,13 @@ class RevelioExtension:
         #: Extension-wide TCB floor enforced on every attested site
         #: (per-site registrations can override it).
         self.minimum_tcb = minimum_tcb
-        #: All site attestations run through the unified pipeline.
-        self.verifier = AttestationVerifier(kds, site="web_extension")
+        #: All site attestations run through the unified pipeline;
+        #: *tee_contexts* adds trust material for non-SNP families
+        #: (TDX PCS, CCA anchors, e-vTPM) — also mutable afterwards via
+        #: ``verifier.contexts``.
+        self.verifier = AttestationVerifier(
+            kds, site="web_extension", contexts=tee_contexts
+        )
         #: Section 6.4's suggestion: instead of flagging a re-keyed
         #: connection outright, "a re-establishment of a connection
         #: could simply trigger a re-validation".  When enabled, a pin
@@ -125,9 +139,14 @@ class RevelioExtension:
         expected_measurements=(),
         use_registry: bool = False,
         minimum_tcb: Optional[TcbVersion] = None,
+        family_measurements=None,
+        allowed_families=None,
     ) -> None:
         """Manual registration with expected measurement(s); the secure
-        path for security-sensitive sites."""
+        path for security-sensitive sites.  *family_measurements* maps a
+        TEE family name to that family's golden set (heterogeneous
+        fleets); *allowed_families* restricts which families' evidence
+        is acceptable at all."""
         domain = domain.lower()
         registration = self._sites.get(domain)
         if registration is None:
@@ -139,6 +158,14 @@ class RevelioExtension:
         registration.use_registry = registration.use_registry or use_registry
         if minimum_tcb is not None:
             registration.minimum_tcb = minimum_tcb
+        for family, values in (family_measurements or {}).items():
+            registration.family_measurements.setdefault(
+                str(family), set()
+            ).update(bytes(m) for m in values)
+        if allowed_families is not None:
+            registration.allowed_families = {
+                str(family) for family in allowed_families
+            }
 
     def is_registered(self, domain: str) -> bool:
         """Whether the domain is registered with the extension."""
@@ -205,7 +232,7 @@ class RevelioExtension:
             golden |= set(self.trusted_registry.golden_measurements(domain))
             revoked = set(self.trusted_registry.revoked_measurements(domain))
         golden -= revoked
-        if not golden:
+        if not golden and not registration.family_measurements:
             return self._violation(
                 domain,
                 "no (unrevoked) golden measurement known",
@@ -231,7 +258,7 @@ class RevelioExtension:
                 code="report_unavailable",
             )
         try:
-            report = decode_attestation_payload(response.body)
+            evidence = decode_attestation_evidence(response.body)
         except Exception as exc:  # malformed payloads are violations too
             return self._violation(
                 domain,
@@ -244,18 +271,37 @@ class RevelioExtension:
             )
         fingerprint = info.peer_public_key.fingerprint()
 
-        # 2. One pipeline run covers revocation, the VCEK chain to the
-        #    pinned ARK, the signature, the golden set, the TLS-key
-        #    REPORT_DATA binding (the key authenticating the very
-        #    connection we fetched the report over), and the TCB floor.
+        # 2. One pipeline run covers revocation, the endorsement chain
+        #    to the family's trust anchor, the signature, the golden
+        #    set, the TLS-key REPORT_DATA binding (the key
+        #    authenticating the very connection we fetched the evidence
+        #    over), and the TCB floor — dispatched on evidence family.
+        families = None
+        if registration.family_measurements:
+            families = {
+                family: FamilyPolicy(golden_measurements=sorted(values))
+                for family, values in sorted(
+                    registration.family_measurements.items()
+                )
+            }
+        allowed = registration.allowed_families
+        if allowed is None and not golden and families is not None:
+            # Per-family goldens only: fail closed to exactly those
+            # families (an SNP report must not slip past an empty
+            # global golden set).
+            allowed = set(families)
         policy = VerificationPolicy(
             golden_measurements=sorted(golden),
             revoked_measurements=sorted(revoked),
             expected_report_data=report_data_for(fingerprint),
             minimum_tcb=registration.minimum_tcb or self.minimum_tcb,
+            allowed_families=(
+                None if allowed is None else tuple(sorted(allowed))
+            ),
+            families=families,
         )
         outcome = self.verifier.verify(
-            report, now=browser.network.clock.epoch_seconds(), policy=policy
+            evidence, now=browser.network.clock.epoch_seconds(), policy=policy
         )
         if not outcome.ok:
             return self._violation(

@@ -16,7 +16,9 @@ from repro.fleet.faults import (
     blackhole_kds,
     corrupt_disk,
     kill_backend,
+    raise_family_tcb_floor,
     raise_tcb_floor,
+    revoke_family,
     slow_disk,
 )
 from repro.fleet.gateway import (
@@ -26,6 +28,7 @@ from repro.fleet.gateway import (
     GatewayError,
 )
 from repro.fleet.health import HealthMonitor
+from repro.fleet.hetero import HeteroBackend, HeterogeneousFleet
 from repro.fleet.workload import FleetWorkload, UserPool
 
 __all__ = [
@@ -35,6 +38,8 @@ __all__ = [
     "FleetWorkload",
     "GatewayError",
     "HealthMonitor",
+    "HeteroBackend",
+    "HeterogeneousFleet",
     "KdsBlackhole",
     "RollingRolloutReport",
     "UserPool",
@@ -42,7 +47,9 @@ __all__ = [
     "corrupt_disk",
     "drain_backend",
     "kill_backend",
+    "raise_family_tcb_floor",
     "raise_tcb_floor",
+    "revoke_family",
     "rolling_rollout",
     "slow_disk",
 ]

@@ -98,10 +98,16 @@ def rolling_rollout(
     drain_deadline: float = 60.0,
     concurrency: int = 4,
     report: Optional[RollingRolloutReport] = None,
+    families=None,
 ):
     """Kernel process: replace the whole fleet under load, one node at
     a time, with zero failed end-user requests.  Pass *report* to
-    observe progress; it is also the generator's return value."""
+    observe progress; it is also the generator's return value.
+
+    In a heterogeneous fleet an image rollout only concerns the nodes
+    that *run* that image: *families* restricts the rollout to backends
+    whose registered TEE family is in the set (``None`` = every
+    deployment node, the homogeneous-SNP behaviour)."""
     if deployment.sp is None or deployment.provisioning is None:
         raise RolloutError("fleet not provisioned; nothing to roll out")
     old_measurement = bytes(deployment.build.expected_measurement)
@@ -130,8 +136,15 @@ def rolling_rollout(
         deployment.sp.expected_measurements.append(new_measurement)
     gateway.golden_measurements = sorted({old_measurement, new_measurement})
 
+    allowed_families = (
+        None if families is None else {str(family) for family in families}
+    )
     for index in range(len(deployment.nodes)):
         ip_address = deployment.nodes[index].host.ip_address
+        if allowed_families is not None:
+            backend = gateway.backends.get(ip_address)
+            if backend is None or backend.family not in allowed_families:
+                continue
         node_started = clock.now
         rounds = yield from drain_backend(
             gateway, ip_address, poll_interval=drain_poll, deadline=drain_deadline

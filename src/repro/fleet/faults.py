@@ -12,6 +12,12 @@ reason code or a typed storage error:
 * :func:`raise_tcb_floor` — the platform operator mandates a newer TCB
   than a backend reports (stale firmware); the next re-attestation
   fails with the pipeline's ``tcb_too_old``.
+* :func:`revoke_family` — an architectural break is disclosed for one
+  TEE family in a mixed fleet; its active backends are evicted at once
+  and its re-attestations fail with ``family_not_allowed``.
+* :func:`raise_family_tcb_floor` — one family's platform firmware is
+  mandated newer; its backends fail re-attestation with the
+  family-scoped ``family_tcb_floor``.
 * :func:`slow_disk` — a degrading physical device: a ``delay`` target
   is spliced over a VM volume, charging per-block latency to the sim
   clock (the gateway sees the slow backend through its tail latency).
@@ -94,7 +100,11 @@ def blackhole_kds(gateway: FleetGateway,
     if clear_cache:
         gateway.kds.clear_cache()
     gateway.kds = blackhole
-    gateway.verifier = AttestationVerifier(blackhole, site="fleet-gateway")
+    # Per-family trust contexts (TDX PCS, CCA anchors, e-vTPM) survive
+    # the swap: only the WAN path to AMD is down.
+    gateway.verifier = AttestationVerifier(
+        blackhole, site="fleet-gateway", contexts=gateway.verifier.contexts
+    )
     return blackhole
 
 
@@ -102,6 +112,22 @@ def raise_tcb_floor(gateway: FleetGateway, minimum_tcb) -> None:
     """Mandate a TCB floor for admission; backends reporting an older
     TCB fail their next re-attestation with ``tcb_too_old``."""
     gateway.minimum_tcb = minimum_tcb
+
+
+def revoke_family(gateway: FleetGateway, family,
+                  reason: str = "family_not_allowed") -> None:
+    """Revoke one TEE family fleet-wide (a disclosed architectural
+    break): active backends of that family are evicted immediately with
+    the family-scoped *reason* code, and every later re-attestation of
+    the family fails closed with ``family_not_allowed``."""
+    gateway.revoke_family(family, reason=reason)
+
+
+def raise_family_tcb_floor(gateway: FleetGateway, family, minimum_tcb) -> None:
+    """Mandate a per-family platform TCB floor; backends of *family*
+    reporting an older platform TCB fail their next re-attestation with
+    ``family_tcb_floor``."""
+    gateway.set_family_tcb_floor(family, minimum_tcb)
 
 
 def slow_disk(vm, role: str, read_ms: float = 0.0,

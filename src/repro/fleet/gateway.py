@@ -14,18 +14,36 @@ while its latest :mod:`repro.attest` verdict is passing and fresh
 dead peer the backend is evicted with a stable reason code from the
 PR-2 taxonomy (extended with the gateway-level codes
 ``backend_unreachable``, ``health_timeout``, ``kds_unreachable``,
-``no_healthy_backend``), its sessions are severed, and clients
-transparently re-handshake onto a healthy peer (the fleet key is
-shared, so their pinned key stays valid).
+``family_mismatch``, ``no_healthy_backend``), its sessions are
+severed, and clients transparently re-handshake onto a healthy peer
+(the fleet key is shared, so their pinned key stays valid).
+
+The fleet may be **heterogeneous**: every backend is registered with
+its TEE family (SEV-SNP, TDX, CCA, e-vTPM), probes run through the
+family-dispatched pipeline against per-family
+:class:`~repro.attest.FamilyPolicy` overlays, and sessions are
+**tier-routed** — the cleartext ``tier`` tag in the client hello picks
+which families may serve the session (``tier_families``; e.g.
+high-sensitivity sessions only land on SNP or SNP-endorsed e-vTPM
+backends, bulk sessions on any passing family).  Fleet-wide family
+revocation (:meth:`FleetGateway.revoke_family`) and per-family TCB
+floors (:meth:`FleetGateway.set_family_tcb_floor`) evict with the
+family-scoped codes ``family_not_allowed`` / ``family_tcb_floor``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Dict, List, Optional, Tuple
 
-from ..attest import AttestationVerifier, VerificationPolicy
-from ..core.guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_payload
+from ..attest import (
+    ALL_FAMILIES,
+    AttestationVerifier,
+    FamilyPolicy,
+    TeeFamily,
+    VerificationPolicy,
+)
+from ..core.guest import WELL_KNOWN_ATTESTATION_PATH, decode_attestation_evidence
 from ..core.key_sharing import report_data_for
 from ..crypto import encoding
 from ..net.http import HTTPS_PORT, HttpRequest, HttpResponse
@@ -78,6 +96,10 @@ class BackendState:
     #: Forwards attempted after retirement — the rollout acceptance
     #: criterion requires this to stay 0 for every drained backend.
     requests_after_retired: int = 0
+    #: The TEE family this backend was registered under; its evidence
+    #: must match (``family_mismatch`` otherwise) and tier routing
+    #: filters on it.
+    family: str = str(TeeFamily.SEV_SNP)
 
     def admittable(self, now: float, verdict_ttl: float) -> bool:
         """Eligible for *new* sessions: admitted + fresh passing verdict."""
@@ -112,6 +134,11 @@ class FleetGateway:
         max_retries: int = 3,
         kernel=None,
         name: str = "fleet-gateway",
+        family_policies=None,
+        allowed_families=None,
+        tier_families=None,
+        default_tier: str = "bulk",
+        contexts=None,
     ):
         if balancer not in BALANCERS:
             raise ValueError(f"unknown balancer {balancer!r}; pick from {BALANCERS}")
@@ -127,7 +154,39 @@ class FleetGateway:
         self.verdict_ttl = verdict_ttl
         self.max_retries = max_retries
         self.kernel = kernel
-        self.verifier = AttestationVerifier(kds, site=name)
+        #: Per-family :class:`FamilyPolicy` overlays (goldens, anchors,
+        #: family TCB floors) merged into every admission policy.
+        self.family_policies: Dict[str, FamilyPolicy] = {
+            str(family): overlay
+            for family, overlay in (family_policies or {}).items()
+        }
+        #: ``None`` = any registered family; otherwise the admissible set.
+        self.allowed_families = (
+            None
+            if allowed_families is None
+            else {str(family) for family in allowed_families}
+        )
+        #: Families revoked fleet-wide (subtracted from the admissible
+        #: set; re-attestation of their backends fails closed).
+        self.revoked_families: set = set()
+        #: Per-family TCB floors overlaid onto admission policies.
+        self.family_tcb_floors: Dict[str, object] = {}
+        if tier_families is None:
+            tier_families = {
+                "high": (str(TeeFamily.SEV_SNP), str(TeeFamily.VTPM)),
+                "bulk": None,
+            }
+        #: Session tier -> families allowed to serve it (None = any).
+        self.tier_families: Dict[str, Optional[Tuple[str, ...]]] = {
+            tier: (
+                None
+                if families is None
+                else tuple(str(family) for family in families)
+            )
+            for tier, families in tier_families.items()
+        }
+        self.default_tier = default_tier
+        self.verifier = AttestationVerifier(kds, site=name, contexts=contexts)
 
         self.host = network.add_host(name, ip_address)
         self.host.listen(HTTPS_PORT, self._handle)
@@ -175,22 +234,56 @@ class FleetGateway:
     def backends(self) -> Dict[str, BackendState]:
         return self._backends
 
-    def add_backend(self, ip_address: str, concurrency: int = 4) -> BackendState:
+    def add_backend(self, ip_address: str, concurrency: int = 4,
+                    family=TeeFamily.SEV_SNP) -> BackendState:
         """Register (or re-register, after a replacement) a backend in
-        the ``pending`` state; it serves nothing until admitted."""
+        the ``pending`` state; it serves nothing until admitted.
+        *family* declares the TEE technology the backend must prove."""
         server = None
         if self.kernel is not None:
             server = Server(
                 self.kernel, concurrency, name=f"backend-{ip_address}"
             )
-        backend = BackendState(ip_address=ip_address, server=server)
+        backend = BackendState(
+            ip_address=ip_address, server=server, family=str(family)
+        )
         self._backends[ip_address] = backend
         return backend
 
+    def _admission_policy(self, connection) -> VerificationPolicy:
+        """The policy for one probe: the global (SNP-legacy) fields plus
+        the per-family overlays, family TCB floors, and the admissible
+        family set after fleet-wide revocations."""
+        families = dict(self.family_policies)
+        for family, floor in self.family_tcb_floors.items():
+            base = families.get(family, FamilyPolicy())
+            families[family] = dataclass_replace(base, minimum_tcb=floor)
+        allowed = self.allowed_families
+        if self.revoked_families:
+            base_allowed = (
+                allowed
+                if allowed is not None
+                else {str(family) for family in ALL_FAMILIES}
+            )
+            allowed = base_allowed - self.revoked_families
+        return VerificationPolicy(
+            golden_measurements=tuple(self.golden_measurements),
+            revoked_measurements=tuple(self.revoked_measurements),
+            expected_report_data=report_data_for(
+                connection.peer_public_key.fingerprint()
+            ),
+            minimum_tcb=self.minimum_tcb,
+            allowed_families=(
+                None if allowed is None else tuple(sorted(allowed))
+            ),
+            families=families or None,
+        )
+
     def attest_backend(self, ip_address: str) -> AdmissionVerdict:
         """Probe one backend through the full end-user flow: fresh TLS
-        handshake, well-known report fetch, pipeline verification with
-        the REPORT_DATA bound to the *probed connection's* key."""
+        handshake, well-known evidence fetch, family-dispatched pipeline
+        verification with the REPORT_DATA bound to the *probed
+        connection's* key."""
         clock = self.network.clock
         try:
             connection = tls_connect(
@@ -214,20 +307,20 @@ class FleetGateway:
                 f"well-known endpoint returned {response.status}",
             )
         try:
-            report = decode_attestation_payload(response.body)
+            evidence = decode_attestation_evidence(response.body)
         except Exception as exc:
             return self._verdict(ip_address, False, "malformed_report", str(exc))
-        policy = VerificationPolicy(
-            golden_measurements=tuple(self.golden_measurements),
-            revoked_measurements=tuple(self.revoked_measurements),
-            expected_report_data=report_data_for(
-                connection.peer_public_key.fingerprint()
-            ),
-            minimum_tcb=self.minimum_tcb,
-        )
+        backend = self._backends.get(ip_address)
+        if backend is not None and str(evidence.family) != backend.family:
+            return self._verdict(
+                ip_address, False, "family_mismatch",
+                f"backend registered as {backend.family}, "
+                f"evidence is {evidence.family}",
+            )
+        policy = self._admission_policy(connection)
         try:
             outcome = self.verifier.verify(
-                report, now=clock.epoch_seconds(), policy=policy
+                evidence, now=clock.epoch_seconds(), policy=policy
             )
         except ConnectionError as exc:
             return self._verdict(ip_address, False, "kds_unreachable", str(exc))
@@ -245,6 +338,12 @@ class FleetGateway:
             backend.verdict_reason = reason
             backend.verdict_time = self.network.clock.now
         self._count("attestations_ok" if ok else f"attestations_failed.{reason}")
+        if backend is not None:
+            self._count(
+                f"family.{backend.family}.attestations_ok"
+                if ok
+                else f"family.{backend.family}.attestations_failed.{reason}"
+            )
         return AdmissionVerdict(ip_address, ok, reason, detail)
 
     def attest_and_admit(self, ip_address: str) -> AdmissionVerdict:
@@ -256,6 +355,8 @@ class FleetGateway:
         verdict = self.attest_backend(ip_address)
         if verdict.ok:
             if backend.state in ("pending", "admitted"):
+                if backend.state == "pending":
+                    self._count(f"admissions.{backend.family}")
                 backend.state = "admitted"
                 backend.consecutive_failures = 0
         elif backend.state in ("admitted", "draining"):
@@ -282,7 +383,29 @@ class FleetGateway:
         backend.verdict_ok = False
         backend.verdict_reason = reason
         self._count(f"evictions.{reason}")
+        self._count(f"family.{backend.family}.evictions.{reason}")
         self._sever_sessions(ip_address)
+
+    def revoke_family(self, family, reason: str = "family_not_allowed") -> None:
+        """Fleet-wide family revocation (e.g. an architectural break
+        disclosed for one vendor's TEE): remove *family* from the
+        admissible set — its backends fail re-attestation with
+        ``family_not_allowed`` from now on — and evict every active
+        backend of that family immediately."""
+        family = str(family)
+        self.revoked_families.add(family)
+        for ip_address in sorted(self._backends):
+            backend = self._backends[ip_address]
+            if backend.family == family and backend.active():
+                self.evict(
+                    ip_address, reason, f"family {family} revoked fleet-wide"
+                )
+
+    def set_family_tcb_floor(self, family, minimum_tcb) -> None:
+        """Mandate a per-family TCB floor; backends of *family* whose
+        platform TCB is older fail their next re-attestation with the
+        family-scoped ``family_tcb_floor`` code."""
+        self.family_tcb_floors[str(family)] = minimum_tcb
 
     def mark_draining(self, ip_address: str) -> None:
         """No new sessions; existing sessions keep being served."""
@@ -323,22 +446,36 @@ class FleetGateway:
             raise GatewayError("malformed_request")
         message_type = message.get("type")
         if message_type == "client_hello":
-            return self._route_new_session(payload)
+            return self._route_new_session(payload, message)
         if message_type == "record":
             return self._route_record(message, payload)
         self._count("requests_malformed")
         raise GatewayError("malformed_request", f"type={message_type!r}")
 
-    def _route_new_session(self, payload: bytes) -> bytes:
+    def _session_tier(self, message: Optional[dict]) -> str:
+        """The effective tier of a hello: its cleartext ``tier`` tag if
+        the gateway knows that tier, the default tier otherwise."""
+        tier = (message or {}).get("tier") or self.default_tier
+        if tier not in self.tier_families:
+            tier = self.default_tier
+        return tier
+
+    def _route_new_session(self, payload: bytes,
+                           message: Optional[dict] = None) -> bytes:
         now = self.network.clock.now
+        tier = self._session_tier(message)
+        tier_allowed = self.tier_families.get(tier)
         candidates = [
             self._backends[ip]
             for ip in sorted(self._backends)
             if self._backends[ip].admittable(now, self.verdict_ttl)
+            and (tier_allowed is None
+                 or self._backends[ip].family in tier_allowed)
         ]
         if not candidates:
             self._count("routing_failed.no_healthy_backend")
-            raise GatewayError("no_healthy_backend")
+            self._count(f"tier.{tier}.routing_failed")
+            raise GatewayError("no_healthy_backend", f"tier={tier}")
         attempts = 0
         for backend in self._preference_order(candidates):
             if attempts >= self.max_retries:
@@ -359,9 +496,13 @@ class FleetGateway:
             if session_id is not None:
                 self._affinity[session_id] = backend.ip_address
             self._count("sessions_opened")
+            self._count(f"tier.{tier}.sessions_opened")
             return raw
         self._count("routing_failed.no_healthy_backend")
-        raise GatewayError("no_healthy_backend", "all forward attempts failed")
+        self._count(f"tier.{tier}.routing_failed")
+        raise GatewayError(
+            "no_healthy_backend", f"all forward attempts failed (tier={tier})"
+        )
 
     def _route_record(self, message: dict, payload: bytes) -> bytes:
         session_id = message.get("session_id")

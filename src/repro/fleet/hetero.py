@@ -1,0 +1,225 @@
+"""Heterogeneous-TEE fleet wiring.
+
+The paper claims TEE portability ("Revelio can be deployed in a
+hardware-agnostic fashion, as long as the TEE follows the VM model");
+this module makes the fleet layer prove it.  A
+:class:`HeterogeneousFleet` stands up TDX, CCA, and SNP-endorsed
+e-vTPM backends *next to* an existing SNP deployment:
+
+* every backend serves the deployment's **shared attested TLS
+  identity** (same certificate chain, same private key), so end-users'
+  pinned key never depends on which family served them;
+* every backend answers the well-known attestation URL with a tagged
+  :class:`~repro.attest.Evidence` envelope whose challenge /
+  REPORT_DATA binds the shared TLS key — the same binding the SNP
+  nodes prove;
+* :meth:`HeterogeneousFleet.attach_gateway` hands the gateway the
+  per-family trust contexts (Intel PCS, ARM anchors, the e-vTPM KDS
+  client) and :class:`~repro.attest.FamilyPolicy` golden overlays,
+  registers each backend under its family, and admits it through the
+  family-dispatched pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..amd.policy import GuestPolicy
+from ..attest import (
+    CcaTrust,
+    Evidence,
+    FamilyPolicy,
+    TdxTrust,
+    TeeFamily,
+    VtpmTrust,
+)
+from ..cca.realms import ArmInfrastructure
+from ..core.deployment import MINIMAL_PAGE
+from ..core.guest import WELL_KNOWN_ATTESTATION_PATH
+from ..core.key_sharing import report_data_for
+from ..crypto.keys import PrivateKey
+from ..net.http import HttpResponse, HttpServer
+from ..tdx.module import IntelInfrastructure, ProvisioningCertificationService
+from ..vtpm.monitoring import MonitoringEvidence
+from ..vtpm.vtpm import PCR_SERVICES, Vtpm
+from .gateway import FleetGateway
+
+
+@dataclass
+class HeteroBackend:
+    """One non-SNP fleet member: its host, server, and golden value."""
+
+    ip_address: str
+    family: str
+    host: object
+    server: HttpServer
+    measurement: bytes
+
+
+class HeterogeneousFleet:
+    """TDX / CCA / e-vTPM backends joined to an SNP deployment's fleet.
+
+    Requires a deployed :class:`~repro.core.deployment.RevelioDeployment`
+    (the shared TLS identity must already be provisioned)."""
+
+    def __init__(self, deployment, rng=None):
+        self.deployment = deployment
+        self._rng = (
+            rng if rng is not None else deployment.rng.fork(b"hetero-fleet")
+        )
+        #: Intel's side of the TDX world (PCK hierarchy + PCS).
+        self.intel = IntelInfrastructure(self._rng.fork(b"intel"))
+        self.pcs = ProvisioningCertificationService(self.intel)
+        #: ARM's side of the CCA world (CPAK endorsements).
+        self.arm = ArmInfrastructure(self._rng.fork(b"arm"))
+        self._cpaks: Dict[bytes, object] = {}
+        #: KDS client for e-vTPM endorsement verification.
+        self.kds = deployment._new_kds_client()
+
+        leader = deployment.leader
+        if leader.node.certificate_chain is None or (
+            leader.node.tls_private_key is None
+        ):
+            raise RuntimeError(
+                "deployment has no provisioned TLS identity to share"
+            )
+        self._chain = list(leader.node.certificate_chain)
+        self._tls_key = PrivateKey("ecdsa", leader.node.tls_private_key)
+        #: The REPORT_DATA / challenge every backend's evidence binds:
+        #: the shared TLS key's fingerprint, exactly like the SNP nodes.
+        self.binding = report_data_for(self._tls_key.public_key().fingerprint())
+
+        self.backends: List[HeteroBackend] = []
+        self._goldens: Dict[str, Set[bytes]] = {}
+
+    # -- backend factories ------------------------------------------
+
+    def add_tdx_backend(self, ip_address: str,
+                        serial: Optional[str] = None) -> HeteroBackend:
+        """Launch a trust domain on a fresh Intel platform and serve its
+        quote (bound to the shared TLS key) at *ip_address*."""
+        platform = self.intel.provision_platform(
+            serial or f"hetero-tdx-{len(self.backends)}"
+        )
+        td = platform.launch_td(self._initial_state(b"td"))
+        quote = td.get_quote(self.binding)
+        return self._serve(TeeFamily.TDX, ip_address, quote.encode(), td.mrtd)
+
+    def add_cca_backend(self, ip_address: str,
+                        serial: Optional[str] = None) -> HeteroBackend:
+        """Launch a realm on a fresh ARM platform and serve its
+        two-token bundle (challenged with the shared TLS key binding)."""
+        platform = self.arm.provision_platform(
+            serial or f"hetero-cca-{len(self.backends)}"
+        )
+        self._cpaks[platform.platform_id] = self.arm.cpak_certificate(platform)
+        realm = platform.launch_realm(self._initial_state(b"realm"))
+        token = realm.attest(self.binding)
+        return self._serve(TeeFamily.CCA, ip_address, token.encode(), realm.rim)
+
+    def add_vtpm_backend(self, ip_address: str,
+                         serial: Optional[str] = None) -> HeteroBackend:
+        """Launch an SNP guest with an attached vTPM whose AK the
+        AMD-SP endorses; serve (quote over the TLS binding, event log,
+        AK, endorsement) as e-vTPM evidence."""
+        chip = self.deployment.amd.provision_chip(
+            serial or f"hetero-vtpm-{len(self.backends)}"
+        )
+        guest = chip.launch_vm(self._initial_state(b"vtpm-vm"), GuestPolicy())
+        vtpm = Vtpm(self._rng.fork(b"vtpm:" + ip_address.encode()))
+        endorsement = guest.get_report(
+            report_data_for(hashlib.sha256(vtpm.ak_public.encode()).digest())
+        )
+        evidence = MonitoringEvidence(
+            quote=vtpm.quote(self.binding, [PCR_SERVICES]),
+            event_log=list(vtpm.event_log),
+            ak_public=vtpm.ak_public,
+            ak_endorsement=endorsement,
+        )
+        return self._serve(
+            TeeFamily.VTPM, ip_address, evidence.encode(), guest.measurement
+        )
+
+    def _initial_state(self, kind: bytes) -> bytes:
+        """One deterministic initial state per (fleet, kind): every
+        backend of a family measures identically — one golden value."""
+        return b"hetero-" + kind + b"-" + self.deployment.domain.encode()
+
+    def _serve(self, family, ip_address: str, evidence_body: bytes,
+               measurement: bytes) -> HeteroBackend:
+        family = str(family)
+        name = f"{family}-backend-{ip_address}"
+        host = self.deployment.network.add_host(name, ip_address)
+        server = HttpServer(name)
+        payload = Evidence(family, evidence_body).encode()
+        latency = self.deployment.latency
+        server.add_route(
+            "GET",
+            WELL_KNOWN_ATTESTATION_PATH,
+            lambda request, context: HttpResponse.ok(
+                payload, "application/octet-stream"
+            ),
+            processing_time=latency.report_endpoint_processing,
+        )
+        server.add_route(
+            "GET",
+            "/",
+            lambda request, context: HttpResponse.ok(MINIMAL_PAGE),
+            processing_time=latency.page_processing,
+        )
+        server.serve_tls(
+            host,
+            self._chain,
+            self._tls_key,
+            self._rng.fork(b"tls:" + ip_address.encode()),
+        )
+        backend = HeteroBackend(
+            ip_address=ip_address,
+            family=family,
+            host=host,
+            server=server,
+            measurement=bytes(measurement),
+        )
+        self.backends.append(backend)
+        self._goldens.setdefault(family, set()).add(bytes(measurement))
+        return backend
+
+    # -- gateway wiring ---------------------------------------------
+
+    def contexts(self) -> Dict[str, object]:
+        """Per-family trust material for a verifier's ``contexts``."""
+        return {
+            str(TeeFamily.TDX): TdxTrust(self.pcs),
+            str(TeeFamily.CCA): CcaTrust(
+                lambda platform_id: self._cpaks[platform_id],
+                (self.arm.root.certificate,),
+            ),
+            str(TeeFamily.VTPM): VtpmTrust(self.kds),
+        }
+
+    def family_policies(self) -> Dict[str, FamilyPolicy]:
+        """Golden overlays for every family this fleet launched."""
+        return {
+            family: FamilyPolicy(golden_measurements=sorted(goldens))
+            for family, goldens in sorted(self._goldens.items())
+        }
+
+    def attach_gateway(self, gateway: FleetGateway,
+                       concurrency: int = 4) -> List:
+        """Teach *gateway* to verify this fleet's families, register
+        every backend under its family, and attest-and-admit each.
+        Returns the admission verdicts."""
+        gateway.verifier.contexts.update(self.contexts())
+        gateway.family_policies.update(self.family_policies())
+        verdicts = []
+        for backend in self.backends:
+            if backend.ip_address not in gateway.backends:
+                gateway.add_backend(
+                    backend.ip_address,
+                    concurrency=concurrency,
+                    family=backend.family,
+                )
+            verdicts.append(gateway.attest_and_admit(backend.ip_address))
+        return verdicts

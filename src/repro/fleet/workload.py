@@ -42,6 +42,7 @@ class UserPool:
         expected_measurements=None,
         reattest_on_rekey: bool = True,
         ip_prefix: str = "10.2",
+        extension_setup=None,
     ):
         self.size = size
         self._queue = FifoQueue(kernel, name="user-pool")
@@ -58,6 +59,10 @@ class UserPool:
                     deployment.domain,
                     expected_measurements=expected_measurements,
                 )
+            # Heterogeneous fleets need more than a flat golden set:
+            # the hook registers per-family goldens / trust contexts.
+            if extension_setup is not None:
+                extension_setup(extension)
             self.browsers.append(browser)
             self._queue.put(browser)
 
@@ -83,6 +88,7 @@ class FleetWorkload:
         rng: Optional[SimRng] = None,
         think_time_mean: float = 2.0,
         revisits_per_session: int = 3,
+        tier_weights=None,
     ):
         self.kernel = kernel
         self.gateway = gateway
@@ -91,6 +97,11 @@ class FleetWorkload:
         rng = rng or SimRng(0)
         self._think_rng = rng.fork("think")
         self._arrival_rng = rng.fork("arrivals")
+        #: tier name -> weight; each session draws its sensitivity tier
+        #: from this distribution and tags the browser's client hello.
+        #: ``None`` keeps sessions untagged (the gateway's default tier).
+        self.tier_weights = dict(tier_weights) if tier_weights else None
+        self._tier_rng = rng.fork("tiers")
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             kernel.clock, rng=rng.fork("metrics")
         )
@@ -99,9 +110,22 @@ class FleetWorkload:
         self.sessions_completed = 0
         self._sessions_remaining = 0
 
+    def _pick_tier(self):
+        """Draw a session tier from ``tier_weights`` (None = untagged)."""
+        if not self.tier_weights:
+            return None
+        total = sum(self.tier_weights.values())
+        draw = self._tier_rng.random() * total
+        cumulative = 0.0
+        for tier, weight in sorted(self.tier_weights.items()):
+            cumulative += weight
+            if draw < cumulative:
+                return tier
+        return sorted(self.tier_weights)[-1]
+
     # -- one visit --------------------------------------------------
 
-    def _visit(self, browser, kind: str):
+    def _visit(self, browser, kind: str, tier=None):
         network = self.gateway.network
         started = network.clock.now
         blocked = failed = False
@@ -137,14 +161,18 @@ class FleetWorkload:
         metrics.increment("requests_ok")
         metrics.reservoir("latency.all").observe(latency)
         metrics.reservoir(f"latency.{kind}").observe(latency)
+        if tier is not None:
+            metrics.reservoir(f"latency.tier.{tier}").observe(latency)
         metrics.window("throughput").record()
 
     def _session(self, browser):
+        tier = self._pick_tier()
+        browser.session_tier = tier
         browser.new_session()
-        yield from self._visit(browser, "first_visit")
+        yield from self._visit(browser, "first_visit", tier=tier)
         for _ in range(self.revisits_per_session):
             yield sleep(self._think_rng.expovariate(1.0 / self.think_time_mean))
-            yield from self._visit(browser, "revisit")
+            yield from self._visit(browser, "revisit", tier=tier)
         self.sessions_completed += 1
 
     def _session_with_checkin(self, browser):

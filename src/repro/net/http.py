@@ -219,6 +219,9 @@ class HttpClient:
         self.trust_anchors = list(trust_anchors)
         self._rng = rng
         self._pool: Dict[Tuple[str, str, int], TlsConnection] = {}
+        #: Cleartext fields merged into every client hello (e.g. the
+        #: session ``tier`` tag an attestation-aware gateway routes on).
+        self.hello_metadata: Dict[str, object] = {}
 
     def request(
         self,
@@ -279,6 +282,7 @@ class HttpClient:
             self.trust_anchors,
             self._rng,
             now=self._network.clock.epoch_seconds(),
+            hello_metadata=self.hello_metadata or None,
         )
         self._pool[key] = connection
         return connection

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..crypto import encoding
 from ..crypto.drbg import HmacDrbg
@@ -245,23 +245,31 @@ def tls_connect(
     rng: HmacDrbg,
     now: int,
     verify: bool = True,
+    hello_metadata: Optional[Dict[str, object]] = None,
 ) -> TlsConnection:
     """Establish a TLS session to ``dst_ip:port``.
 
     With ``verify=True`` (default) the server chain must validate
     against *trust_anchors* and cover *server_name*; handshake failures
     raise :class:`TlsHandshakeError`.
+
+    *hello_metadata* adds cleartext fields to the client hello — the
+    ALPN-style extension surface.  Servers ignore fields they don't
+    know; an attestation-aware gateway reads e.g. a ``tier`` tag to
+    route the session before TLS terminates at a backend.
     """
     ephemeral = EcdsaPrivateKey.generate(P256, rng)
     client_random = rng.generate(32)
-    hello = encoding.encode(
-        {
-            "type": "client_hello",
-            "random": client_random,
-            "ecdh_pub": ephemeral.public_key().encode(),
-            "sni": server_name,
-        }
-    )
+    hello_fields = {
+        "type": "client_hello",
+        "random": client_random,
+        "ecdh_pub": ephemeral.public_key().encode(),
+        "sni": server_name,
+    }
+    if hello_metadata:
+        for field_name, value in hello_metadata.items():
+            hello_fields.setdefault(field_name, value)
+    hello = encoding.encode(hello_fields)
     raw = host.request(dst_ip, port, hello)
     message = encoding.decode(raw)
     if not isinstance(message, dict) or message.get("type") != "server_hello":

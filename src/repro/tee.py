@@ -2,27 +2,40 @@
 
 Revelio's design is TEE-portable (paper section 1: "Revelio can be
 deployed in a hardware-agnostic fashion, as long as the TEE follows the
-VM model").  This module is the seam that makes that concrete: evidence
-from different VM-model TEEs is wrapped in a tagged envelope, and a
-:class:`TeeVerifier` dispatches to per-technology verifiers that all
-reduce to the same question — *does this evidence bind (measurement,
-report_data) to a genuine platform?*
+VM model").  This module is the *thin* convenience seam over the
+family-dispatched engine in :mod:`repro.attest`: evidence from
+different VM-model TEEs is wrapped in a tagged envelope, and a
+:class:`TeeVerifier` reduces every technology to the same question —
+*does this evidence bind (measurement, report_data) to a genuine
+platform?* — by running the registered
+:mod:`repro.attest.families` step provider for the evidence kind.
 
-Shipped backends: AMD SEV-SNP (:mod:`repro.amd`) and Intel TDX
-(:mod:`repro.tdx`).  Adding ARM CCA would mean one more entry in the
-registry.
+Shipped backends: AMD SEV-SNP (:mod:`repro.amd`), Intel TDX
+(:mod:`repro.tdx`), ARM CCA (:mod:`repro.cca`), and the SNP-endorsed
+e-vTPM (:mod:`repro.vtpm`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional
 
+from .attest import (
+    AttestationVerifier,
+    CcaTrust,
+    Evidence,
+    TdxTrust,
+    TeeFamily,
+    VerificationPolicy,
+    provider_for,
+    registered_families,
+)
 from .crypto import encoding
 
-KIND_SEV_SNP = "sev-snp"
-KIND_TDX = "tdx"
-KIND_CCA = "arm-cca"
+KIND_SEV_SNP = str(TeeFamily.SEV_SNP)
+KIND_TDX = str(TeeFamily.TDX)
+KIND_CCA = str(TeeFamily.CCA)
+KIND_VTPM = str(TeeFamily.VTPM)
 
 
 class TeeError(RuntimeError):
@@ -34,7 +47,7 @@ class TeeEvidence:
     """A tagged evidence envelope."""
 
     kind: str
-    body: bytes  # encoded AttestationReport or TdQuote
+    body: bytes  # encoded AttestationReport, TdQuote, CcaToken, ...
 
     def encode(self) -> bytes:
         """Serialise to canonical TLV bytes."""
@@ -59,32 +72,42 @@ class VerifiedEvidence:
     report_data: bytes
 
 
-#: kind -> callable(body, context, now, expected_measurements) -> VerifiedEvidence
-_VERIFIERS: Dict[str, Callable] = {}
-
-
-def register_verifier(kind: str):
-    """Register a per-technology evidence verifier."""
-    def decorator(fn):
-        _VERIFIERS[kind] = fn
-        return fn
-
-    return decorator
+def _normalize_context(kind: str, context):
+    """Adapt the historical raw context conventions — a bare KdsClient
+    for SNP, a bare PCS handle for TDX, a ``(cpak_lookup, anchors)``
+    pair for CCA — to the engine's trust-context types."""
+    if kind == KIND_TDX and not isinstance(context, TdxTrust):
+        return TdxTrust(context)
+    if kind == KIND_CCA and isinstance(context, (tuple, list)):
+        lookup, anchors = context
+        return CcaTrust(lookup, tuple(anchors))
+    return context
 
 
 class TeeVerifier:
     """A verifier holding per-technology trust material.
 
     ``contexts`` maps evidence kind to whatever that technology's
-    verifier needs (a KdsClient for SNP, a PCS handle for TDX).
+    verifier needs (a KdsClient for SNP, a PCS handle for TDX, a
+    ``(cpak_lookup, anchors)`` pair for CCA, a
+    :class:`~repro.attest.VtpmTrust` for the e-vTPM).
     """
 
     def __init__(self, contexts: Dict[str, object]):
-        self._contexts = dict(contexts)
+        self._contexts = {
+            str(kind): _normalize_context(str(kind), context)
+            for kind, context in contexts.items()
+        }
+        self._engine = AttestationVerifier(
+            self._contexts.get(KIND_SEV_SNP),
+            site="tee",
+            contexts=self._contexts,
+        )
 
     def supported_kinds(self) -> Iterable[str]:
         """Evidence kinds this verifier can handle."""
-        return sorted(set(self._contexts) & set(_VERIFIERS))
+        known = {str(family) for family in registered_families()}
+        return sorted(set(self._contexts) & known)
 
     def verify(
         self,
@@ -94,89 +117,29 @@ class TeeVerifier:
         expected_report_data: Optional[bytes] = None,
     ) -> VerifiedEvidence:
         """Dispatch on evidence kind; raise :class:`TeeError` on failure."""
-        verifier = _VERIFIERS.get(evidence.kind)
-        context = self._contexts.get(evidence.kind)
-        if verifier is None or context is None:
+        if evidence.kind not in set(self.supported_kinds()):
             raise TeeError(f"no verifier configured for {evidence.kind!r}")
-        verified = verifier(
-            evidence.body, context, now, [bytes(m) for m in expected_measurements]
+        policy = VerificationPolicy(
+            golden_measurements=[bytes(m) for m in expected_measurements],
+            expected_report_data=expected_report_data,
         )
-        if (
-            expected_report_data is not None
-            and verified.report_data != expected_report_data
-        ):
-            raise TeeError("REPORT_DATA does not match expectation")
-        return verified
-
-
-@register_verifier(KIND_SEV_SNP)
-def _verify_snp(body: bytes, kds, now: int, golden) -> VerifiedEvidence:
-    from .amd.report import AttestationReport, ReportError
-    from .attest import AttestationVerifier, VerificationPolicy
-
-    try:
-        report = AttestationReport.decode(body)
-    except ReportError as exc:
-        raise TeeError(f"malformed SNP report: {exc}") from exc
-    outcome = AttestationVerifier(kds, site="tee:sev-snp").verify(
-        report, now=now, policy=VerificationPolicy(golden_measurements=golden)
-    )
-    if not outcome.ok:
-        raise TeeError(
-            f"SNP verification failed: {outcome.reason}: {outcome.detail}"
+        outcome = self._engine.verify(
+            Evidence(evidence.kind, evidence.body),
+            now=now,
+            policy=policy,
+            site=f"tee:{evidence.kind}",
         )
-    return VerifiedEvidence(
-        kind=KIND_SEV_SNP,
-        measurement=report.measurement,
-        report_data=report.report_data,
-    )
-
-
-@register_verifier(KIND_TDX)
-def _verify_tdx(body: bytes, pcs, now: int, golden) -> VerifiedEvidence:
-    from .tdx.module import TdQuote, TdxError, verify_td_quote
-
-    try:
-        quote = TdQuote.decode(body)
-    except (ValueError, KeyError, TypeError) as exc:
-        raise TeeError(f"malformed TDX quote: {exc}") from exc
-    if bytes(quote.mrtd) not in golden:
-        raise TeeError("TDX MRTD not in golden set")
-    try:
-        pck = pcs.get_pck_certificate(quote.platform_id, quote.tee_tcb_svn)
-        verify_td_quote(
-            quote, pck, pcs.cert_chain(), [pcs.root_certificate], now=now
+        if not outcome.ok:
+            raise TeeError(
+                f"{evidence.kind} verification failed: "
+                f"{outcome.reason}: {outcome.detail}"
+            )
+        provider = provider_for(TeeFamily(evidence.kind))
+        return VerifiedEvidence(
+            kind=evidence.kind,
+            measurement=provider.measurement(outcome.report),
+            report_data=provider.report_data(outcome.report),
         )
-    except TdxError as exc:
-        raise TeeError(f"TDX verification failed: {exc}") from exc
-    return VerifiedEvidence(
-        kind=KIND_TDX, measurement=quote.mrtd, report_data=quote.report_data
-    )
-
-
-@register_verifier(KIND_CCA)
-def _verify_cca(body: bytes, context, now: int, golden) -> VerifiedEvidence:
-    """*context* is a (cpak_lookup, trust_anchors) pair, where
-    ``cpak_lookup(platform_id)`` returns the CPAK certificate."""
-    from .cca.realms import CcaError, CcaToken, verify_cca_token
-
-    cpak_lookup, anchors = context
-    try:
-        token = CcaToken.decode(body)
-    except CcaError as exc:
-        raise TeeError(f"malformed CCA token: {exc}") from exc
-    if bytes(token.realm_token.rim) not in golden:
-        raise TeeError("CCA RIM not in golden set")
-    try:
-        cpak = cpak_lookup(token.platform_token.platform_id)
-        verify_cca_token(token, cpak, anchors, now=now)
-    except (CcaError, LookupError) as exc:
-        raise TeeError(f"CCA verification failed: {exc}") from exc
-    return VerifiedEvidence(
-        kind=KIND_CCA,
-        measurement=token.realm_token.rim,
-        report_data=token.realm_token.challenge,
-    )
 
 
 def snp_evidence(report) -> TeeEvidence:
@@ -192,3 +155,8 @@ def tdx_evidence(quote) -> TeeEvidence:
 def cca_evidence(token) -> TeeEvidence:
     """Wrap a CCA token bundle."""
     return TeeEvidence(kind=KIND_CCA, body=token.encode())
+
+
+def vtpm_evidence(monitoring_evidence) -> TeeEvidence:
+    """Wrap an e-vTPM monitoring-evidence bundle."""
+    return TeeEvidence(kind=KIND_VTPM, body=monitoring_evidence.encode())

@@ -20,7 +20,17 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..amd.report import AttestationReport
-from ..attest import AttestationVerifier, VerificationPolicy
+from ..attest import (
+    STEP_QUOTE_LOG,
+    STEP_QUOTE_SIGNATURE,
+    STEP_REPORT_DATA,
+    STEP_SERVICE_ALLOWLIST,
+    AttestationVerifier,
+    TeeFamily,
+    VerificationPolicy,
+    VtpmTrust,
+    vtpm_evidence,
+)
 from ..crypto import encoding
 from ..crypto.ecdsa import EcdsaPublicKey
 from ..virt.image import register_init_step
@@ -31,8 +41,6 @@ from .vtpm import (
     Quote,
     Vtpm,
     VtpmError,
-    decode_event_log,
-    verify_quote_against_log,
 )
 from ..core.kds_client import KdsClient
 from ..core.key_sharing import report_data_for
@@ -109,6 +117,14 @@ def produce_evidence(vm: VirtualMachine, nonce: bytes) -> MonitoringEvidence:
     )
 
 
+#: Quote-side pipeline steps whose failures surface as the historical
+#: :class:`VtpmError` (endorsement-side failures keep raising
+#: :class:`~repro.amd.verify.AttestationError`).
+_QUOTE_SIDE_STEPS = frozenset(
+    {STEP_REPORT_DATA, STEP_QUOTE_SIGNATURE, STEP_QUOTE_LOG, STEP_SERVICE_ALLOWLIST}
+)
+
+
 class RuntimeMonitor:
     """The verifier tracking a VM's runtime state over its lifetime."""
 
@@ -125,32 +141,31 @@ class RuntimeMonitor:
             if allowed_service_digests is not None
             else None
         )
-        #: AK endorsements are validated through the unified pipeline.
-        self.verifier = AttestationVerifier(kds, site="vtpm_monitor")
+        #: The full bundle — AK endorsement *and* quote/log half — runs
+        #: through the unified pipeline's e-vTPM step provider.
+        self.verifier = AttestationVerifier(
+            kds,
+            site="vtpm_monitor",
+            contexts={
+                TeeFamily.VTPM: VtpmTrust(
+                    kds, allowed_service_digests=self.allowed_service_digests
+                )
+            },
+        )
 
     def verify(self, evidence: MonitoringEvidence, nonce: bytes, now: int) -> None:
         """Validate evidence end to end; raises :class:`VtpmError` or
         :class:`~repro.amd.verify.AttestationError` on any failure."""
-        # 1. The AK must be endorsed by the hardware RoT for a VM whose
-        #    launch measurement matches the golden value.
-        endorsement = evidence.ak_endorsement
         policy = VerificationPolicy(
             golden_measurements=[self.expected_measurement],
-            expected_report_data=report_data_for(
-                hashlib.sha256(evidence.ak_public.encode()).digest()
-            ),
+            expected_report_data=nonce,
         )
-        self.verifier.verify_or_raise(endorsement, now=now, policy=policy)
-        # 2. Quote signature, nonce, and log consistency.
-        verify_quote_against_log(
-            evidence.quote, evidence.event_log, evidence.ak_public, nonce
+        outcome = self.verifier.verify(
+            vtpm_evidence(evidence), now=now, policy=policy
         )
-        # 3. Every recorded service start must be on the allow-list.
-        if self.allowed_service_digests is not None:
-            for entry in evidence.event_log:
-                if entry.pcr_index != PCR_SERVICES:
-                    continue
-                if entry.digest not in self.allowed_service_digests:
-                    raise VtpmError(
-                        f"unapproved runtime event: {entry.description!r}"
-                    )
+        failure = outcome.failure
+        if failure is None:
+            return
+        if failure.name in _QUOTE_SIDE_STEPS:
+            raise VtpmError(failure.detail)
+        outcome.raise_for_failure()

@@ -57,6 +57,9 @@ class TestByteIdenticalRuns:
                     "--arrival-rate", "8",
                     "--ablation-sessions", "20",
                     "--rollout-at", "3",
+                    "--hetero-sessions", "30",
+                    "--hetero-per-family", "1",
+                    "--revoke-at", "2",
                     "--output", str(output),
                 ],
                 check=True,
@@ -86,6 +89,9 @@ class TestByteIdenticalRuns:
                     "--arrival-rate", "8",
                     "--ablation-sessions", "10",
                     "--rollout-at", "2",
+                    "--hetero-sessions", "20",
+                    "--hetero-per-family", "1",
+                    "--revoke-at", "2",
                     "--output", str(output),
                 ],
                 check=True,

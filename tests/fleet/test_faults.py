@@ -1,10 +1,18 @@
 """Fault injection: dead backends, a black-holed KDS, a raised TCB
-floor — each surfacing its stable reason code and zero end-user damage."""
+floor, a revoked TEE family — each surfacing its stable reason code
+and zero end-user damage."""
 
 
 from repro.amd.tcb import TcbVersion
 from repro.core.deployment import MINIMAL_PAGE
-from repro.fleet import blackhole_kds, kill_backend, raise_tcb_floor
+from repro.fleet import (
+    HeterogeneousFleet,
+    blackhole_kds,
+    kill_backend,
+    raise_family_tcb_floor,
+    raise_tcb_floor,
+    revoke_family,
+)
 
 
 def navigate_ok(browser, domain):
@@ -86,6 +94,22 @@ class TestKdsBlackhole:
         assert gateway.attest_and_admit(ip).ok
         assert gateway.backends[ip].state == "admitted"
 
+    def test_blackhole_spares_non_snp_families(self, sync_world):
+        """An AMD KDS outage must not take down TDX/CCA re-attestation:
+        their trust material survives the verifier swap."""
+        deployment, gateway, _ = sync_world
+        fleet = HeterogeneousFleet(deployment)
+        fleet.add_tdx_backend("10.1.0.10")
+        fleet.add_cca_backend("10.1.0.40")
+        assert all(v.ok for v in fleet.attach_gateway(gateway))
+
+        hole = blackhole_kds(gateway, clear_cache=True)
+        assert gateway.attest_and_admit("10.1.0.10").ok
+        assert gateway.attest_and_admit("10.1.0.40").ok
+        snp_ip = sorted(gateway.backends)[0]
+        assert gateway.attest_and_admit(snp_ip).reason == "kds_unreachable"
+        hole.active = False
+
 
 class TestTcbFloor:
     def test_raised_floor_evicts_with_tcb_too_old(self, sync_world):
@@ -105,3 +129,53 @@ class TestTcbFloor:
         ip = sorted(gateway.backends)[0]
         assert gateway.attest_and_admit(ip).ok
         assert gateway.backends[ip].state == "admitted"
+
+
+class TestFamilyFaults:
+    def _hetero(self, deployment, gateway):
+        fleet = HeterogeneousFleet(deployment)
+        fleet.add_tdx_backend("10.1.0.10")
+        fleet.add_cca_backend("10.1.0.40")
+        verdicts = fleet.attach_gateway(gateway)
+        assert all(v.ok for v in verdicts), [
+            (v.ip_address, v.reason) for v in verdicts if not v.ok
+        ]
+        return fleet
+
+    def test_revoke_family_evicts_with_family_scoped_code(self, sync_world):
+        deployment, gateway, _ = sync_world
+        self._hetero(deployment, gateway)
+
+        revoke_family(gateway, "tdx")
+
+        tdx = gateway.backends["10.1.0.10"]
+        assert tdx.state == "evicted"
+        assert tdx.verdict_reason == "family_not_allowed"
+        assert (
+            gateway.counters["family.tdx.evictions.family_not_allowed"] == 1
+        )
+        # Other families are untouched; the revoked one fails closed.
+        assert gateway.backends["10.1.0.40"].state == "admitted"
+        verdict = gateway.attest_and_admit("10.1.0.10")
+        assert not verdict.ok
+        assert verdict.reason == "family_not_allowed"
+        assert (
+            gateway.counters["family.tdx.attestations_failed.family_not_allowed"]
+            >= 1
+        )
+
+    def test_family_tcb_floor_fails_only_that_family(self, sync_world):
+        deployment, gateway, _ = sync_world
+        self._hetero(deployment, gateway)
+
+        # Fleet TDX platforms report TCB SVN 3; mandate newer firmware.
+        raise_family_tcb_floor(gateway, "tdx", 4)
+
+        verdict = gateway.attest_and_admit("10.1.0.10")
+        assert not verdict.ok
+        assert verdict.reason == "family_tcb_floor"
+        assert gateway.backends["10.1.0.10"].state == "evicted"
+        assert gateway.counters["family.tdx.evictions.family_tcb_floor"] == 1
+        # SNP and CCA backends still re-attest fine under their floors.
+        assert gateway.attest_and_admit("10.1.0.40").ok
+        assert gateway.attest_and_admit(sorted(gateway.backends)[0]).ok
