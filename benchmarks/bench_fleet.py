@@ -20,12 +20,23 @@ kernel through two phases:
   mid-storm.  Emits per-family admission counts, family-scoped eviction
   counters, and per-tier p99s; zero failed and zero blocked requests on
   the surviving families.
+* **Phase D — million-session mesh storm.**  ~100 mixed-family
+  backends behind a 4-region :class:`~repro.fleet.mesh.GatewayMesh`
+  (consistent-hash session routing + verdict gossip), stormed with one
+  million lite sessions.  Each backend is attested once by its home
+  gateway and admitted fleet-wide by gossip; regional health monitors
+  keep verdicts fresh.  Acceptance: zero failed requests and a
+  wall-clock kernel events/sec floor (``--mesh-events-floor``) that
+  fails the run on kernel regressions.
 
 Everything recorded in ``BENCH_fleet.json`` is derived from simulated
 time and deterministic counters — two runs with the same ``--seed`` are
-byte-identical (wall-clock timings go to stdout only).
+byte-identical (wall-clock timings, including the measured wall
+events/sec, go to stdout only; the JSON records the deterministic
+events-per-sim-second figure and the configured floor).
 
 Run directly: ``PYTHONPATH=src python benchmarks/bench_fleet.py``
+(``--phases D`` runs the mesh storm alone).
 """
 
 from __future__ import annotations
@@ -47,14 +58,28 @@ from repro.crypto import ec, sigcache
 from repro.fleet import (
     FleetGateway,
     FleetWorkload,
+    GatewayMesh,
     HealthMonitor,
     HeterogeneousFleet,
+    LiteFleet,
+    MeshWorkload,
     UserPool,
     revoke_family,
 )
 from repro.fleet.drain import rolling_rollout
 from repro.sim import EventKernel, SimRng
 from repro.sim.kernel import sleep
+
+#: Phase D topology: regions and the inter-region RTT map (seconds).
+MESH_REGIONS = ("us-east", "us-west", "eu-central", "ap-south")
+MESH_REGION_RTT = {
+    ("us-east", "us-west"): 0.060,
+    ("us-east", "eu-central"): 0.080,
+    ("us-east", "ap-south"): 0.180,
+    ("us-west", "eu-central"): 0.140,
+    ("us-west", "ap-south"): 0.120,
+    ("eu-central", "ap-south"): 0.160,
+}
 
 
 def _registry():
@@ -403,6 +428,147 @@ def phase_mixed_fleet(args, build) -> dict:
     }
 
 
+def phase_mesh_storm(args, build) -> dict:
+    """Million-session lite storm over a regioned gateway mesh."""
+    sigcache.reset_cache()
+    ec.reset_point_cache()
+    regions = MESH_REGIONS[: max(1, min(args.mesh_regions, len(MESH_REGIONS)))]
+    deployment = RevelioDeployment(
+        build, num_nodes=args.mesh_snp_nodes,
+        seed=f"bench-mesh-{args.seed}".encode(),
+    ).deploy()
+    kernel = EventKernel(deployment.network.clock, SimRng(args.seed))
+    deployment.network.enable_event_mode(kernel)
+    for (region_a, region_b), rtt in sorted(MESH_REGION_RTT.items()):
+        if region_a in regions and region_b in regions:
+            deployment.latency.region_rtt[(region_a, region_b)] = rtt
+
+    mesh = GatewayMesh.for_deployment(deployment, kernel, regions=regions)
+    lite = LiteFleet(deployment)
+    lite_families = ("sev-snp", "tdx", "arm-cca", "e-vtpm")
+    extra = max(0, args.mesh_backends - args.mesh_snp_nodes)
+    for index in range(extra):
+        lite.add_backend(
+            f"10.8.{index // 200}.{1 + index % 200}",
+            lite_families[index % len(lite_families)],
+            region=regions[index % len(regions)],
+        )
+    lite.adopt_deployment_nodes()
+    mesh.attach_lite_fleet(lite)
+
+    verdicts = mesh.admit_all()
+    total_backends = args.mesh_snp_nodes + extra
+    assert len(verdicts) == total_backends, (
+        f"expected {total_backends} admissions, saw {len(verdicts)}"
+    )
+    assert all(v.ok for v in verdicts), [
+        (v.ip_address, v.reason) for v in verdicts if not v.ok
+    ]
+    # Let the gossiped verdicts land on the remote shards before traffic.
+    kernel.run(until=kernel.clock.now + 1.0)
+
+    monitors = mesh.monitors(interval=15.0, timeout=2.0, reattest_every=120.0)
+    monitor_processes = [
+        kernel.spawn(monitor.process(), name=f"mesh-health-{monitor.gateway.name}")
+        for monitor in monitors
+    ]
+    gossip_process = kernel.spawn(mesh.gossip_process(), name="mesh-gossip")
+    workload = MeshWorkload(mesh, kernel, rng=SimRng(args.seed))
+    workload.metrics.attach_kernel(kernel)
+    storm = kernel.spawn(
+        workload.open_loop(args.mesh_sessions, args.mesh_arrival_rate),
+        name="mesh-storm",
+    )
+    steps_before = kernel.stats.steps
+    wall_started = time.perf_counter()
+    while not storm.finished:
+        kernel.run(until=kernel.clock.now + 60.0)
+    wall = time.perf_counter() - wall_started
+    storm_steps = kernel.stats.steps - steps_before
+    for process in monitor_processes:
+        process.interrupt("storm over")
+    gossip_process.interrupt("storm over")
+    kernel.run()
+    if storm.error is not None:
+        raise storm.error
+
+    snapshot = workload.snapshot()
+    failed = snapshot.get("requests_failed", 0)
+    assert failed == 0, f"{failed} failed requests in the mesh storm"
+    assert workload.sessions_failed == 0, (
+        f"{workload.sessions_failed} failed sessions in the mesh storm"
+    )
+    assert workload.sessions_completed == args.mesh_sessions, (
+        f"{workload.sessions_completed}/{args.mesh_sessions} sessions completed"
+    )
+    wall_events_per_sec = storm_steps / wall if wall > 0 else float("inf")
+    print(f"  kernel: {storm_steps} events in {wall:.1f}s wall "
+          f"= {wall_events_per_sec:,.0f} events/sec "
+          f"(floor {args.mesh_events_floor:,.0f})")
+    if args.mesh_events_floor > 0:
+        assert wall_events_per_sec >= args.mesh_events_floor, (
+            f"kernel regression: {wall_events_per_sec:,.0f} events/sec wall "
+            f"< floor {args.mesh_events_floor:,.0f}"
+        )
+
+    def gateway_sum(suffix: str) -> int:
+        return sum(
+            gateway.counters.get(suffix, 0)
+            for gateway in mesh.gateways.values()
+        )
+
+    families = sorted({"sev-snp", *lite_families})
+    by_family = {family: 0 for family in families}
+    by_family["sev-snp"] += args.mesh_snp_nodes
+    for index in range(extra):
+        by_family[lite_families[index % len(lite_families)]] += 1
+    return {
+        "sessions": args.mesh_sessions,
+        "arrival_rate_per_sec": args.mesh_arrival_rate,
+        "gateways": len(mesh.gateways),
+        "regions": list(regions),
+        "backends": {
+            "total": total_backends,
+            "deployment_snp_nodes": args.mesh_snp_nodes,
+            "by_family": by_family,
+        },
+        "sim_seconds": round(kernel.clock.now, 6),
+        "sessions_completed": workload.sessions_completed,
+        "sessions_failed": workload.sessions_failed,
+        "requests_total": snapshot["requests_total"],
+        "requests_ok": snapshot["requests_ok"],
+        "requests_failed": failed,
+        "latency_ms": {
+            kind: {
+                key: snapshot[f"latency.{kind}.{key}"]
+                for key in ("p50", "p95", "p99")
+            }
+            for kind in ("all", "hello", "record")
+        },
+        "attestation": {
+            # One probe per backend at bring-up plus periodic
+            # re-attestations by the home shard only; gossip admits the
+            # other shards without duplicate probes.
+            "attestations_ok": gateway_sum("attestations_ok"),
+            "reattestations": sum(m.reattestations for m in monitors),
+            "gossip_published": mesh.counters.get("gossip.published", 0),
+            "gossip_deliveries": mesh.counters.get("gossip.deliveries", 0),
+            "gossip_applied": gateway_sum("gossip.applied"),
+            "gossip_admissions": gateway_sum("gossip.admissions"),
+        },
+        "kernel": {
+            # Deterministic figures only: the wall-clock events/sec is
+            # printed above and gated by --mesh-events-floor, never
+            # persisted (same-seed reports must stay byte-identical).
+            "storm_events": storm_steps,
+            "events_per_sim_sec": snapshot["kernel.events_per_sim_sec"],
+            "peak_heap": snapshot["kernel.peak_heap"],
+            "stale_ratio": snapshot["kernel.stale_ratio"],
+            "wall_events_per_sec_floor": args.mesh_events_floor,
+        },
+    }
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=42)
@@ -420,53 +586,94 @@ def main(argv=None) -> dict:
     parser.add_argument("--revoke-at", type=float, default=20.0,
                         help="sim seconds into phase C to revoke the tdx family")
     parser.add_argument("--balancer", default="round_robin")
+    parser.add_argument("--phases", default="ABCD",
+                        help="which phases to run, e.g. 'D' or 'ABC'")
+    parser.add_argument("--mesh-sessions", type=int, default=1_000_000)
+    parser.add_argument("--mesh-backends", type=int, default=100,
+                        help="total phase D backends (SNP nodes + lite)")
+    parser.add_argument("--mesh-snp-nodes", type=int, default=8,
+                        help="full deployment SNP nodes inside phase D")
+    parser.add_argument("--mesh-regions", type=int, default=4,
+                        help="gateway regions in phase D (max 4)")
+    parser.add_argument("--mesh-arrival-rate", type=float, default=2500.0,
+                        help="phase D session arrivals per sim second")
+    parser.add_argument("--mesh-events-floor", type=float, default=0.0,
+                        help="minimum wall-clock kernel events/sec in "
+                             "phase D (0 disables the gate)")
     parser.add_argument("--output", type=Path,
                         default=Path(__file__).resolve().parent / "BENCH_fleet.json")
     args = parser.parse_args(argv)
+    phases = set(args.phases.upper())
+    unknown = phases - set("ABCD")
+    if unknown:
+        parser.error(f"unknown phases: {sorted(unknown)}")
 
     started = time.perf_counter()
     build_v1 = _build("1.0.0")
     build_v2 = _build("2.0.0")
-
-    ablation = phase_sig_cache_ablation(args, build_v1)
-    print("phase A (sig-cache ablation, first-visit tail, sim ms):")
-    for scenario in ("cache_off", "cache_on"):
-        tail = ablation[scenario]["first_visit_ms"]
-        print(f"  {scenario:<10} p50 {tail['p50']:8.1f}   "
-              f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
-    saved = ablation["first_visit_tail_saved_ms"]
-    print(f"  cache saves p99 {saved['p99']:.1f} sim ms")
-
-    storm = phase_storm_with_rollout(args, build_v1, build_v2)
-    print(f"phase B ({storm['sessions']} sessions, {storm['backends']} backends, "
-          f"rollout mid-storm):")
-    print(f"  {storm['requests_ok']}/{storm['requests_total']} requests ok, "
-          f"0 failed, 0 to retired backends")
-    print(f"  p99 all {storm['latency_ms']['all']['p99']:.1f} sim ms, "
-          f"revisit p50 {storm['latency_ms']['revisit']['p50']:.1f} sim ms")
-    print(f"  rollout replaced {storm['rollout']['replacements']} nodes in "
-          f"{storm['rollout']['sim_seconds']:.1f} sim s under load")
-
-    mixed = phase_mixed_fleet(args, build_v1)
-    print(f"phase C ({mixed['sessions']} sessions, mixed fleet, "
-          f"tdx revoked mid-storm):")
-    print(f"  admissions by family: {mixed['admissions_by_family']}")
-    print(f"  {mixed['requests_ok']}/{mixed['requests_total']} requests ok, "
-          f"0 failed, 0 blocked; "
-          f"{mixed['evictions_by_family']['tdx.family_not_allowed']} "
-          f"tdx backends evicted")
-    for tier in sorted(mixed["latency_ms_by_tier"]):
-        tail = mixed["latency_ms_by_tier"][tier]
-        print(f"  tier {tier:<5} p50 {tail['p50']:8.1f}   "
-              f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
-
     results = {
         "benchmark": "fleet gateway storm + rolling rollout",
         "seed": args.seed,
-        "sig_cache_ablation": ablation,
-        "storm_with_rollout": storm,
-        "mixed_fleet": mixed,
+        "phases": "".join(sorted(phases)),
     }
+
+    if "A" in phases:
+        ablation = phase_sig_cache_ablation(args, build_v1)
+        print("phase A (sig-cache ablation, first-visit tail, sim ms):")
+        for scenario in ("cache_off", "cache_on"):
+            tail = ablation[scenario]["first_visit_ms"]
+            print(f"  {scenario:<10} p50 {tail['p50']:8.1f}   "
+                  f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
+        saved = ablation["first_visit_tail_saved_ms"]
+        print(f"  cache saves p99 {saved['p99']:.1f} sim ms")
+        results["sig_cache_ablation"] = ablation
+
+    if "B" in phases:
+        storm = phase_storm_with_rollout(args, build_v1, build_v2)
+        print(f"phase B ({storm['sessions']} sessions, "
+              f"{storm['backends']} backends, rollout mid-storm):")
+        print(f"  {storm['requests_ok']}/{storm['requests_total']} requests ok, "
+              f"0 failed, 0 to retired backends")
+        print(f"  p99 all {storm['latency_ms']['all']['p99']:.1f} sim ms, "
+              f"revisit p50 {storm['latency_ms']['revisit']['p50']:.1f} sim ms")
+        print(f"  rollout replaced {storm['rollout']['replacements']} nodes in "
+              f"{storm['rollout']['sim_seconds']:.1f} sim s under load")
+        results["storm_with_rollout"] = storm
+
+    if "C" in phases:
+        mixed = phase_mixed_fleet(args, build_v1)
+        print(f"phase C ({mixed['sessions']} sessions, mixed fleet, "
+              f"tdx revoked mid-storm):")
+        print(f"  admissions by family: {mixed['admissions_by_family']}")
+        print(f"  {mixed['requests_ok']}/{mixed['requests_total']} requests ok, "
+              f"0 failed, 0 blocked; "
+              f"{mixed['evictions_by_family']['tdx.family_not_allowed']} "
+              f"tdx backends evicted")
+        for tier in sorted(mixed["latency_ms_by_tier"]):
+            tail = mixed["latency_ms_by_tier"][tier]
+            print(f"  tier {tier:<5} p50 {tail['p50']:8.1f}   "
+                  f"p95 {tail['p95']:8.1f}   p99 {tail['p99']:8.1f}")
+        results["mixed_fleet"] = mixed
+
+    if "D" in phases:
+        print(f"phase D (mesh storm):")
+        mesh_result = phase_mesh_storm(args, build_v1)
+        attestation = mesh_result["attestation"]
+        print(f"  {mesh_result['sessions_completed']} sessions over "
+              f"{mesh_result['gateways']} gateways / "
+              f"{mesh_result['backends']['total']} backends "
+              f"({len(mesh_result['regions'])} regions), "
+              f"{mesh_result['requests_ok']}/{mesh_result['requests_total']} "
+              f"requests ok, 0 failed")
+        print(f"  hello p99 {mesh_result['latency_ms']['hello']['p99']:.1f} "
+              f"sim ms, record p99 "
+              f"{mesh_result['latency_ms']['record']['p99']:.1f} sim ms")
+        print(f"  attestations {attestation['attestations_ok']} "
+              f"(one home probe per backend + "
+              f"{attestation['reattestations']} re-attestations); gossip "
+              f"applied {attestation['gossip_applied']} / admitted "
+              f"{attestation['gossip_admissions']} remotely")
+        results["mesh_storm"] = mesh_result
     args.output.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n"
     )

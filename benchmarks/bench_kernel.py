@@ -1,0 +1,193 @@
+"""Event-kernel fast-path microbenchmark: current kernel vs PR-4's.
+
+Runs the same three workloads on the vendored pre-refactor kernel
+(``benchmarks/kernel_pr4.py``, the exact PR-4 ``repro.sim.kernel``) and
+on the current one, and reports wall-clock events/sec for each:
+
+* **sleep-heavy** — 1 000 processes each sleeping 200 times; exercises
+  the ``heapreplace`` resume-and-resleep fast path and the flattened
+  dispatch loop.
+* **fanout** — repeated rounds of one event waking 200 waiters;
+  exercises event wake scheduling.
+* **interrupt storm** — 10 000 processes parked on one event,
+  interrupted in *reverse* arrival order; the PR-4 kernel unlinks each
+  waiter with ``list.remove`` (O(n) per interrupt, quadratic for the
+  storm), the current kernel with an ordered-dict pop (O(1)).
+
+Both kernels step the identical discrete-event schedule (the per-
+workload step counts are asserted equal), so the events/sec ratio is a
+pure kernel-overhead comparison.  The combined speedup (total steps /
+total wall, new over old) must clear ``BENCH_KERNEL_MIN_SPEEDUP``
+(default 3.0) or the run fails — this is the PR-7 acceptance gate.
+
+Wall-clock numbers are machine-dependent and land in
+``BENCH_kernel.json`` (this file is a microbenchmark report, not a
+deterministic artifact like ``BENCH_fleet.json``).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_kernel.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import kernel_pr4
+from repro.net.latency import SimClock
+from repro.sim import kernel as kernel_new
+from repro.sim.rng import SimRng
+
+
+def _workload_sleep_heavy(api, kernel, processes=1000, iterations=200):
+    def sleeper(index):
+        for step in range(iterations):
+            yield api.sleep(0.001 * (1 + (index + step) % 7))
+
+    for index in range(processes):
+        kernel.spawn(sleeper(index), name=f"sleeper-{index}")
+    kernel.run()
+
+
+def _workload_fanout(api, kernel, rounds=50, waiters=200):
+    def waiter(event):
+        yield api.wait(event)
+
+    def driver():
+        for round_index in range(rounds):
+            event = kernel.event(f"round-{round_index}")
+            for _ in range(waiters):
+                yield api.spawn(waiter(event))
+            yield api.sleep(0.01)
+            event.succeed(round_index)
+            yield api.sleep(0.01)
+
+    kernel.spawn(driver(), name="driver")
+    kernel.run()
+
+
+def _workload_interrupt_storm(api, kernel, waiters=10_000):
+    event = kernel.event("storm")
+    parked = []
+
+    def waiter():
+        try:
+            yield api.wait(event)
+        except api.Interrupt:
+            return
+
+    def driver():
+        yield api.sleep(0.001)
+        # Reverse arrival order: the PR-4 list.remove scan walks the
+        # whole waiter list for every interrupt.
+        for process in reversed(parked):
+            process.interrupt("storm")
+        yield api.sleep(0.001)
+
+    for index in range(waiters):
+        parked.append(kernel.spawn(waiter(), name=f"waiter-{index}"))
+    kernel.spawn(driver(), name="driver")
+    kernel.run()
+
+
+WORKLOADS = [
+    ("sleep_heavy", _workload_sleep_heavy),
+    ("fanout", _workload_fanout),
+    ("interrupt_storm", _workload_interrupt_storm),
+]
+
+
+def _run_once(api, name, workload) -> dict:
+    kernel = api.EventKernel(SimClock(), SimRng(7))
+    started = time.perf_counter()
+    workload(api, kernel)
+    wall = time.perf_counter() - started
+    return {"steps": kernel.steps, "wall_s": wall}
+
+
+def _measure(api, repeats: int) -> dict:
+    """Best-of-N wall per workload (the min is the least noisy)."""
+    results = {}
+    for name, workload in WORKLOADS:
+        runs = [_run_once(api, name, workload) for _ in range(repeats)]
+        steps = runs[0]["steps"]
+        assert all(run["steps"] == steps for run in runs)
+        results[name] = {
+            "steps": steps,
+            "wall_s": min(run["wall_s"] for run in runs),
+        }
+    return results
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup", type=float,
+        default=float(os.environ.get("BENCH_KERNEL_MIN_SPEEDUP", "3.0")),
+        help="combined events/sec ratio (new/old) the run must clear",
+    )
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent / "BENCH_kernel.json")
+    args = parser.parse_args(argv)
+
+    old = _measure(kernel_pr4, args.repeats)
+    new = _measure(kernel_new, args.repeats)
+
+    workloads = {}
+    total_steps = total_old_wall = total_new_wall = 0.0
+    print(f"{'workload':<18} {'steps':>9} {'old ev/s':>12} {'new ev/s':>12} "
+          f"{'speedup':>8}")
+    for name, _ in WORKLOADS:
+        steps = old[name]["steps"]
+        assert steps == new[name]["steps"], (
+            f"{name}: kernels disagree on the schedule "
+            f"({steps} vs {new[name]['steps']} steps)"
+        )
+        old_rate = steps / old[name]["wall_s"]
+        new_rate = steps / new[name]["wall_s"]
+        speedup = new_rate / old_rate
+        total_steps += steps
+        total_old_wall += old[name]["wall_s"]
+        total_new_wall += new[name]["wall_s"]
+        workloads[name] = {
+            "steps": steps,
+            "old_events_per_sec": round(old_rate),
+            "new_events_per_sec": round(new_rate),
+            "speedup": round(speedup, 2),
+        }
+        print(f"{name:<18} {steps:>9} {old_rate:>12,.0f} {new_rate:>12,.0f} "
+              f"{speedup:>7.2f}x")
+
+    combined_old = total_steps / total_old_wall
+    combined_new = total_steps / total_new_wall
+    combined = combined_new / combined_old
+    print(f"{'combined':<18} {int(total_steps):>9} {combined_old:>12,.0f} "
+          f"{combined_new:>12,.0f} {combined:>7.2f}x "
+          f"(floor {args.min_speedup:.1f}x)")
+    assert combined >= args.min_speedup, (
+        f"kernel speedup {combined:.2f}x below the "
+        f"{args.min_speedup:.1f}x floor"
+    )
+
+    results = {
+        "benchmark": "event-kernel fast path, PR-7 vs PR-4",
+        "repeats": args.repeats,
+        "workloads": workloads,
+        "combined": {
+            "steps": int(total_steps),
+            "old_events_per_sec": round(combined_old),
+            "new_events_per_sec": round(combined_new),
+            "speedup": round(combined, 2),
+            "min_speedup": args.min_speedup,
+        },
+    }
+    args.output.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

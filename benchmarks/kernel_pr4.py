@@ -1,0 +1,260 @@
+"""The discrete-event kernel.
+
+Processes are plain generators that yield *commands*:
+
+``yield sleep(seconds)``
+    Suspend for virtual time.
+
+``yield wait(event_or_process)``
+    Suspend until a :class:`SimEvent` fires (resumes with its value) or
+    another :class:`SimProcess` finishes (resumes with its return
+    value).  Waiting on something already finished resumes immediately.
+
+``yield spawn(generator, name=...)``
+    Start a concurrent child process; the parent resumes immediately
+    with the child's :class:`SimProcess` handle (so it can later
+    ``wait`` on it or ``interrupt`` it).
+
+The kernel owns a single event heap keyed on ``(virtual time, sequence
+number)`` over the shared :class:`repro.net.latency.SimClock`, which
+makes every run fully deterministic: same seed, same interleaving.
+Unhandled exceptions in a process propagate out of :meth:`EventKernel.run`
+unless another process is waiting on it, in which case the exception is
+re-raised in the waiter (structured error propagation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+
+class sleep:  # noqa: N801 - command, reads as a verb at yield sites
+    """Command: suspend the yielding process for ``seconds`` of virtual time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError("cannot sleep for negative time")
+        self.seconds = float(seconds)
+
+
+class wait:  # noqa: N801
+    """Command: suspend until an event fires or a process finishes."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "SimEvent | SimProcess"):
+        self.target = target
+
+
+class spawn:  # noqa: N801
+    """Command: start a child process; parent resumes with its handle."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, generator: Generator, name: Optional[str] = None):
+        self.generator = generator
+        self.name = name
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`SimProcess.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """A one-shot event processes can ``wait`` on."""
+
+    def __init__(self, kernel: "EventKernel", name: str = "event"):
+        self._kernel = kernel
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["SimProcess"] = []
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._waiting_on = None
+            self._kernel._schedule(process, send=value)
+
+    def _remove_waiter(self, process: "SimProcess") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+
+class SimProcess:
+    """A running generator plus its completion state."""
+
+    def __init__(self, kernel: "EventKernel", generator: Generator, name: str):
+        self._kernel = kernel
+        self._generator = generator
+        self.name = name
+        self.finished = False
+        self.value: Any = None          # StopIteration value on success
+        self.error: Optional[BaseException] = None
+        self._completion = SimEvent(kernel, name=f"{name}.completion")
+        self._waiting_on: Optional[SimEvent] = None
+        self._resume_token = 0          # invalidates stale heap entries
+
+    @property
+    def alive(self) -> bool:
+        return not self.finished
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+        self._kernel._schedule(self, throw=Interrupt(cause))
+
+    def _finish(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.value = value
+        self.error = error
+        self._resume_token += 1  # drop any stale scheduled resume
+        if error is None:
+            self._completion.succeed(value)
+        else:
+            # Re-raise in every waiter; with no waiters the kernel
+            # propagates the error out of run().
+            self.error_consumed = bool(self._completion._waiters)
+            waiters, self._completion._waiters = self._completion._waiters, []
+            self._completion.triggered = True
+            for process in waiters:
+                process._waiting_on = None
+                self._kernel._schedule(process, throw=error)
+
+
+class EventKernel:
+    """Deterministic event loop over a :class:`SimClock`."""
+
+    def __init__(self, clock, rng=None):
+        self.clock = clock
+        self.rng = rng
+        self._heap: List[Tuple[float, int, SimProcess, int, str, Any]] = []
+        self._sequence = 0
+        self.steps = 0
+
+    # -- scheduling -------------------------------------------------
+
+    def spawn(self, generator: Generator, name: Optional[str] = None) -> SimProcess:
+        """Register a top-level process; it starts when ``run`` reaches now."""
+        process = SimProcess(self, generator, name or f"proc-{self._sequence}")
+        self._schedule(process, send=None)
+        return process
+
+    def event(self, name: str = "event") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def _schedule(
+        self,
+        process: SimProcess,
+        delay: float = 0.0,
+        send: Any = None,
+        throw: Optional[BaseException] = None,
+    ) -> None:
+        process._resume_token += 1
+        self._sequence += 1
+        mode, payload = ("throw", throw) if throw is not None else ("send", send)
+        heapq.heappush(
+            self._heap,
+            (self.clock.now + delay, self._sequence, process,
+             process._resume_token, mode, payload),
+        )
+
+    # -- execution --------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events in time order; returns the final virtual time.
+
+        Stops when the heap drains or the next event lies beyond
+        ``until`` (the clock is then advanced exactly to ``until``).
+        """
+        while self._heap:
+            when, _seq, process, token, mode, payload = self._heap[0]
+            if until is not None and when > until:
+                # A synchronous step (e.g. the rollout's provisioning)
+                # may already have pushed the clock past the horizon.
+                if until > self.clock.now:
+                    self.clock.advance_to(until)
+                return self.clock.now
+            heapq.heappop(self._heap)
+            if process.finished or token != process._resume_token:
+                continue  # stale entry (interrupted or re-scheduled)
+            if when > self.clock.now:
+                self.clock.advance_to(when)
+            self._step(process, mode, payload)
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)
+        return self.clock.now
+
+    def _step(self, process: SimProcess, mode: str, payload: Any) -> None:
+        self.steps += 1
+        try:
+            if mode == "throw":
+                command = process._generator.throw(payload)
+            else:
+                command = process._generator.send(payload)
+        except StopIteration as stop:
+            process._finish(value=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - structured propagation
+            process._finish(error=exc)
+            if not getattr(process, "error_consumed", False):
+                raise
+            return
+        self._dispatch(process, command)
+
+    def _dispatch(self, process: SimProcess, command: Any) -> None:
+        if isinstance(command, sleep):
+            self._schedule(process, delay=command.seconds)
+        elif isinstance(command, wait):
+            target = command.target
+            event = target._completion if isinstance(target, SimProcess) else target
+            if isinstance(target, SimProcess) and target.finished:
+                if target.error is not None:
+                    target.error_consumed = True
+                    self._schedule(process, throw=target.error)
+                else:
+                    self._schedule(process, send=target.value)
+            elif event.triggered:
+                self._schedule(process, send=event.value)
+            else:
+                process._waiting_on = event
+                event._waiters.append(process)
+        elif isinstance(command, spawn):
+            child = SimProcess(
+                self, command.generator, command.name or f"proc-{self._sequence}"
+            )
+            self._schedule(child, send=None)
+            self._schedule(process, send=child)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded {command!r}; expected "
+                "sleep/wait/spawn"
+            )
+
+
+def run_until_complete(kernel: EventKernel, generator: Generator,
+                       name: str = "main") -> Any:
+    """Spawn ``generator`` and run the kernel until it finishes."""
+    process = kernel.spawn(generator, name=name)
+    kernel.run()
+    if not process.finished:
+        raise RuntimeError(f"deadlock: {name!r} never finished (heap drained)")
+    if process.error is not None:
+        raise process.error
+    return process.value

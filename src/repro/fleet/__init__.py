@@ -29,18 +29,35 @@ from repro.fleet.gateway import (
 )
 from repro.fleet.health import HealthMonitor
 from repro.fleet.hetero import HeteroBackend, HeterogeneousFleet
+from repro.fleet.mesh import (
+    ConsistentHashRing,
+    GatewayMesh,
+    GossipedVerdict,
+    LiteBackend,
+    LiteFleet,
+    MeshRolloutReport,
+    MeshWorkload,
+    region_rollout,
+)
 from repro.fleet.workload import FleetWorkload, UserPool
 
 __all__ = [
     "AdmissionVerdict",
     "BackendState",
+    "ConsistentHashRing",
     "FleetGateway",
     "FleetWorkload",
     "GatewayError",
+    "GatewayMesh",
+    "GossipedVerdict",
     "HealthMonitor",
     "HeteroBackend",
     "HeterogeneousFleet",
     "KdsBlackhole",
+    "LiteBackend",
+    "LiteFleet",
+    "MeshRolloutReport",
+    "MeshWorkload",
     "RollingRolloutReport",
     "UserPool",
     "blackhole_kds",
@@ -49,6 +66,7 @@ __all__ = [
     "kill_backend",
     "raise_family_tcb_floor",
     "raise_tcb_floor",
+    "region_rollout",
     "revoke_family",
     "rolling_rollout",
     "slow_disk",

@@ -100,6 +100,8 @@ class BackendState:
     #: must match (``family_mismatch`` otherwise) and tier routing
     #: filters on it.
     family: str = str(TeeFamily.SEV_SNP)
+    #: Topology placement (mesh routing + hierarchical drains).
+    region: Optional[str] = None
 
     def admittable(self, now: float, verdict_ttl: float) -> bool:
         """Eligible for *new* sessions: admitted + fresh passing verdict."""
@@ -139,6 +141,7 @@ class FleetGateway:
         tier_families=None,
         default_tier: str = "bulk",
         contexts=None,
+        region: Optional[str] = None,
     ):
         if balancer not in BALANCERS:
             raise ValueError(f"unknown balancer {balancer!r}; pick from {BALANCERS}")
@@ -187,8 +190,14 @@ class FleetGateway:
         }
         self.default_tier = default_tier
         self.verifier = AttestationVerifier(kds, site=name, contexts=contexts)
+        self.name = name
+        self.region = region
+        #: Mesh hook: called as ``on_verdict(gateway, ip, family, ok,
+        #: reason, verdict_time)`` after every locally produced verdict,
+        #: so a :class:`~repro.fleet.mesh.GatewayMesh` can gossip it.
+        self.on_verdict = None
 
-        self.host = network.add_host(name, ip_address)
+        self.host = network.add_host(name, ip_address, region=region)
         self.host.listen(HTTPS_PORT, self._handle)
 
         self._backends: Dict[str, BackendState] = {}
@@ -235,17 +244,21 @@ class FleetGateway:
         return self._backends
 
     def add_backend(self, ip_address: str, concurrency: int = 4,
-                    family=TeeFamily.SEV_SNP) -> BackendState:
+                    family=TeeFamily.SEV_SNP, region: Optional[str] = None,
+                    server: Optional[Server] = None) -> BackendState:
         """Register (or re-register, after a replacement) a backend in
         the ``pending`` state; it serves nothing until admitted.
-        *family* declares the TEE technology the backend must prove."""
-        server = None
-        if self.kernel is not None:
+        *family* declares the TEE technology the backend must prove.
+        Pass an existing *server* to share one service station across
+        every gateway of a mesh (the backend VM has one concurrency
+        limit no matter how many gateways route to it)."""
+        if server is None and self.kernel is not None:
             server = Server(
                 self.kernel, concurrency, name=f"backend-{ip_address}"
             )
         backend = BackendState(
-            ip_address=ip_address, server=server, family=str(family)
+            ip_address=ip_address, server=server, family=str(family),
+            region=region,
         )
         self._backends[ip_address] = backend
         return backend
@@ -344,6 +357,11 @@ class FleetGateway:
                 if ok
                 else f"family.{backend.family}.attestations_failed.{reason}"
             )
+            if self.on_verdict is not None:
+                self.on_verdict(
+                    self, ip_address, backend.family, ok, reason,
+                    backend.verdict_time,
+                )
         return AdmissionVerdict(ip_address, ok, reason, detail)
 
     def attest_and_admit(self, ip_address: str) -> AdmissionVerdict:
@@ -365,6 +383,63 @@ class FleetGateway:
             backend.state = "rejected"
             self._count(f"admissions_rejected.{verdict.reason}")
         return verdict
+
+    def accept_gossip(self, record, max_staleness: float) -> bool:
+        """Apply a verdict gossiped by a peer gateway (DESIGN.md
+        invariant 14: never honored past its TTL or outside this
+        gateway's family policy).
+
+        *record* carries ``backend_ip``, ``family``, ``ok``, ``reason``
+        and the **origin's** ``verdict_time`` — freshness is judged
+        against when the origin verified, not when the gossip arrived,
+        so TTL expiry stays fleet-uniform.  A record is honored only if
+
+        * the backend is registered here under the same family,
+        * its age is within ``min(verdict_ttl, max_staleness)``,
+        * the family is admissible under *this* gateway's policy
+          (not revoked, inside ``allowed_families``), and
+        * it is newer than the verdict this gateway already holds.
+
+        Passing records admit pending backends (one re-attestation
+        anywhere admits fleet-wide); failing records evict, propagating
+        the origin's reason code.  Returns whether it was applied."""
+        now = self.network.clock.now
+        backend = self._backends.get(record.backend_ip)
+        if backend is None:
+            self._count("gossip.rejected.unknown_backend")
+            return False
+        if record.family != backend.family:
+            self._count("gossip.rejected.family_mismatch")
+            return False
+        age = now - record.verdict_time
+        if age < 0 or age > min(self.verdict_ttl, max_staleness):
+            self._count("gossip.rejected.stale")
+            return False
+        if record.family in self.revoked_families or (
+            self.allowed_families is not None
+            and record.family not in self.allowed_families
+        ):
+            self._count("gossip.rejected.family_not_allowed")
+            return False
+        if (
+            backend.verdict_time is not None
+            and record.verdict_time <= backend.verdict_time
+        ):
+            self._count("gossip.rejected.older")
+            return False
+        backend.verdict_ok = record.ok
+        backend.verdict_reason = record.reason
+        backend.verdict_time = record.verdict_time
+        self._count("gossip.applied")
+        if record.ok:
+            if backend.state == "pending":
+                backend.state = "admitted"
+                backend.consecutive_failures = 0
+                self._count(f"admissions.{backend.family}")
+                self._count("gossip.admissions")
+        elif backend.active():
+            self.evict(record.backend_ip, record.reason, "gossiped verdict")
+        return True
 
     def admit_all(self) -> List[AdmissionVerdict]:
         """Attest every pending backend (initial fleet bring-up)."""
@@ -423,6 +498,13 @@ class FleetGateway:
         backend.verdict_ok = False
         self._count("retirements")
         self._sever_sessions(ip_address)
+
+    def close_session(self, session_id) -> None:
+        """Forget a finished session's affinity (storm workloads close
+        sessions explicitly so affinity memory stays bounded at
+        million-session scale)."""
+        if self._affinity.pop(session_id, None) is not None:
+            self._count("sessions_closed")
 
     def _sever_sessions(self, ip_address: str) -> None:
         severed = [

@@ -31,12 +31,18 @@ class HealthMonitor:
         timeout: float = 1.0,
         failure_threshold: int = 2,
         reattest_every: float = 60.0,
+        backend_filter=None,
     ):
         self.gateway = gateway
         self.interval = interval
         self.timeout = timeout
         self.failure_threshold = failure_threshold
         self.reattest_every = reattest_every
+        #: Optional predicate over :class:`BackendState` restricting
+        #: which backends this monitor probes — a mesh runs one monitor
+        #: per region so each backend is re-attested once per round and
+        #: gossip (not duplicate probes) keeps the other gateways fresh.
+        self.backend_filter = backend_filter
         self.probes_ok = 0
         self.probes_failed = 0
         self.reattestations = 0
@@ -54,8 +60,11 @@ class HealthMonitor:
         """One synchronous probe round over the active backends."""
         for ip_address in sorted(self.gateway.backends):
             backend = self.gateway.backends[ip_address]
-            if backend.active():
-                self._probe(backend)
+            if not backend.active():
+                continue
+            if self.backend_filter is not None and not self.backend_filter(backend):
+                continue
+            self._probe(backend)
 
     def _probe(self, backend: BackendState) -> None:
         gateway = self.gateway

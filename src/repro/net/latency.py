@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class ClockScope:
@@ -130,6 +130,9 @@ class LatencyModel:
     measurement_check: float = 0.001
     #: per-host-pair overrides
     pair_rtt: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: inter-region round trips, keyed on ``(region_a, region_b)``
+    #: (either order); hosts in the same (or no) region use ``base_rtt``
+    region_rtt: Dict[Tuple[str, str], float] = field(default_factory=dict)
 
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip latency between two named hosts."""
@@ -139,6 +142,35 @@ class LatencyModel:
         reverse = (dst, src)
         if reverse in self.pair_rtt:
             return self.pair_rtt[reverse]
+        return self.base_rtt
+
+    def rtt_between(
+        self,
+        src: str,
+        dst: str,
+        src_region: Optional[str] = None,
+        dst_region: Optional[str] = None,
+    ) -> float:
+        """Topology-priced round trip: a host-pair override wins, then
+        the inter-region map (when the endpoints sit in different
+        regions), then ``base_rtt``."""
+        key = (src, dst)
+        if key in self.pair_rtt:
+            return self.pair_rtt[key]
+        reverse = (dst, src)
+        if reverse in self.pair_rtt:
+            return self.pair_rtt[reverse]
+        if (
+            src_region is not None
+            and dst_region is not None
+            and src_region != dst_region
+        ):
+            region_key = (src_region, dst_region)
+            if region_key in self.region_rtt:
+                return self.region_rtt[region_key]
+            region_reverse = (dst_region, src_region)
+            if region_reverse in self.region_rtt:
+                return self.region_rtt[region_reverse]
         return self.base_rtt
 
 

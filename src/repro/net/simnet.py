@@ -55,11 +55,15 @@ class Host:
     """A machine on the network."""
 
     def __init__(self, network: "Network", name: str, ip_address: str,
-                 firewall: Optional[Firewall] = None):
+                 firewall: Optional[Firewall] = None,
+                 region: Optional[str] = None):
         self.network = network
         self.name = name
         self.ip_address = ip_address
         self.firewall = firewall if firewall is not None else Firewall.open_firewall()
+        #: Topology placement; cross-region exchanges are priced by the
+        #: latency model's inter-region RTT map instead of ``base_rtt``.
+        self.region = region
         self._listeners: Dict[int, Handler] = {}
 
     def listen(self, port: int, handler: Handler) -> None:
@@ -143,11 +147,12 @@ class Network:
         return response, scope.elapsed
 
     def add_host(self, name: str, ip_address: str,
-                 firewall: Optional[Firewall] = None) -> Host:
+                 firewall: Optional[Firewall] = None,
+                 region: Optional[str] = None) -> Host:
         """Attach a machine to the network."""
         if ip_address in self._hosts_by_ip:
             raise NetworkError(f"IP {ip_address} already in use")
-        host = Host(self, name, ip_address, firewall)
+        host = Host(self, name, ip_address, firewall, region=region)
         self._hosts_by_ip[ip_address] = host
         return host
 
@@ -182,7 +187,7 @@ class Network:
         destination = self.host_at(dst_ip)
         destination.firewall.check_inbound(port, destination.name)
         handler = destination.handler_for(port)
-        self.clock.advance(self.latency.rtt(source.name, destination.name))
+        self.clock.advance(self.rtt_between(source, destination))
         context = RequestContext(
             network=self,
             source_ip=source.ip_address,
@@ -190,6 +195,13 @@ class Network:
             port=port,
         )
         return handler(payload, context)
+
+    def rtt_between(self, source: Host, destination: Host) -> float:
+        """Topology-priced round trip between two attached hosts
+        (host-pair override > inter-region map > base RTT)."""
+        return self.latency.rtt_between(
+            source.name, destination.name, source.region, destination.region
+        )
 
     def resolve(self, domain: str) -> str:
         """Resolve a domain to one address."""

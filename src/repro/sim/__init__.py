@@ -11,8 +11,10 @@ fully reproducible: same seed, same event order, same metric dump.
 from repro.sim.kernel import (
     EventKernel,
     Interrupt,
+    KernelStats,
     SimEvent,
     SimProcess,
+    run_until_complete,
     sleep,
     spawn,
     wait,
@@ -37,6 +39,7 @@ __all__ = [
     "FifoQueue",
     "Gauge",
     "Interrupt",
+    "KernelStats",
     "LatencyReservoir",
     "MetricsRegistry",
     "PriorityResource",
@@ -47,6 +50,7 @@ __all__ = [
     "SimRng",
     "ThroughputWindow",
     "TokenBucket",
+    "run_until_complete",
     "sleep",
     "spawn",
     "wait",

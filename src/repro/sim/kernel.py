@@ -21,12 +21,24 @@ makes every run fully deterministic: same seed, same interleaving.
 Unhandled exceptions in a process propagate out of :meth:`EventKernel.run`
 unless another process is waiting on it, in which case the exception is
 re-raised in the waiter (structured error propagation).
+
+The run loop is flattened for throughput: dispatch is keyed on the
+command's concrete class (``command.__class__ is sleep``) instead of an
+``isinstance`` chain, a process that sleeps again — by far the hottest
+transition in open-loop storms — re-uses its just-popped heap slot via
+``heapq.heapreplace`` (one sift instead of pop-plus-push), and event
+waiters live in an insertion-ordered dict so an interrupt unlinks its
+waiter in O(1) instead of ``list.remove``'s O(n).  :class:`KernelStats`
+counts only deterministic quantities (steps, per-command counts, stale
+heap entries, peak heap size); wall-clock rates belong to benchmarks.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from math import inf as _INF
+from math import isfinite
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 
 class sleep:  # noqa: N801 - command, reads as a verb at yield sites
@@ -35,9 +47,14 @@ class sleep:  # noqa: N801 - command, reads as a verb at yield sites
     __slots__ = ("seconds",)
 
     def __init__(self, seconds: float):
+        seconds = float(seconds)
         if seconds < 0:
             raise ValueError("cannot sleep for negative time")
-        self.seconds = float(seconds)
+        if not isfinite(seconds):
+            # NaN passes every comparison-based guard and would corrupt
+            # heap ordering; inf would wedge the run loop forever.
+            raise ValueError(f"sleep duration must be finite, got {seconds!r}")
+        self.seconds = seconds
 
 
 class wait:  # noqa: N801
@@ -67,15 +84,72 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class KernelStats:
+    """Deterministic counters for one :class:`EventKernel`.
+
+    Everything here is a pure function of the simulated workload — no
+    wall-clock reads — so snapshots are reproducible across runs and
+    safe to embed in benchmark reports that must be byte-identical for
+    the same seed.  Wall events/sec is a benchmark-side division:
+    ``steps / wall_elapsed``.
+    """
+
+    __slots__ = (
+        "steps",
+        "sleeps",
+        "waits",
+        "spawns",
+        "scheduled",
+        "stale_entries",
+        "peak_heap",
+    )
+
+    def __init__(self) -> None:
+        self.steps = 0          # generator resumptions (events processed)
+        self.sleeps = 0         # sleep commands dispatched
+        self.waits = 0          # wait commands dispatched
+        self.spawns = 0         # spawn commands dispatched
+        self.scheduled = 0      # heap entries ever created
+        self.stale_entries = 0  # entries dropped (interrupt/re-schedule)
+        self.peak_heap = 0      # high-water heap length
+
+    @property
+    def stale_ratio(self) -> float:
+        """Fraction of popped heap entries that were stale."""
+        popped = self.steps + self.stale_entries
+        return self.stale_entries / popped if popped else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A sorted, JSON-friendly view of every counter."""
+        return {
+            "peak_heap": self.peak_heap,
+            "scheduled": self.scheduled,
+            "sleeps": self.sleeps,
+            "spawns": self.spawns,
+            "stale_entries": self.stale_entries,
+            "stale_ratio": round(self.stale_ratio, 6),
+            "steps": self.steps,
+            "waits": self.waits,
+        }
+
+
 class SimEvent:
-    """A one-shot event processes can ``wait`` on."""
+    """A one-shot event processes can ``wait`` on.
+
+    Waiters are kept in an insertion-ordered dict: iteration preserves
+    FIFO wake order while :meth:`_remove_waiter` (the interrupt path) is
+    a single O(1) ``pop`` — under interrupt-heavy storms the old
+    ``list.remove`` made cancelling N waiters quadratic.
+    """
+
+    __slots__ = ("_kernel", "name", "triggered", "value", "_waiters")
 
     def __init__(self, kernel: "EventKernel", name: str = "event"):
         self._kernel = kernel
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._waiters: List["SimProcess"] = []
+        self._waiters: Dict["SimProcess", None] = {}
 
     def succeed(self, value: Any = None) -> None:
         """Fire the event, resuming every waiter with ``value``."""
@@ -83,18 +157,31 @@ class SimEvent:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, {}
+        schedule = self._kernel._schedule
         for process in waiters:
             process._waiting_on = None
-            self._kernel._schedule(process, send=value)
+            schedule(process, send=value)
 
     def _remove_waiter(self, process: "SimProcess") -> None:
-        if process in self._waiters:
-            self._waiters.remove(process)
+        self._waiters.pop(process, None)
 
 
 class SimProcess:
     """A running generator plus its completion state."""
+
+    __slots__ = (
+        "_kernel",
+        "_generator",
+        "name",
+        "finished",
+        "value",
+        "error",
+        "error_consumed",
+        "_completion",
+        "_waiting_on",
+        "_resume_token",
+    )
 
     def __init__(self, kernel: "EventKernel", generator: Generator, name: str):
         self._kernel = kernel
@@ -103,6 +190,7 @@ class SimProcess:
         self.finished = False
         self.value: Any = None          # StopIteration value on success
         self.error: Optional[BaseException] = None
+        self.error_consumed = False
         self._completion = SimEvent(kernel, name=f"{name}.completion")
         self._waiting_on: Optional[SimEvent] = None
         self._resume_token = 0          # invalidates stale heap entries
@@ -131,7 +219,7 @@ class SimProcess:
             # Re-raise in every waiter; with no waiters the kernel
             # propagates the error out of run().
             self.error_consumed = bool(self._completion._waiters)
-            waiters, self._completion._waiters = self._completion._waiters, []
+            waiters, self._completion._waiters = self._completion._waiters, {}
             self._completion.triggered = True
             for process in waiters:
                 process._waiting_on = None
@@ -144,9 +232,15 @@ class EventKernel:
     def __init__(self, clock, rng=None):
         self.clock = clock
         self.rng = rng
-        self._heap: List[Tuple[float, int, SimProcess, int, str, Any]] = []
+        # Heap entries: (when, seq, process, token, is_throw, payload).
+        self._heap: List[Tuple[float, int, SimProcess, int, int, Any]] = []
         self._sequence = 0
-        self.steps = 0
+        self.stats = KernelStats()
+
+    @property
+    def steps(self) -> int:
+        """Events processed so far (kept for older callers)."""
+        return self.stats.steps
 
     # -- scheduling -------------------------------------------------
 
@@ -166,14 +260,20 @@ class EventKernel:
         send: Any = None,
         throw: Optional[BaseException] = None,
     ) -> None:
-        process._resume_token += 1
-        self._sequence += 1
-        mode, payload = ("throw", throw) if throw is not None else ("send", send)
-        heapq.heappush(
-            self._heap,
-            (self.clock.now + delay, self._sequence, process,
-             process._resume_token, mode, payload),
-        )
+        token = process._resume_token + 1
+        process._resume_token = token
+        seq = self._sequence + 1
+        self._sequence = seq
+        if throw is not None:
+            entry = (self.clock.now + delay, seq, process, token, 1, throw)
+        else:
+            entry = (self.clock.now + delay, seq, process, token, 0, send)
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        stats = self.stats
+        stats.scheduled += 1
+        if len(heap) > stats.peak_heap:
+            stats.peak_heap = len(heap)
 
     # -- execution --------------------------------------------------
 
@@ -183,69 +283,119 @@ class EventKernel:
         Stops when the heap drains or the next event lies beyond
         ``until`` (the clock is then advanced exactly to ``until``).
         """
-        while self._heap:
-            when, _seq, process, token, mode, payload = self._heap[0]
-            if until is not None and when > until:
-                # A synchronous step (e.g. the rollout's provisioning)
-                # may already have pushed the clock past the horizon.
-                if until > self.clock.now:
-                    self.clock.advance_to(until)
-                return self.clock.now
-            heapq.heappop(self._heap)
-            if process.finished or token != process._resume_token:
-                continue  # stale entry (interrupted or re-scheduled)
-            if when > self.clock.now:
-                self.clock.advance_to(when)
-            self._step(process, mode, payload)
-        if until is not None and until > self.clock.now:
-            self.clock.advance_to(until)
-        return self.clock.now
-
-    def _step(self, process: SimProcess, mode: str, payload: Any) -> None:
-        self.steps += 1
+        clock = self.clock
+        offsets = clock._offsets  # same list object for the clock's lifetime
+        heap = self._heap
+        stats = self.stats
+        limit = _INF if until is None else float(until)
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        sleep_cls = sleep
+        wait_cls = wait
+        spawn_cls = spawn
+        process_cls = SimProcess
+        steps = sleeps = waits = spawns = stale = 0
         try:
-            if mode == "throw":
-                command = process._generator.throw(payload)
-            else:
-                command = process._generator.send(payload)
-        except StopIteration as stop:
-            process._finish(value=stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - structured propagation
-            process._finish(error=exc)
-            if not getattr(process, "error_consumed", False):
-                raise
-            return
-        self._dispatch(process, command)
-
-    def _dispatch(self, process: SimProcess, command: Any) -> None:
-        if isinstance(command, sleep):
-            self._schedule(process, delay=command.seconds)
-        elif isinstance(command, wait):
-            target = command.target
-            event = target._completion if isinstance(target, SimProcess) else target
-            if isinstance(target, SimProcess) and target.finished:
-                if target.error is not None:
-                    target.error_consumed = True
-                    self._schedule(process, throw=target.error)
+            while heap:
+                entry = heap[0]
+                process = entry[2]
+                if process.finished or entry[3] != process._resume_token:
+                    heappop(heap)  # stale (interrupted or re-scheduled)
+                    stale += 1
+                    continue
+                when = entry[0]
+                if when > limit:
+                    # A synchronous step (e.g. the rollout's
+                    # provisioning) may already have pushed the clock
+                    # past the horizon.
+                    if limit > clock.now:
+                        clock.advance_to(limit)
+                    return clock.now
+                if offsets:
+                    if when > clock.now:
+                        clock.advance_to(when)  # raises inside a scope
+                elif when > clock._now:
+                    clock._now = when
+                steps += 1
+                generator = process._generator
+                try:
+                    if entry[4]:
+                        command = generator.throw(entry[5])
+                    else:
+                        command = generator.send(entry[5])
+                except StopIteration as stop:
+                    heappop(heap)
+                    process._finish(value=stop.value)
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - structured propagation
+                    heappop(heap)
+                    process._finish(error=exc)
+                    if not process.error_consumed:
+                        raise
+                    continue
+                command_cls = command.__class__
+                if command_cls is sleep_cls:
+                    # Hot path: the popped slot is re-used in place.
+                    # Safe because anything scheduled during the step
+                    # ran at `when <= now` with a larger sequence, so
+                    # our entry is still heap[0]; the token bump keeps
+                    # last-schedule-wins semantics for self-interrupts.
+                    sleeps += 1
+                    token = process._resume_token + 1
+                    process._resume_token = token
+                    seq = self._sequence + 1
+                    self._sequence = seq
+                    base = clock.now if offsets else clock._now
+                    heapreplace(
+                        heap,
+                        (base + command.seconds, seq, process, token, 0, None),
+                    )
+                    stats.scheduled += 1
+                    continue
+                heappop(heap)
+                if command_cls is wait_cls:
+                    waits += 1
+                    target = command.target
+                    if target.__class__ is process_cls or isinstance(
+                        target, process_cls
+                    ):
+                        if target.finished:
+                            if target.error is not None:
+                                target.error_consumed = True
+                                self._schedule(process, throw=target.error)
+                            else:
+                                self._schedule(process, send=target.value)
+                            continue
+                        event = target._completion
+                    else:
+                        event = target
+                    if event.triggered:
+                        self._schedule(process, send=event.value)
+                    else:
+                        process._waiting_on = event
+                        event._waiters[process] = None
+                elif command_cls is spawn_cls:
+                    spawns += 1
+                    child = SimProcess(
+                        self, command.generator,
+                        command.name or f"proc-{self._sequence}",
+                    )
+                    self._schedule(child, send=None)
+                    self._schedule(process, send=child)
                 else:
-                    self._schedule(process, send=target.value)
-            elif event.triggered:
-                self._schedule(process, send=event.value)
-            else:
-                process._waiting_on = event
-                event._waiters.append(process)
-        elif isinstance(command, spawn):
-            child = SimProcess(
-                self, command.generator, command.name or f"proc-{self._sequence}"
-            )
-            self._schedule(child, send=None)
-            self._schedule(process, send=child)
-        else:
-            raise TypeError(
-                f"process {process.name!r} yielded {command!r}; expected "
-                "sleep/wait/spawn"
-            )
+                    raise TypeError(
+                        f"process {process.name!r} yielded {command!r}; "
+                        "expected sleep/wait/spawn"
+                    )
+            if until is not None and until > clock.now:
+                clock.advance_to(until)
+            return clock.now
+        finally:
+            stats.steps += steps
+            stats.sleeps += sleeps
+            stats.waits += waits
+            stats.spawns += spawns
+            stats.stale_entries += stale
 
 
 def run_until_complete(kernel: EventKernel, generator: Generator,

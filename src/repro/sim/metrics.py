@@ -167,6 +167,15 @@ class MetricsRegistry:
         self._windows: Dict[str, ThroughputWindow] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._counters: Dict[str, int] = {}
+        self._kernel = None
+
+    def attach_kernel(self, kernel) -> None:
+        """Export a kernel's :class:`~repro.sim.kernel.KernelStats`
+        under ``kernel.*`` in every snapshot.  All exported values are
+        deterministic (no wall-clock rates): ``kernel.events_per_sim_sec``
+        is steps divided by *simulated* seconds; benchmarks divide by
+        wall time themselves."""
+        self._kernel = kernel
 
     def reservoir(self, name: str, capacity: int = 4096) -> LatencyReservoir:
         if name not in self._reservoirs:
@@ -201,4 +210,12 @@ class MetricsRegistry:
         for name, gauge in self._gauges.items():
             for field, value in gauge.snapshot().items():
                 out[f"{name}.{field}"] = value
+        if self._kernel is not None:
+            for field, value in self._kernel.stats.snapshot().items():
+                out[f"kernel.{field}"] = value
+            sim_elapsed = self._kernel.clock.now
+            out["kernel.events_per_sim_sec"] = (
+                round(self._kernel.stats.steps / sim_elapsed, 3)
+                if sim_elapsed > 0 else 0.0
+            )
         return {key: out[key] for key in sorted(out)}

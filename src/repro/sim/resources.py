@@ -10,13 +10,18 @@ every run deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.sim.kernel import EventKernel, SimEvent, sleep, wait
 
 
 class Resource:
-    """A counted FIFO semaphore (e.g. worker slots on a backend)."""
+    """A counted FIFO semaphore (e.g. worker slots on a backend).
+
+    Waiter queues are deques: handoff pops from the head in O(1), so a
+    long admission queue (a million-session storm) never goes quadratic.
+    """
 
     def __init__(self, kernel: EventKernel, capacity: int, name: str = "resource"):
         if capacity < 1:
@@ -25,7 +30,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self._available = capacity
-        self._waiters: List[SimEvent] = []
+        self._waiters: Deque[SimEvent] = deque()
 
     @property
     def in_use(self) -> int:
@@ -47,7 +52,7 @@ class Resource:
     def release(self) -> None:
         """Free a slot, handing it directly to the oldest waiter."""
         if self._waiters:
-            self._waiters.pop(0).succeed()
+            self._waiters.popleft().succeed()
         else:
             if self._available >= self.capacity:
                 raise RuntimeError(f"{self.name}: release without acquire")
@@ -90,22 +95,22 @@ class FifoQueue:
     def __init__(self, kernel: EventKernel, name: str = "queue"):
         self._kernel = kernel
         self.name = name
-        self._items: List[Any] = []
-        self._getters: List[SimEvent] = []
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Generator:
         """``yield from`` this; returns the next item in arrival order."""
         if self._items:
-            return self._items.pop(0)
+            return self._items.popleft()
         slot = self._kernel.event(f"{self.name}.get")
         self._getters.append(slot)
         item = yield wait(slot)

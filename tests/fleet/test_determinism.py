@@ -60,6 +60,11 @@ class TestByteIdenticalRuns:
                     "--hetero-sessions", "30",
                     "--hetero-per-family", "1",
                     "--revoke-at", "2",
+                    "--mesh-sessions", "200",
+                    "--mesh-backends", "6",
+                    "--mesh-snp-nodes", "2",
+                    "--mesh-regions", "2",
+                    "--mesh-arrival-rate", "50",
                     "--output", str(output),
                 ],
                 check=True,
@@ -82,6 +87,7 @@ class TestByteIdenticalRuns:
                 [
                     sys.executable,
                     str(REPO / "benchmarks" / "bench_fleet.py"),
+                    "--phases", "ABC",
                     "--seed", seed,
                     "--sessions", "20",
                     "--backends", "3",

@@ -162,6 +162,49 @@ class TestClockAndLatency:
             clock.advance(-1)
 
 
+class TestRegions:
+    def _model(self):
+        return LatencyModel(
+            base_rtt=0.005,
+            pair_rtt={("client", "kds"): 0.4},
+            region_rtt={("us-east", "eu"): 0.08},
+        )
+
+    def test_cross_region_uses_region_map_either_order(self):
+        model = self._model()
+        assert model.rtt_between("a", "b", "us-east", "eu") == 0.08
+        assert model.rtt_between("a", "b", "eu", "us-east") == 0.08
+
+    def test_same_or_missing_region_uses_base(self):
+        model = self._model()
+        assert model.rtt_between("a", "b", "eu", "eu") == 0.005
+        assert model.rtt_between("a", "b", None, "eu") == 0.005
+        assert model.rtt_between("a", "b", "us-east", None) == 0.005
+        assert model.rtt_between("a", "b") == 0.005
+
+    def test_unmapped_region_pair_falls_back_to_base(self):
+        model = self._model()
+        assert model.rtt_between("a", "b", "us-east", "ap") == 0.005
+
+    def test_pair_override_beats_region_map(self):
+        model = self._model()
+        assert model.rtt_between("client", "kds", "us-east", "eu") == 0.4
+        assert model.rtt_between("kds", "client", "eu", "us-east") == 0.4
+
+    def test_network_charges_region_rtt_on_exchange(self):
+        net = Network(self._model())
+        server = net.add_host("server", "10.0.0.1", region="eu")
+        client = net.add_host("client", "10.0.0.2", region="us-east")
+        local = net.add_host("local", "10.0.0.3", region="eu")
+        server.listen(80, _echo)
+        client.request("10.0.0.1", 80, b"x")
+        assert net.clock.now == pytest.approx(0.08)
+        local.request("10.0.0.1", 80, b"x")
+        assert net.clock.now == pytest.approx(0.085)
+        assert net.rtt_between(client, server) == 0.08
+        assert net.rtt_between(local, server) == 0.005
+
+
 class TestDns:
     def test_register_resolve(self):
         dns = DnsRegistry()

@@ -1,0 +1,115 @@
+"""Sync vs event-kernel simnet parity.
+
+The same request schedule must produce the same responses and the same
+elapsed simulated time whether the network runs synchronously (each
+exchange advances the shared clock in place) or in event mode (each
+exchange is measured in an isolated clock scope and replayed as a
+kernel sleep).  This is the contract that lets every synchronous
+component run unchanged under the event kernel — including
+cross-region routes priced by the inter-region RTT map.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.latency import LatencyModel, SimClock
+from repro.net.simnet import Network
+from repro.sim import EventKernel, SimRng, sleep
+from repro.sim.kernel import run_until_complete
+
+REGIONS = ("us-east", "eu", None)
+
+
+def _build_world(base_rtt, region_rtt, processing, client_region, server_region):
+    net = Network(
+        LatencyModel(
+            base_rtt=base_rtt,
+            region_rtt={("us-east", "eu"): region_rtt},
+        )
+    )
+    server = net.add_host("server", "10.0.0.1", region=server_region)
+    client = net.add_host("client", "10.0.0.2", region=client_region)
+
+    def handler(payload, context):
+        context.add_processing_time(processing)
+        return b"echo:" + payload
+
+    server.listen(80, handler)
+    return net, client
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    base_rtt=st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    region_rtt=st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+    processing=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    client_region=st.sampled_from(REGIONS),
+    server_region=st.sampled_from(REGIONS),
+    payloads=st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=5),
+)
+def test_sync_and_event_mode_agree(
+    base_rtt, region_rtt, processing, client_region, server_region, payloads
+):
+    # Synchronous run: requests advance the shared clock in place.
+    net_sync, client_sync = _build_world(
+        base_rtt, region_rtt, processing, client_region, server_region
+    )
+    sync_trace = []
+    for payload in payloads:
+        response = client_sync.request("10.0.0.1", 80, payload)
+        sync_trace.append((response, net_sync.clock.now))
+
+    # Event-mode run: the same schedule inside one kernel process, each
+    # exchange measured and replayed as a kernel sleep.
+    net_event, client_event = _build_world(
+        base_rtt, region_rtt, processing, client_region, server_region
+    )
+    kernel = EventKernel(net_event.clock, SimRng(0))
+    net_event.enable_event_mode(kernel)
+    event_trace = []
+
+    def driver():
+        for payload in payloads:
+            with net_event.measure() as scope:
+                response = client_event.request("10.0.0.1", 80, payload)
+            yield sleep(scope.elapsed)
+            event_trace.append((response, net_event.clock.now))
+
+    run_until_complete(kernel, driver())
+
+    assert len(event_trace) == len(sync_trace)
+    for (sync_response, sync_time), (event_response, event_time) in zip(
+        sync_trace, event_trace
+    ):
+        assert event_response == sync_response
+        # Scope replay may reassociate float additions; allow ulp noise.
+        assert abs(event_time - sync_time) < 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    region_rtt=st.floats(min_value=0.01, max_value=0.3, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_event_mode_trace_is_seed_deterministic(region_rtt, seed):
+    """Same seed, same jittered schedule, same final sim time."""
+
+    def one_run():
+        net, client = _build_world(0.005, region_rtt, 0.01, "us-east", "eu")
+        kernel = EventKernel(net.clock, SimRng(seed))
+        net.enable_event_mode(kernel)
+        jitter = kernel.rng.fork("jitter")
+        trace = []
+
+        def driver():
+            for index in range(10):
+                yield sleep(jitter.expovariate(50.0))
+                with net.measure() as scope:
+                    response = client.request("10.0.0.1", 80, b"%d" % index)
+                yield sleep(scope.elapsed)
+                trace.append((response, net.clock.now))
+
+        run_until_complete(kernel, driver())
+        return trace
+
+    assert one_run() == one_run()

@@ -203,6 +203,137 @@ class TestClockScopes:
             clock.advance_to(3.0)
 
 
+class TestSleepValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            sleep(-0.001)
+
+    @pytest.mark.parametrize(
+        "duration", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_duration_rejected(self, duration):
+        # A NaN sleep used to silently corrupt the event heap (NaN
+        # compares false against everything, breaking heap order for
+        # every later entry); inf just wedged the run. Both are bugs at
+        # the call site and must fail loudly.
+        with pytest.raises(ValueError, match="finite|negative"):
+            sleep(duration)
+
+    def test_zero_and_positive_accepted(self):
+        assert sleep(0).seconds == 0.0
+        assert sleep(2.5).seconds == 2.5
+
+
+class TestWaiterUnlink:
+    def test_interrupting_10k_waiters(self, kernel):
+        """Reverse-order interrupt storm over one event: quadratic with
+        the old list-scan unlink, linear with the ordered-dict pop."""
+        gate = kernel.event("gate")
+        interrupted = []
+
+        def waiter(index):
+            try:
+                yield wait(gate)
+            except Interrupt:
+                interrupted.append(index)
+
+        parked = [kernel.spawn(waiter(index)) for index in range(10_000)]
+
+        def storm():
+            yield sleep(1.0)
+            for process in reversed(parked):
+                process.interrupt("storm")
+
+        kernel.spawn(storm())
+        kernel.run()
+        assert len(interrupted) == 10_000
+        assert not gate._waiters  # every waiter unlinked
+
+    def test_interrupted_waiters_do_not_hear_the_event(self, kernel):
+        gate = kernel.event("gate")
+        woken, interrupted = [], []
+
+        def waiter(index):
+            try:
+                woken.append((index, (yield wait(gate))))
+            except Interrupt:
+                interrupted.append(index)
+
+        parked = [kernel.spawn(waiter(index)) for index in range(6)]
+
+        def driver():
+            yield sleep(1.0)
+            for process in parked[::2]:  # interrupt 0, 2, 4
+                process.interrupt("cancelled")
+            yield sleep(1.0)
+            gate.succeed("go")
+
+        kernel.spawn(driver())
+        kernel.run()
+        assert interrupted == [0, 2, 4]
+        assert woken == [(1, "go"), (3, "go"), (5, "go")]  # FIFO order
+
+
+class TestKernelStats:
+    def test_counters_track_commands(self, kernel):
+        gate = kernel.event("gate")
+
+        def child():
+            yield sleep(1.0)
+            gate.succeed("go")
+
+        def parent():
+            yield spawn(child())
+            value = yield wait(gate)
+            yield sleep(0.5)
+            return value
+
+        kernel.spawn(parent())
+        kernel.run()
+        stats = kernel.stats
+        assert stats.steps == kernel.steps > 0
+        assert stats.sleeps == 2
+        assert stats.waits == 1
+        assert stats.spawns == 1  # yielded spawn commands only
+        assert stats.peak_heap >= 2
+        assert stats.scheduled >= stats.steps
+
+    def test_stale_entries_counted_for_cancelled_sleeps(self, kernel):
+        def sleeper():
+            try:
+                yield sleep(100.0)
+            except Interrupt:
+                return
+
+        handle = kernel.spawn(sleeper())
+
+        def killer():
+            yield sleep(1.0)
+            handle.interrupt("now")
+
+        kernel.spawn(killer())
+        kernel.run()
+        # The cancelled 100 s sleep stays in the heap as a stale entry
+        # and is skipped, not dispatched.
+        assert kernel.stats.stale_entries >= 1
+        assert 0 < kernel.stats.stale_ratio < 1
+
+    def test_snapshot_is_json_safe_and_sorted(self, kernel):
+        def proc():
+            yield sleep(1.0)
+
+        kernel.spawn(proc())
+        kernel.run()
+        snapshot = kernel.stats.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["steps"] == kernel.steps
+        assert all(isinstance(v, (int, float)) for v in snapshot.values())
+
+    def test_steps_is_read_only(self, kernel):
+        with pytest.raises(AttributeError):
+            kernel.steps = 7
+
+
 class TestDeterminism:
     def test_same_seed_same_trace(self):
         def one_run(seed):
