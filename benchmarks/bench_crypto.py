@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 
 from repro.crypto import ec, sigcache
+from repro.crypto.batch import BatchItem, BatchVerifier
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecdsa import EcdsaPrivateKey, verify_rs_reference
 
@@ -41,6 +42,12 @@ ROUNDS = int(os.environ.get("BENCH_CRYPTO_ROUNDS", "40"))
 #: run (few rounds, noisy shared runners) stays reliable; full runs on
 #: this implementation measure ~8x or better (recorded in the JSON).
 MIN_SPEEDUP = float(os.environ.get("BENCH_CRYPTO_MIN_SPEEDUP", "1.5"))
+#: Cold attestation chains in the batch-verification phase (>= 16 keeps
+#: the MSM amortisation representative of a fleet admission storm).
+BATCH_CHAINS = int(os.environ.get("BENCH_CRYPTO_BATCH_CHAINS", "16"))
+#: Required batch-vs-naive speedup on cold 3-cert P-384 chains.  Full
+#: runs clear 10x; CI smoke lowers the floor to 4x for noisy runners.
+MIN_BATCH_SPEEDUP = float(os.environ.get("BENCH_CRYPTO_MIN_BATCH_SPEEDUP", "10.0"))
 
 CURVES = {"P-256": "sha256", "P-384": "sha384"}
 
@@ -115,6 +122,113 @@ def _measure_curve(curve_name: str, hash_name: str) -> dict:
     }
 
 
+def _cold_chains(count: int):
+    """A fleet admission storm's verification work: *count* cold 3-cert
+    P-384 chains sharing one root and one intermediate (AMD's ARK/ASK),
+    each with its own leaf key (the per-chip VCEK) and report signature.
+    Returns per-chain lists of (public, message, signature) triples."""
+    curve = ec.get_curve("P-384")
+    root = EcdsaPrivateKey.generate(curve, HmacDrbg(b"bench-batch-root"))
+    intermediate = EcdsaPrivateKey.generate(
+        curve, HmacDrbg(b"bench-batch-intermediate")
+    )
+    intermediate_tbs = b"bench intermediate certificate (ASK)"
+    intermediate_sig = root.sign(intermediate_tbs, "sha384")
+    chains = []
+    for index in range(count):
+        leaf = EcdsaPrivateKey.generate(
+            curve, HmacDrbg(b"bench-batch-leaf-%d" % index)
+        )
+        leaf_tbs = b"bench leaf certificate (VCEK) %d" % index
+        report = b"bench attestation report %d" % index
+        chains.append([
+            (root.public_key(), intermediate_tbs, intermediate_sig),
+            (intermediate.public_key(), leaf_tbs,
+             intermediate.sign(leaf_tbs, "sha384")),
+            (leaf.public_key(), report, leaf.sign(report, "sha384")),
+        ])
+    return chains
+
+
+def _measure_batch() -> dict:
+    """Batch verification of a cold admission storm vs naive per-sig."""
+    chains = _cold_chains(BATCH_CHAINS)
+    flat = [triple for chain in chains for triple in chain]
+
+    def naive_chain(i):
+        for public, message, signature in chains[i]:
+            size = public.curve.coordinate_size
+            r = int.from_bytes(signature[:size], "big")
+            s = int.from_bytes(signature[size:], "big")
+            if not verify_rs_reference(public, message, r, s, "sha384"):
+                return False
+        return True
+
+    naive = _throughput(naive_chain, BATCH_CHAINS)
+
+    ec.reset_point_cache()  # cold: no precomputed key tables
+    verifier = BatchVerifier(HmacDrbg(b"bench-batch"))
+    items = [
+        BatchItem(public, message, signature, "sha384")
+        for public, message, signature in flat
+    ]
+    started = time.perf_counter()
+    result = verifier.verify(items)
+    elapsed = time.perf_counter() - started
+    assert all(result.verdicts), "batch benchmark signature failed to verify"
+    batch = BATCH_CHAINS / elapsed
+
+    return {
+        "chains": BATCH_CHAINS,
+        "signatures": len(items),
+        "curve": "P-384",
+        "naive_chains_per_sec": naive,
+        "batch_chains_per_sec": batch,
+        "batch_signatures_per_sec": len(items) / elapsed,
+        "batch_speedup_vs_naive": batch / naive,
+        "batch_stats": result.stats(),
+    }
+
+
+def _measure_point_cache_churn() -> dict:
+    """Realistic point-cache behaviour under a many-key cold-chain storm:
+    more distinct public keys than the cache holds, two verifications
+    each (crossing ``hot_threshold``), so the JSON reports genuine
+    entries/evictions instead of the single-key ``entries: 1``."""
+    curve = ec.get_curve("P-256")
+    cache = ec.reset_point_cache()
+    keys = cache.capacity + 12  # overcommit: forces LRU eviction churn
+    pairs = []
+    for index in range(keys):
+        private = EcdsaPrivateKey.generate(
+            curve, HmacDrbg(b"bench-churn-%d" % index)
+        )
+        message = b"churn message %d" % index
+        signature = private.sign(message)
+        size = curve.coordinate_size
+        pairs.append((
+            private.public_key(),
+            message,
+            int.from_bytes(signature[:size], "big"),
+            int.from_bytes(signature[size:], "big"),
+        ))
+    started = time.perf_counter()
+    for public, message, r, s in pairs:
+        assert public.verify_rs(message, r, s, "sha256")
+    # Second sweep in reverse: the LRU's resident tail hits (and earns
+    # fixed-base tables), the evicted head rebuilds — realistic churn.
+    for public, message, r, s in reversed(pairs):
+        assert public.verify_rs(message, r, s, "sha256")
+    elapsed = time.perf_counter() - started
+    stats = cache.stats()
+    stats["capacity"] = cache.capacity
+    stats["distinct_keys"] = keys
+    stats["evicted"] = max(0, stats["misses"] - stats["entries"])
+    stats["verifications_per_sec"] = (2 * keys) / elapsed
+    ec.reset_point_cache()
+    return stats
+
+
 def main() -> dict:
     results = {
         "benchmark": "ECDSA verification: naive vs fast path",
@@ -137,6 +251,29 @@ def main() -> dict:
             f"{measured['hot_speedup_vs_naive']:.2f}x naive "
             f"(required >= {MIN_SPEEDUP}x)"
         )
+
+    batch = _measure_batch()
+    results["batch"] = batch
+    results["min_required_batch_speedup"] = MIN_BATCH_SPEEDUP
+    print(
+        f"batch: {batch['chains']} cold 3-cert P-384 chains  "
+        f"naive {batch['naive_chains_per_sec']:6.1f} chains/s  "
+        f"batch {batch['batch_chains_per_sec']:6.1f} chains/s  "
+        f"({batch['batch_speedup_vs_naive']:.1f}x)"
+    )
+    assert batch["batch_speedup_vs_naive"] >= MIN_BATCH_SPEEDUP, (
+        f"batch verification is only "
+        f"{batch['batch_speedup_vs_naive']:.2f}x naive on cold chains "
+        f"(required >= {MIN_BATCH_SPEEDUP}x)"
+    )
+
+    churn = _measure_point_cache_churn()
+    results["point_cache_churn"] = churn
+    print(
+        f"point-cache churn: {churn['distinct_keys']} keys over "
+        f"capacity {churn['capacity']}: {churn['entries']} resident, "
+        f"{churn['evicted']} evicted, {churn['hits']} hits"
+    )
 
     output = Path(__file__).resolve().parent / "BENCH_crypto.json"
     output.write_text(json.dumps(results, indent=2) + "\n")

@@ -30,6 +30,7 @@ from ..crypto.x509 import Certificate
 from .evidence import Evidence, TeeFamily
 from .families import (
     STEP_AK_ENDORSEMENT,
+    STEP_BATCH_PREPARE,
     STEP_CERT_CHAIN,
     STEP_CHIP_ID_ALLOWLIST,
     STEP_CHIP_ID_BINDING,
@@ -184,6 +185,7 @@ class AttestationVerifier:
         tracer: Optional[AttestationTracer] = None,
         site: str = "verifier",
         contexts: Optional[dict] = None,
+        farm=None,
     ):
         self.kds = kds
         self.policy = policy if policy is not None else VerificationPolicy()
@@ -196,6 +198,12 @@ class AttestationVerifier:
         self.contexts: dict = {
             str(family): context for family, context in (contexts or {}).items()
         }
+        #: Optional :class:`~repro.attest.farm.VerifyFarm`.  When set,
+        #: every run starts with a speculative ``batch_prepare`` pass
+        #: that fetches endorsements and settles all the pipeline's
+        #: signature equations in one batch; the unchanged steps then
+        #: consume the verdicts through the signature-cache oracle seam.
+        self.farm = farm
 
     def _context_for(self, family: TeeFamily):
         """The trust material for *family* (None when unavailable)."""
@@ -214,6 +222,7 @@ class AttestationVerifier:
         now: int,
         policy: Optional[VerificationPolicy] = None,
         site: Optional[str] = None,
+        _prepared: Optional[dict] = None,
     ) -> VerificationOutcome:
         """Run the pipeline; never raises on a failed check.
 
@@ -223,6 +232,11 @@ class AttestationVerifier:
         or an :class:`~repro.attest.evidence.Evidence` envelope, which
         prepends family admissibility and decode steps before the
         family provider's own checks.
+
+        *_prepared* is a state dict that :meth:`verify_batch` already
+        ran the farm prepare pass over (endorsements fetched, signature
+        verdicts parked); a farm-wired verifier skips its own prepare
+        for it.
         """
         policy = policy if policy is not None else self.policy
         site = site if site is not None else self.site
@@ -232,13 +246,22 @@ class AttestationVerifier:
         hits_before = getattr(self.kds, "cache_hits", 0)
         sig_hits_before, sig_misses_before = sigcache.counters()
 
+        state = (
+            _prepared
+            if _prepared is not None
+            else {"vcek": None, "chain": None, "native": None}
+        )
+        records = []
+        if self.farm is not None and _prepared is None:
+            prepare_record = self._prepare(report, now, policy, state, clock)
+            if prepare_record is not None:
+                records.append(prepare_record)
         if isinstance(report, Evidence):
             family = report.family
-            state = {"vcek": None, "chain": None, "native": None}
             step_iter = self._dispatched_steps(report, now, policy, state)
         else:
             family = TeeFamily.SEV_SNP
-            state = {"vcek": None, "chain": None, "native": report}
+            state["native"] = report
             provider = provider_for(family)
             step_iter = provider.steps(
                 report,
@@ -249,11 +272,11 @@ class AttestationVerifier:
                 state,
             )
 
-        records = []
         failed = False
         for name, run_check in step_iter:
             started = clock.now if clock is not None else 0.0
             step_hits, step_misses = sigcache.counters()
+            step_oracle = sigcache.oracle_hits()
             reason: Optional[str] = None
             detail = ""
             passed = True
@@ -263,7 +286,9 @@ class AttestationVerifier:
                 passed = False
                 reason, detail = exc.reason, exc.detail
             if clock is not None and latency is not None:
-                self._charge_crypto_step(name, clock, latency, step_hits, step_misses)
+                self._charge_crypto_step(
+                    name, clock, latency, step_hits, step_misses, step_oracle
+                )
             cost = (clock.now - started) if clock is not None else 0.0
             records.append(StepRecord(name, passed, reason, detail, cost))
             if not passed:
@@ -297,6 +322,109 @@ class AttestationVerifier:
             )
         )
         return outcome
+
+    def _collect_jobs(
+        self,
+        report,
+        now: int,
+        policy: VerificationPolicy,
+        state: dict,
+    ) -> list:
+        """The farm prepare pass for one report: ask the family provider
+        to fetch endorsements into *state* and enumerate the signature
+        equations its step list will check.  Returns ``[]`` whenever the
+        pipeline could not be prejudged (unknown/forbidden family,
+        undecodable evidence, fetch failure) — the run then proceeds,
+        and fails, through the normal steps."""
+        if isinstance(report, Evidence):
+            family = report.family
+            if policy.allowed_families is not None and not policy.family_allowed(
+                family
+            ):
+                return []
+            provider = provider_for(family)
+            if provider is None:
+                return []
+            try:
+                native = provider.decode(report.body)
+            except AttestationError:
+                return []
+        else:
+            family = TeeFamily.SEV_SNP
+            provider = provider_for(family)
+            native = report
+        context = self._context_for(family)
+        if context is None:
+            return []
+        try:
+            return provider.signature_jobs(
+                native, now, policy, policy.for_family(family), context, state
+            )
+        except AttestationError:
+            return []
+
+    def _prepare(
+        self, report, now: int, policy: VerificationPolicy, state: dict, clock
+    ) -> Optional[StepRecord]:
+        """Run the farm prepare pass for a single verification and
+        settle it immediately; the endorsement-fetch and batch cost land
+        on a leading ``batch_prepare`` step record."""
+        started = clock.now if clock is not None else 0.0
+        jobs = self._collect_jobs(report, now, policy, state)
+        if jobs:
+            self.farm.verify_many(jobs)
+        cost = (clock.now - started) if clock is not None else 0.0
+        if not jobs and cost == 0.0:
+            return None
+        return StepRecord(
+            STEP_BATCH_PREPARE,
+            True,
+            detail=f"{len(jobs)} signature job(s) batched",
+            sim_cost=cost,
+        )
+
+    def verify_batch(
+        self,
+        reports,
+        now: int,
+        policies=None,
+        site: Optional[str] = None,
+    ) -> list:
+        """Verify a group of reports with one shared farm settlement.
+
+        All reports' signature equations (chain links, report
+        signatures) are queued together, so fleet-wide common terms —
+        the shared ARK/ASK certificates, duplicate chain links — are
+        verified once per *batch* rather than once per report.
+        *policies* is an optional per-report policy sequence.  Without a
+        farm this degrades to sequential :meth:`verify` calls."""
+        reports = list(reports)
+        if policies is not None and len(policies) != len(reports):
+            raise ValueError("policies must match reports one-to-one")
+        if self.farm is None:
+            return [
+                self.verify(
+                    report,
+                    now,
+                    policy=policies[index] if policies is not None else None,
+                    site=site,
+                )
+                for index, report in enumerate(reports)
+            ]
+        prepared = []
+        for index, report in enumerate(reports):
+            policy = (
+                policies[index] if policies is not None else self.policy
+            )
+            state = {"vcek": None, "chain": None, "native": None}
+            for job in self._collect_jobs(report, now, policy, state):
+                self.farm.submit(*job)
+            prepared.append((report, policy, state))
+        self.farm.flush()
+        return [
+            self.verify(report, now, policy=policy, site=site, _prepared=state)
+            for report, policy, state in prepared
+        ]
 
     def _dispatched_steps(
         self,
@@ -345,13 +473,20 @@ class AttestationVerifier:
 
     @staticmethod
     def _charge_crypto_step(
-        name: str, clock, latency, hits_before: int, misses_before: int
+        name: str,
+        clock,
+        latency,
+        hits_before: int,
+        misses_before: int,
+        oracle_before: int = 0,
     ) -> None:
         """Advance the simulated clock by the step's calibrated crypto
-        cost.  A step fully served by the signature-verification cache
-        (lookups happened, none missed) is charged the discounted rate;
-        the measurement step never consults the cache and always pays
-        full price."""
+        cost.  A step whose verdicts all came from the verify farm's
+        batch (oracle served, nothing missed) is free here — that EC
+        math was performed and priced at batch-flush time.  A step fully
+        served by the signature-verification cache (lookups happened,
+        none missed) is charged the discounted rate; the measurement
+        step never consults the cache and always pays full price."""
         attribute = _CRYPTO_STEP_PRICES.get(name)
         if attribute is None:
             return
@@ -360,6 +495,11 @@ class AttestationVerifier:
             return
         if name != STEP_MEASUREMENT:
             hits, misses = sigcache.counters()
+            if (
+                misses == misses_before
+                and sigcache.oracle_hits() > oracle_before
+            ):
+                return  # served from a verify-farm batch, priced at flush
             served_from_cache = misses == misses_before and hits > hits_before
             if served_from_cache:
                 price *= _CACHED_VERIFY_DISCOUNT

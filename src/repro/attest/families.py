@@ -39,7 +39,12 @@ from ..amd.verify import (
     check_tcb_binding,
 )
 from ..crypto import sigcache
-from ..crypto.x509 import Certificate, CertificateError, validate_chain
+from ..crypto.x509 import (
+    Certificate,
+    CertificateError,
+    _find_anchor_for,
+    validate_chain,
+)
 from .evidence import TeeFamily
 from .policy import FamilyPolicy, VerificationPolicy
 
@@ -64,6 +69,11 @@ STEP_TCB_FLOOR = "tcb_floor"
 STEP_FAMILY_ALLOWED = "family_allowed"
 STEP_EVIDENCE_DECODE = "evidence_decode"
 STEP_TRUST_CONTEXT = "trust_context"
+
+# Speculative verify-farm pass (engine-emitted, farm-wired runs only):
+# endorsement fetch + one batched settlement of every signature the
+# pipeline is about to check.
+STEP_BATCH_PREPARE = "batch_prepare"
 
 # Family-specific checks with no SNP analogue.
 STEP_FAMILY_TCB_FLOOR = "family_tcb_floor"
@@ -98,6 +108,34 @@ def _report_data_for(payload_digest: bytes) -> bytes:
     :func:`repro.core.key_sharing.report_data_for` convention, local to
     avoid a layering cycle)."""
     return payload_digest + b"\x00" * 32
+
+
+def _chain_signature_jobs(chain, anchors) -> list:
+    """The ``(issuer key, tbs bytes, signature, hash)`` equations
+    :func:`~repro.crypto.x509.validate_chain` will check for *chain*
+    (leaf first) against *anchors* — mirrored exactly, so verify-farm
+    batch verdicts land on the same signature-cache keys the chain walk
+    looks up.  Link structure that the walk would reject (issuer
+    mismatch, missing signature) stops enumeration: the pipeline step
+    reports those failures itself."""
+    jobs = []
+    for child, parent in zip(chain, chain[1:]):
+        if child.issuer != parent.subject or not child.signature:
+            return jobs
+        jobs.append(
+            (parent.public_key, child.tbs_bytes(), child.signature,
+             child.signature_hash)
+        )
+    top = chain[-1]
+    anchor_map = {anchor.fingerprint(): anchor for anchor in anchors}
+    if top.fingerprint() not in anchor_map and top.signature:
+        anchor = _find_anchor_for(top, anchor_map.values())
+        if anchor is not None:
+            jobs.append(
+                (anchor.public_key, top.tbs_bytes(), top.signature,
+                 top.signature_hash)
+            )
+    return jobs
 
 
 # -- trust contexts ------------------------------------------------------------
@@ -176,6 +214,23 @@ class StepProvider:
         """Yield ``(step name, check)`` pairs in verification order."""
         raise NotImplementedError
 
+    def signature_jobs(
+        self,
+        native,
+        now: int,
+        policy: VerificationPolicy,
+        fam: FamilyPolicy,
+        context,
+        state: dict,
+    ) -> list:
+        """The speculative verify-farm pass: fetch endorsements into
+        *state* (so the pipeline's fetch step becomes a no-op) and
+        return every ``(key, message, signature, hash_name)`` the step
+        list is about to verify, for one batched settlement.  Families
+        that cannot prejudge (fetch failure, custom signature formats)
+        return ``[]`` and the pipeline runs — and fails — normally."""
+        return []
+
 
 _PROVIDERS: Dict[TeeFamily, StepProvider] = {}
 
@@ -226,6 +281,28 @@ class SnpStepProvider(StepProvider):
     def report_data(self, native: AttestationReport) -> bytes:
         return native.report_data
 
+    def signature_jobs(self, report, now, policy, fam, kds, state):
+        try:
+            state["vcek"] = kds.get_vcek(report.chip_id, report.reported_tcb)
+            state["chain"] = kds.cert_chain()
+        except LookupError:
+            return []  # the vcek_fetch step reports unknown_platform
+        anchors = (
+            list(fam.trust_anchors)
+            if fam.trust_anchors is not None
+            else [kds.trust_anchor]
+        )
+        jobs = _chain_signature_jobs(
+            [state["vcek"], *state["chain"]], anchors
+        )
+        vcek_key = state["vcek"].public_key
+        if vcek_key.algorithm == "ecdsa" and report.signature:
+            jobs.append(
+                (vcek_key.inner, report.signed_bytes(), report.signature,
+                 "sha384")
+            )
+        return jobs
+
     def steps(self, report, now, policy, fam, kds, state):
         revoked = {bytes(m) for m in fam.revoked_measurements}
 
@@ -240,6 +317,8 @@ class SnpStepProvider(StepProvider):
             yield STEP_REVOCATION, revocation
 
         def vcek_fetch():
+            if state["vcek"] is not None and state["chain"] is not None:
+                return  # the verify-farm prepare pass already fetched
             try:
                 state["vcek"] = kds.get_vcek(report.chip_id, report.reported_tcb)
                 state["chain"] = kds.cert_chain()
@@ -318,6 +397,31 @@ class TdxStepProvider(StepProvider):
     def report_data(self, native) -> bytes:
         return native.report_data
 
+    def signature_jobs(self, quote, now, policy, fam, context, state):
+        from ..tdx.module import TdxError
+
+        trust = context if isinstance(context, TdxTrust) else TdxTrust(context)
+        pcs = trust.pcs
+        try:
+            state["vcek"] = pcs.get_pck_certificate(
+                quote.platform_id, quote.tee_tcb_svn
+            )
+            state["chain"] = pcs.cert_chain()
+        except (TdxError, LookupError):
+            return []  # the endorsement_fetch step reports unknown_platform
+        anchors = (
+            fam.trust_anchors or trust.trust_anchors or (pcs.root_certificate,)
+        )
+        jobs = _chain_signature_jobs(
+            [state["vcek"], *state["chain"]], list(anchors)
+        )
+        if quote.signature:
+            jobs.append(
+                (state["vcek"].public_key, quote.signed_payload(),
+                 quote.signature, "sha384")
+            )
+        return jobs
+
     def steps(self, quote, now, policy, fam, context, state):
         from ..tdx.module import TdxError
 
@@ -336,6 +440,8 @@ class TdxStepProvider(StepProvider):
             yield STEP_REVOCATION, revocation
 
         def endorsement_fetch():
+            if state["vcek"] is not None and state["chain"] is not None:
+                return  # the verify-farm prepare pass already fetched
             try:
                 state["vcek"] = pcs.get_pck_certificate(
                     quote.platform_id, quote.tee_tcb_svn
@@ -456,6 +562,38 @@ class CcaStepProvider(StepProvider):
     def report_data(self, native) -> bytes:
         return native.realm_token.challenge
 
+    def signature_jobs(self, token, now, policy, fam, context, state):
+        from ..cca.realms import CcaError
+        from ..crypto.ecdsa import EcdsaPublicKey, SignatureError
+
+        trust = (
+            context
+            if isinstance(context, CcaTrust)
+            else CcaTrust(context[0], tuple(context[1]))
+        )
+        realm = token.realm_token
+        platform = token.platform_token
+        try:
+            state["vcek"] = trust.cpak_lookup(platform.platform_id)
+        except (CcaError, LookupError):
+            return []  # the endorsement_fetch step reports unknown_platform
+        anchors = fam.trust_anchors or tuple(trust.trust_anchors)
+        jobs = _chain_signature_jobs([state["vcek"]], list(anchors))
+        if platform.signature:
+            jobs.append(
+                (state["vcek"].public_key, platform.signed_payload(),
+                 platform.signature, "sha384")
+            )
+        try:
+            rak = EcdsaPublicKey.decode(realm.rak_public)
+        except (SignatureError, ValueError):
+            return jobs  # the signature step reports the bad RAK
+        if realm.signature:
+            jobs.append(
+                (rak, realm.signed_payload(), realm.signature, "sha384")
+            )
+        return jobs
+
     def steps(self, token, now, policy, fam, context, state):
         from ..cca.realms import CcaError
         from ..crypto.ecdsa import EcdsaPublicKey
@@ -480,6 +618,8 @@ class CcaStepProvider(StepProvider):
             yield STEP_REVOCATION, revocation
 
         def endorsement_fetch():
+            if state["vcek"] is not None:
+                return  # the verify-farm prepare pass already fetched
             try:
                 state["vcek"] = trust.cpak_lookup(platform.platform_id)
             except (CcaError, LookupError) as exc:
@@ -614,6 +754,35 @@ class VtpmStepProvider(StepProvider):
     def report_data(self, native) -> bytes:
         return native.quote.nonce
 
+    def signature_jobs(self, evidence, now, policy, fam, context, state):
+        trust = context if isinstance(context, VtpmTrust) else VtpmTrust(context)
+        kds = trust.kds
+        endorsement = evidence.ak_endorsement
+        try:
+            state["vcek"] = kds.get_vcek(
+                endorsement.chip_id, endorsement.reported_tcb
+            )
+            state["chain"] = kds.cert_chain()
+        except LookupError:
+            return []  # the vcek_fetch step reports unknown_platform
+        anchors = (
+            list(fam.trust_anchors)
+            if fam.trust_anchors is not None
+            else [kds.trust_anchor]
+        )
+        jobs = _chain_signature_jobs(
+            [state["vcek"], *state["chain"]], anchors
+        )
+        vcek_key = state["vcek"].public_key
+        if vcek_key.algorithm == "ecdsa" and endorsement.signature:
+            jobs.append(
+                (vcek_key.inner, endorsement.signed_bytes(),
+                 endorsement.signature, "sha384")
+            )
+        # The TPM quote signature (STEP_QUOTE_SIGNATURE) uses the
+        # quote's own composite verify and is not batchable here.
+        return jobs
+
     def steps(self, evidence, now, policy, fam, context, state):
         from ..vtpm.vtpm import PCR_SERVICES, VtpmError, replay_event_log
 
@@ -633,6 +802,8 @@ class VtpmStepProvider(StepProvider):
             yield STEP_REVOCATION, revocation
 
         def vcek_fetch():
+            if state["vcek"] is not None and state["chain"] is not None:
+                return  # the verify-farm prepare pass already fetched
             try:
                 state["vcek"] = kds.get_vcek(
                     endorsement.chip_id, endorsement.reported_tcb

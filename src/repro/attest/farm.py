@@ -1,0 +1,226 @@
+"""The verify farm: a batching front-end for attestation signatures.
+
+Cold attestations are signature-bound: a 3-cert VCEK -> ASK -> ARK walk
+plus the report signature is four independent ECDSA verifications, each
+a full double-scalar multiplication.  The farm collects those
+verifications from concurrent attestation runs into one queue and
+settles the whole queue with a single randomized-linear-combination
+batch equation (:mod:`repro.crypto.batch`) — one shared doubling chain
+for the entire batch instead of one per signature, with the fleet's
+common ARK/ASK keys collapsing into single scalar terms.
+
+Queue semantics: jobs accumulate until the batch is full
+(``max_batch``) or the oldest job has lingered ``max_linger`` simulated
+seconds; either condition flushes.  A flush runs the batch equation,
+advances the simulated clock by the amortised price
+(``batch_verify_base`` per MSM pass + ``batch_verify_per_sig`` per job,
+plus a full ``sig_verify`` for every per-signature fallback), and parks
+the verdicts.
+
+Verdict delivery rides the signature-cache oracle seam
+(:func:`repro.crypto.sigcache.set_oracle`): the pipeline's unchanged
+``cached_verify`` call sites consume the precomputed verdict for the
+exact ``(key fingerprint, hash, digest, signature)`` tuple they would
+have verified fresh.  Every parked verdict is consumable once per
+submitted job (a reference count, not a cache): the farm never serves
+crypto it did not perform and price, so ablating the memoization cache
+ablates memoization only — batching remains honest.
+
+Soundness (DESIGN.md invariant 15): a batch accept implies every member
+verifies individually — the batch equation is checked with fresh
+128-bit blinders and any failure bisects down to per-signature
+reference verdicts, so no verdict is ever taken from an unresolved
+failed batch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+from ..crypto import sigcache
+from ..crypto.batch import BatchItem, BatchVerifier
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import get_hash
+from .trace import get_tracer
+
+#: One queued verification: the exact arguments some pipeline step will
+#: hand to ``cached_verify``, plus the precomputed cache key the verdict
+#: will be served under.
+class FarmJob:
+    __slots__ = ("key", "message", "signature", "hash_name", "cache_key")
+
+    def __init__(self, key, message: bytes, signature: bytes,
+                 hash_name: str = "sha256"):
+        self.key = key
+        self.message = bytes(message)
+        self.signature = bytes(signature)
+        self.hash_name = hash_name
+        self.cache_key = (
+            sigcache._key_fingerprint(key),
+            hash_name,
+            get_hash(hash_name)(self.message),
+            self.signature,
+        )
+
+
+class VerifyFarm:
+    """A worker-pool facade over :class:`~repro.crypto.batch.BatchVerifier`.
+
+    ``clock``/``latency`` price flushes on the simulated clock (both
+    optional — tests without time pass neither).  ``seed`` keys the
+    blinder DRBG, so same-seed farms draw identical blinder sequences
+    and produce byte-identical trace counters.
+
+    The farm installs itself as the process-wide signature-verdict
+    oracle on construction; :meth:`uninstall` detaches it (and a newer
+    farm simply replaces an older one).
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        latency=None,
+        max_batch: int = 32,
+        max_linger: float = 0.002,
+        seed: bytes = b"verify-farm",
+        tracer=None,
+        capacity: int = 4096,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.clock = clock
+        self.latency = latency
+        self.max_batch = max_batch
+        self.max_linger = max_linger
+        self.tracer = tracer
+        self.capacity = capacity
+        self.verifier = BatchVerifier(HmacDrbg(bytes(seed)))
+        self._pending: List[FarmJob] = []
+        #: Simulated deadline of the oldest queued job (None when empty
+        #: or unclocked).
+        self._deadline: Optional[float] = None
+        #: cache_key -> [verdict, remaining serves].  Reference-counted:
+        #: each submitted job buys exactly one oracle serve, so verdicts
+        #: never outlive the batch that paid for them.
+        self._recent: "OrderedDict[tuple, list]" = OrderedDict()
+        self.install()
+
+    # -- oracle lifecycle -------------------------------------------
+
+    def install(self) -> None:
+        """Become the process-wide verdict oracle."""
+        sigcache.set_oracle(self._serve)
+
+    def uninstall(self) -> None:
+        """Detach from the oracle seam (no-op if another farm took it)."""
+        # Compare the bound method's receiver: ``self._serve`` builds a
+        # fresh bound-method object on every access, so identity on the
+        # method itself would never match.
+        if getattr(sigcache.get_oracle(), "__self__", None) is self:
+            sigcache.set_oracle(None)
+
+    def _serve(self, cache_key) -> Optional[bool]:
+        entry = self._recent.get(cache_key)
+        if entry is None:
+            return None
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._recent[cache_key]
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        tracer.farm.serve()
+        return entry[0]
+
+    # -- queue ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, key, message: bytes, signature: bytes,
+               hash_name: str = "sha256") -> None:
+        """Queue one verification; flushes when the batch fills."""
+        self._pending.append(FarmJob(key, message, signature, hash_name))
+        if self._deadline is None and self.clock is not None:
+            self._deadline = self.clock.now + self.max_linger
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+
+    def poll(self) -> None:
+        """Flush if the oldest queued job's linger deadline has passed."""
+        if not self._pending:
+            return
+        if (
+            self.clock is None
+            or self._deadline is None
+            or self.clock.now >= self._deadline
+        ):
+            self.flush()
+
+    def verify_many(
+        self, jobs: Sequence[Tuple]
+    ) -> List[bool]:
+        """Submit ``(key, message, signature, hash_name)`` tuples and
+        settle them now, returning the verdicts in order.  One arrival
+        burst is one (or, past ``max_batch``, a few) batch equations."""
+        queued = []
+        for job in jobs:
+            farm_job = FarmJob(*job)
+            queued.append(farm_job)
+            self._pending.append(farm_job)
+            if self._deadline is None and self.clock is not None:
+                self._deadline = self.clock.now + self.max_linger
+            if len(self._pending) >= self.max_batch:
+                self.flush()
+        self.flush()
+        verdicts = []
+        for farm_job in queued:
+            entry = self._recent.get(farm_job.cache_key)
+            # Refcounted entry is guaranteed present: flush() just parked
+            # one serve per submitted job and nothing consumed it yet.
+            verdicts.append(bool(entry[0]) if entry is not None else False)
+        return verdicts
+
+    def flush(self):
+        """Settle the queue: one batch equation, one amortised clock
+        charge, verdicts parked for the oracle seam.  Returns the
+        :class:`~repro.crypto.batch.BatchResult` (None when idle)."""
+        if not self._pending:
+            return None
+        jobs, self._pending = self._pending, []
+        self._deadline = None
+        items = [
+            BatchItem(
+                getattr(job.key, "inner", job.key),
+                job.message,
+                job.signature,
+                job.hash_name,
+            )
+            for job in jobs
+        ]
+        result = self.verifier.verify(items)
+        cost = 0.0
+        if self.clock is not None and self.latency is not None:
+            cost = (
+                self.latency.batch_verify_base * max(1, result.msm_checks)
+                + self.latency.batch_verify_per_sig * len(jobs)
+                + self.latency.sig_verify * result.per_sig_fallbacks
+            )
+            if cost > 0.0:
+                self.clock.advance(cost)
+        for job, verdict in zip(jobs, result.verdicts):
+            entry = self._recent.get(job.cache_key)
+            if entry is not None and entry[0] == verdict:
+                entry[1] += 1
+                self._recent.move_to_end(job.cache_key)
+            else:
+                self._recent[job.cache_key] = [verdict, 1]
+            if len(self._recent) > self.capacity:
+                self._recent.popitem(last=False)
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        tracer.farm.record_batch(len(jobs), cost, result.stats())
+        return result
+
+    def stats(self) -> dict:
+        """The tracer-side farm snapshot (convenience for benches)."""
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        return tracer.farm.snapshot()

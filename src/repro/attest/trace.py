@@ -203,6 +203,85 @@ class StorageCounters:
         self.__init__()
 
 
+class FarmCounters:
+    """Aggregated verify-farm batch counters (:mod:`repro.attest.farm`).
+
+    One record per batch flush: the batch-size histogram, the amortised
+    simulated cost charged at flush time, and the batch verifier's own
+    counters (MSM checks, bisections, per-signature fallbacks,
+    dedup/hint rates).  ``oracle_served`` counts pipeline steps whose
+    verdict was consumed from a precomputed batch.  Snapshots are
+    plain sorted data so same-seed runs serialise byte-identically.
+    """
+
+    def __init__(self):
+        self.batches = 0
+        self.jobs = 0
+        self.batch_sizes: Counter = Counter()
+        self.amortised_sim_seconds = 0.0
+        self.msm_checks = 0
+        self.bisections = 0
+        self.per_sig_fallbacks = 0
+        self.deduplicated = 0
+        self.hinted = 0
+        self.oracle_served = 0
+
+    def record_batch(self, size: int, sim_seconds: float, stats: dict) -> None:
+        """Count one flushed batch and fold in its verifier stats."""
+        self.batches += 1
+        self.jobs += size
+        self.batch_sizes[size] += 1
+        self.amortised_sim_seconds += sim_seconds
+        self.msm_checks += stats.get("msm_checks", 0)
+        self.bisections += stats.get("bisections", 0)
+        self.per_sig_fallbacks += stats.get("per_sig_fallbacks", 0)
+        self.deduplicated += stats.get("deduplicated", 0)
+        self.hinted += stats.get("hinted", 0)
+
+    def serve(self, count: int = 1) -> None:
+        """Count verdicts consumed from precomputed batches."""
+        self.oracle_served += count
+
+    def bisection_rate(self) -> float:
+        """Fraction of batch equations that failed and split."""
+        return self.bisections / self.msm_checks if self.msm_checks else 0.0
+
+    def mean_batch_size(self) -> float:
+        """Average jobs per flushed batch (0.0 when idle)."""
+        return self.jobs / self.batches if self.batches else 0.0
+
+    def amortised_cost_ms(self) -> float:
+        """Mean simulated milliseconds charged per job (0.0 when idle)."""
+        return (
+            self.amortised_sim_seconds / self.jobs * 1000.0 if self.jobs else 0.0
+        )
+
+    def snapshot(self) -> dict:
+        """A plain-data view for reports and JSON persistence."""
+        return {
+            "batches": self.batches,
+            "jobs": self.jobs,
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "mean_batch_size": self.mean_batch_size(),
+            "amortised_cost_ms_per_job": self.amortised_cost_ms(),
+            "amortised_sim_ms": self.amortised_sim_seconds * 1000.0,
+            "msm_checks": self.msm_checks,
+            "bisections": self.bisections,
+            "bisection_rate": self.bisection_rate(),
+            "per_sig_fallbacks": self.per_sig_fallbacks,
+            "deduplicated": self.deduplicated,
+            "hinted": self.hinted,
+            "oracle_served": self.oracle_served,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+
 class AttestationTracer:
     """Fans events out to its sinks.
 
@@ -210,13 +289,15 @@ class AttestationTracer:
     (exposed as :attr:`ring` and :attr:`counters`); additional sinks can
     be attached with :meth:`add_sink`.  The tracer also owns the
     process-wide :class:`StorageCounters` (:attr:`storage`) that the
-    device-mapper targets report into.
+    device-mapper targets report into, and the :class:`FarmCounters`
+    (:attr:`farm`) the verify farm reports its batches to.
     """
 
     def __init__(self, ring_capacity: int = 256):
         self.ring = RingBufferSink(ring_capacity)
         self.counters = CounterRegistry()
         self.storage = StorageCounters()
+        self.farm = FarmCounters()
         self._sinks: List[TraceSink] = [self.ring, self.counters]
 
     def add_sink(self, sink: TraceSink) -> None:

@@ -40,8 +40,21 @@ class KdsClient:
         #: so one round trip covers both (the paper's single 427.3 ms
         #: "contacting the AMD key server" figure implies exactly that).
         self._bundled_chain: Optional[List[Certificate]] = None
+        #: In-flight request coalescing: (chip id, TCB) -> (completion
+        #: time, certificate, bundled chain).  A fetch that starts while
+        #: an identical request is still on the wire joins it — it waits
+        #: out the remaining flight time instead of paying (and
+        #: counting) a second KDS round trip.  Concurrent health-probe
+        #: rounds measure in isolated clock scopes sharing one base
+        #: time, so their overlapping VCEK fetches for the same chip
+        #: collapse to a single round trip.
+        self._inflight: Dict[
+            Tuple[bytes, TcbVersion],
+            Tuple[float, Certificate, List[Certificate]],
+        ] = {}
         self.fetches = 0
         self.cache_hits = 0
+        self.coalesced_hits = 0
 
     @property
     def clock(self) -> SimClock:
@@ -64,14 +77,33 @@ class KdsClient:
         if self.cache_enabled and key in self._vcek_cache:
             self.cache_hits += 1
             return self._vcek_cache[key]
+        entry = self._inflight.get(key)
+        if entry is not None and self._clock.now < entry[0]:
+            # Join the in-flight request: wait out its remaining flight
+            # time, then share its response — no second round trip.
+            completion, certificate, chain = entry
+            self._clock.advance(completion - self._clock.now)
+            self.coalesced_hits += 1
+            self._bundled_chain = chain
+            self._finish_fetch(key, certificate)
+            return certificate
         self._charge_round_trip()
         certificate = self._kds.get_vcek_certificate(chip_id, tcb)
         self._bundled_chain = self._kds.cert_chain()
+        self._inflight[key] = (self._clock.now, certificate, self._bundled_chain)
+        if len(self._inflight) > 64:
+            # Bound the table: drop the request that lands earliest
+            # (most likely already completed for every timeline).
+            earliest = min(self._inflight, key=lambda k: self._inflight[k][0])
+            del self._inflight[earliest]
+        self._finish_fetch(key, certificate)
+        return certificate
+
+    def _finish_fetch(self, key, certificate: Certificate) -> None:
         if self.cache_enabled:
             self._vcek_cache[key] = certificate
             if self._chain_cache is None:
                 self._chain_cache = self._bundled_chain
-        return certificate
 
     def cert_chain(self) -> List[Certificate]:
         """The ASK -> ARK chain: cached, or served from the bundle of
@@ -93,7 +125,8 @@ class KdsClient:
         return self._kds.ark_certificate
 
     def clear_cache(self) -> None:
-        """Drop all cached certificates."""
+        """Drop all cached certificates (and in-flight coalescing)."""
         self._vcek_cache.clear()
         self._chain_cache = None
         self._bundled_chain = None
+        self._inflight.clear()

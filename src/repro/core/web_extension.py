@@ -87,6 +87,7 @@ class RevelioExtension:
         reattest_on_rekey: bool = False,
         minimum_tcb: Optional[TcbVersion] = None,
         tee_contexts=None,
+        farm=None,
     ):
         self.kds = kds
         self.trusted_registry = trusted_registry
@@ -97,9 +98,11 @@ class RevelioExtension:
         #: All site attestations run through the unified pipeline;
         #: *tee_contexts* adds trust material for non-SNP families
         #: (TDX PCS, CCA anchors, e-vTPM) — also mutable afterwards via
-        #: ``verifier.contexts``.
+        #: ``verifier.contexts``.  *farm* optionally routes first-visit
+        #: signature checks through a shared
+        #: :class:`~repro.attest.farm.VerifyFarm` batch.
         self.verifier = AttestationVerifier(
-            kds, site="web_extension", contexts=tee_contexts
+            kds, site="web_extension", contexts=tee_contexts, farm=farm
         )
         #: Section 6.4's suggestion: instead of flagging a re-keyed
         #: connection outright, "a re-establishment of a connection

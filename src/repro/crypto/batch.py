@@ -1,0 +1,556 @@
+"""Random-linear-combination ECDSA batch verification.
+
+A cold attestation storm pays three full ECDSA verifications per
+first-contact backend (ARK -> ASK -> VCEK chain) plus one report
+signature.  Each of those is ``u1*G + u2*Q == R`` in disguise, so a
+batch of k signatures can be checked with *one* multi-scalar
+multiplication instead of k joint multiplications:
+
+    sum_i z_i * (u1_i*G + u2_i*Q_i)  ==  sum_i z_i * R_i
+
+with fresh 128-bit blinders ``z_i`` drawn from an HMAC-DRBG.  If any
+single equation failed, the randomized sum only matches with
+probability ~2^-128 (the blinders prevent an adversary from crafting
+signatures whose errors cancel).  The combined term list runs as one
+interleaved Strauss wNAF pass: a single shared doubling chain, one
+mixed addition per non-zero digit, generator term through the cached
+fixed-base table, and repeated public keys (ARK, ASK across a storm)
+collapsed into a single term by summing their scalars mod n.  Every
+odd-multiples table the batch needs is normalised to affine with one
+amortised Montgomery inversion (:func:`repro.crypto.ec._batch_to_affine`
+over the whole batch, not per point), and cold public keys are seeded
+into the :class:`~repro.crypto.ec.PointPrecomputeCache` so the
+per-signature fast path benefits afterwards.
+
+**R-point recovery.**  An ECDSA signature transmits only ``r`` — the
+x-coordinate of the nonce point mod n — so the batch equation needs
+``R_i`` lifted back onto the curve: candidate x is ``r`` (or ``r + n``
+in the astronomically rare wrap case) and y is a modular square root
+with an unknowable sign.  Deployed batch-verification schemes solve
+this with an out-of-band *recovery hint* (Ethereum's ``v``); here the
+signer records the nonce point's parity in a bounded, **untrusted**
+side table at signing time (:func:`record_recovery_hint`).  Hints are
+purely a performance channel: the batch equation itself is what
+accepts, and either sign of a candidate R satisfying it proves the
+signature valid, so a wrong or missing hint can only cause a spurious
+batch failure — never a wrong verdict.
+
+**Bisection fallback.**  A failed batch (a forged member, a bad hint,
+or a blinder collision) is split in half and each half re-checked with
+fresh blinders, recursing until single signatures are verified
+individually through the engine's normal joint multiplication.  Every
+verdict therefore equals :func:`repro.crypto.ecdsa.verify_rs_reference`
+— DESIGN.md invariant 15: no verdict is ever emitted from an
+unresolved failed batch.
+
+Inputs that cannot join a batch fall back to per-signature
+verification: signatures on a different curve than the batch group,
+hash/curve pairings that truncate the digest (the PR-3 mismatch
+warning fires on the per-signature path), and non-ECDSA keys.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import ec
+from .drbg import HmacDrbg
+from .ec import (
+    _INFINITY,
+    WNAF_WIDTH,
+    Curve,
+    _batch_to_affine,
+    _jac_add,
+    _jac_add_affine,
+    _jac_double,
+    _jac_to_affine,
+    _wnaf,
+    generator_table,
+    get_point_cache,
+)
+from .hashes import digest_size, get_hash
+
+#: Bit width of the random blinders.  128 bits keeps the forgery
+#: probability of a malicious batch member at ~2^-128 while making the
+#: per-signature R-term multiplication a third of a full scalar mul.
+BLINDER_BITS = 128
+
+
+class BlinderReuseError(ValueError):
+    """An explicit blinder set was presented for a second batch.
+
+    Fixed blinders turn the randomized check into a deterministic
+    linear relation an adversary can solve for; every batch must draw a
+    fresh set, so reuse is rejected loudly instead of silently
+    weakening the check.
+    """
+
+
+def _bits2int(data: bytes, n: int) -> int:
+    """Leftmost min(bitlen(n), bitlen(data)) bits of data, per ECDSA."""
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _batch_invert(values: Sequence[int], modulus: int) -> List[int]:
+    """Invert many non-zero residues with one inversion (Montgomery)."""
+    prefix: List[int] = []
+    acc = 1
+    for value in values:
+        prefix.append(acc)
+        acc = (acc * value) % modulus
+    inv = pow(acc, -1, modulus)
+    out = [0] * len(values)
+    for index in range(len(values) - 1, -1, -1):
+        out[index] = (inv * prefix[index]) % modulus
+        inv = (inv * values[index]) % modulus
+    return out
+
+
+# -- recovery hints ------------------------------------------------------------
+
+
+class RecoveryHintTable:
+    """Bounded LRU of nonce-point recovery hints, keyed (curve, r, s).
+
+    A hint is ``(x_offset, y_parity)``: which candidate x the nonce
+    point used (``r + x_offset * n``) and the parity of its y.  Entries
+    are recorded by :meth:`repro.crypto.ecdsa.EcdsaPrivateKey.sign` and
+    learned back from bisection leaves.  The table is untrusted — see
+    the module docstring — so a poisoned entry costs retries, not
+    soundness.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, int, int], Tuple[int, int]]" = (
+            OrderedDict()
+        )
+
+    def record(self, curve_name: str, r: int, s: int,
+               x_offset: int, y_parity: int) -> None:
+        key = (curve_name, r, s)
+        self._entries[key] = (x_offset, y_parity)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, curve_name: str, r: int, s: int) -> Optional[Tuple[int, int]]:
+        entry = self._entries.get((curve_name, r, s))
+        if entry is not None:
+            self._entries.move_to_end((curve_name, r, s))
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_hints = RecoveryHintTable()
+
+
+def record_recovery_hint(curve: Curve, r: int, s: int,
+                         nonce_x: int, nonce_y: int) -> None:
+    """Record the nonce point's recovery hint for a fresh signature."""
+    _hints.record(curve.name, r, s, (nonce_x - r) // curve.n, nonce_y & 1)
+
+
+def recovery_hints() -> RecoveryHintTable:
+    """The process-wide hint table."""
+    return _hints
+
+
+def reset_recovery_hints(capacity: int = 8192) -> RecoveryHintTable:
+    """Install (and return) a fresh process-wide hint table."""
+    global _hints
+    _hints = RecoveryHintTable(capacity)
+    return _hints
+
+
+def _sqrt_mod(value: int, p: int) -> Optional[int]:
+    """Square root mod p for p = 3 (mod 4) primes (both NIST curves)."""
+    root = pow(value, (p + 1) >> 2, p)
+    if (root * root) % p != value % p:
+        return None
+    return root
+
+
+def _lift_x(curve: Curve, x: int) -> Optional[Tuple[int, int]]:
+    """The curve point with this x and *even* y, if x lifts at all."""
+    if not (0 <= x < curve.p):
+        return None
+    p = curve.p
+    y_squared = (x * x * x + curve.a * x + curve.b) % p
+    y = _sqrt_mod(y_squared, p)
+    if y is None:
+        return None
+    if y & 1:
+        y = p - y
+    return (x, y)
+
+
+# -- the batch itself ----------------------------------------------------------
+
+
+class BatchItem:
+    """One signature to verify: key, message, (r, s), hash."""
+
+    __slots__ = ("key", "message", "signature", "hash_name")
+
+    def __init__(self, key, message: bytes, signature: bytes,
+                 hash_name: str = "sha256"):
+        self.key = key
+        self.message = message
+        self.signature = bytes(signature)
+        self.hash_name = hash_name
+
+
+class BatchResult:
+    """Verdicts (index-aligned with the submitted items) plus counters."""
+
+    __slots__ = ("verdicts", "batch_size", "msm_checks", "bisections",
+                 "per_sig_fallbacks", "hinted", "deduplicated")
+
+    def __init__(self, verdicts: List[bool]):
+        self.verdicts = verdicts
+        self.batch_size = len(verdicts)
+        self.msm_checks = 0          # batch equations evaluated (incl. splits)
+        self.bisections = 0          # failed batches split in half
+        self.per_sig_fallbacks = 0   # signatures verified individually
+        self.hinted = 0              # items whose R came from a recovery hint
+        self.deduplicated = 0        # repeated (key, digest, sig) collapsed
+
+    def stats(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "msm_checks": self.msm_checks,
+            "bisections": self.bisections,
+            "per_sig_fallbacks": self.per_sig_fallbacks,
+            "hinted": self.hinted,
+            "deduplicated": self.deduplicated,
+        }
+
+
+class _Prepared:
+    """Per-item precomputation shared by the batch check and bisection."""
+
+    __slots__ = ("index", "u1", "u2", "qx", "qy", "rx", "ry", "r", "s")
+
+    def __init__(self, index, u1, u2, qx, qy, rx, ry, r, s):
+        self.index = index
+        self.u1 = u1
+        self.u2 = u2
+        self.qx = qx
+        self.qy = qy
+        self.rx = rx    # chosen candidate R (negated at MSM time)
+        self.ry = ry
+        self.r = r
+        self.s = s
+
+
+class BatchVerifier:
+    """Verifies batches of same-curve ECDSA signatures with one MSM.
+
+    ``drbg`` seeds the blinder stream; a fixed seed makes a run
+    reproducible while still drawing a fresh blinder set per batch
+    (the stream advances).  Explicit blinder sets (tests) are tracked
+    and rejected on reuse — :class:`BlinderReuseError`.
+    """
+
+    def __init__(self, drbg: Optional[HmacDrbg] = None):
+        self.drbg = drbg if drbg is not None else HmacDrbg(b"batch-verifier")
+        self._seen_blinder_sets: set = set()
+
+    # -- public entry ----------------------------------------------------------
+
+    def verify(self, items: Sequence[BatchItem],
+               blinders: Optional[Sequence[int]] = None) -> BatchResult:
+        """Verify every item; verdicts match ``verify_rs_reference``."""
+        result = BatchResult([False] * len(items))
+        if not items:
+            return result
+        if blinders is not None:
+            self._claim_blinders(tuple(blinders))
+
+        batchable: List[_Prepared] = []
+        fallback: List[int] = []
+        # One curve per batch: the dominant curve is the first
+        # batch-capable item's; everything else verifies individually.
+        curve: Optional[Curve] = None
+        seen: Dict[Tuple[bytes, str, bytes, bytes], List[int]] = {}
+
+        parsed = []
+        for index, item in enumerate(items):
+            inner = getattr(item.key, "inner", item.key)
+            point = getattr(inner, "point", None)
+            if point is None:  # not an ECDSA key (RSA): per-signature path
+                fallback.append(index)
+                parsed.append(None)
+                continue
+            item_curve = inner.curve
+            size = item_curve.coordinate_size
+            if len(item.signature) != 2 * size:
+                continue  # malformed: verdict stays False, like verify()
+            r = int.from_bytes(item.signature[:size], "big")
+            s = int.from_bytes(item.signature[size:], "big")
+            if not (1 <= r < item_curve.n and 1 <= s < item_curve.n):
+                continue
+            if digest_size(item.hash_name) * 8 < item_curve.n.bit_length():
+                # Curve/hash mismatch: the per-signature path owns the
+                # truncation semantics (and the PR-3 warning).
+                fallback.append(index)
+                parsed.append(None)
+                continue
+            if curve is None:
+                curve = item_curve
+            if item_curve is not curve and item_curve.name != curve.name:
+                fallback.append(index)
+                parsed.append(None)
+                continue
+            digest = get_hash(item.hash_name)(item.message)
+            dedup_key = (inner.fingerprint(), item.hash_name, digest,
+                         item.signature)
+            twin = seen.get(dedup_key)
+            if twin is not None:
+                twin.append(index)
+                result.deduplicated += 1
+                continue
+            seen[dedup_key] = [index]
+            parsed.append((index, inner, r, s, digest, dedup_key))
+
+        live = [entry for entry in parsed if isinstance(entry, tuple)]
+        if live:
+            assert curve is not None
+            n = curve.n
+            inverses = _batch_invert([entry[3] for entry in live], n)
+            for (index, inner, r, s, digest, dedup_key), w in zip(live, inverses):
+                e = _bits2int(digest, n)
+                u1 = (e * w) % n
+                u2 = (r * w) % n
+                lifted = self._recover_r(curve, r, s, result)
+                if lifted is None:
+                    # No candidate x lifts onto the curve: no R can
+                    # exist, so the signature is invalid outright.
+                    continue
+                batchable.append(_Prepared(
+                    index, u1, u2, inner.point.x, inner.point.y,
+                    lifted[0], lifted[1], r, s,
+                ))
+
+        verdict_groups = seen  # alias: index fan-out for deduped items
+
+        if batchable:
+            self._resolve(curve, batchable, result, blinders)
+
+        # Fan deduplicated verdicts out to their twins.
+        for indices in verdict_groups.values():
+            first = indices[0]
+            for twin in indices[1:]:
+                result.verdicts[twin] = result.verdicts[first]
+
+        for index in fallback:
+            item = items[index]
+            result.verdicts[index] = bool(
+                item.key.verify(item.message, item.signature, item.hash_name)
+            )
+            result.per_sig_fallbacks += 1
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _claim_blinders(self, blinder_set: Tuple[int, ...]) -> None:
+        if blinder_set in self._seen_blinder_sets:
+            raise BlinderReuseError(
+                "blinder set was already used for a previous batch; every "
+                "batch must draw fresh blinders"
+            )
+        self._seen_blinder_sets.add(blinder_set)
+
+    def _draw_blinder(self) -> int:
+        while True:
+            z = int.from_bytes(self.drbg.generate(BLINDER_BITS // 8), "big")
+            if z != 0:
+                return z
+
+    def _recover_r(self, curve: Curve, r: int, s: int,
+                   result: BatchResult) -> Optional[Tuple[int, int]]:
+        """The candidate nonce point for (r, s), hint-directed."""
+        hint = _hints.lookup(curve.name, r, s)
+        if hint is not None:
+            x_offset, parity = hint
+            candidate = _lift_x(curve, r + x_offset * curve.n)
+            if candidate is not None:
+                result.hinted += 1
+                x, y = candidate
+                if (y & 1) != parity:
+                    y = curve.p - y
+                return (x, y)
+        candidate = _lift_x(curve, r)
+        if candidate is None and r + curve.n < curve.p:
+            candidate = _lift_x(curve, r + curve.n)
+        return candidate
+
+    def _resolve(self, curve: Curve, group: List[_Prepared],
+                 result: BatchResult,
+                 blinders: Optional[Sequence[int]]) -> None:
+        """Batch-check *group*; on failure bisect down to single items."""
+        if len(group) == 1:
+            self._verify_leaf(curve, group[0], result)
+            return
+        if blinders is not None and len(blinders) >= len(group):
+            zs = [int(z) for z in blinders[: len(group)]]
+        else:
+            zs = [self._draw_blinder() for _ in group]
+        result.msm_checks += 1
+        if self._check(curve, group, zs):
+            for prepared in group:
+                result.verdicts[prepared.index] = True
+            return
+        result.bisections += 1
+        mid = len(group) // 2
+        # Sub-batches always redraw from the DRBG: the presented set is
+        # spent the moment its batch fails.
+        self._resolve(curve, group[:mid], result, None)
+        self._resolve(curve, group[mid:], result, None)
+
+    def _verify_leaf(self, curve: Curve, prepared: _Prepared,
+                     result: BatchResult) -> None:
+        """Single-signature ground truth via the engine's joint multiply
+        (agrees with ``verify_rs_reference``); learns the recovery hint
+        so the next batch containing this signature passes first try."""
+        result.per_sig_fallbacks += 1
+        jac = ec.verification_multiply_jac(
+            curve, prepared.u1, prepared.qx, prepared.qy, prepared.u2
+        )
+        affine = _jac_to_affine(jac, curve)
+        if affine is None:
+            return
+        if affine[0] % curve.n != prepared.r:
+            return
+        result.verdicts[prepared.index] = True
+        # Learn the hint: the next batch carrying this signature gets
+        # the right candidate R and passes without bisection.
+        _hints.record(
+            curve.name, prepared.r, prepared.s,
+            (affine[0] - prepared.r) // curve.n, affine[1] & 1,
+        )
+
+    def _check(self, curve: Curve, group: List[_Prepared],
+               zs: List[int]) -> bool:
+        """One randomized batch equation over the combined term list."""
+        n = curve.n
+        p = curve.p
+
+        gen_scalar = 0
+        # Q terms with identical points merge by summing scalars; the
+        # whole fleet's ARK and ASK collapse to one term each.
+        q_terms: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        r_terms: List[Tuple[int, int, int]] = []  # (z, x, y) of -R
+        for prepared, z in zip(group, zs):
+            gen_scalar = (gen_scalar + z * prepared.u1) % n
+            q_key = (prepared.qx, prepared.qy)
+            q_terms[q_key] = (q_terms.get(q_key, 0) + z * prepared.u2) % n
+            r_terms.append((z, prepared.rx, (p - prepared.ry) % p))
+
+        # Table-backed portion: generator (cached fixed-base table) and
+        # any public keys already hot in the point cache.
+        accumulator = generator_table(curve).multiply(gen_scalar)
+        cache = get_point_cache()
+        cold_q: List[Tuple[Tuple[int, int], int]] = []
+        cached_tables: Dict[Tuple[int, int], Sequence[Tuple[int, int]]] = {}
+        for q_key, scalar in q_terms.items():
+            if scalar == 0:
+                continue
+            entry = cache.peek(curve, q_key[0], q_key[1])
+            if entry is not None and entry.fixed is not None:
+                accumulator = _jac_add(
+                    accumulator, entry.fixed.multiply(scalar), curve
+                )
+                continue
+            if entry is not None:
+                cached_tables[q_key] = entry.odd_multiples
+            cold_q.append((q_key, scalar))
+
+        # Build every odd-multiples table the interleave needs, then
+        # normalise the whole lot with one amortised Montgomery
+        # inversion.  Cold public keys get seeded into the point cache;
+        # blinded R tables are one-shot.
+        count = 1 << (WNAF_WIDTH - 2)
+        flat: List[Tuple[int, int, int]] = []
+        build_keys: List[Tuple[int, int]] = []
+        for q_key, _ in cold_q:
+            if q_key in cached_tables:
+                continue
+            build_keys.append(q_key)
+            self._extend_odd_multiples(flat, q_key, curve, count)
+        r_points = [(x, y) for _, x, y in r_terms]
+        for r_point in r_points:
+            self._extend_odd_multiples(flat, r_point, curve, count)
+        if flat:
+            affine = _batch_to_affine(flat, curve)
+        else:
+            affine = []
+        offset = 0
+        for q_key in build_keys:
+            table = affine[offset : offset + count]
+            offset += count
+            cached_tables[q_key] = table
+            cache.seed(curve, q_key[0], q_key[1], table)
+        r_tables = []
+        for r_point in r_points:
+            r_tables.append(affine[offset : offset + count])
+            offset += count
+
+        # Interleaved Strauss pass: one shared doubling chain over the
+        # combined (scalar, table) term list.
+        terms: List[Tuple[List[int], Sequence[Tuple[int, int]]]] = []
+        for q_key, scalar in cold_q:
+            terms.append((_wnaf(scalar, WNAF_WIDTH), cached_tables[q_key]))
+        for (z, _, _), table in zip(r_terms, r_tables):
+            terms.append((_wnaf(z, WNAF_WIDTH), table))
+
+        top = max((len(digits) for digits, _ in terms), default=0)
+        schedule: List[List[Tuple[int, Sequence[Tuple[int, int]]]]] = [
+            [] for _ in range(top)
+        ]
+        for digits, table in terms:
+            for level, digit in enumerate(digits):
+                if digit:
+                    schedule[level].append((digit, table))
+
+        running = _INFINITY
+        for level in range(top - 1, -1, -1):
+            running = _jac_double(running, curve)
+            for digit, table in schedule[level]:
+                if digit > 0:
+                    ax, ay = table[digit >> 1]
+                    running = _jac_add_affine(running, ax, ay, curve)
+                else:
+                    ax, ay = table[(-digit) >> 1]
+                    running = _jac_add_affine(running, ax, (p - ay) % p, curve)
+
+        total = _jac_add(running, accumulator, curve)
+        return total[2] == 0
+
+    @staticmethod
+    def _extend_odd_multiples(flat: List[Tuple[int, int, int]],
+                              point: Tuple[int, int], curve: Curve,
+                              count: int) -> None:
+        """Append [1P, 3P, ..] in Jacobian form (normalised later, all
+        at once)."""
+        base = (point[0], point[1], 1)
+        twice = _jac_double(base, curve)
+        entry = base
+        flat.append(entry)
+        for _ in range(count - 1):
+            entry = _jac_add(entry, twice, curve)
+            flat.append(entry)
+
+
+def verify_batch(items: Sequence[BatchItem],
+                 drbg: Optional[HmacDrbg] = None) -> List[bool]:
+    """One-shot convenience: batch-verify *items*, return the verdicts."""
+    return BatchVerifier(drbg).verify(items).verdicts

@@ -471,6 +471,37 @@ class PointPrecomputeCache:
             self.fixed_builds += 1
         return entry
 
+    def peek(self, curve: Curve, x: int, y: int) -> Optional[_PointEntry]:
+        """The entry for a point if present — never builds anything.
+
+        The batch verifier uses this so cold keys don't get per-point
+        odd-multiple builds (it amortises those across the whole batch
+        and then :meth:`seed`\\ s the results back in).
+        """
+        key = (curve.name, x, y)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            entry.uses += 1
+        return entry
+
+    def seed(self, curve: Curve, x: int, y: int,
+             odd_multiples: List[_Affine]) -> _PointEntry:
+        """Insert externally built odd multiples for a point (counted as
+        the miss the builder absorbed), so later per-signature
+        verifications of the same key start warm."""
+        key = (curve.name, x, y)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = _PointEntry(list(odd_multiples))
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        entry.uses += 1
+        return entry
+
     def __len__(self) -> int:
         return len(self._entries)
 

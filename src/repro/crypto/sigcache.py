@@ -37,6 +37,39 @@ def _key_fingerprint(key) -> bytes:
     return key.fingerprint()
 
 
+#: Optional verdict oracle consulted before fresh EC math: the verify
+#: farm (:mod:`repro.attest.farm`) precomputes batch verdicts and
+#: installs itself here so pipeline steps consume them through the
+#: normal ``cached_verify`` seam.  The oracle is consulted even when
+#: the memoization cache is ablated — its verdicts come from crypto
+#: performed (and priced) at batch-flush time, not from memo-across-time
+#: — and a served verdict counts in :func:`oracle_hits`, never in the
+#: hit/miss counters.
+_oracle = None
+_oracle_hits = 0
+
+
+def set_oracle(oracle) -> None:
+    """Install (or clear, with None) the process-wide verdict oracle.
+
+    *oracle* is called with the cache key tuple ``(key fingerprint,
+    hash name, digest, signature)`` and returns a verdict or None.
+    """
+    global _oracle
+    _oracle = oracle
+
+
+def get_oracle():
+    """The installed verdict oracle (None when absent)."""
+    return _oracle
+
+
+def oracle_hits() -> int:
+    """Verdicts served by the oracle — cheap to sample before/after an
+    operation, like :func:`counters`."""
+    return _oracle_hits
+
+
 class SignatureVerificationCache:
     """A bounded LRU of verification outcomes.
 
@@ -77,7 +110,19 @@ class SignatureVerificationCache:
         the fresh check, for the same reason — its own ``verify``
         already goes through this cache.
         """
+        global _oracle_hits
         if not self.enabled:
+            if _oracle is not None:
+                cache_key = (
+                    _key_fingerprint(key),
+                    hash_name,
+                    get_hash(hash_name)(message),
+                    bytes(signature),
+                )
+                served = _oracle(cache_key)
+                if served is not None:
+                    _oracle_hits += 1
+                    return bool(served)
             self.misses += 1
             if verifier is None:
                 verifier = getattr(key, "inner", key).verify
@@ -93,6 +138,15 @@ class SignatureVerificationCache:
             self.hits += 1
             self._entries.move_to_end(cache_key)
             return cached
+        if _oracle is not None:
+            served = _oracle(cache_key)
+            if served is not None:
+                _oracle_hits += 1
+                fresh = bool(served)
+                self._entries[cache_key] = fresh
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                return fresh
         self.misses += 1
         if verifier is None:
             verifier = getattr(key, "inner", key).verify

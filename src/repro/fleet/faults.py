@@ -66,11 +66,18 @@ class KdsBlackhole:
         return self.inner.cache_hits
 
     @property
+    def coalesced_hits(self):
+        return self.inner.coalesced_hits
+
+    @property
     def trust_anchor(self):
         return self.inner.trust_anchor
 
     def get_vcek(self, chip_id, tcb):
         if self.active:
+            # Fail closed: no new round trips, and no joining an
+            # in-flight response either — the WAN path is down, so only
+            # the local cache may answer.
             key = (bytes(chip_id), tcb)
             if self.inner.cache_enabled and key in self.inner._vcek_cache:
                 self.inner.cache_hits += 1
@@ -100,10 +107,13 @@ def blackhole_kds(gateway: FleetGateway,
     if clear_cache:
         gateway.kds.clear_cache()
     gateway.kds = blackhole
-    # Per-family trust contexts (TDX PCS, CCA anchors, e-vTPM) survive
-    # the swap: only the WAN path to AMD is down.
+    # Per-family trust contexts (TDX PCS, CCA anchors, e-vTPM) and the
+    # verify farm survive the swap: only the WAN path to AMD is down.
     gateway.verifier = AttestationVerifier(
-        blackhole, site="fleet-gateway", contexts=gateway.verifier.contexts
+        blackhole,
+        site="fleet-gateway",
+        contexts=gateway.verifier.contexts,
+        farm=gateway.verifier.farm,
     )
     return blackhole
 

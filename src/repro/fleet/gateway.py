@@ -142,6 +142,7 @@ class FleetGateway:
         default_tier: str = "bulk",
         contexts=None,
         region: Optional[str] = None,
+        farm=None,
     ):
         if balancer not in BALANCERS:
             raise ValueError(f"unknown balancer {balancer!r}; pick from {BALANCERS}")
@@ -189,7 +190,14 @@ class FleetGateway:
             for tier, families in tier_families.items()
         }
         self.default_tier = default_tier
-        self.verifier = AttestationVerifier(kds, site=name, contexts=contexts)
+        #: Optional :class:`~repro.attest.farm.VerifyFarm` shared by
+        #: this gateway's verifier (and, in a mesh, its peers): health
+        #: re-attestation rounds settle every backend's signature
+        #: checks in one batch equation.
+        self.farm = farm
+        self.verifier = AttestationVerifier(
+            kds, site=name, contexts=contexts, farm=farm
+        )
         self.name = name
         self.region = region
         #: Mesh hook: called as ``on_verdict(gateway, ip, family, ok,
@@ -292,11 +300,11 @@ class FleetGateway:
             families=families or None,
         )
 
-    def attest_backend(self, ip_address: str) -> AdmissionVerdict:
-        """Probe one backend through the full end-user flow: fresh TLS
-        handshake, well-known evidence fetch, family-dispatched pipeline
-        verification with the REPORT_DATA bound to the *probed
-        connection's* key."""
+    def _probe_evidence(self, ip_address: str):
+        """The probe half of an attestation: fresh TLS handshake,
+        well-known evidence fetch, family sanity check.  Returns
+        ``(evidence, policy)`` on success or a failure
+        :class:`AdmissionVerdict` (already recorded)."""
         clock = self.network.clock
         try:
             connection = tls_connect(
@@ -330,10 +338,20 @@ class FleetGateway:
                 f"backend registered as {backend.family}, "
                 f"evidence is {evidence.family}",
             )
-        policy = self._admission_policy(connection)
+        return evidence, self._admission_policy(connection)
+
+    def attest_backend(self, ip_address: str) -> AdmissionVerdict:
+        """Probe one backend through the full end-user flow: fresh TLS
+        handshake, well-known evidence fetch, family-dispatched pipeline
+        verification with the REPORT_DATA bound to the *probed
+        connection's* key."""
+        probe = self._probe_evidence(ip_address)
+        if isinstance(probe, AdmissionVerdict):
+            return probe
+        evidence, policy = probe
         try:
             outcome = self.verifier.verify(
-                evidence, now=clock.epoch_seconds(), policy=policy
+                evidence, now=self.network.clock.epoch_seconds(), policy=policy
             )
         except ConnectionError as exc:
             return self._verdict(ip_address, False, "kds_unreachable", str(exc))
@@ -342,6 +360,46 @@ class FleetGateway:
                 ip_address, False, outcome.reason, outcome.detail
             )
         return self._verdict(ip_address, True, "", "")
+
+    def attest_many(self, ip_addresses) -> list:
+        """Probe a group of backends, then settle every probe's
+        signature equations in one verify-farm batch — shared ARK/ASK
+        chain terms across the fleet are verified once per *round*, not
+        once per backend.  Without a farm this degrades to sequential
+        :meth:`attest_backend` semantics.  Returns one
+        :class:`AdmissionVerdict` per address, in order."""
+        ips = list(ip_addresses)
+        verdicts: list = [None] * len(ips)
+        pending = []  # (slot, ip, evidence, policy)
+        for slot, ip_address in enumerate(ips):
+            probe = self._probe_evidence(ip_address)
+            if isinstance(probe, AdmissionVerdict):
+                verdicts[slot] = probe
+            else:
+                pending.append((slot, ip_address, probe[0], probe[1]))
+        if pending:
+            now = self.network.clock.epoch_seconds()
+            try:
+                outcomes = self.verifier.verify_batch(
+                    [evidence for _, _, evidence, _ in pending],
+                    now=now,
+                    policies=[policy for _, _, _, policy in pending],
+                )
+            except ConnectionError as exc:
+                for slot, ip_address, _, _ in pending:
+                    verdicts[slot] = self._verdict(
+                        ip_address, False, "kds_unreachable", str(exc)
+                    )
+            else:
+                for (slot, ip_address, _, _), outcome in zip(pending, outcomes):
+                    verdicts[slot] = (
+                        self._verdict(ip_address, True, "", "")
+                        if outcome.ok
+                        else self._verdict(
+                            ip_address, False, outcome.reason, outcome.detail
+                        )
+                    )
+        return verdicts
 
     def _verdict(self, ip_address: str, ok: bool, reason: str,
                  detail: str) -> AdmissionVerdict:
@@ -364,13 +422,12 @@ class FleetGateway:
                 )
         return AdmissionVerdict(ip_address, ok, reason, detail)
 
-    def attest_and_admit(self, ip_address: str) -> AdmissionVerdict:
-        """Attest; admit on pass, evict/reject (with the verdict's
-        reason code) on fail."""
-        backend = self._backends.get(ip_address)
-        if backend is None:
-            raise GatewayError("unknown_backend", ip_address)
-        verdict = self.attest_backend(ip_address)
+    def _apply_admission(
+        self, ip_address: str, verdict: AdmissionVerdict
+    ) -> AdmissionVerdict:
+        """State transition for one attestation verdict: admit on pass,
+        evict/reject (with the verdict's reason code) on fail."""
+        backend = self._backends[ip_address]
         if verdict.ok:
             if backend.state in ("pending", "admitted"):
                 if backend.state == "pending":
@@ -383,6 +440,25 @@ class FleetGateway:
             backend.state = "rejected"
             self._count(f"admissions_rejected.{verdict.reason}")
         return verdict
+
+    def attest_and_admit(self, ip_address: str) -> AdmissionVerdict:
+        """Attest; admit on pass, evict/reject (with the verdict's
+        reason code) on fail."""
+        if ip_address not in self._backends:
+            raise GatewayError("unknown_backend", ip_address)
+        return self._apply_admission(ip_address, self.attest_backend(ip_address))
+
+    def attest_and_admit_many(self, ip_addresses) -> list:
+        """Group :meth:`attest_and_admit`: one verify-farm settlement
+        covers the whole round's signature checks."""
+        ips = list(ip_addresses)
+        for ip_address in ips:
+            if ip_address not in self._backends:
+                raise GatewayError("unknown_backend", ip_address)
+        return [
+            self._apply_admission(ip_address, verdict)
+            for ip_address, verdict in zip(ips, self.attest_many(ips))
+        ]
 
     def accept_gossip(self, record, max_staleness: float) -> bool:
         """Apply a verdict gossiped by a peer gateway (DESIGN.md

@@ -57,16 +57,26 @@ class HealthMonitor:
             return
 
     def probe_all(self) -> None:
-        """One synchronous probe round over the active backends."""
+        """One synchronous probe round over the active backends.
+
+        Liveness probes run per backend; the backends whose verdicts
+        went stale are collected and re-attested as one group at the end
+        of the round, so a verify-farm-wired gateway settles the whole
+        round's signature checks in a single batch equation."""
+        due = []
         for ip_address in sorted(self.gateway.backends):
             backend = self.gateway.backends[ip_address]
             if not backend.active():
                 continue
             if self.backend_filter is not None and not self.backend_filter(backend):
                 continue
-            self._probe(backend)
+            if self._probe(backend):
+                due.append(ip_address)
+        if due:
+            self.reattestations += len(due)
+            self.gateway.attest_and_admit_many(due)
 
-    def _probe(self, backend: BackendState) -> None:
+    def _probe(self, backend: BackendState) -> bool:
         gateway = self.gateway
         network = gateway.network
         try:
@@ -86,13 +96,13 @@ class HealthMonitor:
                 response = HttpResponse.decode(raw)
         except ConnectionError:
             self._failure(backend, "backend_unreachable")
-            return
+            return False
         if scope.elapsed > self.timeout:
             self._failure(backend, "health_timeout")
-            return
+            return False
         if response.status != 200:
             self._failure(backend, "report_unavailable")
-            return
+            return False
         backend.consecutive_failures = 0
         self.probes_ok += 1
         verdict_age = (
@@ -100,12 +110,10 @@ class HealthMonitor:
             if backend.verdict_time is not None
             else None
         )
-        if (
-            backend.state == "admitted"
-            and (verdict_age is None or verdict_age >= self.reattest_every)
-        ):
-            self.reattestations += 1
-            gateway.attest_and_admit(backend.ip_address)
+        # Stale verdicts are re-attested by the caller, batched per round.
+        return backend.state == "admitted" and (
+            verdict_age is None or verdict_age >= self.reattest_every
+        )
 
     def _failure(self, backend: BackendState, reason: str) -> None:
         self.probes_failed += 1

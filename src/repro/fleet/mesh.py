@@ -375,14 +375,29 @@ class GatewayMesh:
         extra_goldens=(),
         register_dns: bool = True,
         mesh_kwargs: Optional[dict] = None,
+        shared_farm: bool = False,
         **gateway_kwargs,
     ) -> "GatewayMesh":
         """One gateway per region; the deployment's nodes are placed
         round-robin across *regions* and registered on every gateway
         (sharing one service station per backend).  DNS points the
         service domain at the first region's gateway; storm clients
-        route by consistent hash instead."""
+        route by consistent hash instead.
+
+        ``shared_farm=True`` wires one
+        :class:`~repro.attest.farm.VerifyFarm` across every regional
+        gateway, so any gateway's re-attestation round batches against
+        the same blinder DRBG and counter stream (an explicit ``farm``
+        in *gateway_kwargs* wins)."""
         mesh = cls(deployment.network, kernel, **(mesh_kwargs or {}))
+        if shared_farm and "farm" not in gateway_kwargs:
+            from ..attest.farm import VerifyFarm
+
+            gateway_kwargs["farm"] = VerifyFarm(
+                clock=deployment.network.clock,
+                latency=deployment.network.latency,
+                seed=b"mesh-verify-farm",
+            )
         goldens = sorted(
             {bytes(deployment.build.expected_measurement),
              *(bytes(g) for g in extra_goldens)}

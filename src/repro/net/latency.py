@@ -128,6 +128,14 @@ class LatencyModel:
     cert_chain_verify: float = 0.004
     #: golden-measurement / policy comparison
     measurement_check: float = 0.001
+    #: fixed cost of one verify-farm batch flush: the shared doubling
+    #: chain + generator-table pass of the randomized batch MSM
+    #: (~half a single joint multiplication)
+    batch_verify_base: float = 0.004
+    #: marginal cost per signature inside a batch MSM (table build +
+    #: per-digit mixed additions; ~1/5 of a full ``sig_verify``,
+    #: matching the measured amortisation in ``bench_crypto``)
+    batch_verify_per_sig: float = 0.0015
     #: per-host-pair overrides
     pair_rtt: Dict[Tuple[str, str], float] = field(default_factory=dict)
     #: inter-region round trips, keyed on ``(region_a, region_b)``
@@ -188,4 +196,6 @@ ZERO_LATENCY = LatencyModel(
     sig_verify=0.0,
     cert_chain_verify=0.0,
     measurement_check=0.0,
+    batch_verify_base=0.0,
+    batch_verify_per_sig=0.0,
 )

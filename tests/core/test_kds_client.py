@@ -124,3 +124,91 @@ class TestBundledChain:
         client.clear_cache()
         client.cert_chain()
         assert client.fetches == 2
+
+
+class TestRequestCoalescing:
+    """Concurrent VCEK fetches for the same chip share one in-flight
+    request (health-probe rounds measure in isolated clock scopes that
+    share a base time, so their fetches overlap)."""
+
+    def test_overlapping_fetches_share_one_round_trip(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        with clock.isolated() as first:
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        with clock.isolated() as second:
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 1
+        assert client.coalesced_hits == 1
+        # The joiner waits out the full remaining flight time: same
+        # latency as the original request, but no second round trip.
+        assert second.elapsed == pytest.approx(first.elapsed)
+
+    def test_joiner_pays_only_remaining_flight_time(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        clock.advance(0.2)  # the base timeline catches up mid-flight
+        with clock.isolated() as late:
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.coalesced_hits == 1
+        assert late.elapsed == pytest.approx(0.4273 - 0.2)
+
+    def test_completed_flight_is_not_joined(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        client.get_vcek(chip.chip_id, chip.current_tcb)  # lands on base time
+        client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 2
+        assert client.coalesced_hits == 0
+
+    def test_joined_response_still_populates_cache_and_chain(self, setup):
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model)
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+            client.clear_cache()  # forget the cache, not the flight
+            # clear_cache drops the in-flight table too; refetch to get
+            # a live flight with an empty cache.
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+            client._vcek_cache.clear()
+            client._chain_cache = None
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.coalesced_hits == 1
+        assert len(client._vcek_cache) == 1
+        assert client.cert_chain()  # served from the bundled chain
+
+    def test_different_tcb_does_not_coalesce(self, setup):
+        amd, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        from repro.amd.tcb import TcbVersion
+
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        chip.update_tcb(TcbVersion(9, 9, 9, 250))
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.fetches == 2
+        assert client.coalesced_hits == 0
+
+    def test_blackholed_kds_never_joins_inflight(self, setup):
+        """Fail closed: while the WAN path is down only the local cache
+        may answer — an in-flight response must not be joined."""
+        from repro.fleet.faults import KdsBlackhole
+        from repro.net.simnet import NetworkError
+
+        _, kds, chip, clock, model = setup
+        client = KdsClient(kds, clock, model, cache_enabled=False)
+        with clock.isolated():
+            client.get_vcek(chip.chip_id, chip.current_tcb)
+        blackhole = KdsBlackhole(client)
+        with clock.isolated():
+            with pytest.raises(NetworkError):
+                blackhole.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.coalesced_hits == 0
+        blackhole.active = False
+        with clock.isolated():
+            blackhole.get_vcek(chip.chip_id, chip.current_tcb)
+        assert client.coalesced_hits == 1

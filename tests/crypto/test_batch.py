@@ -1,0 +1,267 @@
+"""Property tests for RLC batch verification (DESIGN.md invariant 15).
+
+Every verdict a batch emits must equal what
+:func:`repro.crypto.ecdsa.verify_rs_reference` would say for that item
+alone — on clean batches, on adversarial mixes, after bisection, and on
+every fallback path (hash/curve mismatch, foreign curves, malformed
+signatures).
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import batch as batch_mod
+from repro.crypto.batch import (
+    BatchItem,
+    BatchVerifier,
+    BlinderReuseError,
+    verify_batch,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ec import get_curve
+from repro.crypto.ecdsa import (
+    CurveHashMismatchWarning,
+    EcdsaPrivateKey,
+    verify_rs_reference,
+)
+
+P256 = get_curve("P-256")
+P384 = get_curve("P-384")
+
+#: A fixed pool of signing keys; generating one is a base-point
+#: multiply, so the pool is built once at import.
+KEYS_P256 = [
+    EcdsaPrivateKey.generate(P256, HmacDrbg(b"batch-key-%d" % i))
+    for i in range(6)
+]
+KEYS_P384 = [
+    EcdsaPrivateKey.generate(P384, HmacDrbg(b"batch-key-384-%d" % i))
+    for i in range(2)
+]
+
+
+def split_rs(curve, signature):
+    size = curve.coordinate_size
+    return (
+        int.from_bytes(signature[:size], "big"),
+        int.from_bytes(signature[size:], "big"),
+    )
+
+
+def corrupt(signature: bytes, bit: int) -> bytes:
+    """Flip one bit somewhere in the s half (stays well-formed with
+    overwhelming probability, so the reference path is exercised)."""
+    data = bytearray(signature)
+    index = len(data) // 2 + (bit // 8) % (len(data) // 2)
+    data[index] ^= 1 << (bit % 8)
+    return bytes(data)
+
+
+def reference_verdict(item: BatchItem) -> bool:
+    key = getattr(item.key, "inner", item.key)
+    size = key.curve.coordinate_size
+    if len(item.signature) != 2 * size:
+        return False
+    r, s = split_rs(key.curve, item.signature)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CurveHashMismatchWarning)
+        return verify_rs_reference(
+            key.public_key() if hasattr(key, "public_key") else key,
+            item.message, r, s, item.hash_name,
+        )
+
+
+class TestVerdictsMatchReference:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=len(KEYS_P256) - 1),
+                st.binary(min_size=0, max_size=40),
+                st.one_of(
+                    st.none(),  # valid signature
+                    st.integers(min_value=0, max_value=255),  # bit to flip
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_mixed_valid_invalid_batches(self, spec):
+        """Valid/invalid mixes: each verdict equals the reference oracle."""
+        items = []
+        for key_index, message, tamper in spec:
+            private = KEYS_P256[key_index]
+            signature = private.sign(message)
+            if tamper is not None:
+                signature = corrupt(signature, tamper)
+            items.append(
+                BatchItem(private.public_key(), message, signature, "sha256")
+            )
+        verdicts = verify_batch(items, HmacDrbg(b"test-mixed"))
+        for item, verdict in zip(items, verdicts):
+            assert verdict == reference_verdict(item)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_single_forged_sig_in_64_batch_isolated(self, forged, bit):
+        """One forged member in a 64-batch: bisection isolates exactly
+        it, every honest member still verifies True."""
+        items = []
+        for i in range(64):
+            private = KEYS_P256[i % len(KEYS_P256)]
+            message = b"member-%d" % i
+            signature = private.sign(message)
+            if i == forged:
+                signature = corrupt(signature, bit)
+            items.append(
+                BatchItem(private.public_key(), message, signature, "sha256")
+            )
+        verifier = BatchVerifier(HmacDrbg(b"test-forged"))
+        result = verifier.verify(items)
+        expected = [i != forged for i in range(64)]
+        # A flipped bit can (rarely) still be a valid signature only with
+        # probability ~2^-256; the forged slot must come back False.
+        assert result.verdicts == expected
+        # The full-batch equation failed, so the bisection tree ran and
+        # bottomed out in per-signature leaves around the forgery.
+        assert result.bisections >= 1
+        assert result.msm_checks >= 2
+        assert result.per_sig_fallbacks >= 1
+
+
+class TestBlinderDiscipline:
+    def test_blinder_reuse_across_batches_rejected(self):
+        private = KEYS_P256[0]
+        items = [
+            BatchItem(private.public_key(), b"msg-%d" % i,
+                      private.sign(b"msg-%d" % i), "sha256")
+            for i in range(4)
+        ]
+        verifier = BatchVerifier(HmacDrbg(b"test-blinders"))
+        blinders = [(17 * (i + 1)) << 96 for i in range(4)]
+        assert all(verifier.verify(items, blinders=list(blinders)).verdicts)
+        with pytest.raises(BlinderReuseError):
+            verifier.verify(items, blinders=list(blinders))
+
+    def test_fresh_drbg_blinders_never_collide(self):
+        """The DRBG path draws a fresh set every batch: two identical
+        batches both verify (no implicit reuse rejection)."""
+        private = KEYS_P256[1]
+        items = [
+            BatchItem(private.public_key(), b"again", private.sign(b"again"))
+        ]
+        verifier = BatchVerifier(HmacDrbg(b"test-fresh"))
+        assert verifier.verify(items).verdicts == [True]
+        assert verifier.verify(items).verdicts == [True]
+
+
+class TestFallbackPaths:
+    def test_curve_hash_mismatch_falls_back_per_signature(self):
+        """A P-384 signature hashed with sha256 truncates the digest;
+        those items take the per-signature path (which owns the PR-3
+        warning) and still agree with the reference."""
+        private = KEYS_P384[0]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", CurveHashMismatchWarning)
+            mismatch_sig = private.sign(b"short-hash", "sha256")
+        good = KEYS_P256[2]
+        items = [
+            BatchItem(good.public_key(), b"fine", good.sign(b"fine")),
+            BatchItem(good.public_key(), b"fine2", good.sign(b"fine2")),
+            BatchItem(private.public_key(), b"short-hash", mismatch_sig,
+                      "sha256"),
+        ]
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")
+            caught = []
+            warnings.showwarning = lambda *a, **k: caught.append(a[0])
+            result = BatchVerifier(HmacDrbg(b"test-mismatch")).verify(items)
+        assert result.verdicts == [True, True, True]
+        assert result.per_sig_fallbacks == 1
+        assert any(isinstance(w, CurveHashMismatchWarning) for w in caught)
+
+    def test_foreign_curve_items_fall_back(self):
+        """One curve per batch: the dominant curve batches, the other
+        verifies per-signature — verdicts still all correct."""
+        p256 = KEYS_P256[3]
+        p384 = KEYS_P384[1]
+        items = [
+            BatchItem(p256.public_key(), b"a", p256.sign(b"a"), "sha256"),
+            BatchItem(p384.public_key(), b"b", p384.sign(b"b", "sha384"),
+                      "sha384"),
+            BatchItem(p256.public_key(), b"c", p256.sign(b"c"), "sha256"),
+        ]
+        result = BatchVerifier(HmacDrbg(b"test-foreign")).verify(items)
+        assert result.verdicts == [True, True, True]
+        assert result.per_sig_fallbacks == 1
+
+    def test_malformed_signature_is_false_without_fallback(self):
+        private = KEYS_P256[4]
+        items = [
+            BatchItem(private.public_key(), b"ok", private.sign(b"ok")),
+            BatchItem(private.public_key(), b"short", b"\x01\x02\x03"),
+            BatchItem(private.public_key(), b"zero",
+                      b"\x00" * (2 * P256.coordinate_size)),
+        ]
+        result = BatchVerifier(HmacDrbg(b"test-malformed")).verify(items)
+        assert result.verdicts == [True, False, False]
+
+
+class TestHintsAndDedup:
+    def test_hinted_batch_passes_in_one_msm(self):
+        """Fresh signatures leave recovery hints, so a clean batch is a
+        single batch equation: no bisection, everything hinted."""
+        items = []
+        for i in range(16):
+            private = KEYS_P256[i % len(KEYS_P256)]
+            message = b"hinted-%d" % i
+            items.append(
+                BatchItem(private.public_key(), message,
+                          private.sign(message))
+            )
+        result = BatchVerifier(HmacDrbg(b"test-hinted")).verify(items)
+        assert all(result.verdicts)
+        assert result.msm_checks == 1
+        assert result.bisections == 0
+        assert result.hinted == 16
+
+    def test_missing_hints_still_yield_correct_verdicts(self):
+        """Hints are untrusted performance data: with the table wiped,
+        wrong-parity candidates cost bisections, never verdicts."""
+        private = KEYS_P256[5]
+        items = [
+            BatchItem(private.public_key(), b"unhinted-%d" % i,
+                      private.sign(b"unhinted-%d" % i))
+            for i in range(8)
+        ]
+        saved = batch_mod.recovery_hints()
+        batch_mod.reset_recovery_hints()
+        try:
+            result = BatchVerifier(HmacDrbg(b"test-unhinted")).verify(items)
+        finally:
+            batch_mod._hints = saved
+        assert all(result.verdicts)
+
+    def test_duplicate_items_deduplicated(self):
+        """The fleet's repeated chain links collapse: N copies of one
+        (key, message, signature) verify once and fan the verdict out."""
+        private = KEYS_P256[0]
+        signature = private.sign(b"shared-link")
+        public = private.public_key()
+        items = [
+            BatchItem(public, b"shared-link", signature) for _ in range(5)
+        ] + [BatchItem(public, b"unique", private.sign(b"unique"))]
+        result = BatchVerifier(HmacDrbg(b"test-dedup")).verify(items)
+        assert all(result.verdicts)
+        assert result.deduplicated == 4
+
+    def test_empty_batch(self):
+        result = BatchVerifier(HmacDrbg(b"test-empty")).verify([])
+        assert result.verdicts == [] and result.msm_checks == 0
