@@ -1,0 +1,193 @@
+"""The full adversary-campaign matrix: attacks x axes, one report.
+
+Runs the built-in ``storm-core`` campaign (every live-fleet attack
+fired into a seeded session storm — see
+:mod:`repro.scenarios.catalog`) across the full matrix of operational
+axes:
+
+* **signature cache** cold vs warm (the PR-3 verdict cache),
+* **rolling rollout** in progress vs stable fleet (the PR-4 drain
+  machinery replacing every SNP node mid-campaign),
+* **verify farm** shared vs per-verifier crypto (the PR-8 batch
+  verification seam),
+
+plus the ``pipeline-tail`` campaign (the long tail of per-family
+pipeline reason codes) and the ``launch-61`` boot-time matrix once
+each.  Every cell asserts the full containment contract: each attack
+lands on its expected stable reason code, is contained, reverts
+cleanly, its benign twin passes, and benign-traffic SLOs hold (zero
+failed, zero blocked, p99 within 2x of an attack-free same-seed
+baseline).
+
+Everything recorded in ``BENCH_scenarios.json`` is derived from
+simulated time and deterministic counters — two runs with the same
+``--seed`` are byte-identical (wall-clock timings go to stdout only).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_scenarios.py``
+(``--cells cold-stable-solo,warm-stable-solo --sessions 120`` is the
+CI smoke configuration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from bench_fleet import _build
+from repro.scenarios import CampaignRunner, get_campaign, registered_injectors
+
+
+def _cell_key(cache_on: bool, rollout: bool, farm: bool) -> str:
+    return "-".join([
+        "warm" if cache_on else "cold",
+        "roll" if rollout else "stable",
+        "farm" if farm else "solo",
+    ])
+
+
+ALL_CELLS = [
+    _cell_key(cache_on, rollout, farm)
+    for cache_on in (False, True)
+    for rollout in (False, True)
+    for farm in (False, True)
+]
+
+
+def _summarise(report) -> dict:
+    scenarios = report.scenarios
+    return {
+        "ok": report.ok,
+        "violations": report.violations,
+        "axes": report.axes,
+        "slo": report.slo,
+        "codes_reached": report.codes_reached,
+        "attacks": {
+            "total": len(scenarios),
+            "landed": sum(1 for s in scenarios if s["landed"]),
+            "contained": sum(1 for s in scenarios if s["contained"]),
+            "recovered": sum(1 for s in scenarios if s["recovered"]),
+            "benign_ok": sum(
+                1 for s in scenarios
+                if s["benign"] is not None and s["benign"]["ok"]
+            ),
+        },
+    }
+
+
+def run_matrix(args) -> dict:
+    build = _build()
+    build_v2 = _build("2.0.0")
+    storm = get_campaign("storm-core")
+    if args.sessions:
+        storm = dataclasses.replace(storm, sessions=args.sessions)
+    selected = args.cells.split(",") if args.cells else ALL_CELLS
+    unknown = sorted(set(selected) - set(ALL_CELLS))
+    if unknown:
+        raise SystemExit(f"unknown cells {unknown}; available: {ALL_CELLS}")
+
+    cells = {}
+    for key in ALL_CELLS:
+        if key not in selected:
+            continue
+        cache_on = key.startswith("warm")
+        rollout = "-roll-" in key
+        farm = key.endswith("-farm")
+        started = time.perf_counter()
+        report = CampaignRunner(
+            build, storm, seed=args.seed,
+            sigcache_on=cache_on, rollout=rollout, farm=farm,
+            build_v2=build_v2 if rollout else None,
+        ).run()
+        print(
+            f"  storm-core [{key}]: "
+            f"{'OK' if report.ok else 'FAIL'} "
+            f"({len(report.scenarios)} attacks, "
+            f"p99 {report.slo['p99_ms']:.1f} ms vs "
+            f"baseline {report.slo['baseline_p99_ms']:.1f} ms, "
+            f"{time.perf_counter() - started:.1f}s wall)"
+        )
+        cells[key] = _summarise(report)
+
+    started = time.perf_counter()
+    pipeline = CampaignRunner(
+        None, get_campaign("pipeline-tail"), seed=args.seed
+    ).run()
+    print(
+        f"  pipeline-tail: {'OK' if pipeline.ok else 'FAIL'} "
+        f"({time.perf_counter() - started:.1f}s wall)"
+    )
+    started = time.perf_counter()
+    launch = CampaignRunner(
+        build, get_campaign("launch-61"), seed=args.seed
+    ).run()
+    print(
+        f"  launch-61: {'OK' if launch.ok else 'FAIL'} "
+        f"({time.perf_counter() - started:.1f}s wall)"
+    )
+
+    all_codes = sorted(
+        set().union(
+            *(cell["codes_reached"] for cell in cells.values()),
+            pipeline.codes_reached,
+            launch.codes_reached,
+        )
+    )
+    return {
+        "bench": "scenarios",
+        "description": (
+            "Adversary campaigns under live fleet traffic: "
+            "attacks x sigcache x rollout x verify-farm"
+        ),
+        "seed": args.seed,
+        "storm_sessions": storm.sessions,
+        "injectors": list(registered_injectors()),
+        "storm_matrix": {key: cells[key] for key in sorted(cells)},
+        "pipeline_tail": _summarise(pipeline),
+        "launch_61": _summarise(launch),
+        "codes_reached_total": all_codes,
+        "ok": (
+            all(cell["ok"] for cell in cells.values())
+            and pipeline.ok
+            and launch.ok
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sessions", type=int, default=0,
+        help="override storm-core session count (0 = campaign default)",
+    )
+    parser.add_argument(
+        "--cells", default="",
+        help=f"comma-separated storm cells to run (default: all of "
+             f"{','.join(ALL_CELLS)})",
+    )
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent / "BENCH_scenarios.json")
+    )
+    args = parser.parse_args()
+
+    started = time.perf_counter()
+    result = run_matrix(args)
+    wall = time.perf_counter() - started
+    payload = json.dumps(result, indent=2, sort_keys=True) + "\n"
+    Path(args.out).write_text(payload)
+    print(
+        f"wrote {args.out} ({len(result['storm_matrix'])} storm cells, "
+        f"{len(result['codes_reached_total'])} reason codes, "
+        f"{wall:.1f}s wall)"
+    )
+    if not result["ok"]:
+        print("MATRIX FAILED")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

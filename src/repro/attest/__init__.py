@@ -70,6 +70,7 @@ from .families import (
 )
 from .farm import FarmJob, VerifyFarm
 from .policy import FamilyPolicy, VerificationPolicy
+from .reasons import ATTEST_REASON_CODES
 from .trace import (
     AttestationTracer,
     CounterRegistry,
@@ -86,6 +87,7 @@ from .trace import (
 
 __all__ = [
     "ALL_FAMILIES",
+    "ATTEST_REASON_CODES",
     "AttestationTracer",
     "AttestationVerifier",
     "CcaTrust",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import bisect
 from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Upper bucket edges (simulated seconds) for per-step latency
 #: histograms; the last bucket is unbounded.
@@ -125,6 +125,25 @@ class CounterRegistry(TraceSink):
         """Fraction of KDS lookups served from cache (0.0 when idle)."""
         lookups = self.kds_fetches + self.kds_cache_hits
         return self.kds_cache_hits / lookups if lookups else 0.0
+
+    def reasons_reached(self) -> frozenset:
+        """Every stable failure reason code observed so far — the
+        coverage half of the campaign taxonomy check."""
+        return frozenset(
+            reason for reason, count in self.failures_by_reason.items() if count
+        )
+
+    def failures_since(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Per-reason failure deltas against an earlier
+        ``dict(failures_by_reason)`` snapshot — how scenario runners
+        attribute reason codes to the attack window that produced them.
+        Only positive deltas are reported."""
+        deltas = {}
+        for reason, count in self.failures_by_reason.items():
+            delta = count - before.get(reason, 0)
+            if delta > 0:
+                deltas[reason] = delta
+        return deltas
 
     def sig_cache_hit_rate(self) -> float:
         """Fraction of signature verifications served from the

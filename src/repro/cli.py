@@ -238,6 +238,75 @@ def cmd_attack_demo(args) -> int:
     return 0 if detected == 3 else 1
 
 
+def cmd_scenarios(args) -> int:
+    """CLI: list adversary campaigns or run one by name."""
+    import dataclasses
+
+    from .scenarios import CAMPAIGNS, CampaignRunner, get_campaign
+
+    if args.list or not args.campaign:
+        print("available campaigns:")
+        for name in sorted(CAMPAIGNS):
+            spec = CAMPAIGNS[name]
+            print(
+                f"  {name:<16} [{spec.arena:<8}] "
+                f"{len(spec.scenarios):>2} scenarios  {spec.description}"
+            )
+        return 0
+
+    try:
+        campaign = get_campaign(args.campaign)
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    if args.sessions and campaign.arena == "storm":
+        campaign = dataclasses.replace(campaign, sessions=args.sessions)
+
+    build = build_v2 = None
+    if campaign.arena != "pipeline":
+        build = build_revelio_image(_spec_for("boundary-node", "1.0.0"))
+        if args.rollout:
+            build_v2 = build_revelio_image(_spec_for("boundary-node", "2.0.0"))
+    report = CampaignRunner(
+        build, campaign, seed=args.seed,
+        sigcache_on=not args.cold_cache, rollout=args.rollout,
+        farm=args.farm, build_v2=build_v2,
+    ).run()
+
+    print(f"campaign {report.campaign} [{report.arena}] seed={report.seed} "
+          f"axes={report.axes}")
+    for entry in report.scenarios:
+        verdict = "LANDED" if entry["landed"] else "MISSED"
+        twin = entry["benign"]
+        twin_note = (
+            "" if twin is None
+            else f"  twin={'ok' if twin['ok'] else 'FAILED'}"
+        )
+        print(
+            f"  {entry['name']:<34} {verdict:<6} "
+            f"expect={entry['expect']:<28}"
+            f" contained={'y' if entry['contained'] else 'N'}"
+            f" recovered={'y' if entry['recovered'] else 'N'}{twin_note}"
+        )
+    if report.slo is not None:
+        slo = report.slo
+        print(
+            f"benign SLO [{'ok' if slo['ok'] else 'VIOLATED'}]: "
+            f"{slo['requests_failed']} failed, "
+            f"{slo['requests_blocked']} blocked, "
+            f"p99 {slo['p99_ms']:.1f} ms vs "
+            f"{slo['p99_factor_limit']}x baseline "
+            f"{slo['baseline_p99_ms']:.1f} ms"
+        )
+    print(f"reason codes reached: {len(report.codes_reached)}")
+    if report.violations:
+        print("violations:")
+        for violation in report.violations:
+            print(f"  - {violation}")
+    print("campaign OK" if report.ok else "campaign FAILED")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -271,6 +340,36 @@ def build_parser() -> argparse.ArgumentParser:
                              default="boundary-node")
     demo_parser.add_argument("--nodes", type=int, default=3)
     demo_parser.set_defaults(func=cmd_demo)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list adversary campaigns or run one under live traffic",
+    )
+    scenarios_parser.add_argument(
+        "campaign", nargs="?", default="",
+        help="campaign name (omit or use --list to enumerate)",
+    )
+    scenarios_parser.add_argument(
+        "--list", action="store_true", help="list available campaigns"
+    )
+    scenarios_parser.add_argument("--seed", type=int, default=0)
+    scenarios_parser.add_argument(
+        "--sessions", type=int, default=0,
+        help="override storm session count (0 = campaign default)",
+    )
+    scenarios_parser.add_argument(
+        "--cold-cache", action="store_true",
+        help="run with the signature cache disabled",
+    )
+    scenarios_parser.add_argument(
+        "--rollout", action="store_true",
+        help="run with a rolling rollout to v2 in progress",
+    )
+    scenarios_parser.add_argument(
+        "--farm", action="store_true",
+        help="run with a shared verify farm",
+    )
+    scenarios_parser.set_defaults(func=cmd_scenarios)
 
     attack_parser = subparsers.add_parser(
         "attack-demo", help="mount the section 6.1 attacks"

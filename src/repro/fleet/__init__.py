@@ -12,6 +12,7 @@ and closed-loop end-user traffic on the :mod:`repro.sim` event kernel.
 
 from repro.fleet.drain import RollingRolloutReport, drain_backend, rolling_rollout
 from repro.fleet.faults import (
+    FaultHandle,
     KdsBlackhole,
     blackhole_kds,
     corrupt_disk,
@@ -22,6 +23,7 @@ from repro.fleet.faults import (
     slow_disk,
 )
 from repro.fleet.gateway import (
+    GATEWAY_REASON_CODES,
     AdmissionVerdict,
     BackendState,
     FleetGateway,
@@ -30,6 +32,7 @@ from repro.fleet.gateway import (
 from repro.fleet.health import HealthMonitor
 from repro.fleet.hetero import HeteroBackend, HeterogeneousFleet
 from repro.fleet.mesh import (
+    GOSSIP_REJECT_REASONS,
     ConsistentHashRing,
     GatewayMesh,
     GossipedVerdict,
@@ -42,9 +45,12 @@ from repro.fleet.mesh import (
 from repro.fleet.workload import FleetWorkload, UserPool
 
 __all__ = [
+    "GATEWAY_REASON_CODES",
+    "GOSSIP_REJECT_REASONS",
     "AdmissionVerdict",
     "BackendState",
     "ConsistentHashRing",
+    "FaultHandle",
     "FleetGateway",
     "FleetWorkload",
     "GatewayError",

@@ -24,9 +24,17 @@ reason code or a typed storage error:
 * :func:`corrupt_disk` — offline tampering with the host-controlled
   disk: a bit flip inside a named partition's extent; the next read
   through a verity/crypt stack rejects it.
-"""
+
+Every injector returns a :class:`FaultHandle` whose ``revert()``
+symmetrically undoes the fault mid-run (the ``repro.scenarios``
+injector registry builds on this to make every campaign attack
+revertible mid-storm).  Reverting restores *pre-attack admission
+behaviour* — an evicted backend still needs a re-registration +
+re-attestation to serve again, exactly like a recovered machine."""
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 from ..attest import AttestationVerifier
 from ..net.simnet import NetworkError
@@ -34,10 +42,42 @@ from ..storage.dm import DelayTarget
 from ..storage.partition import PartitionTable
 from .gateway import FleetGateway
 
+_MISSING = object()
 
-def kill_backend(gateway: FleetGateway, ip_address: str) -> None:
-    """Detach a backend's host from the network without telling anyone."""
+
+class FaultHandle:
+    """A revertible fault: ``revert()`` undoes the injection once."""
+
+    def __init__(self, name: str, undo: Optional[Callable[[], None]] = None):
+        self.name = name
+        self.active = True
+        self._undo = undo
+
+    def revert(self) -> None:
+        """Undo the fault (idempotent; later calls are no-ops)."""
+        if not self.active:
+            return
+        self.active = False
+        if self._undo is not None:
+            self._undo()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "reverted"
+        return f"<FaultHandle {self.name} {state}>"
+
+
+def kill_backend(gateway: FleetGateway, ip_address: str) -> FaultHandle:
+    """Detach a backend's host from the network without telling anyone.
+
+    ``revert()`` re-attaches the same host (machine repaired, listeners
+    intact); the gateway still holds its eviction until the backend is
+    re-registered and re-attested."""
+    host = gateway.network.host_at(ip_address)
     gateway.network.remove_host(ip_address)
+    return FaultHandle(
+        f"kill_backend:{ip_address}",
+        lambda: gateway.network.attach_host(host),
+    )
 
 
 class KdsBlackhole:
@@ -48,6 +88,9 @@ class KdsBlackhole:
     def __init__(self, inner):
         self.inner = inner
         self.active = True
+        #: Set by :func:`blackhole_kds` so :meth:`revert` can undo the
+        #: gateway-side swap, not just clear the flag.
+        self._restore: Optional[Callable[[], None]] = None
 
     @property
     def clock(self):
@@ -95,15 +138,27 @@ class KdsBlackhole:
             raise NetworkError("KDS black-holed (no route to kdsintf.amd.com)")
         return self.inner.cert_chain()
 
+    def revert(self) -> None:
+        """Route to AMD restored: clear the flag and swap the gateway
+        back onto its original client/verifier (when installed via
+        :func:`blackhole_kds`)."""
+        self.active = False
+        if self._restore is not None:
+            restore, self._restore = self._restore, None
+            restore()
+
 
 def blackhole_kds(gateway: FleetGateway,
                   clear_cache: bool = False) -> KdsBlackhole:
     """Swap the gateway's verifier onto a black-holed KDS client; the
-    returned handle's ``active`` flag restores service when cleared.
+    returned handle's ``active`` flag restores service when cleared and
+    its ``revert()`` swaps the original client/verifier back in.
     With ``clear_cache`` the cached VCEKs are dropped too (e.g. the
     backend's TCB changed, so the cache can't answer) — only then does
     re-attestation actually fail with ``kds_unreachable``."""
-    blackhole = KdsBlackhole(gateway.kds)
+    original_kds = gateway.kds
+    original_verifier = gateway.verifier
+    blackhole = KdsBlackhole(original_kds)
     if clear_cache:
         gateway.kds.clear_cache()
     gateway.kds = blackhole
@@ -115,40 +170,76 @@ def blackhole_kds(gateway: FleetGateway,
         contexts=gateway.verifier.contexts,
         farm=gateway.verifier.farm,
     )
+
+    def restore():
+        gateway.kds = original_kds
+        gateway.verifier = original_verifier
+
+    blackhole._restore = restore
     return blackhole
 
 
-def raise_tcb_floor(gateway: FleetGateway, minimum_tcb) -> None:
+def raise_tcb_floor(gateway: FleetGateway, minimum_tcb) -> FaultHandle:
     """Mandate a TCB floor for admission; backends reporting an older
-    TCB fail their next re-attestation with ``tcb_too_old``."""
+    TCB fail their next re-attestation with ``tcb_too_old``.
+    ``revert()`` restores the previous floor."""
+    previous = gateway.minimum_tcb
     gateway.minimum_tcb = minimum_tcb
+
+    def restore():
+        gateway.minimum_tcb = previous
+
+    return FaultHandle("raise_tcb_floor", restore)
 
 
 def revoke_family(gateway: FleetGateway, family,
-                  reason: str = "family_not_allowed") -> None:
+                  reason: str = "family_not_allowed") -> FaultHandle:
     """Revoke one TEE family fleet-wide (a disclosed architectural
     break): active backends of that family are evicted immediately with
     the family-scoped *reason* code, and every later re-attestation of
-    the family fails closed with ``family_not_allowed``."""
+    the family fails closed with ``family_not_allowed``.
+
+    ``revert()`` lifts the revocation (vendor fix rolled out): the
+    family is admissible again, but each evicted backend still needs a
+    re-registration + passing re-attestation to serve."""
+    family = str(family)
+    already_revoked = family in gateway.revoked_families
     gateway.revoke_family(family, reason=reason)
 
+    def restore():
+        if not already_revoked:
+            gateway.revoked_families.discard(family)
 
-def raise_family_tcb_floor(gateway: FleetGateway, family, minimum_tcb) -> None:
+    return FaultHandle(f"revoke_family:{family}", restore)
+
+
+def raise_family_tcb_floor(gateway: FleetGateway, family,
+                           minimum_tcb) -> FaultHandle:
     """Mandate a per-family platform TCB floor; backends of *family*
     reporting an older platform TCB fail their next re-attestation with
-    ``family_tcb_floor``."""
+    the family-scoped ``family_tcb_floor``.  ``revert()`` lowers the
+    floor back to its previous value (or removes it)."""
+    family = str(family)
+    previous = gateway.family_tcb_floors.get(family, _MISSING)
     gateway.set_family_tcb_floor(family, minimum_tcb)
+
+    def restore():
+        if previous is _MISSING:
+            gateway.family_tcb_floors.pop(family, None)
+        else:
+            gateway.family_tcb_floors[family] = previous
+
+    return FaultHandle(f"raise_family_tcb_floor:{family}", restore)
 
 
 def slow_disk(vm, role: str, read_ms: float = 0.0,
-              write_ms: float = 0.0) -> DelayTarget:
+              write_ms: float = 0.0) -> FaultHandle:
     """Degrade a VM volume: splice a ``delay`` target over the volume
     registered under *role*, charging per-block latency to the VM's
     storage meter (and so to the sim clock it is attached to).
 
-    Returns the injected target; swap it back out by passing its
-    backing device to ``vm.storage.replace`` again.
-    """
+    The handle exposes the injected target as ``target``; ``revert()``
+    un-splices it, restoring the original volume."""
     volume = vm.storage.open(role)
     delayed = DelayTarget(
         volume,
@@ -157,17 +248,24 @@ def slow_disk(vm, role: str, read_ms: float = 0.0,
         write_delay=write_ms / 1000.0,
     )
     vm.storage.replace(role, delayed)
-    return delayed
+    handle = FaultHandle(
+        f"slow_disk:{role}", lambda: vm.storage.replace(role, volume)
+    )
+    handle.target = delayed
+    return handle
 
 
 def corrupt_disk(vm, partition: str, block_index: int = 0,
-                 byte_offset: int = 0, xor_mask: int = 0x01) -> int:
+                 byte_offset: int = 0, xor_mask: int = 0x01) -> FaultHandle:
     """Flip bits on the *raw host disk* inside the named partition's
     extent — the offline-tampering attack (paper §6.1.3), injected
-    below every device-mapper layer.  Returns the absolute byte offset
-    corrupted.  Reads through a verity- or crypt-backed volume covering
-    that extent subsequently fail (cold or warm: the mutation
-    invalidates every cache above it)."""
+    below every device-mapper layer.  Reads through a verity- or
+    crypt-backed volume covering that extent subsequently fail (cold or
+    warm: the mutation invalidates every cache above it).
+
+    The handle exposes the absolute byte offset corrupted as
+    ``offset``; ``revert()`` re-applies the XOR mask (a second mutation
+    — caches above stay invalidated, but reads verify again)."""
     table = PartitionTable.read_from(vm.disk)
     entry = table.find(partition)
     if not (0 <= block_index < entry.num_blocks):
@@ -177,4 +275,8 @@ def corrupt_disk(vm, partition: str, block_index: int = 0,
         )
     absolute = (entry.first_block + block_index) * vm.disk.block_size + byte_offset
     vm.disk.corrupt(absolute, xor_mask)
-    return absolute
+    handle = FaultHandle(
+        f"corrupt_disk:{partition}", lambda: vm.disk.corrupt(absolute, xor_mask)
+    )
+    handle.offset = absolute
+    return handle

@@ -54,6 +54,24 @@ from ..sim.resources import Server
 #: Balancing policies (pluggable via the ``balancer`` argument).
 BALANCERS = ("round_robin", "least_outstanding", "weighted_latency")
 
+#: The gateway layer's own stable reason codes — everything the probe,
+#: routing, and health machinery can emit *in addition to* the
+#: pipeline's ``ATTEST_REASON_CODES``.  Campaign taxonomy tests diff
+#: this set against the codes their scenarios actually reached, so a
+#: new code added here without a scenario fails loudly.
+GATEWAY_REASON_CODES = frozenset({
+    "backend_unreachable",   # probe/forward TLS connect failed
+    "family_mismatch",       # evidence family != registered family
+    "health_timeout",        # liveness probe exceeded the monitor budget
+    "kds_unreachable",       # verdict freshness unconfirmable (fail closed)
+    "malformed_report",      # well-known body undecodable
+    "malformed_request",     # client envelope undecodable
+    "no_healthy_backend",    # zero admitted backends for the session tier
+    "report_unavailable",    # well-known endpoint non-200
+    "session_severed",       # record for a session whose backend died
+    "unknown_backend",       # operation on an unregistered address
+})
+
 
 class GatewayError(NetworkError):
     """A routing failure with a stable machine-readable reason code."""

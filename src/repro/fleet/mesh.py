@@ -113,6 +113,19 @@ class ConsistentHashRing:
         return self._owners[index]
 
 
+#: Stable rejection codes for gossiped verdicts (the ``gossip.rejected.*``
+#: counter namespace on every gateway).  Forged, replayed, or stale
+#: records must land on exactly one of these — campaign taxonomy tests
+#: assert each is reached by at least one abuse scenario.
+GOSSIP_REJECT_REASONS = frozenset({
+    "family_mismatch",       # record's family != local registration
+    "family_not_allowed",    # family revoked / outside the admissible set
+    "older",                 # not newer than the verdict already held
+    "stale",                 # aged past min(verdict_ttl, max_staleness)
+    "unknown_backend",       # backend not registered on this shard
+})
+
+
 @dataclass(frozen=True)
 class GossipedVerdict:
     """One attestation verdict travelling between gateways.

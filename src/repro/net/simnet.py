@@ -160,6 +160,14 @@ class Network:
         """Detach a machine."""
         self._hosts_by_ip.pop(ip_address, None)
 
+    def attach_host(self, host: "Host") -> "Host":
+        """Re-attach a previously removed machine (fault revert: the
+        host comes back with its listeners and state intact)."""
+        if host.ip_address in self._hosts_by_ip:
+            raise NetworkError(f"IP {host.ip_address} already in use")
+        self._hosts_by_ip[host.ip_address] = host
+        return host
+
     def host_at(self, ip_address: str) -> Host:
         """The host at an IP (raises if unreachable)."""
         try:

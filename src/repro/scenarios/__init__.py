@@ -1,0 +1,48 @@
+"""repro.scenarios: declarative adversary campaigns under live traffic.
+
+The subsystem behind the paper's security story (§6.1): every attack
+the threat model grants the host, the network, or a rogue operator is
+expressed as data (:mod:`~repro.scenarios.spec`), executed through one
+revertible injector protocol (:mod:`~repro.scenarios.injectors`)
+against a live stormed fleet or a bare pipeline
+(:mod:`~repro.scenarios.arena`), and judged by one runner
+(:mod:`~repro.scenarios.runner`) that asserts containment (the stable
+reason code), recovery (symmetric revert), benign-twin success, and
+benign-traffic SLOs in a single deterministic report.
+
+Built-in campaigns live in :mod:`~repro.scenarios.catalog`; the full
+matrix (campaigns x sigcache x rollout x verify-farm) is
+``benchmarks/bench_scenarios.py``.
+"""
+
+from .catalog import CAMPAIGNS, campaign_names, get_campaign
+from .injectors import Injection, create, register, registered_injectors
+from .runner import CampaignReport, CampaignRunner
+from .spec import (
+    ARENAS,
+    LAYERS,
+    NAMESPACES,
+    CampaignSpec,
+    ScenarioSpec,
+    SloSpec,
+    scenario,
+)
+
+__all__ = [
+    "ARENAS",
+    "CAMPAIGNS",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Injection",
+    "LAYERS",
+    "NAMESPACES",
+    "ScenarioSpec",
+    "SloSpec",
+    "campaign_names",
+    "create",
+    "get_campaign",
+    "register",
+    "registered_injectors",
+    "scenario",
+]

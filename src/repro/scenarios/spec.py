@@ -1,0 +1,194 @@
+"""The declarative adversary-campaign DSL.
+
+A :class:`ScenarioSpec` names one attack from the paper's section-6.1
+threat model — which layer it strikes (hypervisor, KDS, PKI, storage,
+gateway, mesh, policy, cache, network, pipeline, launch), which
+registered injector executes it, when it fires on the sim clock, how
+long it dwells under live traffic, and the **stable reason code** the
+defence must surface (``namespace:code``, e.g. ``attest:tcb_too_old``).
+Every attack carries a *benign twin* — the same injector with harmless
+parameters — so a campaign proves both halves of the containment
+contract: the attack lands on exactly its expected code, and the benign
+shape of the same operation sails through with zero hits on that code.
+
+A :class:`CampaignSpec` bundles scenarios with the arena they run in:
+
+* ``storm`` — a live :class:`~repro.fleet.gateway.FleetGateway` fleet
+  under an open-loop session storm on the event kernel; attacks fire
+  *mid-storm* and benign-traffic SLOs (:class:`SloSpec`) must hold,
+* ``pipeline`` — the bare :class:`~repro.attest.AttestationVerifier`,
+  for the long tail of per-family reason codes (no traffic needed),
+* ``launch`` — boot/provision-time attacks against a fresh one-node
+  deployment (the section-6.1 launch matrix).
+
+Specs are frozen and hashable; parameters are stored as sorted tuples
+so two structurally equal scenarios compare equal and reports derived
+from them are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Where a campaign runs its scenarios.
+ARENAS = ("storm", "pipeline", "launch")
+
+#: Reason-code namespaces an ``expect`` may target: ``attest`` (the
+#: pipeline taxonomy, counted by the tracer), ``gateway`` (gateway
+#: counters / :class:`~repro.fleet.gateway.GatewayError` reasons),
+#: ``mesh`` (``gossip.rejected.*`` counters), ``storage`` (device-mapper
+#: counters in the tracer), and ``launch`` (boot-time failures observed
+#: directly by the injector).
+NAMESPACES = ("attest", "gateway", "mesh", "storage", "launch")
+
+#: The attacked layer, for reporting and blast-radius bookkeeping.
+LAYERS = (
+    "hypervisor", "kds", "pki", "storage", "gateway", "mesh",
+    "policy", "cache", "network", "pipeline", "launch",
+)
+
+
+def _freeze(params: Optional[Mapping]) -> Tuple[Tuple[str, object], ...]:
+    """Normalise a parameter mapping to a sorted, hashable tuple."""
+    if not params:
+        return ()
+    frozen = []
+    for key in sorted(params):
+        value = params[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((str(key), value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One attack, its timing, and the verdict it must provoke."""
+
+    #: Unique (per campaign) machine-readable scenario name.
+    name: str
+    #: The layer the attack strikes (one of :data:`LAYERS`).
+    layer: str
+    #: Registered injector name (see :mod:`repro.scenarios.injectors`).
+    injector: str
+    #: ``namespace:code`` the attack must land on.
+    expect: str
+    #: Injector parameters for the attack arm.
+    params: Tuple[Tuple[str, object], ...] = ()
+    #: Injector parameters for the benign twin; ``None`` disables the
+    #: twin (only the launch matrix's implicit clean boots use that).
+    benign_params: Optional[Tuple[Tuple[str, object], ...]] = ()
+    #: Sim seconds after campaign start when the attack fires.
+    trigger_at: float = 0.0
+    #: Sim seconds the fault stays active under live traffic before the
+    #: verdict is provoked (storm arena only).
+    dwell: float = 0.0
+    #: What the attack may legitimately take down ("backend" — one
+    #: backend's admission; "none" — nothing, fully contained at the
+    #: control plane; "family" — every backend of one TEE family).
+    blast_radius: str = "backend"
+    #: Human-readable one-liner for reports.
+    title: str = ""
+
+    def __post_init__(self) -> None:
+        if self.layer not in LAYERS:
+            raise ValueError(f"{self.name}: unknown layer {self.layer!r}")
+        namespace, _, code = self.expect.partition(":")
+        if namespace not in NAMESPACES or not code:
+            raise ValueError(
+                f"{self.name}: expect must be 'namespace:code' with a "
+                f"namespace from {NAMESPACES}, got {self.expect!r}"
+            )
+        if not self.injector:
+            raise ValueError(f"{self.name}: empty injector name")
+        if self.trigger_at < 0 or self.dwell < 0:
+            raise ValueError(f"{self.name}: negative trigger/dwell")
+
+    @property
+    def expected_namespace(self) -> str:
+        return self.expect.partition(":")[0]
+
+    @property
+    def expected_reason(self) -> str:
+        return self.expect.partition(":")[2]
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def benign_params_dict(self) -> Optional[Dict[str, object]]:
+        return None if self.benign_params is None else dict(self.benign_params)
+
+
+def scenario(
+    name: str,
+    layer: str,
+    injector: str,
+    expect: str,
+    params: Optional[Mapping] = None,
+    benign: Optional[Mapping] = None,
+    trigger_at: float = 0.0,
+    dwell: float = 0.0,
+    blast_radius: str = "backend",
+    title: str = "",
+) -> ScenarioSpec:
+    """Author-friendly constructor: dict parameters, frozen storage."""
+    return ScenarioSpec(
+        name=name,
+        layer=layer,
+        injector=injector,
+        expect=expect,
+        params=_freeze(params),
+        benign_params=None if benign is None else _freeze(benign),
+        trigger_at=trigger_at,
+        dwell=dwell,
+        blast_radius=blast_radius,
+        title=title or name.replace("-", " "),
+    )
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """What benign traffic is owed while a campaign runs (storm arena).
+
+    ``p99_factor`` bounds the benign p99 against an *attack-free*
+    baseline storm run with the same seed and axes; failed/blocked are
+    absolute ceilings (the paper's bar: attacks never silently degrade
+    honest clients — zero failures, zero wrongly blocked sessions)."""
+
+    max_failed: int = 0
+    max_blocked: int = 0
+    p99_factor: float = 2.0
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named set of scenarios plus the world they run against."""
+
+    name: str
+    arena: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    description: str = ""
+    #: Storm shape (ignored outside the storm arena).
+    sessions: int = 400
+    users: int = 24
+    arrival_rate: float = 12.0
+    backends: int = 3
+    #: Non-SNP backends joined per listed family (storm arena); family
+    #: scenarios (revocation, gossip ``family_not_allowed``) need one.
+    hetero_families: Tuple[str, ...] = ("tdx",)
+    #: Extra session tier with no serving family, so tier exhaustion
+    #: (``no_healthy_backend``) is reachable without hurting real tiers.
+    empty_tier: str = "sealed"
+    slo: SloSpec = field(default_factory=SloSpec)
+
+    def __post_init__(self) -> None:
+        if self.arena not in ARENAS:
+            raise ValueError(f"{self.name}: unknown arena {self.arena!r}")
+        names = [spec.name for spec in self.scenarios]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"{self.name}: duplicate scenario names {dupes}")
+
+    def attack_count(self) -> int:
+        return len(self.scenarios)

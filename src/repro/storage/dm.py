@@ -552,6 +552,15 @@ class FaultTarget(_TargetDevice):
         self._flip_blocks.clear()
         self._own_mutations += 1
 
+    def disarm_block(self, index: int) -> None:
+        """Disarm the faults on one block only — the symmetric revert
+        of a single ``fail_block``/``corrupt_block`` injection, leaving
+        any other armed faults in place (campaigns revert each attack
+        individually mid-run)."""
+        self._fail_blocks.discard(index)
+        self._flip_blocks.discard(index)
+        self._own_mutations += 1
+
     def read_block(self, index: int) -> bytes:
         if index in self._fail_blocks:
             self._note("errors_injected")

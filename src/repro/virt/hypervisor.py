@@ -144,10 +144,15 @@ class Hypervisor:
     # -- runtime host attacks -------------------------------------------------
 
     def tamper_disk_at_runtime(self, vm: VirtualMachine, byte_offset: int,
-                               xor_mask: int = 0x01) -> None:
+                               xor_mask: int = 0x01) -> Callable[[], None]:
         """Flip disk bits under a *running* guest (section 6.1.3): the
-        host always can — dm-verity makes the guest notice on read."""
+        host always can — dm-verity makes the guest notice on read.
+
+        Returns an undo callable that re-applies the XOR mask (the
+        scenario engine's ``revert()`` protocol: a second mutation puts
+        the bytes back; caches above stay invalidated either way)."""
         vm.disk.corrupt(byte_offset, xor_mask)
+        return lambda: vm.disk.corrupt(byte_offset, xor_mask)
 
     def snapshot_disk(self, vm_name: str) -> bytes:
         """Capture a disk image for a later rollback attack (6.1.4)."""

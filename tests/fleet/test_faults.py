@@ -3,16 +3,22 @@ floor, a revoked TEE family — each surfacing its stable reason code
 and zero end-user damage."""
 
 
+import pytest
+
 from repro.amd.tcb import TcbVersion
 from repro.core.deployment import MINIMAL_PAGE
 from repro.fleet import (
     HeterogeneousFleet,
     blackhole_kds,
+    corrupt_disk,
     kill_backend,
     raise_family_tcb_floor,
     raise_tcb_floor,
     revoke_family,
+    slow_disk,
 )
+from repro.storage.dm import VerityError
+from repro.storage.partition import PartitionTable
 
 
 def navigate_ok(browser, domain):
@@ -179,3 +185,117 @@ class TestFamilyFaults:
         # SNP and CCA backends still re-attest fine under their floors.
         assert gateway.attest_and_admit("10.1.0.40").ok
         assert gateway.attest_and_admit(sorted(gateway.backends)[0]).ok
+
+
+class TestSymmetricRevert:
+    """Every injector's ``revert()`` restores pre-attack admission
+    behaviour: after the undo, a re-registration + re-attestation (the
+    same path a recovered machine takes) admits the backend again, and
+    storage reads verify again."""
+
+    def test_kill_backend_revert_restores_admission(self, sync_world):
+        _, gateway, _ = sync_world
+        ip = sorted(gateway.backends)[0]
+        handle = kill_backend(gateway, ip)
+        assert not gateway.attest_and_admit(ip).ok
+        assert gateway.backends[ip].state == "evicted"
+
+        handle.revert()
+        gateway.add_backend(ip)
+        assert gateway.attest_and_admit(ip).ok
+        assert gateway.backends[ip].state == "admitted"
+        handle.revert()  # idempotent
+        assert gateway.attest_and_admit(ip).ok
+
+    def test_blackhole_revert_swaps_client_and_verifier_back(self, sync_world):
+        _, gateway, _ = sync_world
+        original_kds, original_verifier = gateway.kds, gateway.verifier
+        hole = blackhole_kds(gateway, clear_cache=True)
+        ip = sorted(gateway.backends)[0]
+        assert gateway.attest_and_admit(ip).reason == "kds_unreachable"
+
+        hole.revert()
+        assert gateway.kds is original_kds
+        assert gateway.verifier is original_verifier
+        gateway.add_backend(ip)
+        assert gateway.attest_and_admit(ip).ok
+
+    def test_tcb_floor_revert_restores_previous_floor(self, sync_world):
+        _, gateway, _ = sync_world
+        previous = gateway.minimum_tcb
+        handle = raise_tcb_floor(gateway, TcbVersion(255, 255, 255, 255))
+        ip = sorted(gateway.backends)[0]
+        assert gateway.attest_and_admit(ip).reason == "tcb_too_old"
+
+        handle.revert()
+        assert gateway.minimum_tcb == previous
+        gateway.add_backend(ip)
+        assert gateway.attest_and_admit(ip).ok
+
+    def test_family_floor_revert_removes_the_floor(self, sync_world):
+        deployment, gateway, _ = sync_world
+        fleet = HeterogeneousFleet(deployment)
+        fleet.add_tdx_backend("10.1.0.10")
+        assert all(v.ok for v in fleet.attach_gateway(gateway))
+        handle = raise_family_tcb_floor(gateway, "tdx", 4)
+        assert gateway.attest_and_admit("10.1.0.10").reason == "family_tcb_floor"
+
+        handle.revert()
+        assert "tdx" not in gateway.family_tcb_floors
+        gateway.add_backend("10.1.0.10", family="tdx")
+        assert gateway.attest_and_admit("10.1.0.10").ok
+
+    def test_revoke_family_revert_lifts_the_revocation(self, sync_world):
+        deployment, gateway, _ = sync_world
+        fleet = HeterogeneousFleet(deployment)
+        fleet.add_tdx_backend("10.1.0.10")
+        assert all(v.ok for v in fleet.attach_gateway(gateway))
+        handle = revoke_family(gateway, "tdx")
+        assert gateway.backends["10.1.0.10"].state == "evicted"
+        assert not gateway.attest_and_admit("10.1.0.10").ok
+
+        handle.revert()
+        assert "tdx" not in gateway.revoked_families
+        gateway.add_backend("10.1.0.10", family="tdx")
+        assert gateway.attest_and_admit("10.1.0.10").ok
+
+    def test_corrupt_disk_revert_restores_reads(self, sync_world):
+        deployment, _, _ = sync_world
+        vm = deployment.nodes[0].vm
+        volume = vm.storage.open("verity")
+        volume.read_block(2)  # clean
+        handle = corrupt_disk(
+            vm, "rootfs", block_index=2, byte_offset=3, xor_mask=0x40
+        )
+        with pytest.raises(VerityError):
+            volume.read_block(2)
+
+        handle.revert()
+        volume.read_block(2)  # verifies again
+        handle.revert()  # idempotent: no double re-XOR
+        volume.read_block(2)
+
+    def test_slow_disk_revert_unsplices_the_delay(self, sync_world):
+        deployment, _, _ = sync_world
+        vm = deployment.nodes[0].vm
+        original = vm.storage.open("verity")
+        handle = slow_disk(vm, "verity", read_ms=5.0)
+        assert vm.storage.open("verity") is handle.target
+
+        handle.revert()
+        assert vm.storage.open("verity") is original
+
+    def test_runtime_tamper_undo_restores_reads(self, sync_world):
+        deployment, _, _ = sync_world
+        deployed = deployment.nodes[0]
+        vm = deployed.vm
+        volume = vm.storage.open("verity")
+        entry = PartitionTable.read_from(vm.disk).find("rootfs")
+        offset = (entry.first_block + 1) * vm.disk.block_size + 7
+
+        undo = deployed.hypervisor.tamper_disk_at_runtime(vm, offset, 0x20)
+        with pytest.raises(VerityError):
+            volume.read_block(1)
+
+        undo()
+        volume.read_block(1)

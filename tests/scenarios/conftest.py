@@ -1,0 +1,41 @@
+"""Campaign fixtures: each built-in campaign run exactly once per
+module, at a storm size small enough for CI but large enough that
+every attack lands (the taxonomy and determinism tests below share
+these runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.build import build_revelio_image
+from repro.scenarios import CampaignRunner, get_campaign
+from tests.conftest import make_spec
+
+#: Storm size for the shared fixture runs.  Code coverage (which codes
+#: each attack lands on) is independent of storm length; only the SLO
+#: margins shrink, and the stable-fleet axis used here holds at 120.
+STORM_SESSIONS = 120
+
+
+@pytest.fixture(scope="module")
+def scenario_build(registry_and_pins):
+    registry, pins = registry_and_pins
+    return build_revelio_image(make_spec(registry, pins))
+
+
+@pytest.fixture(scope="module")
+def storm_report(scenario_build):
+    campaign = dataclasses.replace(
+        get_campaign("storm-core"), sessions=STORM_SESSIONS
+    )
+    return CampaignRunner(scenario_build, campaign, seed=0).run()
+
+
+@pytest.fixture(scope="module")
+def pipeline_report():
+    return CampaignRunner(None, get_campaign("pipeline-tail"), seed=0).run()
+
+
+@pytest.fixture(scope="module")
+def launch_report(scenario_build):
+    return CampaignRunner(scenario_build, get_campaign("launch-61"), seed=0).run()

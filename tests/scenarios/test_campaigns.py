@@ -1,0 +1,118 @@
+"""The campaign contract, asserted end to end: every built-in attack
+lands on its stable reason code, the taxonomy is fully covered, and
+same-seed reports are byte-identical."""
+
+import dataclasses
+
+import pytest
+
+from repro.attest import ATTEST_REASON_CODES
+from repro.fleet.gateway import GATEWAY_REASON_CODES
+from repro.fleet.mesh import GOSSIP_REJECT_REASONS
+from repro.scenarios import CampaignRunner, get_campaign
+from tests.scenarios.conftest import STORM_SESSIONS
+
+
+def _assert_contract(report):
+    for entry in report.scenarios:
+        assert entry["landed"], (
+            f"{report.campaign}/{entry['name']} missed its expected "
+            f"code {entry['expect']} (observed {entry['observed']})"
+        )
+        assert entry["contained"], f"{report.campaign}/{entry['name']}"
+        assert entry["recovered"], f"{report.campaign}/{entry['name']}"
+        twin = entry["benign"]
+        if twin is not None:
+            assert twin["ok"], (
+                f"{report.campaign}/{entry['name']}: benign twin failed "
+                f"({twin})"
+            )
+
+
+class TestCampaignContract:
+    def test_storm_core_holds_the_full_contract(self, storm_report):
+        assert storm_report.ok, storm_report.violations
+        _assert_contract(storm_report)
+        assert storm_report.slo["ok"], storm_report.slo
+
+    def test_pipeline_tail_lands_every_code(self, pipeline_report):
+        assert pipeline_report.ok, pipeline_report.violations
+        _assert_contract(pipeline_report)
+
+    def test_launch_61_matrix(self, launch_report):
+        assert launch_report.ok, launch_report.violations
+        _assert_contract(launch_report)
+
+
+class TestTaxonomyCompleteness:
+    def test_every_stable_reason_code_is_reached(
+        self, storm_report, pipeline_report, launch_report
+    ):
+        """Every code in the attest, gateway, and mesh taxonomies must
+        be provoked by at least one scenario — a new reason code
+        without a campaign reaching it fails here by name."""
+        want = (
+            {f"attest:{code}" for code in ATTEST_REASON_CODES}
+            | {f"gateway:{code}" for code in GATEWAY_REASON_CODES}
+            | {f"mesh:{code}" for code in GOSSIP_REJECT_REASONS}
+        )
+        reached = set()
+        for report in (storm_report, pipeline_report, launch_report):
+            reached.update(report.codes_reached)
+        unreached = sorted(want - reached)
+        assert not unreached, (
+            "stable reason codes with no scenario reaching them "
+            f"(add one to repro/scenarios/catalog.py): {unreached}"
+        )
+
+    def test_reached_codes_use_known_namespaces_only(
+        self, storm_report, pipeline_report, launch_report
+    ):
+        for report in (storm_report, pipeline_report, launch_report):
+            for code in report.codes_reached:
+                namespace = code.partition(":")[0]
+                assert namespace in (
+                    "attest", "gateway", "mesh", "storage", "launch"
+                ), code
+
+
+class TestDeterminism:
+    def test_storm_reports_are_byte_identical_same_seed(
+        self, scenario_build, storm_report
+    ):
+        campaign = dataclasses.replace(
+            get_campaign("storm-core"), sessions=STORM_SESSIONS
+        )
+        rerun = CampaignRunner(scenario_build, campaign, seed=0).run()
+        assert rerun.to_json() == storm_report.to_json()
+
+    def test_pipeline_reports_are_byte_identical_same_seed(
+        self, pipeline_report
+    ):
+        rerun = CampaignRunner(None, get_campaign("pipeline-tail"), seed=0).run()
+        assert rerun.to_json() == pipeline_report.to_json()
+
+    def test_launch_reports_are_byte_identical_same_seed(
+        self, scenario_build, launch_report
+    ):
+        rerun = CampaignRunner(
+            scenario_build, get_campaign("launch-61"), seed=0
+        ).run()
+        assert rerun.to_json() == launch_report.to_json()
+
+    def test_different_seed_changes_the_storm_report(self, scenario_build,
+                                                     storm_report):
+        campaign = dataclasses.replace(
+            get_campaign("storm-core"), sessions=STORM_SESSIONS
+        )
+        other = CampaignRunner(scenario_build, campaign, seed=1).run()
+        assert other.ok, other.violations
+        assert other.to_json() != storm_report.to_json()
+
+
+class TestRunnerValidation:
+    def test_rollout_axis_requires_a_v2_build(self, scenario_build):
+        with pytest.raises(ValueError):
+            CampaignRunner(
+                scenario_build, get_campaign("storm-core"), rollout=True
+            )

@@ -1,0 +1,103 @@
+"""Unit tests for the campaign DSL and the injector registry."""
+
+import pytest
+
+from repro.scenarios import (
+    ARENAS,
+    CAMPAIGNS,
+    CampaignSpec,
+    LAYERS,
+    NAMESPACES,
+    ScenarioSpec,
+    campaign_names,
+    create,
+    get_campaign,
+    registered_injectors,
+    scenario,
+)
+
+
+class TestScenarioSpec:
+    def test_scenario_helper_freezes_params(self):
+        spec = scenario(
+            "probe", "gateway", "backend_kill", "gateway:backend_unreachable",
+            params={"victim": 1, "mode": "hard"},
+            benign={"victim": 0},
+        )
+        assert spec.params == (("mode", "hard"), ("victim", 1))
+        assert spec.params_dict() == {"mode": "hard", "victim": 1}
+        assert spec.benign_params_dict() == {"victim": 0}
+        assert spec.expected_namespace == "gateway"
+        assert spec.expected_reason == "backend_unreachable"
+        assert spec.title == "probe"
+
+    def test_structurally_equal_specs_compare_equal(self):
+        a = scenario("x", "kds", "kds_blackhole", "attest:kds_unreachable",
+                     params={"b": 2, "a": 1})
+        b = scenario("x", "kds", "kds_blackhole", "attest:kds_unreachable",
+                     params={"a": 1, "b": 2})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_benign_none_means_no_twin(self):
+        spec = scenario("clean", "launch", "launch_attack",
+                        "launch:boot_failure", benign=None)
+        assert spec.benign_params is None
+        assert spec.benign_params_dict() is None
+
+    @pytest.mark.parametrize("kwargs, fragment", [
+        (dict(layer="kernelspace"), "unknown layer"),
+        (dict(expect="tcb_too_old"), "namespace"),
+        (dict(expect="weird:code"), "namespace"),
+        (dict(expect="attest:"), "namespace"),
+        (dict(injector=""), "empty injector"),
+        (dict(trigger_at=-1.0), "negative"),
+        (dict(dwell=-0.5), "negative"),
+    ])
+    def test_validation_rejects_bad_specs(self, kwargs, fragment):
+        base = dict(name="bad", layer="gateway", injector="backend_kill",
+                    expect="gateway:backend_unreachable")
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=fragment):
+            ScenarioSpec(**base)
+
+
+class TestCampaignSpec:
+    def test_unknown_arena_rejected(self):
+        with pytest.raises(ValueError, match="unknown arena"):
+            CampaignSpec(name="bad", arena="chaos", scenarios=())
+
+    def test_duplicate_scenario_names_rejected(self):
+        dup = scenario("same", "gateway", "backend_kill",
+                       "gateway:backend_unreachable")
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(name="bad", arena="storm", scenarios=(dup, dup))
+
+    def test_catalog_is_complete_and_well_formed(self):
+        assert set(campaign_names()) == set(CAMPAIGNS)
+        for name in campaign_names():
+            campaign = get_campaign(name)
+            assert campaign.arena in ARENAS
+            assert campaign.scenarios, name
+            for spec in campaign.scenarios:
+                assert spec.layer in LAYERS
+                assert spec.expected_namespace in NAMESPACES
+                assert spec.injector in registered_injectors(), spec.injector
+
+    def test_get_campaign_names_the_alternatives(self):
+        with pytest.raises(KeyError, match="storm-core"):
+            get_campaign("no-such-campaign")
+
+
+class TestInjectorRegistry:
+    def test_core_injectors_are_registered(self):
+        names = set(registered_injectors())
+        assert {
+            "backend_kill", "kds_blackhole", "tcb_rollback",
+            "family_revocation", "rogue_backend", "gossip_forgery",
+            "storage_bitflip", "pipeline_attack", "launch_attack",
+        } <= names
+
+    def test_create_rejects_unknown_injectors(self):
+        with pytest.raises(KeyError, match="unknown injector"):
+            create("no_such_injector", world=None)
