@@ -1,0 +1,366 @@
+"""Signed delta updates: build-cache reuse, delta size, fleet rollout.
+
+Three phases over the :mod:`repro.build` update stack and the
+:mod:`repro.fleet` provisioner:
+
+* **Phase A — incremental rebuilds.**  The same spec built cold, then
+  rebuilt against the content-addressed :class:`BuildCache` (every
+  stage must hit and the image must be byte-identical), then rebuilt
+  with exactly one package bumped (only the stages whose inputs moved
+  recompute).  The registry's payload-dedup figures ride along.
+* **Phase B — delta vs full-image push.**  The block-level delta for
+  the one-package change: payload bytes, encoded-blob bytes, signed
+  manifest overhead, and the shipped/full ratio, gated at
+  ``--delta-ratio-max`` (default 0.25).
+* **Phase C — fleet rollout.**  A 1000-node mixed-family fleet (SNP
+  deployment nodes + lite backends) behind a regioned
+  :class:`~repro.fleet.mesh.GatewayMesh`, updated region-serially by
+  :class:`~repro.fleet.provision.FleetProvisioner` while a lite
+  session storm runs.  Acceptance: every node delivered, verified,
+  applied, re-attested, and admitted; **zero requests routed to a
+  non-re-attested node**; shipped bytes a small fraction of a
+  full-image push.
+
+Everything recorded in ``BENCH_update.json`` derives from simulated
+time and deterministic counters — two runs with the same ``--seed``
+are byte-identical (wall-clock timings go to stdout only).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_update.py``
+(``--nodes 30`` for a quick smoke run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.attest import reset_tracer
+from repro.attest.trace import get_tracer
+from repro.build import (
+    BuildCache,
+    ImageSpec,
+    Package,
+    PackagePin,
+    PackageRegistry,
+    build_revelio_image,
+    compute_delta,
+)
+from repro.build.channel import UpdateChannel
+from repro.core import RevelioDeployment
+from repro.crypto import ec, sigcache
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+from repro.fleet import FleetProvisioner, GatewayMesh, LiteFleet, MeshWorkload
+from repro.sim import EventKernel, SimRng
+from repro.sim.kernel import sleep
+
+REGIONS = ("us-east", "us-west", "eu-central", "ap-south")
+REGION_RTT = {
+    ("us-east", "us-west"): 0.060,
+    ("us-east", "eu-central"): 0.080,
+    ("us-east", "ap-south"): 0.180,
+    ("us-west", "eu-central"): 0.140,
+    ("us-west", "ap-south"): 0.150,
+    ("eu-central", "ap-south"): 0.110,
+}
+LITE_FAMILIES = ("sev-snp", "tdx", "arm-cca", "e-vtpm")
+
+
+def _registry(agent_version: str = "1.0.0"):
+    """The bench fleet's package set; only the agent varies between
+    image versions (the "one-package change")."""
+    registry = PackageRegistry()
+    pins = {}
+    for package in [
+        Package.create(
+            "nginx",
+            "1.24.0",
+            files={
+                "/usr/sbin/nginx": b"\x7fELF-nginx" + b"n" * 2000,
+                "/etc/nginx/nginx.conf": b"server { listen 443 ssl; }",
+            },
+        ),
+        Package.create(
+            "ic-boundary-node",
+            "0.9.0",
+            files={"/opt/ic/boundary-node": b"\x7fELF-bn" + b"b" * 4000},
+        ),
+        Package.create(
+            "revelio-agent",
+            agent_version,
+            files={
+                "/usr/bin/revelio-agent": (
+                    b"\x7fELF-agent-" + agent_version.encode() + b"r" * 1000
+                )
+            },
+        ),
+    ]:
+        digest = registry.publish(package)
+        pins[package.name] = PackagePin(package.name, package.version, digest)
+    return registry, pins
+
+
+def _spec(registry, pins, version: str) -> ImageSpec:
+    return ImageSpec(
+        name="boundary-node",
+        version=version,
+        registry=registry,
+        package_pins=[
+            pins[p] for p in ("nginx", "ic-boundary-node", "revelio-agent")
+        ],
+        service_domain="bench-update.example",
+        services=("https",),
+        data_volume_blocks=16,
+    )
+
+
+def phase_build_cache(args) -> tuple:
+    """Cold build, cached rebuild, one-package incremental rebuild."""
+    registry, pins = _registry()
+    cache = BuildCache()
+
+    wall_started = time.perf_counter()
+    base = build_revelio_image(_spec(registry, pins, "1.0.0"), cache=cache)
+    cold_wall = time.perf_counter() - wall_started
+    cold_misses = dict(cache.misses)
+
+    cache.reset_stats()
+    wall_started = time.perf_counter()
+    rebuild = build_revelio_image(_spec(registry, pins, "1.0.0"), cache=cache)
+    warm_wall = time.perf_counter() - wall_started
+    assert rebuild.image.encode() == base.image.encode(), (
+        "cached rebuild is not byte-identical to the cold build"
+    )
+    warm = cache.stats()
+
+    # Bump exactly one package and rebuild incrementally.
+    bumped_registry, bumped_pins = _registry("2.0.0")
+    for name in ("nginx", "ic-boundary-node"):
+        assert bumped_pins[name] == pins[name], "only the agent may change"
+    cache.reset_stats()
+    target = build_revelio_image(
+        _spec(bumped_registry, bumped_pins, "2.0.0"), cache=cache
+    )
+    incremental = cache.stats()
+    speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    print(f"  cold build {cold_wall * 1e3:.1f}ms wall, cached rebuild "
+          f"{warm_wall * 1e3:.1f}ms wall ({speedup:.1f}x; wall figures "
+          f"not persisted)")
+    result = {
+        "cold_misses": cold_misses,
+        "warm_rebuild": {
+            "hits": warm["hits"],
+            "misses": warm["misses"],
+            "hit_ratio": warm["hit_ratio"],
+            "byte_identical": True,
+        },
+        "one_package_change": {
+            "hits": incremental["hits"],
+            "misses": incremental["misses"],
+        },
+        "registry_dedup": registry.dedup_stats(),
+    }
+    assert warm["misses"] == {}, f"warm rebuild missed: {warm['misses']}"
+    return result, base, target
+
+
+def phase_delta(args, base, target) -> dict:
+    """The one-package delta, and what publishing it costs on the wire."""
+    delta = compute_delta(base.image, target.image)
+    blob = delta.encode()
+    key = PrivateKey.generate_ecdsa(HmacDrbg(b"bench-update-channel"), "P-256")
+    channel = UpdateChannel(key, image_name=base.image.name)
+    signed = channel.publish(
+        delta, base.expected_measurement, target.expected_measurement
+    )
+    full_bytes = len(target.image.disk_image)
+    ratio = len(blob) / full_bytes
+    assert ratio <= args.delta_ratio_max, (
+        f"encoded delta is {ratio:.1%} of the full image "
+        f"(max {args.delta_ratio_max:.1%})"
+    )
+    print(f"  delta {len(blob)} bytes vs full image {full_bytes} bytes "
+          f"({ratio:.1%}), {len(delta.changed_blocks)} changed blocks")
+    return {
+        "full_image_bytes": full_bytes,
+        "delta_payload_bytes": delta.delta_bytes(),
+        "encoded_blob_bytes": len(blob),
+        "signed_manifest_bytes": len(signed.encode()),
+        "changed_blocks": len(delta.changed_blocks),
+        "changed_components": len(delta.components),
+        "delta_ratio": ratio,
+        "delta_ratio_max": args.delta_ratio_max,
+    }
+
+
+def phase_fleet_rollout(args, base, target) -> dict:
+    """Provision the whole mixed-family fleet under live traffic."""
+    sigcache.reset_cache()
+    ec.reset_point_cache()
+    reset_tracer()
+    regions = REGIONS[: max(1, min(args.regions, len(REGIONS)))]
+    deployment = RevelioDeployment(
+        base, num_nodes=args.snp_nodes,
+        seed=f"bench-update-{args.seed}".encode(),
+    ).deploy()
+    kernel = EventKernel(deployment.network.clock, SimRng(args.seed))
+    deployment.network.enable_event_mode(kernel)
+    for (region_a, region_b), rtt in sorted(REGION_RTT.items()):
+        if region_a in regions and region_b in regions:
+            deployment.latency.region_rtt[(region_a, region_b)] = rtt
+
+    mesh = GatewayMesh.for_deployment(deployment, kernel, regions=regions)
+    lite = LiteFleet(deployment)
+    extra = max(0, args.nodes - args.snp_nodes)
+    for index in range(extra):
+        lite.add_backend(
+            f"10.8.{index // 200}.{1 + index % 200}",
+            LITE_FAMILIES[index % len(LITE_FAMILIES)],
+            region=regions[index % len(regions)],
+        )
+    lite.adopt_deployment_nodes()
+    mesh.attach_lite_fleet(lite)
+    verdicts = mesh.admit_all()
+    assert all(v.ok for v in verdicts), [
+        (v.ip_address, v.reason) for v in verdicts if not v.ok
+    ]
+    kernel.run(until=kernel.clock.now + 1.0)
+
+    key = PrivateKey.generate_ecdsa(
+        HmacDrbg(f"bench-update-provision-{args.seed}".encode()), "P-256"
+    )
+    provisioner = FleetProvisioner(mesh, deployment, key, lite_fleet=lite)
+    workload = MeshWorkload(mesh, kernel, rng=SimRng(args.seed))
+    storm = kernel.spawn(
+        workload.open_loop(args.sessions, args.arrival_rate), name="storm"
+    )
+
+    def delayed_provision():
+        yield sleep(args.provision_at)
+        report = yield from provisioner.provision(target)
+        return report
+
+    rollout = kernel.spawn(delayed_provision(), name="provision")
+    steps_before = kernel.stats.steps
+    wall_started = time.perf_counter()
+    while not storm.finished or not rollout.finished:
+        kernel.run(until=kernel.clock.now + 60.0)
+    wall = time.perf_counter() - wall_started
+    rollout_steps = kernel.stats.steps - steps_before
+    kernel.run()
+    if storm.error is not None:
+        raise storm.error
+    if rollout.error is not None:
+        raise rollout.error
+
+    report = rollout.value
+    snapshot = workload.snapshot()
+    total = args.nodes
+    assert report.phase_counters() == {
+        "discovered": total,
+        "delivered": total,
+        "verified": total,
+        "applied": total,
+        "apply_cache_hits": total - 1,
+        "reattested": total,
+        "admitted": total,
+    }, report.phase_counters()
+    assert report.requests_to_unattested == 0, (
+        f"{report.requests_to_unattested} requests reached a "
+        f"non-re-attested node"
+    )
+    assert workload.sessions_failed == 0
+    assert snapshot.get("requests_failed", 0) == 0
+    assert deployment.build is target
+
+    wall_events = rollout_steps / wall if wall > 0 else float("inf")
+    print(f"  {total} nodes updated in {report.sim_seconds:.1f} sim s "
+          f"({wall:.1f}s wall, {wall_events:,.0f} events/sec; wall figures "
+          f"not persisted)")
+    print(f"  shipped {report.delta_bytes_shipped:,} delta bytes vs "
+          f"{report.full_bytes_equivalent:,} full-image bytes "
+          f"({report.delta_ratio:.1%}); "
+          f"{report.requests_to_unattested} requests to unattested nodes")
+    update_counters = get_tracer().update.snapshot()
+    return {
+        "nodes": {
+            "total": total,
+            "snp": args.snp_nodes,
+            "lite": extra,
+        },
+        "regions": [
+            {
+                "region": entry["region"],
+                "replaced": len(entry["replacements"]),
+                "sim_seconds": entry["sim_seconds"],
+            }
+            for entry in report.regions
+        ],
+        "epoch": report.epoch,
+        "phases": report.phase_counters(),
+        "delta_bytes_shipped": report.delta_bytes_shipped,
+        "full_bytes_equivalent": report.full_bytes_equivalent,
+        "delta_ratio": report.delta_ratio,
+        "requests_to_unattested": report.requests_to_unattested,
+        "rollout_sim_seconds": report.sim_seconds,
+        "storm": {
+            "sessions": args.sessions,
+            "sessions_completed": workload.sessions_completed,
+            "sessions_failed": workload.sessions_failed,
+            "requests_ok": snapshot.get("requests_ok", 0),
+            "requests_failed": snapshot.get("requests_failed", 0),
+        },
+        "update_counters": update_counters,
+    }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--nodes", type=int, default=1000,
+                        help="total fleet size in phase C (SNP + lite)")
+    parser.add_argument("--snp-nodes", type=int, default=4,
+                        help="full deployment SNP nodes inside phase C")
+    parser.add_argument("--regions", type=int, default=4,
+                        help="gateway regions in phase C (max 4)")
+    parser.add_argument("--sessions", type=int, default=2000,
+                        help="lite sessions stormed during the rollout")
+    parser.add_argument("--arrival-rate", type=float, default=20.0,
+                        help="open-loop session arrivals per sim second")
+    parser.add_argument("--provision-at", type=float, default=5.0,
+                        help="sim seconds into the storm to start provisioning")
+    parser.add_argument("--delta-ratio-max", type=float, default=0.25,
+                        help="fail if the encoded delta exceeds this "
+                             "fraction of the full image")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent
+                        / "BENCH_update.json")
+    args = parser.parse_args(argv)
+    if args.snp_nodes > args.nodes:
+        parser.error("--snp-nodes cannot exceed --nodes")
+
+    started = time.perf_counter()
+    results = {
+        "benchmark": "signed delta updates + fleet provisioning",
+        "seed": args.seed,
+    }
+    print("phase A (incremental rebuilds):")
+    cache_result, base, target = phase_build_cache(args)
+    results["build_cache"] = cache_result
+    print("phase B (delta vs full image):")
+    results["delta"] = phase_delta(args, base, target)
+    print(f"phase C (fleet rollout, {args.nodes} nodes):")
+    results["fleet_rollout"] = phase_fleet_rollout(args, base, target)
+
+    args.output.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output} "
+          f"(wall {time.perf_counter() - started:.1f}s)")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -301,6 +301,71 @@ class FarmCounters:
         self.__init__()
 
 
+class UpdateCounters:
+    """Signed update-channel counters (:mod:`repro.build.channel`).
+
+    The channel records every manifest verification outcome here —
+    acceptances, rejections by stable reason code, bytes shipped as
+    deltas vs the full images they replace, and apply-cache hits — so
+    the fleet provisioner's per-phase summary and ``BENCH_update.json``
+    read from the same place as attestation failures.  Snapshots are
+    plain sorted data so same-seed runs serialise byte-identically.
+    """
+
+    def __init__(self):
+        self.manifests_published = 0
+        self.manifests_accepted = 0
+        self.applied = 0
+        self.rejections: Counter = Counter()
+        self.delta_bytes_shipped = 0
+        self.full_bytes_replaced = 0
+        self.apply_cache_hits = 0
+
+    def record_publish(self) -> None:
+        """Count one signed manifest published to the channel."""
+        self.manifests_published += 1
+
+    def record_accept(self) -> None:
+        """Count one manifest passing full verification."""
+        self.manifests_accepted += 1
+
+    def record_reject(self, code: str) -> None:
+        """Count one typed rejection (manifest or delta)."""
+        self.rejections[code] += 1
+
+    def record_apply(self, delta_bytes: int, full_bytes: int,
+                     cached: bool = False) -> None:
+        """Count one applied update and its shipped-vs-full byte sizes."""
+        self.applied += 1
+        self.delta_bytes_shipped += delta_bytes
+        self.full_bytes_replaced += full_bytes
+        if cached:
+            self.apply_cache_hits += 1
+
+    def delta_ratio(self) -> float:
+        """Shipped delta bytes as a fraction of the full images."""
+        if not self.full_bytes_replaced:
+            return 0.0
+        return self.delta_bytes_shipped / self.full_bytes_replaced
+
+    def snapshot(self) -> dict:
+        """A plain-data view for reports and JSON persistence."""
+        return {
+            "manifests_published": self.manifests_published,
+            "manifests_accepted": self.manifests_accepted,
+            "applied": self.applied,
+            "apply_cache_hits": self.apply_cache_hits,
+            "rejections": dict(sorted(self.rejections.items())),
+            "delta_bytes_shipped": self.delta_bytes_shipped,
+            "full_bytes_replaced": self.full_bytes_replaced,
+            "delta_ratio": self.delta_ratio(),
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+
 class AttestationTracer:
     """Fans events out to its sinks.
 
@@ -308,8 +373,10 @@ class AttestationTracer:
     (exposed as :attr:`ring` and :attr:`counters`); additional sinks can
     be attached with :meth:`add_sink`.  The tracer also owns the
     process-wide :class:`StorageCounters` (:attr:`storage`) that the
-    device-mapper targets report into, and the :class:`FarmCounters`
-    (:attr:`farm`) the verify farm reports its batches to.
+    device-mapper targets report into, the :class:`FarmCounters`
+    (:attr:`farm`) the verify farm reports its batches to, and the
+    :class:`UpdateCounters` (:attr:`update`) the signed update channel
+    reports manifest verdicts and delta sizes to.
     """
 
     def __init__(self, ring_capacity: int = 256):
@@ -317,6 +384,7 @@ class AttestationTracer:
         self.counters = CounterRegistry()
         self.storage = StorageCounters()
         self.farm = FarmCounters()
+        self.update = UpdateCounters()
         self._sinks: List[TraceSink] = [self.ring, self.counters]
 
     def add_sink(self, sink: TraceSink) -> None:

@@ -6,9 +6,33 @@ pinned :class:`ImageSpec` deterministically becomes a VM image plus the
 against.  :mod:`repro.build.measurement` is the single measurement path
 shared by the builder, the software AMD-SP, the firmware, and the
 hypervisor — honest builds match by construction, tampered ones cannot.
+
+On top of that sit the update layers: :mod:`repro.build.cache` memoises
+build stages for incremental rebuilds, :mod:`repro.build.delta`
+computes and applies block-level deltas over the dm-verity stack, and
+:mod:`repro.build.channel` wraps deltas in signed, epoch-versioned
+manifests so a fleet only ever moves between measurements along a
+signed chain.
 """
 
 from . import measurement
+from .cache import CACHE_STAGES, BuildCache, cache_key
+from .channel import (
+    CHANNEL_REASON_CODES,
+    ChannelError,
+    SignedManifest,
+    UpdateChannel,
+    UpdateClient,
+    UpdateManifest,
+    verify_manifest,
+)
+from .delta import (
+    DELTA_REASON_CODES,
+    DeltaError,
+    ImageDelta,
+    apply_delta,
+    compute_delta,
+)
 from .image_builder import (
     BLOCK_SIZE,
     DEFAULT_INIT_STEPS,
@@ -28,13 +52,20 @@ from .packages import Package, PackageError, PackagePin, PackageRegistry
 
 __all__ = [
     "BLOCK_SIZE",
+    "CACHE_STAGES",
+    "CHANNEL_REASON_CODES",
     "DEFAULT_INIT_STEPS",
+    "DELTA_REASON_CODES",
     "GOLDEN_CONF_PATH",
     "MANIFEST_PATH",
     "NETWORK_CONF_PATH",
     "SERVICE_CONF_PATH",
+    "BuildCache",
     "BuildError",
     "BuildResult",
+    "ChannelError",
+    "DeltaError",
+    "ImageDelta",
     "ImageSpec",
     "NetworkPolicy",
     "Package",
@@ -42,7 +73,15 @@ __all__ = [
     "PackagePin",
     "PackageRegistry",
     "RevelioBuild",
+    "SignedManifest",
+    "UpdateChannel",
+    "UpdateClient",
+    "UpdateManifest",
+    "apply_delta",
     "build_revelio_image",
+    "cache_key",
+    "compute_delta",
     "expected_measurement_for_image",
     "measurement",
+    "verify_manifest",
 ]

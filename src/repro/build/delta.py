@@ -1,0 +1,381 @@
+"""Block-level delta images over the measured dm-verity stack.
+
+Two deterministic builds of nearly identical specs produce disks that
+differ in a handful of 4 KiB blocks: the changed rootfs leaves, the
+dm-verity hash-tree blocks on the path from those leaves to the root,
+and the partition/filesystem metadata that moved.  :func:`compute_delta`
+diffs the two disks block-by-block and ships **only** the changed
+blocks (plus any changed boot components — kernel, initrd, cmdline,
+firmware), typically a few percent of the full image for a one-package
+change.
+
+:func:`apply_delta` is the update client's only mutation path, and it
+fails closed in a typed way:
+
+* the installed disk must hash to the delta's recorded base digest
+  (``base_mismatch`` — a delta for a different base never patches),
+* every shipped block must verify against its recorded hash, land
+  inside the target extent, and reproduce the recorded target disk
+  digest (``delta_corrupt``),
+* the patched disk is **re-rooted deterministically**: the verity root
+  is recomputed from the patched hash device, every changed rootfs
+  block is re-verified through the full Merkle path, and the root must
+  equal both the delta's target root and the ``verity_root_hash=`` the
+  new command line carries (``digest_mismatch``),
+* finally the assembled image must replay to exactly the *signed*
+  target launch measurement when the caller provides one
+  (``digest_mismatch`` again — the channel's manifest is the authority).
+
+A rejected delta raises before any image object is returned, so a bad
+update can never be mounted, let alone served from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..crypto import encoding
+from ..storage.blockdev import RamBlockDevice
+from ..storage.dm_verity import VerityError, VeritySuperblock, verity_open
+from ..storage.partition import PartitionError, PartitionTable
+from ..virt.image import VmImage, parse_cmdline
+from .measurement import expected_measurement_for_image
+
+_DELTA_MAGIC = "repro-image-delta-v1"
+
+#: Stable rejection codes the delta apply path can produce.  They are
+#: shared with the signed update channel (:mod:`repro.build.channel`),
+#: whose taxonomy adds the manifest-level codes on top.
+DELTA_REASON_CODES: Tuple[str, ...] = (
+    "base_mismatch",
+    "delta_corrupt",
+    "digest_mismatch",
+)
+
+#: Image components shipped whole when changed (everything measured
+#: that is not the disk).
+_COMPONENT_FIELDS: Tuple[str, ...] = (
+    "name", "version", "firmware_template", "kernel", "initrd", "cmdline",
+)
+
+
+class DeltaError(ValueError):
+    """A delta was rejected; ``code`` is one of :data:`DELTA_REASON_CODES`."""
+
+    def __init__(self, code: str, message: str):
+        if code not in DELTA_REASON_CODES:
+            raise ValueError(f"unknown delta reason code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+def _block_hash(index: int, content: bytes) -> bytes:
+    """The shipped-block hash: position-bound, so blocks cannot be
+    transposed without detection."""
+    return hashlib.sha256(index.to_bytes(8, "big") + content).digest()
+
+
+@dataclass(frozen=True)
+class ImageDelta:
+    """Everything needed to turn the base image into the target image."""
+
+    image_name: str
+    base_version: str
+    target_version: str
+    block_size: int
+    base_disk_blocks: int
+    target_disk_blocks: int
+    base_disk_digest: bytes
+    target_disk_digest: bytes
+    base_root_hash: bytes
+    target_root_hash: bytes
+    #: (block index, 4 KiB content), ascending by index.
+    changed_blocks: Tuple[Tuple[int, bytes], ...]
+    #: Whole replacement values for changed non-disk components
+    #: (field name → encoded bytes; strings are UTF-8).
+    components: Tuple[Tuple[str, bytes], ...]
+    #: Replacement boot-service table, shipped whenever it changed
+    #: (None = unchanged).
+    base_boot_services: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def blob_hashes(self) -> Tuple[bytes, ...]:
+        """Position-bound hashes of every shipped block, in order —
+        the manifest pins these so a tampered blob store is caught
+        before the disk digest is even checked."""
+        return tuple(
+            _block_hash(index, content) for index, content in self.changed_blocks
+        )
+
+    def delta_bytes(self) -> int:
+        """Payload size actually shipped (blocks + components)."""
+        return (
+            sum(len(content) for _, content in self.changed_blocks)
+            + sum(len(blob) for _, blob in self.components)
+        )
+
+    def encode(self) -> bytes:
+        """Serialise to canonical TLV bytes (the shipped blob)."""
+        return encoding.encode(
+            {
+                "magic": _DELTA_MAGIC,
+                "image": self.image_name,
+                "base_version": self.base_version,
+                "target_version": self.target_version,
+                "block_size": self.block_size,
+                "base_blocks": self.base_disk_blocks,
+                "target_blocks": self.target_disk_blocks,
+                "base_digest": self.base_disk_digest,
+                "target_digest": self.target_disk_digest,
+                "base_root": self.base_root_hash,
+                "target_root": self.target_root_hash,
+                "blocks": [
+                    [index, content] for index, content in self.changed_blocks
+                ],
+                "components": [
+                    [name, blob] for name, blob in self.components
+                ],
+                "base_boot": (
+                    None
+                    if self.base_boot_services is None
+                    else [
+                        [name, int(duration * 1_000_000)]
+                        for name, duration in self.base_boot_services
+                    ]
+                ),
+            }
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ImageDelta":
+        """Parse a shipped blob; raises ``DeltaError(delta_corrupt)``."""
+        try:
+            decoded = encoding.decode(data)
+        except ValueError as exc:
+            raise DeltaError("delta_corrupt", "unreadable delta blob") from exc
+        if not isinstance(decoded, dict) or decoded.get("magic") != _DELTA_MAGIC:
+            raise DeltaError("delta_corrupt", "not an image delta")
+        try:
+            return cls(
+                image_name=decoded["image"],
+                base_version=decoded["base_version"],
+                target_version=decoded["target_version"],
+                block_size=decoded["block_size"],
+                base_disk_blocks=decoded["base_blocks"],
+                target_disk_blocks=decoded["target_blocks"],
+                base_disk_digest=decoded["base_digest"],
+                target_disk_digest=decoded["target_digest"],
+                base_root_hash=decoded["base_root"],
+                target_root_hash=decoded["target_root"],
+                changed_blocks=tuple(
+                    (index, content) for index, content in decoded["blocks"]
+                ),
+                components=tuple(
+                    (name, blob) for name, blob in decoded["components"]
+                ),
+                base_boot_services=(
+                    None
+                    if decoded["base_boot"] is None
+                    else tuple(
+                        (name, micros / 1_000_000)
+                        for name, micros in decoded["base_boot"]
+                    )
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeltaError("delta_corrupt", "malformed delta fields") from exc
+
+
+def _image_root_hash(image: VmImage) -> bytes:
+    """The verity root the image's measured command line binds."""
+    root_hex = parse_cmdline(image.cmdline).get("verity_root_hash", "")
+    try:
+        return bytes.fromhex(root_hex)
+    except ValueError:
+        return b""
+
+
+def compute_delta(base: VmImage, target: VmImage) -> ImageDelta:
+    """Diff two built images into the minimal shippable delta.
+
+    Both images must use the same block size and belong to the same
+    image name (deltas never cross image identities).
+    """
+    if base.name != target.name:
+        raise ValueError(
+            f"delta across image identities: {base.name!r} -> {target.name!r}"
+        )
+    if base.disk_block_size != target.disk_block_size:
+        raise ValueError("delta across different block sizes")
+    block_size = base.disk_block_size
+    base_disk, target_disk = base.disk_image, target.disk_image
+    base_blocks = len(base_disk) // block_size
+    target_blocks = len(target_disk) // block_size
+
+    changed = []
+    for index in range(target_blocks):
+        start = index * block_size
+        new_block = target_disk[start : start + block_size]
+        old_block = (
+            base_disk[start : start + block_size] if index < base_blocks else b""
+        )
+        if new_block != old_block:
+            changed.append((index, new_block))
+
+    components = []
+    for name in _COMPONENT_FIELDS:
+        old_value, new_value = getattr(base, name), getattr(target, name)
+        if old_value != new_value:
+            blob = (
+                new_value.encode("utf-8")
+                if isinstance(new_value, str)
+                else bytes(new_value)
+            )
+            components.append((name, blob))
+    boot = (
+        None
+        if base.base_boot_services == target.base_boot_services
+        else tuple(target.base_boot_services)
+    )
+    return ImageDelta(
+        image_name=base.name,
+        base_version=base.version,
+        target_version=target.version,
+        block_size=block_size,
+        base_disk_blocks=base_blocks,
+        target_disk_blocks=target_blocks,
+        base_disk_digest=hashlib.sha256(base_disk).digest(),
+        target_disk_digest=hashlib.sha256(target_disk).digest(),
+        base_root_hash=_image_root_hash(base),
+        target_root_hash=_image_root_hash(target),
+        changed_blocks=tuple(changed),
+        components=tuple(components),
+        base_boot_services=boot,
+    )
+
+
+def _reroot(disk: bytes, block_size: int, changed_indices) -> bytes:
+    """Deterministically recompute the verity root of a patched disk
+    and re-verify every changed rootfs block's full Merkle path.
+
+    Returns the recomputed root.  Raises ``DeltaError(delta_corrupt)``
+    when the patched disk's tree is internally inconsistent (a shipped
+    hash-tree patch that does not match the shipped data blocks).
+    """
+    device = RamBlockDevice(len(disk) // block_size, block_size, initial=disk)
+    try:
+        table = PartitionTable.read_from(device)
+        rootfs = table.open(device, "rootfs")
+        hashes = table.open(device, "verity")
+        superblock = VeritySuperblock.decode(hashes.read_block(0))
+        # The root is hash(salt + top-level block): recompute it from
+        # the patched hash device rather than trusting any field.
+        from ..crypto.hashes import get_hash
+
+        top_offset = superblock.level_offsets()[-1]
+        hash_fn = get_hash(superblock.hash_name)
+        root = hash_fn(superblock.salt + hashes.read_block(top_offset))
+
+        verity = verity_open(rootfs, hashes, root)
+        rootfs_entry = table.find("rootfs")
+        first, count = rootfs_entry.first_block, rootfs_entry.num_blocks
+        for index in sorted(changed_indices):
+            if first <= index < first + count:
+                verity.read_block(index - first)
+        return root
+    except (PartitionError, VerityError, ValueError) as exc:
+        raise DeltaError(
+            "delta_corrupt", f"patched disk fails re-rooting: {exc}"
+        ) from exc
+
+
+def apply_delta(
+    base: VmImage,
+    delta: ImageDelta,
+    target_measurement: Optional[bytes] = None,
+) -> VmImage:
+    """Patch *base* into the target image, verifying everything.
+
+    Raises :class:`DeltaError` (typed, see the module docstring) on any
+    inconsistency; on success the returned image is byte-identical to
+    the original target build.  When *target_measurement* is given (the
+    signed value from the update manifest), the patched image must
+    replay to exactly that launch measurement.
+    """
+    block_size = delta.block_size
+    if base.disk_block_size != block_size:
+        raise DeltaError("base_mismatch", "installed image block size differs")
+    if base.name != delta.image_name:
+        raise DeltaError(
+            "base_mismatch",
+            f"delta is for image {delta.image_name!r}, not {base.name!r}",
+        )
+    if hashlib.sha256(base.disk_image).digest() != delta.base_disk_digest:
+        raise DeltaError(
+            "base_mismatch",
+            "installed disk does not match the delta's base digest",
+        )
+
+    disk = bytearray(delta.target_disk_blocks * block_size)
+    common = min(len(base.disk_image), len(disk))
+    disk[:common] = base.disk_image[:common]
+    changed_indices = []
+    for index, content in delta.changed_blocks:
+        if len(content) != block_size:
+            raise DeltaError("delta_corrupt", f"block {index} is not block-sized")
+        if not 0 <= index < delta.target_disk_blocks:
+            raise DeltaError("delta_corrupt", f"block {index} outside the target")
+        disk[index * block_size : (index + 1) * block_size] = content
+        changed_indices.append(index)
+    patched = bytes(disk)
+    if hashlib.sha256(patched).digest() != delta.target_disk_digest:
+        raise DeltaError(
+            "delta_corrupt",
+            "patched disk does not reproduce the recorded target digest",
+        )
+
+    root = _reroot(patched, block_size, changed_indices)
+    if root != delta.target_root_hash:
+        raise DeltaError(
+            "digest_mismatch",
+            "re-rooted verity digest disagrees with the delta's target root",
+        )
+
+    replacements: Dict[str, object] = {}
+    for name, blob in delta.components:
+        if name not in _COMPONENT_FIELDS:
+            raise DeltaError("delta_corrupt", f"unknown component {name!r}")
+        replacements[name] = (
+            blob.decode("utf-8") if name in ("name", "version", "cmdline")
+            else blob
+        )
+    applied = VmImage(
+        name=replacements.get("name", base.name),
+        version=replacements.get("version", base.version),
+        firmware_template=replacements.get(
+            "firmware_template", base.firmware_template
+        ),
+        kernel=replacements.get("kernel", base.kernel),
+        initrd=replacements.get("initrd", base.initrd),
+        cmdline=replacements.get("cmdline", base.cmdline),
+        disk_image=patched,
+        disk_block_size=block_size,
+        base_boot_services=(
+            base.base_boot_services
+            if delta.base_boot_services is None
+            else tuple(delta.base_boot_services)
+        ),
+    )
+    if _image_root_hash(applied) != root:
+        raise DeltaError(
+            "digest_mismatch",
+            "new command line does not bind the re-rooted verity digest",
+        )
+    if target_measurement is not None:
+        if expected_measurement_for_image(applied) != bytes(target_measurement):
+            raise DeltaError(
+                "digest_mismatch",
+                "patched image does not replay to the signed target measurement",
+            )
+    return applied

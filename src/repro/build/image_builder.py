@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..crypto import encoding
 from ..storage.dm_verity import verity_format
@@ -38,6 +38,7 @@ from ..storage.filesystem import image_to_device
 from ..storage.partition import PartitionEntry, PartitionTable
 from ..virt.firmware import build_firmware
 from ..virt.image import InitrdDescriptor, KernelBlob, VmImage
+from .cache import BuildCache, cache_key
 from .measurement import expected_measurement_for_image
 from .packages import Package, PackagePin, PackageRegistry
 
@@ -184,6 +185,9 @@ class RevelioBuild:
     #: The device-mapper table specs the image's initrd carries
     #: (volume name → table text), part of the audit trail.
     dm_tables: Mapping[str, str] = field(default_factory=dict)
+    #: Per-stage cache hit/miss stats when a :class:`BuildCache` was
+    #: used (empty for uncached builds) — purely observational.
+    cache_stats: Mapping[str, object] = field(default_factory=dict)
 
 
 #: Historical alias used by the deployment and rollout layers.
@@ -286,23 +290,54 @@ def _assemble_disk(
     )
 
 
-def build_revelio_image(spec: ImageSpec) -> RevelioBuild:
+def _rootfs_key(spec: ImageSpec, rootfs_files: Mapping[str, bytes]) -> bytes:
+    """Cache key of the rootfs-serialisation stage: the exact file map
+    plus the serialisation parameters."""
+    return cache_key(
+        encoding.encode(
+            {
+                "files": dict(rootfs_files),
+                "block_size": BLOCK_SIZE,
+                "label": f"{spec.name}-rootfs",
+            }
+        )
+    )
+
+
+def build_revelio_image(
+    spec: ImageSpec, cache: Optional[BuildCache] = None
+) -> RevelioBuild:
     """Reproducibly build a launch-ready image from a pinned spec.
 
     Raises :class:`~repro.build.packages.PackageError` if any pin fails
     digest verification and :class:`BuildError` on spec problems.
     Deterministic: equal specs yield byte-identical images and equal
-    golden measurements.
+    golden measurements — with or without a *cache*, which only memoises
+    the expensive stages (rootfs serialisation, the verity tree, the
+    measurement replay) across incremental rebuilds.
     """
     packages: List[Package] = [spec.registry.resolve(pin) for pin in spec.package_pins]
     rootfs_files = _compose_rootfs(spec, packages)
-    rootfs_image = build_fs_image(
-        rootfs_files, block_size=BLOCK_SIZE, label=f"{spec.name}-rootfs"
+
+    def memo(stage, key, producer):
+        return producer() if cache is None else cache.memo(stage, key, producer)
+
+    rootfs_image = memo(
+        "rootfs",
+        _rootfs_key(spec, rootfs_files),
+        lambda: build_fs_image(
+            rootfs_files, block_size=BLOCK_SIZE, label=f"{spec.name}-rootfs"
+        ),
     )
-    verity = verity_format(
-        image_to_device(rootfs_image, BLOCK_SIZE), salt=_verity_salt(spec)
+    salt = _verity_salt(spec)
+    root_hash, verity_bytes = memo(
+        "verity",
+        cache_key(salt, hashlib.sha256(rootfs_image).digest()),
+        lambda: (
+            lambda result: (result.root_hash, result.hash_device.snapshot())
+        )(verity_format(image_to_device(rootfs_image, BLOCK_SIZE), salt=salt)),
     )
-    disk_image = _assemble_disk(spec, rootfs_image, verity.hash_device.snapshot())
+    disk_image = _assemble_disk(spec, rootfs_image, verity_bytes)
 
     # The legacy per-partition parameters stay alongside the dm tables
     # so images remain bootable by older init-step implementations.
@@ -319,7 +354,7 @@ def build_revelio_image(spec: ImageSpec) -> RevelioBuild:
     kernel = KernelBlob(KERNEL_NAME, KERNEL_VERSION, KERNEL_FEATURES).encode()
     cmdline = (
         "console=ttyS0 ro root=/dev/mapper/vroot "
-        f"verity_root_hash={verity.root_hash.hex()}"
+        f"verity_root_hash={root_hash.hex()}"
     )
     image = VmImage(
         name=spec.name,
@@ -332,12 +367,21 @@ def build_revelio_image(spec: ImageSpec) -> RevelioBuild:
         disk_block_size=BLOCK_SIZE,
         base_boot_services=spec.base_boot_services,
     )
+    expected_measurement = memo(
+        "measurement",
+        cache_key(
+            image.firmware_template, image.kernel, image.initrd,
+            image.cmdline.encode("utf-8"),
+        ),
+        lambda: expected_measurement_for_image(image),
+    )
     return RevelioBuild(
         spec=spec,
         pins=tuple(spec.package_pins),
         image=image,
-        root_hash=verity.root_hash,
-        expected_measurement=expected_measurement_for_image(image),
+        root_hash=root_hash,
+        expected_measurement=expected_measurement,
         rootfs_files=rootfs_files,
         dm_tables={"rootfs": ROOTFS_DM_TABLE, "data": DATA_DM_TABLE},
+        cache_stats={} if cache is None else cache.stats(),
     )

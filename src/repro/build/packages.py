@@ -118,10 +118,36 @@ class PackageRegistry:
     Publishing returns the content digest the publisher should pin.
     Resolution *re-derives* the digest from the stored bytes, so any
     post-publication tamper — see :meth:`tamper` — fails the pin check.
+
+    Storage is content-addressed at the payload level: every file body
+    is interned into a blob store keyed by its SHA-256, so two packages
+    (or two versions of one package) shipping an identical payload
+    share a single stored copy instead of each pin holding its own.
+    Dedup never changes resolution semantics — digests are re-derived
+    from the interned bytes, which are equal by construction.
     """
 
     def __init__(self) -> None:
         self._packages: Dict[Tuple[str, str], Package] = {}
+        #: Payload blob store: SHA-256(content) -> the one stored copy.
+        self._blobs: Dict[bytes, bytes] = {}
+
+    def _intern(self, content: bytes) -> bytes:
+        """The canonical stored copy of *content* (one blob per hash)."""
+        return self._blobs.setdefault(hashlib.sha256(content).digest(), content)
+
+    def _intern_items(
+        self, items: Tuple[Tuple[str, bytes], ...]
+    ) -> Tuple[Tuple[str, bytes], ...]:
+        return tuple((path, self._intern(content)) for path, content in items)
+
+    def _deduplicated(self, package: Package) -> Package:
+        """*package* with every payload replaced by its interned blob."""
+        return replace(
+            package,
+            file_items=self._intern_items(package.file_items),
+            build_file_items=self._intern_items(package.build_file_items),
+        )
 
     def publish(self, package: Package) -> bytes:
         """Store *package* and return its content digest for pinning."""
@@ -132,7 +158,7 @@ class PackageRegistry:
                 f"{package.name}-{package.version} already published "
                 "with different contents"
             )
-        self._packages[key] = package
+        self._packages[key] = self._deduplicated(package)
         return package.digest()
 
     def resolve(self, pin: PackagePin) -> Package:
@@ -162,10 +188,33 @@ class PackageRegistry:
         package = self._packages[key]
         merged = package.files
         merged.update(files)
-        self._packages[key] = replace(
-            package, file_items=_canonical_files(merged, "file")
+        self._packages[key] = self._deduplicated(
+            replace(package, file_items=_canonical_files(merged, "file"))
         )
 
     def catalogue(self) -> Tuple[Tuple[str, str], ...]:
         """All published (name, version) pairs, sorted."""
         return tuple(sorted(self._packages))
+
+    def dedup_stats(self) -> Dict[str, int]:
+        """Payload dedup accounting over the currently published set.
+
+        ``logical_bytes`` is what a copy-per-pin registry would hold;
+        ``stored_bytes`` counts each distinct payload once (what the
+        blob store actually keeps live); ``deduped_bytes`` is the
+        difference.
+        """
+        logical = 0
+        live: Dict[int, int] = {}
+        for package in self._packages.values():
+            for _, content in package.file_items + package.build_file_items:
+                logical += len(content)
+                live[id(content)] = len(content)
+        stored = sum(live.values())
+        return {
+            "packages": len(self._packages),
+            "blobs": len(live),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "deduped_bytes": logical - stored,
+        }

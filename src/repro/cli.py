@@ -12,6 +12,10 @@ measure
 verify-image
     Compare an image file's recomputed measurement against an expected
     golden value.
+update
+    Build the signed block-level delta between two image versions,
+    show its manifest, and optionally apply it across a simulated
+    gateway-mesh fleet with per-phase counters.
 demo
     Run the full end-to-end flow: build, deploy a fleet, provision
     certificates, attest from a browser.
@@ -151,6 +155,100 @@ def _print_trace_summary(show_failures: bool = False) -> None:
         print(f"  io: {storage['io']}")
         print(f"  verity verify hit rate: {storage['verify_hit_rate']:.2f}")
         print(f"  simulated io time: {storage['sim_ms']:.1f} ms")
+
+
+def cmd_update(args) -> int:
+    """CLI: build a signed delta update; optionally roll out a fleet."""
+    from .attest import get_tracer, reset_tracer
+    from .build import BuildCache, UpdateChannel, compute_delta
+    from .crypto.drbg import HmacDrbg
+    from .crypto.keys import PrivateKey
+
+    reset_tracer()
+    cache = BuildCache()
+    base = build_revelio_image(
+        _spec_for(args.use_case, args.from_version), cache=cache
+    )
+    target = build_revelio_image(
+        _spec_for(args.use_case, args.to_version), cache=cache
+    )
+    delta = compute_delta(base.image, target.image)
+    key = PrivateKey.generate_ecdsa(HmacDrbg(b"repro-cli-update"), "P-256")
+    channel = UpdateChannel(key, image_name=base.image.name)
+    signed = channel.publish(
+        delta, base.expected_measurement, target.expected_measurement
+    )
+
+    full_bytes = len(target.image.disk_image)
+    print(f"update:      {args.use_case} "
+          f"{args.from_version} -> {args.to_version}")
+    print(f"delta:       {len(delta.changed_blocks)} blocks, "
+          f"{delta.delta_bytes()} bytes "
+          f"({delta.delta_bytes() / full_bytes:.1%} of the "
+          f"{full_bytes}-byte image)")
+    print(f"build cache: {target.cache_stats}")
+    print("manifest:")
+    for field_name, value in signed.manifest.to_dict().items():
+        print(f"  {field_name}: {value}")
+    print(f"signer:      {signed.signer.hex()}")
+
+    if not args.apply:
+        return 0
+
+    from .core import RevelioDeployment
+    from .fleet import FleetProvisioner, GatewayMesh, LiteFleet
+    from .sim import EventKernel, SimRng
+
+    regions = tuple(f"region-{chr(ord('a') + i)}" for i in range(args.regions))
+    deployment = RevelioDeployment(base, num_nodes=args.nodes).deploy()
+    kernel = EventKernel(deployment.network.clock, SimRng(args.seed))
+    deployment.network.enable_event_mode(kernel)
+    mesh = GatewayMesh.for_deployment(deployment, kernel, regions=regions)
+    lite_fleet = None
+    if args.lite:
+        families = ("sev-snp", "tdx", "arm-cca", "e-vtpm")
+        lite_fleet = LiteFleet(deployment)
+        for index in range(args.lite):
+            lite_fleet.add_backend(
+                f"10.8.{index // 200}.{index % 200 + 1}",
+                families[index % len(families)],
+                region=regions[index % len(regions)],
+            )
+        lite_fleet.adopt_deployment_nodes()
+        mesh.attach_lite_fleet(lite_fleet)
+    verdicts = mesh.admit_all()
+    if not all(verdict.ok for verdict in verdicts):
+        print("fleet bring-up failed admission")
+        return 1
+    kernel.run(until=kernel.clock.now + 1.0)
+
+    provisioner = FleetProvisioner(
+        mesh, deployment, key, lite_fleet=lite_fleet
+    )
+    process = kernel.spawn(provisioner.provision(target), name="provision")
+    while not process.finished:
+        kernel.run(until=kernel.clock.now + 10.0)
+    kernel.run()
+    if process.error is not None:
+        raise process.error
+    report = process.value
+
+    print(f"fleet:       {report.discovered} backend(s) across "
+          f"{len(report.regions)} region(s), epoch {report.epoch}")
+    print("phases:")
+    for phase, count in report.phase_counters().items():
+        print(f"  {phase}: {count}")
+    print(f"shipped:     {report.delta_bytes_shipped} delta bytes vs "
+          f"{report.full_bytes_equivalent} full "
+          f"({report.delta_ratio:.1%})")
+    print(f"unattested requests: {report.requests_to_unattested}")
+    print(f"sim time:    {report.sim_seconds:.2f} s")
+    update = get_tracer().update.snapshot()
+    print(f"channel:     published={update['manifests_published']} "
+          f"accepted={update['manifests_accepted']} "
+          f"applied={update['applied']} "
+          f"rejections={update['rejections']}")
+    return 0 if report.requests_to_unattested == 0 else 1
 
 
 def cmd_demo(args) -> int:
@@ -334,6 +432,26 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("image")
     verify_parser.add_argument("expected_measurement", help="hex golden value")
     verify_parser.set_defaults(func=cmd_verify_image)
+
+    update_parser = subparsers.add_parser(
+        "update", help="build (and optionally roll out) a signed delta update"
+    )
+    update_parser.add_argument("--use-case", choices=("boundary-node", "cryptpad"),
+                               default="boundary-node")
+    update_parser.add_argument("--from-version", default="1.0.0")
+    update_parser.add_argument("--to-version", default="2.0.0")
+    update_parser.add_argument(
+        "--apply", action="store_true",
+        help="roll the update out across a simulated mesh fleet",
+    )
+    update_parser.add_argument("--nodes", type=int, default=2)
+    update_parser.add_argument(
+        "--lite", type=int, default=4,
+        help="mixed-family lite backends to include (0 = none)",
+    )
+    update_parser.add_argument("--regions", type=int, default=2)
+    update_parser.add_argument("--seed", type=int, default=0)
+    update_parser.set_defaults(func=cmd_update)
 
     demo_parser = subparsers.add_parser("demo", help="run the end-to-end demo")
     demo_parser.add_argument("--use-case", choices=("boundary-node", "cryptpad"),

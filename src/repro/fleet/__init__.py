@@ -42,6 +42,7 @@ from repro.fleet.mesh import (
     MeshWorkload,
     region_rollout,
 )
+from repro.fleet.provision import FleetProvisioner, ProvisionReport
 from repro.fleet.workload import FleetWorkload, UserPool
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "ConsistentHashRing",
     "FaultHandle",
     "FleetGateway",
+    "FleetProvisioner",
     "FleetWorkload",
     "GatewayError",
     "GatewayMesh",
@@ -64,6 +66,7 @@ __all__ = [
     "LiteFleet",
     "MeshRolloutReport",
     "MeshWorkload",
+    "ProvisionReport",
     "RollingRolloutReport",
     "UserPool",
     "blackhole_kds",

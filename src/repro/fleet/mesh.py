@@ -55,6 +55,8 @@ from ..sim.kernel import EventKernel, Interrupt, sleep, spawn, wait
 from ..sim.metrics import MetricsRegistry
 from ..sim.resources import Server
 from ..sim.rng import SimRng
+from ..vtpm.monitoring import MonitoringEvidence
+from ..vtpm.vtpm import PCR_SERVICES, Vtpm
 from .drain import _key_holder_ip
 from .gateway import FleetGateway
 from .health import HealthMonitor
@@ -180,8 +182,10 @@ class LiteFleet:
         self._chain = self._hetero._chain
         self._tls_key: PrivateKey = self._hetero._tls_key
         self.backends: List[LiteBackend] = []
+        self._servers: Dict[str, HttpServer] = {}
         self._snp_goldens: set = set()
         self._family_goldens: Dict[str, set] = {}
+        self._update_serial = 0
 
     # -- backend factories ------------------------------------------
 
@@ -250,6 +254,7 @@ class LiteFleet:
             host=hetero_backend.host,
             measurement=hetero_backend.measurement,
         )
+        self._servers[backend.ip_address] = hetero_backend.server
         self._family_goldens.setdefault(backend.family, set()).add(
             bytes(backend.measurement)
         )
@@ -291,6 +296,7 @@ class LiteFleet:
             host=host,
             measurement=bytes(measurement),
         )
+        self._servers[ip_address] = server
         if family == str(TeeFamily.SEV_SNP):
             self._snp_goldens.add(bytes(measurement))
         else:
@@ -332,6 +338,87 @@ class LiteFleet:
             )
 
         backend.host.listen(HTTPS_PORT, dispatch)
+
+    # -- signed-update support --------------------------------------
+
+    def update_backend(self, backend: LiteBackend, token: bytes) -> bytes:
+        """Relaunch *backend*'s TEE workload at the post-update state.
+
+        *token* names the update (the provisioner passes the target
+        launch measurement of the new image), so every family of the
+        lite fleet converges on one new golden value per update:
+        ``initial_state + b"@" + token``.  The backend's well-known
+        attestation endpoint is re-served with fresh evidence for the
+        new workload (``add_route`` overwrites), the new measurement
+        joins the family's golden set, and the old one stays admissible
+        until the provisioner revokes it after the rollout finishes.
+        Returns the new measurement."""
+        self._update_serial += 1
+        serial = f"lite-update-{self._update_serial}"
+        family = backend.family
+        if family == str(TeeFamily.SEV_SNP):
+            state = self._initial_state(b"snp") + b"@" + token
+            chip = self.deployment.amd.provision_chip(serial)
+            guest = chip.launch_vm(state, GuestPolicy())
+            body = guest.get_report(self.binding).encode()
+            measurement = guest.measurement
+        elif family == str(TeeFamily.TDX):
+            state = self._initial_state(b"td") + b"@" + token
+            platform = self._hetero.intel.provision_platform(serial)
+            td = platform.launch_td(state)
+            body, measurement = td.get_quote(self.binding).encode(), td.mrtd
+        elif family == str(TeeFamily.CCA):
+            state = self._initial_state(b"realm") + b"@" + token
+            platform = self._hetero.arm.provision_platform(serial)
+            self._hetero._cpaks[platform.platform_id] = (
+                self._hetero.arm.cpak_certificate(platform)
+            )
+            realm = platform.launch_realm(state)
+            body, measurement = realm.attest(self.binding).encode(), realm.rim
+        elif family == str(TeeFamily.VTPM):
+            state = self._hetero._initial_state(b"vtpm-vm") + b"@" + token
+            chip = self.deployment.amd.provision_chip(serial)
+            guest = chip.launch_vm(state, GuestPolicy())
+            vtpm = Vtpm(self._rng.fork(b"vtpm-update:" + serial.encode()))
+            endorsement = guest.get_report(
+                report_data_for(hashlib.sha256(vtpm.ak_public.encode()).digest())
+            )
+            body = MonitoringEvidence(
+                quote=vtpm.quote(self.binding, [PCR_SERVICES]),
+                event_log=list(vtpm.event_log),
+                ak_public=vtpm.ak_public,
+                ak_endorsement=endorsement,
+            ).encode()
+            measurement = guest.measurement
+        else:
+            raise ValueError(f"unknown TEE family {family!r}")
+
+        server = self._servers[backend.ip_address]
+        payload = Evidence(family, body).encode()
+        server.add_route(
+            "GET",
+            WELL_KNOWN_ATTESTATION_PATH,
+            lambda request, context: HttpResponse.ok(
+                payload, "application/octet-stream"
+            ),
+            processing_time=self.deployment.latency.report_endpoint_processing,
+        )
+        measurement = bytes(measurement)
+        if family == str(TeeFamily.SEV_SNP):
+            self._snp_goldens.add(measurement)
+        else:
+            self._family_goldens.setdefault(family, set()).add(measurement)
+        backend.measurement = measurement
+        return measurement
+
+    def retire_measurement(self, family: str, measurement: bytes) -> None:
+        """Drop an old golden after a completed update (the provisioner
+        calls this once no backend of *family* still runs it)."""
+        measurement = bytes(measurement)
+        if family == str(TeeFamily.SEV_SNP):
+            self._snp_goldens.discard(measurement)
+        else:
+            self._family_goldens.get(family, set()).discard(measurement)
 
     # -- gateway wiring ---------------------------------------------
 

@@ -145,6 +145,25 @@ def _storm_scenarios() -> Tuple[ScenarioSpec, ...]:
             trigger_at=33.0 + offset, blast_radius="none",
             title=f"gateway envelope abuse: {tag.replace('-', ' ')}",
         ))
+    updates = [
+        ("rollback-stale", "update_rollback_replay", "stale_epoch", "fresh",
+         "re-served old signed manifest (epoch replay)"),
+        ("rollback-base", "update_rollback_replay", "base_mismatch", "fresh",
+         "old manifest against a node that already moved"),
+        ("unsigned-delta", "update_unsigned_delta", "bad_signature", "honest",
+         "delta re-signed by an attacker key"),
+        ("corrupt-delta", "update_unsigned_delta", "delta_corrupt", "honest",
+         "shipped delta block flipped in transit"),
+        ("lying-target", "update_unsigned_delta", "digest_mismatch", "honest",
+         "signed manifest lies about the target measurement"),
+    ]
+    for offset, (tag, injector, mode, benign_mode, title) in enumerate(updates):
+        specs.append(scenario(
+            f"update-{tag}", "update", injector, f"update:{mode}",
+            params={"mode": mode}, benign={"mode": benign_mode},
+            trigger_at=37.0 + offset, blast_radius="none",
+            title=f"update channel: {title}",
+        ))
     return tuple(specs)
 
 

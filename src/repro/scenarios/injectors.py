@@ -958,3 +958,166 @@ class LaunchAttackInjection(Injection):
             self.observed.add(exc.reason)
             return False
         return True
+
+
+# ======================================================================
+# Update channel: signed-delta pipeline abuse
+# ======================================================================
+
+def _update_fixture(world):
+    """Lazily built (then cached on the world) signed-update fixture:
+    the deployed build, a rebuilt target version, their delta, and a
+    genuine channel with the epoch-1 manifest published.  All update
+    injectors share it, so the expensive image rebuild happens once per
+    campaign run."""
+    fixture = getattr(world, "_update_fixture", None)
+    if fixture is None:
+        from ..build import UpdateChannel, build_revelio_image, compute_delta
+        from ..crypto.keys import PrivateKey
+
+        spec_v2 = dataclasses.replace(
+            world.build.spec, version=world.build.spec.version + "-update"
+        )
+        build_v2 = build_revelio_image(spec_v2)
+        key = PrivateKey.generate_ecdsa(
+            world.drbg.fork(b"update-channel"), "P-256"
+        )
+        channel = UpdateChannel(key, image_name=world.build.image.name)
+        delta = compute_delta(world.build.image, build_v2.image)
+        signed = channel.publish(
+            delta,
+            world.build.expected_measurement,
+            build_v2.expected_measurement,
+        )
+        fixture = {
+            "key": key,
+            "channel": channel,
+            "build_v2": build_v2,
+            "delta": delta,
+            "signed": signed,
+            "blob": channel.blob(signed.manifest.delta_digest),
+        }
+        world._update_fixture = fixture
+    return fixture
+
+
+class _UpdateInjection(Injection):
+    """Shared plumbing for the signed-update abuse injectors: a fresh
+    per-arm :class:`~repro.build.channel.UpdateClient`, the cached
+    fixture, and the common recovery bar (a clean client still applies
+    the genuine manifest after revert)."""
+
+    def _client(self, epoch: int = 0):
+        from ..build import UpdateClient
+
+        fixture = _update_fixture(self.world)
+        return UpdateClient(fixture["key"].public_key(), epoch=epoch)
+
+    def _apply(self, client, signed, blob, installed=None):
+        """Run the client pipeline; records the rejection code (if any)
+        and returns whether the update applied."""
+        from ..build import ChannelError
+
+        fixture = _update_fixture(self.world)
+        installed = installed if installed is not None else (
+            self.world.build.image
+        )
+        try:
+            applied = client.apply(installed, signed, blob)
+        except ChannelError as exc:
+            self.observed.add(exc.code)
+            return False
+        return applied.disk_image == fixture["build_v2"].image.disk_image
+
+    def recovered(self) -> bool:
+        fixture = _update_fixture(self.world)
+        return self._apply(
+            self._client(), fixture["signed"], fixture["blob"]
+        )
+
+
+@register("update_rollback_replay")
+class UpdateRollbackReplay(_UpdateInjection):
+    """The classic update-channel attack: re-serve an old but genuinely
+    *signed* manifest to roll a node back.  ``mode=stale_epoch`` hits a
+    node whose applied epoch already passed the manifest's;
+    ``mode=base_mismatch`` hits a node whose installed measurement
+    already moved past the manifest's base.  Benign twin
+    (``mode=fresh``): the same manifest applied by a node it is
+    actually for."""
+
+    def provoke(self) -> bool:
+        fixture = _update_fixture(self.world)
+        signed, blob = fixture["signed"], fixture["blob"]
+        mode = self.params.get("mode", "stale_epoch")
+        if mode == "stale_epoch":
+            # The node already applied this epoch; the replayed
+            # manifest must die on monotonicity, not re-apply.
+            client = self._client(epoch=signed.manifest.epoch)
+            return self._apply(client, signed, blob)
+        if mode == "base_mismatch":
+            # The node already runs the target build; the replayed
+            # manifest's base chain no longer matches.
+            return self._apply(
+                self._client(), signed, blob,
+                installed=fixture["build_v2"].image,
+            )
+        if mode == "fresh":
+            return self._apply(self._client(), signed, blob)
+        raise ValueError(f"unknown mode {mode!r}")
+
+
+@register("update_unsigned_delta")
+class UpdateUnsignedDelta(_UpdateInjection):
+    """Payload attacks on the update channel.  ``mode=bad_signature``:
+    an attacker-keyed channel re-signs the delta; ``mode=delta_corrupt``:
+    a shipped block is flipped in transit; ``mode=digest_mismatch``: a
+    compromised publisher signs a manifest whose target measurement
+    disagrees with what the delta actually re-roots to.  Benign twin
+    (``mode=honest``): the genuine manifest applies."""
+
+    def provoke(self) -> bool:
+        from ..build import UpdateChannel
+        from ..crypto.keys import PrivateKey
+
+        fixture = _update_fixture(self.world)
+        signed, blob = fixture["signed"], fixture["blob"]
+        mode = self.params.get("mode", "bad_signature")
+        if mode == "bad_signature":
+            attacker = PrivateKey.generate_ecdsa(
+                self.world.drbg.fork(b"update-attacker"), "P-256"
+            )
+            rogue = UpdateChannel(
+                attacker, image_name=self.world.build.image.name
+            )
+            forged = rogue.publish(
+                fixture["delta"],
+                self.world.build.expected_measurement,
+                fixture["build_v2"].expected_measurement,
+            )
+            return self._apply(
+                self._client(), forged, rogue.blob(
+                    forged.manifest.delta_digest
+                ),
+            )
+        if mode == "delta_corrupt":
+            tampered = bytearray(blob)
+            tampered[-1] ^= 0xFF
+            return self._apply(self._client(), signed, bytes(tampered))
+        if mode == "digest_mismatch":
+            # A compromised (but correctly keyed) publisher lies about
+            # the target: signature and epoch pass, the measurement
+            # replay after re-rooting does not.
+            lying = fixture["channel"].publish(
+                fixture["delta"],
+                self.world.build.expected_measurement,
+                self.world.build.expected_measurement,  # wrong target
+            )
+            client = self._client(epoch=lying.manifest.epoch - 1)
+            return self._apply(
+                client, lying,
+                fixture["channel"].blob(lying.manifest.delta_digest),
+            )
+        if mode == "honest":
+            return self._apply(self._client(), signed, blob)
+        raise ValueError(f"unknown mode {mode!r}")

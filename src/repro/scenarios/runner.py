@@ -134,13 +134,14 @@ class CampaignRunner:
             "attest": dict(tracer.counters.failures_by_reason),
             "gateway": dict(gateway.counters) if gateway is not None else {},
             "storage": dict(tracer.storage.counts),
+            "update": dict(tracer.update.rejections),
         }
 
     @staticmethod
     def _deltas(world, before: dict) -> dict:
         after = CampaignRunner._snapshot(world)
         out = {}
-        for kind in ("attest", "gateway", "storage"):
+        for kind in ("attest", "gateway", "storage", "update"):
             out[kind] = {
                 key: count - before[kind].get(key, 0)
                 for key, count in after[kind].items()
@@ -163,6 +164,8 @@ class CampaignRunner:
             )
         elif namespace == "storage":
             hits += deltas["storage"].get(code, 0)
+        elif namespace == "update":
+            hits += deltas["update"].get(code, 0)
         return hits
 
     # -- one scenario (generator: may sleep on the kernel) -----------

@@ -38,14 +38,16 @@ ARENAS = ("storm", "pipeline", "launch")
 #: pipeline taxonomy, counted by the tracer), ``gateway`` (gateway
 #: counters / :class:`~repro.fleet.gateway.GatewayError` reasons),
 #: ``mesh`` (``gossip.rejected.*`` counters), ``storage`` (device-mapper
-#: counters in the tracer), and ``launch`` (boot-time failures observed
-#: directly by the injector).
-NAMESPACES = ("attest", "gateway", "mesh", "storage", "launch")
+#: counters in the tracer), ``storage`` (device-mapper counters in the
+#: tracer), ``launch`` (boot-time failures observed directly by the
+#: injector), and ``update`` (the signed update channel's rejection
+#: counters on the tracer).
+NAMESPACES = ("attest", "gateway", "mesh", "storage", "launch", "update")
 
 #: The attacked layer, for reporting and blast-radius bookkeeping.
 LAYERS = (
     "hypervisor", "kds", "pki", "storage", "gateway", "mesh",
-    "policy", "cache", "network", "pipeline", "launch",
+    "policy", "cache", "network", "pipeline", "launch", "update",
 )
 
 

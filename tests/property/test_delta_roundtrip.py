@@ -1,0 +1,169 @@
+"""Property tests over the delta-update path (invariant 17).
+
+Round trip: for random base/target builds, applying the computed delta
+reproduces the target disk byte-for-byte, the verity root, and the
+golden measurement — including through the encoded blob. Fail-closed:
+a corrupted block, a replayed epoch, or a manifest signed by the wrong
+key raises a typed error before any image object exists.
+"""
+
+import dataclasses
+import functools
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attest import reset_tracer
+from repro.build import (
+    ChannelError,
+    DeltaError,
+    ImageDelta,
+    ImageSpec,
+    Package,
+    PackagePin,
+    PackageRegistry,
+    UpdateChannel,
+    UpdateClient,
+    apply_delta,
+    build_revelio_image,
+    compute_delta,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import PrivateKey
+
+_SETTINGS = settings(max_examples=25, deadline=None)
+_FEWER = settings(max_examples=10, deadline=None)
+
+
+def _spec(app_blob: bytes, version: str) -> ImageSpec:
+    registry = PackageRegistry()
+    pins = []
+    for package in (
+        Package.create("app", version, files={"/opt/app/bin": app_blob}),
+        Package.create(
+            "agent", "1.0.0", files={"/usr/bin/agent": b"\x7fELF-agent"}
+        ),
+    ):
+        digest = registry.publish(package)
+        pins.append(PackagePin(package.name, package.version, digest))
+    return ImageSpec(
+        name="delta-prop-node",
+        version=version,
+        registry=registry,
+        package_pins=pins,
+        service_domain="delta-prop.example",
+        services=("https",),
+        data_volume_blocks=8,
+    )
+
+
+def _pair(base_blob: bytes, target_blob: bytes):
+    base = build_revelio_image(_spec(base_blob, "1.0.0"))
+    target = build_revelio_image(_spec(target_blob, "1.0.1"))
+    return base, target
+
+
+@functools.lru_cache(maxsize=1)
+def _fixed_world():
+    """One base/target/channel trio for the channel-level properties,
+    so each Hypothesis example varies only the adversarial input."""
+    base, target = _pair(b"app-v1", b"app-v2")
+    key = PrivateKey.generate_ecdsa(HmacDrbg(b"delta-prop-genuine"), "P-256")
+    channel = UpdateChannel(key, image_name=base.image.name)
+    signed = channel.publish(
+        compute_delta(base.image, target.image),
+        base.expected_measurement,
+        target.expected_measurement,
+    )
+    return base, target, key, signed, channel.blob(signed.manifest.delta_digest)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracer()
+    yield
+    reset_tracer()
+
+
+@_FEWER
+@given(
+    base_blob=st.binary(min_size=1, max_size=512),
+    target_blob=st.binary(min_size=1, max_size=512),
+)
+def test_delta_roundtrip_reproduces_target_exactly(base_blob, target_blob):
+    base, target = _pair(base_blob, target_blob)
+    delta = compute_delta(base.image, target.image)
+    applied = apply_delta(
+        base.image,
+        ImageDelta.decode(delta.encode()),
+        target_measurement=target.expected_measurement,
+    )
+    assert applied.disk_image == target.image.disk_image
+    assert applied.encode() == target.image.encode()
+    assert delta.target_root_hash == target.root_hash
+    assert delta.delta_bytes() <= len(target.image.disk_image)
+
+
+@_SETTINGS
+@given(data=st.data())
+def test_corrupted_block_never_yields_an_image(data):
+    base, target, _, _, _ = _fixed_world()
+    delta = compute_delta(base.image, target.image)
+    which = data.draw(
+        st.integers(0, len(delta.changed_blocks) - 1), label="block"
+    )
+    index, content = delta.changed_blocks[which]
+    offset = data.draw(st.integers(0, len(content) - 1), label="offset")
+    mask = data.draw(st.integers(1, 255), label="mask")
+    mutated = bytearray(content)
+    mutated[offset] ^= mask
+    tampered = dataclasses.replace(
+        delta,
+        changed_blocks=(
+            delta.changed_blocks[:which]
+            + ((index, bytes(mutated)),)
+            + delta.changed_blocks[which + 1:]
+        ),
+    )
+    with pytest.raises(DeltaError) as info:
+        apply_delta(base.image, tampered)
+    assert info.value.code == "delta_corrupt"
+
+
+@_SETTINGS
+@given(ahead=st.integers(0, 8))
+def test_replayed_epoch_never_yields_an_image(ahead):
+    base, _, key, signed, blob = _fixed_world()
+    client = UpdateClient(
+        key.public_key(), epoch=signed.manifest.epoch + ahead
+    )
+    with pytest.raises(ChannelError) as info:
+        client.apply(base.image, signed, blob)
+    assert info.value.code == "stale_epoch"
+    assert client.epoch == signed.manifest.epoch + ahead
+
+
+@_SETTINGS
+@given(seed=st.binary(min_size=1, max_size=32))
+def test_wrongly_signed_manifest_never_yields_an_image(seed):
+    base, target, key, _, _ = _fixed_world()
+    attacker = PrivateKey.generate_ecdsa(
+        HmacDrbg(b"delta-prop-attacker:" + seed), "P-256"
+    )
+    assume(
+        attacker.public_key().fingerprint() != key.public_key().fingerprint()
+    )
+    forge = UpdateChannel(attacker, image_name=base.image.name)
+    forged = forge.publish(
+        compute_delta(base.image, target.image),
+        base.expected_measurement,
+        target.expected_measurement,
+    )
+    client = UpdateClient(key.public_key())
+    with pytest.raises(ChannelError) as info:
+        client.apply(
+            base.image, forged, forge.blob(forged.manifest.delta_digest)
+        )
+    assert info.value.code == "bad_signature"
+    assert client.epoch == 0

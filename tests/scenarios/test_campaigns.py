@@ -7,6 +7,7 @@ import dataclasses
 import pytest
 
 from repro.attest import ATTEST_REASON_CODES
+from repro.build.channel import CHANNEL_REASON_CODES
 from repro.fleet.gateway import GATEWAY_REASON_CODES
 from repro.fleet.mesh import GOSSIP_REJECT_REASONS
 from repro.scenarios import CampaignRunner, get_campaign
@@ -48,13 +49,14 @@ class TestTaxonomyCompleteness:
     def test_every_stable_reason_code_is_reached(
         self, storm_report, pipeline_report, launch_report
     ):
-        """Every code in the attest, gateway, and mesh taxonomies must
-        be provoked by at least one scenario — a new reason code
-        without a campaign reaching it fails here by name."""
+        """Every code in the attest, gateway, mesh, and update
+        taxonomies must be provoked by at least one scenario — a new
+        reason code without a campaign reaching it fails here by name."""
         want = (
             {f"attest:{code}" for code in ATTEST_REASON_CODES}
             | {f"gateway:{code}" for code in GATEWAY_REASON_CODES}
             | {f"mesh:{code}" for code in GOSSIP_REJECT_REASONS}
+            | {f"update:{code}" for code in CHANNEL_REASON_CODES}
         )
         reached = set()
         for report in (storm_report, pipeline_report, launch_report):
@@ -72,7 +74,8 @@ class TestTaxonomyCompleteness:
             for code in report.codes_reached:
                 namespace = code.partition(":")[0]
                 assert namespace in (
-                    "attest", "gateway", "mesh", "storage", "launch"
+                    "attest", "gateway", "mesh", "storage", "launch",
+                    "update",
                 ), code
 
 

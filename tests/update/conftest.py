@@ -1,0 +1,40 @@
+"""Build-layer fixtures: a base build and a one-package-change target."""
+
+import pytest
+
+from repro.build import (
+    BuildCache,
+    Package,
+    PackagePin,
+    build_revelio_image,
+)
+from tests.conftest import make_registry, make_spec
+
+
+@pytest.fixture(scope="module")
+def update_world():
+    """One registry, a shared build cache, the base build, and a target
+    build that differs by exactly one bumped package."""
+    registry, pins = make_registry()
+    cache = BuildCache()
+    base = build_revelio_image(make_spec(registry, pins), cache=cache)
+
+    bumped = Package.create(
+        "revelio-agent",
+        "1.0.1",
+        files={"/usr/bin/revelio-agent": b"\x7fELF-agent-v2" + b"r" * 1000},
+    )
+    digest = registry.publish(bumped)
+    pins_v2 = dict(pins)
+    pins_v2["revelio-agent"] = PackagePin("revelio-agent", "1.0.1", digest)
+    target = build_revelio_image(
+        make_spec(registry, pins_v2, version="1.0.1"), cache=cache
+    )
+    return {
+        "registry": registry,
+        "pins": pins,
+        "pins_v2": pins_v2,
+        "cache": cache,
+        "base": base,
+        "target": target,
+    }

@@ -1,0 +1,77 @@
+"""The content-addressed build cache: incremental rebuilds reuse
+unchanged stages, cached and uncached builds stay byte-identical."""
+
+from repro.build import BuildCache, build_revelio_image, cache_key
+from tests.conftest import make_registry, make_spec
+
+
+class TestCacheKey:
+    def test_keys_are_length_framed(self):
+        # (b"ab", b"c") and (b"a", b"bc") must not collide.
+        assert cache_key(b"ab", b"c") != cache_key(b"a", b"bc")
+
+    def test_keys_are_deterministic(self):
+        assert cache_key(b"x", b"y") == cache_key(b"x", b"y")
+
+
+class TestBuildCache:
+    def test_memo_hits_on_second_lookup(self):
+        cache = BuildCache()
+        calls = []
+        key = cache_key(b"input")
+        assert cache.memo("rootfs", key, lambda: calls.append(1) or b"v") == b"v"
+        assert cache.memo("rootfs", key, lambda: calls.append(1) or b"v") == b"v"
+        assert len(calls) == 1
+        assert cache.hits["rootfs"] == 1 and cache.misses["rootfs"] == 1
+        assert cache.hit_ratio() == 0.5
+
+    def test_stats_reset_keeps_entries(self):
+        cache = BuildCache()
+        cache.memo("verity", cache_key(b"k"), lambda: b"v")
+        cache.reset_stats()
+        assert len(cache) == 1
+        assert cache.hit_ratio() == 0.0
+        cache.memo("verity", cache_key(b"k"), lambda: b"boom")
+        assert cache.hits["verity"] == 1
+
+
+class TestIncrementalRebuild:
+    def test_same_spec_rebuild_hits_every_stage(self, update_world):
+        cache = update_world["cache"]
+        registry, pins = update_world["registry"], update_world["pins"]
+        before_hits = dict(cache.hits)
+        rebuild = build_revelio_image(make_spec(registry, pins), cache=cache)
+        assert rebuild.image.encode() == update_world["base"].image.encode()
+        for stage in ("rootfs", "verity", "measurement"):
+            assert cache.hits[stage] > before_hits.get(stage, 0), stage
+
+    def test_cached_build_equals_uncached_build(self, update_world):
+        registry, pins = update_world["registry"], update_world["pins"]
+        uncached = build_revelio_image(make_spec(registry, pins))
+        assert uncached.image.encode() == update_world["base"].image.encode()
+        assert uncached.root_hash == update_world["base"].root_hash
+        assert (
+            uncached.expected_measurement
+            == update_world["base"].expected_measurement
+        )
+
+    def test_one_package_change_misses_but_builds_correctly(self):
+        registry, pins = make_registry()
+        cache = BuildCache()
+        build_revelio_image(make_spec(registry, pins), cache=cache)
+        misses_before = dict(cache.misses)
+        changed = build_revelio_image(
+            make_spec(registry, pins, version="9.9.9"), cache=cache
+        )
+        # A different version writes a different manifest: the rootfs
+        # stage must recompute, not serve a stale slice.
+        assert cache.misses["rootfs"] == misses_before["rootfs"] + 1
+        fresh = build_revelio_image(make_spec(registry, pins, version="9.9.9"))
+        assert changed.image.encode() == fresh.image.encode()
+
+    def test_cache_stats_surface_on_the_build(self, update_world):
+        assert update_world["base"].cache_stats["entries"] >= 3
+        uncached = build_revelio_image(
+            make_spec(update_world["registry"], update_world["pins"])
+        )
+        assert uncached.cache_stats == {}

@@ -1,0 +1,118 @@
+"""Block-level delta images: minimal diffs, exact application, typed
+fail-closed rejection on every tampering vector."""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.build import (
+    DELTA_REASON_CODES,
+    DeltaError,
+    ImageDelta,
+    apply_delta,
+    compute_delta,
+)
+
+
+@pytest.fixture(scope="module")
+def delta(update_world):
+    return compute_delta(
+        update_world["base"].image, update_world["target"].image
+    )
+
+
+class TestComputeDelta:
+    def test_one_package_change_ships_a_fraction_of_the_image(
+        self, update_world, delta
+    ):
+        full = len(update_world["target"].image.disk_image)
+        assert 0 < delta.delta_bytes() <= full // 4
+
+    def test_roots_and_digests_recorded(self, update_world, delta):
+        assert delta.base_root_hash == update_world["base"].root_hash
+        assert delta.target_root_hash == update_world["target"].root_hash
+        assert delta.base_disk_digest == hashlib.sha256(
+            update_world["base"].image.disk_image
+        ).digest()
+
+    def test_cross_image_delta_refused(self, update_world):
+        other = dataclasses.replace(
+            update_world["target"].image, name="other-image"
+        )
+        with pytest.raises(ValueError, match="image identities"):
+            compute_delta(update_world["base"].image, other)
+
+    def test_blob_hashes_are_position_bound(self, delta):
+        hashes = delta.blob_hashes()
+        assert len(hashes) == len(delta.changed_blocks)
+        (first_index, first_content) = delta.changed_blocks[0]
+        transposed = dataclasses.replace(
+            delta,
+            changed_blocks=(
+                ((first_index + 1, first_content),)
+                + delta.changed_blocks[1:]
+            ),
+        )
+        assert transposed.blob_hashes()[0] != hashes[0]
+
+
+class TestApplyDelta:
+    def test_apply_reproduces_the_target_exactly(self, update_world, delta):
+        applied = apply_delta(
+            update_world["base"].image, delta,
+            target_measurement=update_world["target"].expected_measurement,
+        )
+        assert applied == update_world["target"].image
+        assert (
+            applied.disk_image == update_world["target"].image.disk_image
+        )
+
+    def test_roundtrip_through_encoded_blob(self, update_world, delta):
+        decoded = ImageDelta.decode(delta.encode())
+        applied = apply_delta(update_world["base"].image, decoded)
+        assert applied.disk_image == update_world["target"].image.disk_image
+
+    def test_wrong_base_is_base_mismatch(self, update_world, delta):
+        with pytest.raises(DeltaError) as info:
+            apply_delta(update_world["target"].image, delta)
+        assert info.value.code == "base_mismatch"
+
+    def test_corrupted_block_is_delta_corrupt(self, update_world, delta):
+        index, content = delta.changed_blocks[0]
+        flipped = bytes([content[0] ^ 0xFF]) + content[1:]
+        tampered = dataclasses.replace(
+            delta,
+            changed_blocks=((index, flipped),) + delta.changed_blocks[1:],
+        )
+        with pytest.raises(DeltaError) as info:
+            apply_delta(update_world["base"].image, tampered)
+        assert info.value.code == "delta_corrupt"
+
+    def test_lying_target_root_is_digest_mismatch(self, update_world, delta):
+        lying = dataclasses.replace(
+            delta, target_root_hash=delta.base_root_hash
+        )
+        with pytest.raises(DeltaError) as info:
+            apply_delta(update_world["base"].image, lying)
+        assert info.value.code == "digest_mismatch"
+
+    def test_wrong_signed_measurement_is_digest_mismatch(
+        self, update_world, delta
+    ):
+        with pytest.raises(DeltaError) as info:
+            apply_delta(
+                update_world["base"].image, delta,
+                target_measurement=update_world["base"].expected_measurement,
+            )
+        assert info.value.code == "digest_mismatch"
+
+    def test_unreadable_blob_is_delta_corrupt(self):
+        with pytest.raises(DeltaError) as info:
+            ImageDelta.decode(b"not a delta at all")
+        assert info.value.code == "delta_corrupt"
+
+    def test_every_code_is_stable(self):
+        assert DELTA_REASON_CODES == (
+            "base_mismatch", "delta_corrupt", "digest_mismatch"
+        )

@@ -1,0 +1,80 @@
+"""Registry payload deduplication: identical file contents published
+under different packages (or versions) are stored once, by content
+hash, without changing any resolve/pinning behaviour."""
+
+import pytest
+
+from repro.build import Package, PackageError, PackagePin, PackageRegistry
+
+
+def _publish(registry, name, version, files):
+    package = Package.create(name, version, files=files)
+    return package, registry.publish(package)
+
+
+class TestPayloadDedup:
+    def test_identical_payloads_are_interned_across_packages(self):
+        registry = PackageRegistry()
+        shared = b"\x7fELF-shared-runtime" + b"x" * 4096
+        _publish(registry, "app-a", "1.0.0", {"/opt/a/bin": shared})
+        _publish(registry, "app-b", "1.0.0", {"/opt/b/bin": shared})
+        stats = registry.dedup_stats()
+        assert stats["packages"] == 2
+        assert stats["deduped_bytes"] == len(shared)
+        assert stats["stored_bytes"] == stats["logical_bytes"] - len(shared)
+
+    def test_version_bump_shares_unchanged_files(self):
+        registry = PackageRegistry()
+        unchanged = b"config-that-never-changes" * 100
+        _publish(
+            registry, "svc", "1.0.0",
+            {"/etc/svc.conf": unchanged, "/usr/bin/svc": b"\x7fELF-v1"},
+        )
+        _publish(
+            registry, "svc", "2.0.0",
+            {"/etc/svc.conf": unchanged, "/usr/bin/svc": b"\x7fELF-v2"},
+        )
+        stats = registry.dedup_stats()
+        assert stats["deduped_bytes"] == len(unchanged)
+
+    def test_dedup_preserves_resolve_and_digest(self):
+        plain, deduped = PackageRegistry(), PackageRegistry()
+        files = {"/opt/app/bin": b"\x7fELF-app" + b"a" * 500}
+        _, digest_a = _publish(plain, "app", "1.0.0", dict(files))
+        # Publish a twin payload first so the second registry interns
+        # the app's contents against an existing blob.
+        _publish(deduped, "twin", "1.0.0", dict(files))
+        _, digest_b = _publish(deduped, "app", "1.0.0", dict(files))
+        assert digest_a == digest_b
+        pin = PackagePin("app", "1.0.0", digest_a)
+        assert (
+            plain.resolve(pin).file_items == deduped.resolve(pin).file_items
+        )
+
+    def test_interned_storage_shares_one_object(self):
+        registry = PackageRegistry()
+        blob = b"B" * 2048
+        _, digest_one = _publish(registry, "one", "1.0.0", {"/a": blob})
+        _, digest_two = _publish(
+            registry, "two", "1.0.0", {"/b": bytes(blob)}
+        )
+        content_one = registry.resolve(
+            PackagePin("one", "1.0.0", digest_one)
+        ).files["/a"]
+        content_two = registry.resolve(
+            PackagePin("two", "1.0.0", digest_two)
+        ).files["/b"]
+        assert content_one is content_two
+
+    def test_tampered_payloads_still_fail_the_pin(self):
+        registry = PackageRegistry()
+        _, digest = _publish(registry, "app", "1.0.0", {"/opt/app": b"good"})
+        registry.tamper("app", "1.0.0", {"/opt/app": b"evil"})
+        with pytest.raises(PackageError, match="digest mismatch"):
+            registry.resolve(PackagePin("app", "1.0.0", digest))
+
+    def test_republish_conflict_still_rejected(self):
+        registry = PackageRegistry()
+        _publish(registry, "app", "1.0.0", {"/opt/app": b"original"})
+        with pytest.raises(PackageError, match="different contents"):
+            _publish(registry, "app", "1.0.0", {"/opt/app": b"tampered"})
